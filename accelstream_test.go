@@ -1,0 +1,307 @@
+package accelstream
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the README's quickstart path: build a
+// software SplitJoin, stream tuples, collect results, verify against the
+// oracle.
+func TestPublicAPIQuickstart(t *testing.T) {
+	engine, err := NewSoftwareUniFlow(SoftwareConfig{NumCores: 4, WindowSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var results []Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := range engine.Results() {
+			results = append(results, r)
+		}
+	}()
+	var inputs []Input
+	for i := 0; i < 200; i++ {
+		side := SideR
+		if i%2 == 1 {
+			side = SideS
+		}
+		in := Input{Side: side, Tuple: Tuple{Key: uint32(i % 5)}}
+		inputs = append(inputs, in)
+		engine.Push(in.Side, in.Tuple)
+	}
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := VerifyExactlyOnce(64, EquiJoinOnKey(), inputs, results); err != nil {
+		t.Error(err)
+	}
+	if len(results) == 0 {
+		t.Error("no results; vacuous quickstart")
+	}
+}
+
+// TestPublicAPIHardwareSim drives the simulated FPGA design through the
+// facade.
+func TestPublicAPIHardwareSim(t *testing.T) {
+	inputs := []Input{
+		{Side: SideS, Tuple: Tuple{Key: 5}},
+		{Side: SideR, Tuple: Tuple{Key: 5}},
+	}
+	i := 0
+	gen := func() (Flit, bool) {
+		if i >= len(inputs) {
+			return Flit{}, false
+		}
+		in := inputs[i]
+		i++
+		return TupleFlit(in.Side, in.Tuple), true
+	}
+	d, err := NewHardwareUniFlow(HardwareUniFlowConfig{NumCores: 2, WindowSize: 8}, true, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Sink().Results()); got != 1 {
+		t.Errorf("hardware sim produced %d results, want 1", got)
+	}
+}
+
+// TestPublicAPISynthesize checks the synthesis facade.
+func TestPublicAPISynthesize(t *testing.T) {
+	rep, err := Synthesize(DesignSpec{Flow: UniFlow, NumCores: 16, WindowSize: 1 << 13}, Virtex5LX50T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fit.Feasible {
+		t.Errorf("16 cores @ 2^13 should fit the Virtex-5: %s", rep.Fit.Reason)
+	}
+	if rep.OperatingMHz != 100 {
+		t.Errorf("operating clock = %.1f, want 100", rep.OperatingMHz)
+	}
+}
+
+// TestPublicAPIQueryToFabric runs the full declarative path: parse →
+// compile → assign → ingest.
+func TestPublicAPIQueryToFabric(t *testing.T) {
+	customers, err := NewSchema("customer", "product_id", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	products, err := NewSchema("product", "product_id", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := Catalog{"customer": customers, "product": products}
+	q, err := ParseQuery(`SELECT c.age, p.price FROM customer ROWS 16 AS c
+		JOIN product ROWS 16 AS p ON c.product_id = p.product_id WHERE c.age > 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := CompileQuery(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := NewFabric(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn, err := fab.AssignQuery("q", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecord(products, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Ingest("product", rec); err != nil {
+		t.Fatal(err)
+	}
+	cust, err := NewRecord(customers, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Ingest("customer", cust); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fab.Results("q")); got != 1 {
+		t.Errorf("query produced %d results, want 1", got)
+	}
+	dyn, err := FQPReconfiguration(asn, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.TotalMax() >= ConventionalReconfiguration().TotalMin() {
+		t.Error("FQP reconfiguration should be far below the conventional flow")
+	}
+}
+
+// TestEnginesAgree cross-validates the two realizations the paper compares:
+// the same workload pushed through the software SplitJoin and the simulated
+// uni-flow FPGA design must produce the identical result multiset (both are
+// separately oracle-checked elsewhere; this closes the triangle).
+func TestEnginesAgree(t *testing.T) {
+	const (
+		cores  = 4
+		window = 64
+		n      = 400
+	)
+	inputs := make([]Input, n)
+	for i := range inputs {
+		side := SideR
+		if (i/3)%2 == 1 { // uneven interleaving
+			side = SideS
+		}
+		inputs[i] = Input{Side: side, Tuple: Tuple{Key: uint32(i*7%13) % 9, Val: uint32(i)}}
+	}
+
+	// Software engine.
+	sw, err := NewSoftwareUniFlow(SoftwareConfig{NumCores: cores, WindowSize: window, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var swResults []Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := range sw.Results() {
+			swResults = append(swResults, r)
+		}
+	}()
+	for _, in := range inputs {
+		sw.Push(in.Side, in.Tuple)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// Simulated hardware.
+	i := 0
+	var seqR, seqS uint64
+	gen := func() (Flit, bool) {
+		if i >= len(inputs) {
+			return Flit{}, false
+		}
+		in := inputs[i]
+		i++
+		tu := in.Tuple
+		if in.Side == SideR {
+			tu.Seq = seqR
+			seqR++
+		} else {
+			tu.Seq = seqS
+			seqS++
+		}
+		return TupleFlit(in.Side, tu), true
+	}
+	hw, err := NewHardwareUniFlow(HardwareUniFlowConfig{NumCores: cores, WindowSize: window}, true, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.RunToQuiescence(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	hwResults := hw.Sink().Results()
+
+	if len(swResults) == 0 || len(swResults) != len(hwResults) {
+		t.Fatalf("software produced %d results, hardware %d", len(swResults), len(hwResults))
+	}
+	// Exact multiset equality via the oracle checker applied both ways.
+	if err := VerifyExactlyOnce(window, EquiJoinOnKey(), inputs, swResults); err != nil {
+		t.Errorf("software vs oracle: %v", err)
+	}
+	if err := VerifyExactlyOnce(window, EquiJoinOnKey(), inputs, hwResults); err != nil {
+		t.Errorf("hardware vs oracle: %v", err)
+	}
+}
+
+func TestRunExperimentDispatch(t *testing.T) {
+	res, err := RunExperiment("power", ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || !strings.Contains(res[0].Text, "uni-flow") {
+		t.Errorf("unexpected power result: %+v", res)
+	}
+	if _, err := RunExperiment("nosuch", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	ids := ExperimentIDs()
+	if len(ids) < 12 {
+		t.Errorf("only %d experiments registered: %v", len(ids), ids)
+	}
+}
+
+// TestRunExperimentCheapRunners drives every fast experiment through the
+// public dispatcher (the slow software sweeps have their own tests).
+func TestRunExperimentCheapRunners(t *testing.T) {
+	cases := []struct {
+		id      string
+		results int
+		want    string
+	}{
+		{"fig17", 1, "clock frequency"},
+		{"fig15", 2, "latency"},
+		{"fig6", 1, "FQP"},
+		{"landscape", 1, "best placement"},
+		{"fanout", 1, "fan-out"},
+		{"llhs", 1, "architecture"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			res, err := RunExperiment(tc.id, ExperimentOptions{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != tc.results {
+				t.Fatalf("got %d results, want %d", len(res), tc.results)
+			}
+			if !strings.Contains(strings.ToLower(res[0].Text), strings.ToLower(tc.want)) {
+				t.Errorf("result missing %q:\n%s", tc.want, res[0].Text)
+			}
+		})
+	}
+}
+
+// TestPublicAPIHardwareFastForward drives the low-latency chain through the
+// facade.
+func TestPublicAPIHardwareFastForward(t *testing.T) {
+	inputs := []Input{
+		{Side: SideS, Tuple: Tuple{Key: 5}},
+		{Side: SideR, Tuple: Tuple{Key: 5}},
+	}
+	i := 0
+	gen := func() (Flit, bool) {
+		if i >= len(inputs) {
+			return Flit{}, false
+		}
+		in := inputs[i]
+		i++
+		return TupleFlit(in.Side, in.Tuple), true
+	}
+	d, err := NewHardwareBiFlow(HardwareBiFlowConfig{NumCores: 2, WindowSize: 8, FastForward: true}, true, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Sink().Drained(); got != 1 {
+		t.Errorf("fast-forward chain produced %d results, want 1", got)
+	}
+}

@@ -1,0 +1,445 @@
+package accelstream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"accelstream/internal/core"
+	"accelstream/internal/fqp"
+	"accelstream/internal/hwjoin"
+	"accelstream/internal/softjoin"
+	"accelstream/internal/stream"
+	"accelstream/internal/synth"
+	"accelstream/internal/workload"
+)
+
+// The benchmarks below regenerate the paper's figures as testing.B targets,
+// one per table/figure, reporting the figure's headline quantity as a
+// custom metric (Mtuples/s, cycles, mW, MHz). Simulated-hardware numbers
+// are deterministic; software numbers depend on this host. The full sweeps
+// live in cmd/benchmark; these targets measure one representative point
+// per series so `go test -bench=.` stays tractable.
+
+// saturatedFlitGen returns an endless alternating R/S stream of
+// never-matching keys.
+func saturatedFlitGen() func() (hwjoin.Flit, bool) {
+	next, err := workload.Alternating(workload.Spec{Seed: 1, Dist: workload.Disjoint})
+	if err != nil {
+		panic(err)
+	}
+	return func() (hwjoin.Flit, bool) {
+		in := next()
+		return hwjoin.TupleFlit(in.Side, in.Tuple), true
+	}
+}
+
+// simUniThroughput builds, preloads, and measures one uni-flow design for a
+// fixed cycle budget, returning tuples/cycle.
+func simUniThroughput(b *testing.B, cores, window int, network hwjoin.NetworkKind, cycles uint64) float64 {
+	b.Helper()
+	d, err := hwjoin.BuildUniFlow(hwjoin.UniFlowConfig{
+		NumCores:   cores,
+		WindowSize: window,
+		Network:    network,
+	}, false, saturatedFlitGen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, s, err := workload.WindowFill(workload.Spec{Seed: 2, Dist: workload.Disjoint}, window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Preload(r, s); err != nil {
+		b.Fatal(err)
+	}
+	return d.MeasureThroughput(cycles/8, cycles).TuplesPerCycle()
+}
+
+// BenchmarkFig14a measures the simulated Virtex-5 uni-flow design at the
+// figure's core counts (window 2^13 where feasible, 2^11 beyond).
+func BenchmarkFig14a(b *testing.B) {
+	for _, tc := range []struct{ cores, window int }{
+		{2, 1 << 13}, {8, 1 << 13}, {16, 1 << 13}, {64, 1 << 11},
+	} {
+		tc := tc
+		b.Run(fmt.Sprintf("cores=%d/W=%d", tc.cores, tc.window), func(b *testing.B) {
+			var tpc float64
+			for i := 0; i < b.N; i++ {
+				tpc = simUniThroughput(b, tc.cores, tc.window, hwjoin.Lightweight, 40_000)
+			}
+			b.ReportMetric(tpc*100, "Mtuples/s@100MHz")
+		})
+	}
+}
+
+// BenchmarkFig14b compares uni-flow and bi-flow at 16 cores, window 2^11.
+func BenchmarkFig14b(b *testing.B) {
+	const (
+		cores  = 16
+		window = 1 << 11
+	)
+	r, s, err := workload.WindowFill(workload.Spec{Seed: 2, Dist: workload.Disjoint}, window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("uni-flow", func(b *testing.B) {
+		var tpc float64
+		for i := 0; i < b.N; i++ {
+			tpc = simUniThroughput(b, cores, window, hwjoin.Lightweight, 40_000)
+		}
+		b.ReportMetric(tpc*100, "Mtuples/s@100MHz")
+	})
+	b.Run("bi-flow", func(b *testing.B) {
+		var tpc float64
+		for i := 0; i < b.N; i++ {
+			d, err := hwjoin.BuildBiFlow(hwjoin.BiFlowConfig{
+				NumCores:   cores,
+				WindowSize: window,
+			}, false, saturatedFlitGen())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Preload(r, s); err != nil {
+				b.Fatal(err)
+			}
+			tpc = d.MeasureThroughput(30_000, 120_000).TuplesPerCycle()
+		}
+		b.ReportMetric(tpc*100, "Mtuples/s@100MHz")
+	})
+}
+
+// BenchmarkFig14c measures the 512-core Virtex-7 design at two windows.
+func BenchmarkFig14c(b *testing.B) {
+	for _, window := range []int{1 << 11, 1 << 14} {
+		window := window
+		b.Run(fmt.Sprintf("W=%d", window), func(b *testing.B) {
+			var tpc float64
+			for i := 0; i < b.N; i++ {
+				tpc = simUniThroughput(b, 512, window, hwjoin.Scalable, 30_000)
+			}
+			b.ReportMetric(tpc*300, "Mtuples/s@300MHz")
+		})
+	}
+}
+
+// BenchmarkFig14d measures the software SplitJoin's sustained ingest rate.
+func BenchmarkFig14d(b *testing.B) {
+	for _, window := range []int{1 << 16, 1 << 18} {
+		window := window
+		b.Run(fmt.Sprintf("W=%d", window), func(b *testing.B) {
+			e, err := softjoin.NewUniFlow(softjoin.Config{NumCores: 16, WindowSize: window})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, s, err := workload.WindowFill(workload.Spec{Seed: 3, Dist: workload.Disjoint}, window)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Preload(r, s); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Start(); err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range e.Results() {
+				}
+			}()
+			next, err := workload.Alternating(workload.Spec{Seed: 4, Dist: workload.Disjoint})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const batch = 256
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batchBuf := make([]core.Input, batch)
+				for j := range batchBuf {
+					batchBuf[j] = next()
+				}
+				e.PushBatch(batchBuf)
+			}
+			if err := e.Close(); err != nil {
+				b.Fatal(err)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+// BenchmarkFig15 measures single-tuple latency in the simulated hardware
+// for the lightweight and scalable networks.
+func BenchmarkFig15(b *testing.B) {
+	const (
+		cores  = 16
+		window = 1 << 13
+	)
+	for _, network := range []hwjoin.NetworkKind{hwjoin.Lightweight, hwjoin.Scalable} {
+		network := network
+		b.Run(network.String(), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				probe := true
+				gen := func() (hwjoin.Flit, bool) {
+					if !probe {
+						return hwjoin.Flit{}, false
+					}
+					probe = false
+					return hwjoin.TupleFlit(stream.SideR, stream.Tuple{Key: 42}), true
+				}
+				d, err := hwjoin.BuildUniFlow(hwjoin.UniFlowConfig{
+					NumCores:   cores,
+					WindowSize: window,
+					Network:    network,
+				}, false, gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, s, err := workload.WindowFill(workload.Spec{Seed: 5, Dist: workload.Disjoint}, window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s[window/2].Key = 42
+				if err := d.Preload(nil, s); err != nil {
+					b.Fatal(err)
+				}
+				cycles, err = d.RunToQuiescence(1_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkFig16 measures the software engine's quiesced probe latency.
+func BenchmarkFig16(b *testing.B) {
+	const (
+		cores  = 16
+		window = 1 << 17
+	)
+	e, err := softjoin.NewUniFlow(softjoin.Config{NumCores: cores, WindowSize: window, BatchSize: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, s, err := workload.WindowFill(workload.Spec{Seed: 6, Dist: workload.Disjoint}, window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Preload(nil, s); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range e.Results() {
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One probe = one full sub-window scan on every core.
+		e.Push(stream.SideR, stream.Tuple{Key: 0x30000000})
+	}
+	if err := e.Close(); err != nil {
+		b.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// BenchmarkFig17 measures the analytic Fmax model.
+func BenchmarkFig17(b *testing.B) {
+	var f float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		f, err = synth.Fmax(synth.DesignSpec{
+			Flow: core.UniFlow, NumCores: 512, WindowSize: 1 << 18, Network: hwjoin.Lightweight,
+		}, synth.Virtex7VX485T)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f, "MHz")
+}
+
+// BenchmarkPower measures the calibrated power model at the paper's
+// comparison point.
+func BenchmarkPower(b *testing.B) {
+	for _, flow := range []core.FlowModel{core.UniFlow, core.BiFlow} {
+		flow := flow
+		b.Run(flow.String(), func(b *testing.B) {
+			var p float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				p, err = synth.PowerMW(synth.DesignSpec{Flow: flow, NumCores: 16, WindowSize: 1 << 13}, synth.Virtex5LX50T, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(p, "mW")
+		})
+	}
+}
+
+// BenchmarkFig6Reconfiguration measures the FQP query-assignment path (the
+// "map new operators" stage of Figure 6) end to end in software.
+func BenchmarkFig6Reconfiguration(b *testing.B) {
+	plan := fqp.Join("product_id", "product_id", stream.CmpEQ, 1536,
+		fqp.Select("age", stream.CmpGT, 25, fqp.Leaf("customer")),
+		fqp.Leaf("product"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fab, err := fqp.NewFabric(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asn, err := fab.AssignQuery("q", plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fab.ClearQuery(asn)
+	}
+}
+
+// BenchmarkAblationFanout compares DNode fan-outs (the paper's suggested
+// exploration) by distribution-tree depth cost on a single-tuple pass.
+func BenchmarkAblationFanout(b *testing.B) {
+	for _, fanout := range []int{2, 4, 8} {
+		fanout := fanout
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				probe := true
+				gen := func() (hwjoin.Flit, bool) {
+					if !probe {
+						return hwjoin.Flit{}, false
+					}
+					probe = false
+					return hwjoin.TupleFlit(stream.SideR, stream.Tuple{Key: 1}), true
+				}
+				d, err := hwjoin.BuildUniFlow(hwjoin.UniFlowConfig{
+					NumCores:   64,
+					WindowSize: 64 * 16,
+					Network:    hwjoin.Scalable,
+					Fanout:     fanout,
+				}, false, gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles, err = d.RunToQuiescence(100_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationJoinAlgorithm compares the nested-loop cores the paper
+// measures against hash-join cores (the paper notes the design poses no
+// limitation on the join algorithm): hash buckets turn the scan-bound core
+// into an ingest-bound one.
+func BenchmarkAblationJoinAlgorithm(b *testing.B) {
+	const (
+		cores  = 8
+		window = 1 << 12
+	)
+	r, s, err := workload.WindowFill(workload.Spec{Seed: 7, Dist: workload.Disjoint}, window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, algo := range []hwjoin.JoinAlgorithm{hwjoin.NestedLoop, hwjoin.HashJoin} {
+		algo := algo
+		b.Run(algo.String(), func(b *testing.B) {
+			var tpc float64
+			for i := 0; i < b.N; i++ {
+				d, err := hwjoin.BuildUniFlow(hwjoin.UniFlowConfig{
+					NumCores:   cores,
+					WindowSize: window,
+					Algorithm:  algo,
+				}, false, saturatedFlitGen())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := d.Preload(r, s); err != nil {
+					b.Fatal(err)
+				}
+				tpc = d.MeasureThroughput(5_000, 40_000).TuplesPerCycle()
+			}
+			b.ReportMetric(tpc*100, "Mtuples/s@100MHz")
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize measures how SplitJoin's distribution batch
+// size trades hand-off overhead against latency.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, batch := range []int{1, 16, 256} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			e, err := softjoin.NewUniFlow(softjoin.Config{NumCores: 8, WindowSize: 1 << 12, BatchSize: batch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Start(); err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range e.Results() {
+				}
+			}()
+			next, err := workload.Alternating(workload.Spec{Seed: 8, Dist: workload.Disjoint})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := next()
+				e.Push(in.Side, in.Tuple)
+			}
+			if err := e.Close(); err != nil {
+				b.Fatal(err)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkOracle measures the reference join itself (the correctness
+// baseline every engine is checked against).
+func BenchmarkOracle(b *testing.B) {
+	o, err := core.NewOracle(1<<10, stream.EquiJoinOnKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := workload.NewGenerator(workload.Spec{Seed: 9, Dist: workload.Disjoint})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := g.Take(1 << 10)
+	for _, in := range inputs { // warm the windows
+		if _, err := o.Push(in.Side, in.Tuple); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := inputs[i%len(inputs)]
+		if _, err := o.Push(in.Side, in.Tuple); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

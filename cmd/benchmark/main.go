@@ -1,0 +1,75 @@
+// Command benchmark regenerates the paper's evaluation: every figure and
+// table of Section V (plus the Section II artefacts) as aligned text tables
+// and optional CSV files.
+//
+// Usage:
+//
+//	benchmark -fig 14a            # one figure
+//	benchmark -fig all -csv out/  # everything, with CSVs
+//	benchmark -fig 14d -quick     # shrunken sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"accelstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "all", "figure/table to regenerate (e.g. 14a, fig14a, power, hwsw, landscape, all)")
+	quick := flag.Bool("quick", false, "shrink sweeps and measurement intervals")
+	seed := flag.Int64("seed", 42, "workload seed")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into (optional)")
+	list := flag.Bool("list", false, "list available experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range accelstream.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	id := strings.ToLower(*fig)
+	if id != "all" && !strings.HasPrefix(id, "fig") && !isNamedExperiment(id) {
+		id = "fig" + id
+	}
+	results, err := accelstream.RunExperiment(id, accelstream.ExperimentOptions{Quick: *quick, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		fmt.Println(res.Text)
+		if *csvDir != "" && res.CSV != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+func isNamedExperiment(id string) bool {
+	switch id {
+	case "power", "hwsw", "landscape", "fanout", "loadlat", "llhs":
+		return true
+	default:
+		return false
+	}
+}

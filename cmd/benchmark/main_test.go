@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestIsNamedExperiment(t *testing.T) {
+	for _, id := range []string{"power", "hwsw", "landscape", "fanout", "loadlat", "llhs"} {
+		if !isNamedExperiment(id) {
+			t.Errorf("isNamedExperiment(%q) = false", id)
+		}
+	}
+	for _, id := range []string{"fig14a", "14a", "", "nosuch"} {
+		if isNamedExperiment(id) {
+			t.Errorf("isNamedExperiment(%q) = true", id)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command fqpcli compiles a continuous query onto a Flexible Query
+// Processor fabric and reports the assignment and its reconfiguration cost
+// versus the conventional FPGA flow (Figures 6 and 7 of the paper).
+//
+// Usage:
+//
+//	fqpcli -blocks 8 -clock 100 \
+//	  -schema 'customer(product_id,age,gender)' \
+//	  -schema 'product(product_id,price)' \
+//	  -query 'SELECT c.age, p.price FROM customer ROWS 1536 AS c
+//	          JOIN product ROWS 1536 AS p ON c.product_id = p.product_id
+//	          WHERE c.age > 25'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"accelstream"
+)
+
+type schemaFlags []string
+
+func (s *schemaFlags) String() string { return strings.Join(*s, "; ") }
+func (s *schemaFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fqpcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var schemas schemaFlags
+	flag.Var(&schemas, "schema", "stream schema as name(field,field,...); repeatable")
+	queryText := flag.String("query", "", "continuous query to compile")
+	blocks := flag.Int("blocks", 8, "OP-Blocks on the fabric")
+	clock := flag.Float64("clock", 100, "fabric clock in MHz")
+	flag.Parse()
+
+	if *queryText == "" {
+		return fmt.Errorf("a -query is required")
+	}
+	cat := accelstream.Catalog{}
+	for _, s := range schemas {
+		name, fields, err := parseSchemaFlag(s)
+		if err != nil {
+			return err
+		}
+		sch, err := accelstream.NewSchema(name, fields...)
+		if err != nil {
+			return err
+		}
+		cat[name] = sch
+	}
+	if len(cat) == 0 {
+		return fmt.Errorf("at least one -schema is required")
+	}
+
+	q, err := accelstream.ParseQuery(*queryText)
+	if err != nil {
+		return err
+	}
+	plan, err := accelstream.CompileQuery(q, cat)
+	if err != nil {
+		return err
+	}
+	fab, err := accelstream.NewFabric(*blocks)
+	if err != nil {
+		return err
+	}
+	asn, err := fab.AssignQuery("q", plan)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fabric: %d OP-Blocks, %d free after assignment\n", fab.NumBlocks(), len(fab.FreeBlocks()))
+	fmt.Println("assignment:")
+	for _, ab := range asn.Blocks {
+		fmt.Printf("  OP-Block #%d ← %v\n", ab.Block, ab.Op)
+	}
+	fmt.Printf("instruction words: %d, route entries: %d\n\n", asn.InstructionWords, asn.RouteEntries)
+
+	dyn, err := accelstream.FQPReconfiguration(asn, *clock)
+	if err != nil {
+		return err
+	}
+	conv := accelstream.ConventionalReconfiguration()
+	fmt.Printf("FQP reconfiguration:        %v ~ %v (no halt)\n", dyn.TotalMin(), dyn.TotalMax())
+	fmt.Printf("conventional FPGA flow:     %v ~ %v (halts %v ~ %v)\n",
+		conv.TotalMin(), conv.TotalMax(), conv.HaltMin(), conv.HaltMax())
+	return nil
+}
+
+func parseSchemaFlag(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("schema %q must look like name(field,field,...)", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	body := s[open+1 : len(s)-1]
+	var fields []string
+	for _, f := range strings.Split(body, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			fields = append(fields, f)
+		}
+	}
+	if len(fields) == 0 {
+		return "", nil, fmt.Errorf("schema %q has no fields", s)
+	}
+	return name, fields, nil
+}

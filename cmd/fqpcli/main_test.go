@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseSchemaFlag(t *testing.T) {
+	name, fields, err := parseSchemaFlag("customer(product_id, age ,gender)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "customer" || len(fields) != 3 || fields[1] != "age" {
+		t.Errorf("parsed %q %v", name, fields)
+	}
+	for _, bad := range []string{"", "noparens", "(fields)", "name()", "name(a"} {
+		if _, _, err := parseSchemaFlag(bad); err == nil {
+			t.Errorf("parseSchemaFlag(%q) succeeded", bad)
+		}
+	}
+}

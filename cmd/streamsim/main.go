@@ -1,0 +1,171 @@
+// Command streamsim runs the cycle-level FPGA simulation of a flow-based
+// parallel stream join and reports throughput, latency, and the synthesis
+// model's resource/clock/power estimates for the chosen device.
+//
+// Usage:
+//
+//	streamsim -flow uni -cores 16 -window 8192 -device v5 -network lightweight
+//	streamsim -flow bi  -cores 16 -window 4096 -device v5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"accelstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "streamsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flowName := flag.String("flow", "uni", "flow model: uni or bi")
+	cores := flag.Int("cores", 16, "join cores")
+	window := flag.Int("window", 8192, "per-stream window size")
+	deviceName := flag.String("device", "v5", "device: v5 (Virtex-5) or v7 (Virtex-7)")
+	networkName := flag.String("network", "lightweight", "network: lightweight or scalable")
+	fanout := flag.Int("fanout", 2, "DNode fan-out for the scalable network")
+	measure := flag.Uint64("cycles", 0, "measurement cycles (0: auto-sized)")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform of the measurement to this file (uni-flow only)")
+	flag.Parse()
+
+	var dev accelstream.Device
+	switch strings.ToLower(*deviceName) {
+	case "v5":
+		dev = accelstream.Virtex5LX50T
+	case "v7":
+		dev = accelstream.Virtex7VX485T
+	default:
+		return fmt.Errorf("unknown device %q", *deviceName)
+	}
+	var network accelstream.NetworkKind
+	switch strings.ToLower(*networkName) {
+	case "lightweight":
+		network = accelstream.Lightweight
+	case "scalable":
+		network = accelstream.Scalable
+	default:
+		return fmt.Errorf("unknown network %q", *networkName)
+	}
+	var flow accelstream.FlowModel
+	switch strings.ToLower(*flowName) {
+	case "uni":
+		flow = accelstream.UniFlow
+	case "bi":
+		flow = accelstream.BiFlow
+	default:
+		return fmt.Errorf("unknown flow model %q", *flowName)
+	}
+
+	rep, err := accelstream.Synthesize(accelstream.DesignSpec{
+		Flow:       flow,
+		NumCores:   *cores,
+		WindowSize: *window,
+		Network:    network,
+		Fanout:     *fanout,
+	}, dev)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design: %v, %d cores, window %d/stream, %v network on %s\n",
+		flow, *cores, *window, network, rep.Device)
+	fmt.Printf("resources: %d LUTs, %d FFs, %d BRAM36, %d LUTRAM bits, %d core I/Os\n",
+		rep.Resources.LUTs, rep.Resources.FFs, rep.Resources.BRAM36,
+		rep.Resources.LUTRAMBits, rep.Resources.IOs)
+	if !rep.Fit.Feasible {
+		fmt.Printf("DOES NOT FIT: %s\n", rep.Fit.Reason)
+		return nil
+	}
+	fmt.Printf("timing: Fmax %.1f MHz, operating at %.1f MHz\n", rep.FmaxMHz, rep.OperatingMHz)
+	fmt.Printf("power: %.2f mW\n\n", rep.PowerMW)
+
+	// Saturated disjoint-key workload; preloaded windows.
+	var n uint64
+	gen := func() (accelstream.Flit, bool) {
+		n++
+		if n%2 == 0 {
+			return accelstream.TupleFlit(accelstream.SideR, accelstream.Tuple{Key: 0x80000000 | uint32(n)}), true
+		}
+		return accelstream.TupleFlit(accelstream.SideS, accelstream.Tuple{Key: uint32(n) &^ 0x80000000}), true
+	}
+	r := make([]accelstream.Tuple, *window)
+	s := make([]accelstream.Tuple, *window)
+	for i := range r {
+		r[i] = accelstream.Tuple{Key: 0xF0000000 + uint32(i)}
+		s[i] = accelstream.Tuple{Key: 0x70000000 + uint32(i)}
+	}
+
+	sub := *window / *cores
+	warm := uint64(10*sub + 512)
+	meas := *measure
+	if meas == 0 {
+		meas = uint64(80*sub + 8192)
+		if flow == accelstream.BiFlow {
+			meas *= 16
+		}
+	}
+
+	var tpc float64
+	switch flow {
+	case accelstream.UniFlow:
+		d, err := accelstream.NewHardwareUniFlow(accelstream.HardwareUniFlowConfig{
+			NumCores:   *cores,
+			WindowSize: *window,
+			Network:    network,
+			Fanout:     *fanout,
+		}, false, gen)
+		if err != nil {
+			return err
+		}
+		if err := d.Preload(r, s); err != nil {
+			return err
+		}
+		if *vcdPath != "" {
+			f, err := os.Create(*vcdPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tr := accelstream.NewTracer(f)
+			if err := d.AttachDefaultProbes(tr); err != nil {
+				return err
+			}
+			d.Sim().Run(warm)
+			start := d.Source().Injected()
+			if err := d.Sim().RunTraced(meas, tr); err != nil {
+				return err
+			}
+			tpc = float64(d.Source().Injected()-start) / float64(meas)
+			fmt.Printf("simulated %d traced cycles, wrote %s\n", meas, *vcdPath)
+		} else {
+			m := d.MeasureThroughput(warm, meas)
+			tpc = m.TuplesPerCycle()
+			fmt.Printf("simulated %d cycles: %d tuples in, %d results out\n",
+				m.MeasureCycles, m.TuplesInjected, m.ResultsDrained)
+		}
+	case accelstream.BiFlow:
+		d, err := accelstream.NewHardwareBiFlow(accelstream.HardwareBiFlowConfig{
+			NumCores:   *cores,
+			WindowSize: *window,
+		}, false, gen)
+		if err != nil {
+			return err
+		}
+		if err := d.Preload(r, s); err != nil {
+			return err
+		}
+		m := d.MeasureThroughput(warm*8, meas)
+		tpc = m.TuplesPerCycle()
+		fmt.Printf("simulated %d cycles: %d tuples in, %d results out\n",
+			m.MeasureCycles, m.TuplesInjected, m.ResultsDrained)
+	}
+	fmt.Printf("input throughput: %.6f tuples/cycle = %.3f M tuples/s at %.0f MHz\n",
+		tpc, tpc*rep.OperatingMHz, rep.OperatingMHz)
+	return nil
+}

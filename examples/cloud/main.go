@@ -1,0 +1,125 @@
+// Cloud: the paper's closing vision (Section VI, Figure 18) — virtualize
+// the FQP abstraction over a heterogeneous pool of FPGAs and hosts. Three
+// analytics queries with different latency requirements deploy against one
+// cluster; the scheduler places them across the accelerator pool, streams
+// fan out transparently, and a query is retired at runtime without touching
+// the others.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"accelstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloud:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster, err := accelstream.NewCluster(
+		accelstream.ClusterNode{
+			Name: "switch-fpga", Kind: accelstream.NodeFPGA,
+			Deployment: accelstream.CoPlacement, Blocks: 3, ClockMHz: 300,
+			Device: &accelstream.Virtex7VX485T,
+		},
+		accelstream.ClusterNode{
+			Name: "edge-fpga", Kind: accelstream.NodeFPGA,
+			Deployment: accelstream.Standalone, Blocks: 3, ClockMHz: 100,
+			Device: &accelstream.Virtex5LX50T,
+		},
+		accelstream.ClusterNode{
+			Name: "dc-host", Kind: accelstream.NodeCPU,
+			Deployment: accelstream.CoProcessor, Blocks: 32,
+		},
+	)
+	if err != nil {
+		return err
+	}
+
+	sensors, err := accelstream.NewSchema("sensor", "device", "zone", "value")
+	if err != nil {
+		return err
+	}
+	cat := accelstream.Catalog{"sensor": sensors}
+
+	deploy := func(name, sql string, qos accelstream.ClusterQoS) error {
+		q, err := accelstream.ParseQuery(sql)
+		if err != nil {
+			return err
+		}
+		plan, err := accelstream.CompileQuery(q, cat)
+		if err != nil {
+			return err
+		}
+		pl, err := cluster.Deploy(name, plan, qos)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s → %-12s (%s, %s, %d blocks)\n",
+			name, pl.Node, pl.Kind, pl.Deployment, len(pl.Assignment.Blocks))
+		return nil
+	}
+
+	// Alarm detection wants microseconds: it must land on an FPGA.
+	if err := deploy("alarms", `SELECT device, value FROM sensor WHERE value > 900`,
+		accelstream.ClusterQoS{MaxLatency: 100 * time.Microsecond}); err != nil {
+		return err
+	}
+	// Zone watch is similar but smaller; balances onto the other FPGA.
+	if err := deploy("zone3", `SELECT * FROM sensor WHERE zone = 3`,
+		accelstream.ClusterQoS{MaxLatency: time.Millisecond}); err != nil {
+		return err
+	}
+	// The rolling peak is a bigger plan with a relaxed bound: the host
+	// takes it (same FQP abstraction, different node class).
+	if err := deploy("peak", `SELECT MAX(value) FROM sensor ROWS 512 WHERE value > 100 AND device < 4000 GROUP BY zone`,
+		accelstream.ClusterQoS{MaxLatency: time.Second}); err != nil {
+		return err
+	}
+
+	// One shared stream feeds them all, wherever they run.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		rec, err := accelstream.NewRecord(sensors,
+			uint32(rng.Intn(5000)), // device
+			uint32(rng.Intn(8)),    // zone
+			uint32(rng.Intn(1000)), // value
+		)
+		if err != nil {
+			return err
+		}
+		if err := cluster.Ingest("sensor", rec); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nalarms: %d, zone3: %d, peak updates: %d\n",
+		len(cluster.Results("alarms")), len(cluster.Results("zone3")), len(cluster.Results("peak")))
+	for node, u := range cluster.NodeUtilization() {
+		fmt.Printf("utilization %-12s %d/%d blocks\n", node, u[0], u[1])
+	}
+
+	// Retire the zone watch at runtime; the rest keep flowing.
+	if err := cluster.Remove("zone3"); err != nil {
+		return err
+	}
+	before := len(cluster.Results("alarms"))
+	rec, err := accelstream.NewRecord(sensors, 1, 3, 999)
+	if err != nil {
+		return err
+	}
+	if err := cluster.Ingest("sensor", rec); err != nil {
+		return err
+	}
+	if len(cluster.Results("alarms")) != before+1 {
+		return fmt.Errorf("alarms stopped flowing after zone3 removal")
+	}
+	fmt.Println("\nremoved zone3 at runtime; alarms kept flowing: OK")
+	return nil
+}

@@ -1,0 +1,83 @@
+// Quickstart: run the software SplitJoin (uni-flow) engine on two synthetic
+// streams, print a few join results, and verify the exactly-once invariant
+// against the reference oracle.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"accelstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A SplitJoin with 4 join cores and a sliding window of 256 tuples per
+	// stream.
+	engine, err := accelstream.NewSoftwareUniFlow(accelstream.SoftwareConfig{
+		NumCores:   4,
+		WindowSize: 256,
+	})
+	if err != nil {
+		return err
+	}
+	if err := engine.Start(); err != nil {
+		return err
+	}
+
+	// Collect results concurrently (the engine applies backpressure when
+	// results are not drained).
+	var wg sync.WaitGroup
+	var results []accelstream.Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := range engine.Results() {
+			results = append(results, r)
+		}
+	}()
+
+	// Interleave two streams whose keys overlap on a small domain.
+	var inputs []accelstream.Input
+	for i := 0; i < 2000; i++ {
+		side := accelstream.SideR
+		if i%2 == 1 {
+			side = accelstream.SideS
+		}
+		in := accelstream.Input{Side: side, Tuple: accelstream.Tuple{
+			Key: uint32(i % 37),
+			Val: uint32(i),
+		}}
+		inputs = append(inputs, in)
+		engine.Push(in.Side, in.Tuple)
+	}
+	if err := engine.Close(); err != nil {
+		return err
+	}
+	wg.Wait()
+
+	fmt.Printf("pushed %d tuples, joined %d pairs\n", engine.Injected(), len(results))
+	for i, r := range results {
+		if i == 5 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %v\n", r)
+	}
+
+	// Every engine in this module is oracle-checkable: each tuple must have
+	// been compared exactly once with every window-resident tuple of the
+	// other stream.
+	if err := accelstream.VerifyExactlyOnce(256, accelstream.EquiJoinOnKey(), inputs, results); err != nil {
+		return err
+	}
+	fmt.Println("exactly-once pairing invariant: OK")
+	return nil
+}

@@ -1,0 +1,119 @@
+package accelstream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"accelstream/internal/experiments"
+)
+
+// ExperimentOptions tunes the experiment runners.
+type ExperimentOptions struct {
+	// Quick shrinks sweeps and measurement intervals.
+	Quick bool
+	// Seed fixes the synthetic workloads (default 42).
+	Seed int64
+}
+
+// ExperimentResult is one regenerated figure/table.
+type ExperimentResult struct {
+	ID string
+	// Text is the aligned-table rendering.
+	Text string
+	// CSV is the machine-readable form ("" for prose-only artefacts).
+	CSV string
+}
+
+// ExperimentIDs lists every regenerable artefact, in presentation order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experimentRunners))
+	for id := range experimentRunners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+var experimentRunners = map[string]func(experiments.Options) ([]ExperimentResult, error){
+	"fig14a": figureRunner(experiments.Fig14a),
+	"fig14b": figureRunner(experiments.Fig14b),
+	"fig14c": figureRunner(experiments.Fig14c),
+	"fig14d": figureRunner(experiments.Fig14d),
+	"fig15": func(opt experiments.Options) ([]ExperimentResult, error) {
+		cycles, micros, err := experiments.Fig15(opt)
+		if err != nil {
+			return nil, err
+		}
+		return []ExperimentResult{
+			{ID: cycles.ID, Text: cycles.Render(), CSV: cycles.CSV()},
+			{ID: micros.ID, Text: micros.Render(), CSV: micros.CSV()},
+		}, nil
+	},
+	"fig16":   figureRunner(experiments.Fig16),
+	"fig17":   figureRunner(experiments.Fig17),
+	"power":   figureRunner(experiments.PowerTable),
+	"fanout":  figureRunner(experiments.FanoutAblation),
+	"loadlat": figureRunner(experiments.LoadLatency),
+	"llhs":    figureRunner(experiments.LatencyByArchitecture),
+	"fig6": func(experiments.Options) ([]ExperimentResult, error) {
+		text, err := experiments.Fig6Table()
+		if err != nil {
+			return nil, err
+		}
+		return []ExperimentResult{{ID: "fig6", Text: text}}, nil
+	},
+	"hwsw": func(opt experiments.Options) ([]ExperimentResult, error) {
+		text, err := experiments.HwVsSw(opt)
+		if err != nil {
+			return nil, err
+		}
+		return []ExperimentResult{{ID: "hwsw", Text: text}}, nil
+	},
+	"landscape": func(experiments.Options) ([]ExperimentResult, error) {
+		text, err := experiments.LandscapeReport()
+		if err != nil {
+			return nil, err
+		}
+		return []ExperimentResult{{ID: "landscape", Text: text}}, nil
+	},
+}
+
+func figureRunner(fn func(experiments.Options) (experiments.Figure, error)) func(experiments.Options) ([]ExperimentResult, error) {
+	return func(opt experiments.Options) ([]ExperimentResult, error) {
+		fig, err := fn(opt)
+		if err != nil {
+			return nil, err
+		}
+		return []ExperimentResult{{ID: fig.ID, Text: fig.Render(), CSV: fig.CSV()}}, nil
+	}
+}
+
+// RunExperiment regenerates one of the paper's figures/tables by ID (see
+// ExperimentIDs), or all of them for id "all".
+func RunExperiment(id string, opt ExperimentOptions) ([]ExperimentResult, error) {
+	eopt := experiments.Options{Quick: opt.Quick, Seed: opt.Seed}
+	if eopt.Seed == 0 {
+		eopt.Seed = 42
+	}
+	if id == "all" {
+		var all []ExperimentResult
+		for _, eid := range ExperimentIDs() {
+			res, err := experimentRunners[eid](eopt)
+			if err != nil {
+				return nil, fmt.Errorf("accelstream: experiment %s: %w", eid, err)
+			}
+			all = append(all, res...)
+		}
+		return all, nil
+	}
+	run, ok := experimentRunners[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("accelstream: unknown experiment %q (known: %s, all)", id, strings.Join(ExperimentIDs(), ", "))
+	}
+	res, err := run(eopt)
+	if err != nil {
+		return nil, fmt.Errorf("accelstream: experiment %s: %w", id, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package accelstream
+
+import (
+	"accelstream/internal/fqp"
+	"accelstream/internal/query"
+	"accelstream/internal/stream"
+)
+
+// Schema describes a multi-field event record for the FQP fabric.
+type Schema = stream.Schema
+
+// NewSchema builds a schema from ordered field names.
+func NewSchema(name string, fields ...string) (*Schema, error) {
+	return stream.NewSchema(name, fields...)
+}
+
+// Record is one event under a schema.
+type Record = stream.Record
+
+// NewRecord builds a record, validating arity.
+func NewRecord(s *Schema, values ...uint32) (Record, error) {
+	return stream.NewRecord(s, values...)
+}
+
+// Fabric is a synthesized-once Flexible Query Processor: a pool of
+// online-programmable blocks whose operators and routing change at runtime,
+// without halting (Figures 5–7).
+type Fabric = fqp.Fabric
+
+// NewFabric builds a fabric with the given number of OP-Blocks.
+func NewFabric(numBlocks int) (*Fabric, error) { return fqp.NewFabric(numBlocks) }
+
+// Assignment records how a query was mapped onto fabric blocks.
+type Assignment = fqp.Assignment
+
+// PlanNode is one operator of a continuous-query plan.
+type PlanNode = fqp.PlanNode
+
+// Catalog maps stream names to schemas for query compilation.
+type Catalog = query.Catalog
+
+// Query is a parsed continuous query.
+type Query = query.Query
+
+// ParseQuery parses the module's SQL dialect:
+//
+//	SELECT a.f, b.g FROM s1 ROWS 8192 AS a
+//	JOIN s2 ROWS 8192 AS b ON a.k = b.k WHERE a.f > 25
+func ParseQuery(input string) (*Query, error) { return query.Parse(input) }
+
+// CompileQuery lowers a query to an FQP plan (the dynamic-compiler path):
+// assign the result to a running Fabric with AssignQuery.
+func CompileQuery(q *Query, cat Catalog) (*PlanNode, error) {
+	return query.Compile(q, cat)
+}
+
+// StaticCircuit is the product of the static (Glacier-style) compiler: a
+// sealed single-query engine whose change cost is a full re-synthesis.
+type StaticCircuit = query.Circuit
+
+// CompileStaticCircuit builds a sealed circuit for one query.
+func CompileStaticCircuit(name string, q *Query, cat Catalog) (*StaticCircuit, error) {
+	return query.CompileStatic(name, q, cat)
+}
+
+// ReconfigPipeline describes the stages and costs of bringing a query
+// change online (Figure 6).
+type ReconfigPipeline = fqp.ReconfigPipeline
+
+// ConventionalReconfiguration is the common FPGA flow: re-synthesize, halt,
+// reprogram, resume.
+func ConventionalReconfiguration() ReconfigPipeline { return fqp.ConventionalFlow() }
+
+// FQPReconfiguration is the FQP flow for a concrete assignment: deliver
+// instructions and rewrite routes, at the given fabric clock, with no halt.
+func FQPReconfiguration(asn Assignment, clockMHz float64) (ReconfigPipeline, error) {
+	return fqp.FQPFlow(asn, clockMHz)
+}

@@ -1,0 +1,3 @@
+module accelstream
+
+go 1.22

@@ -1,0 +1,85 @@
+// Package core holds the engine-agnostic heart of the paper's case study:
+// the two flow models for parallel stream joins (bi-directional flow as in
+// handshake join / OP-Chain, uni-directional flow as in SplitJoin), the
+// sub-window partitioning and round-robin storage discipline that makes the
+// uni-flow model coordination-free, a reference (oracle) sliding-window join
+// used as ground truth by every engine's tests, and checkers for the
+// correctness invariants the paper states ("each incoming tuple in one
+// stream is compared exactly once with all tuples in the other stream").
+package core
+
+import "fmt"
+
+// FlowModel identifies the data-flow organization of a parallel stream join
+// (Section III, Figure 8).
+type FlowModel uint8
+
+// The two flow models studied in the paper.
+const (
+	// BiFlow is the bi-directional model of handshake join: tuples of S
+	// flow left-to-right and tuples of R right-to-left through a linear
+	// chain of join cores.
+	BiFlow FlowModel = iota + 1
+	// UniFlow is the uni-directional (top-down) model of SplitJoin: every
+	// join core receives every tuple through a single distribution path,
+	// and cores operate completely independently.
+	UniFlow
+)
+
+// String implements fmt.Stringer.
+func (m FlowModel) String() string {
+	switch m {
+	case BiFlow:
+		return "bi-flow"
+	case UniFlow:
+		return "uni-flow"
+	default:
+		return fmt.Sprintf("flow-model(%d)", uint8(m))
+	}
+}
+
+// Partition describes one join core's share of the global sliding window in
+// the uni-flow model: the window of W tuples per stream is divided into
+// NumCores sub-windows of W/NumCores tuples, and core Position stores every
+// NumCores-th arriving tuple of each stream.
+type Partition struct {
+	NumCores int
+	Position int
+}
+
+// Validate reports whether the partition is well formed.
+func (p Partition) Validate() error {
+	if p.NumCores <= 0 {
+		return fmt.Errorf("core: partition NumCores must be positive, got %d", p.NumCores)
+	}
+	if p.Position < 0 || p.Position >= p.NumCores {
+		return fmt.Errorf("core: partition Position %d out of range [0,%d)", p.Position, p.NumCores)
+	}
+	return nil
+}
+
+// StoreTurn reports whether the n-th arriving tuple of a stream (counting
+// from zero) is stored by this partition under the round-robin scheme.
+// "Each join core independently counts (separately for each stream) the
+// number of tuples received and, based on its position among other join
+// cores, determines its turn to store an incoming tuple" (Section III).
+func (p Partition) StoreTurn(n uint64) bool {
+	return n%uint64(p.NumCores) == uint64(p.Position)
+}
+
+// SubWindowSize returns the per-core sub-window capacity for a total
+// per-stream window of size w. It returns an error unless w divides evenly
+// across the cores (the hardware provisions BRAM in equal sub-windows) and
+// yields at least one slot per core.
+func (p Partition) SubWindowSize(w int) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if w <= 0 {
+		return 0, fmt.Errorf("core: window size must be positive, got %d", w)
+	}
+	if w%p.NumCores != 0 {
+		return 0, fmt.Errorf("core: window size %d is not divisible by %d cores", w, p.NumCores)
+	}
+	return w / p.NumCores, nil
+}

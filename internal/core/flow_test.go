@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlowModelString(t *testing.T) {
+	tests := []struct {
+		m    FlowModel
+		want string
+	}{
+		{BiFlow, "bi-flow"},
+		{UniFlow, "uni-flow"},
+		{FlowModel(9), "flow-model(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("FlowModel(%d).String() = %q, want %q", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Partition
+		wantErr bool
+	}{
+		{"valid", Partition{NumCores: 4, Position: 0}, false},
+		{"last position", Partition{NumCores: 4, Position: 3}, false},
+		{"zero cores", Partition{NumCores: 0, Position: 0}, true},
+		{"negative position", Partition{NumCores: 4, Position: -1}, true},
+		{"position == cores", Partition{NumCores: 4, Position: 4}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestStoreTurnPartitionsArrivals verifies that across all positions of a
+// core group, every arrival is stored by exactly one core.
+func TestStoreTurnPartitionsArrivals(t *testing.T) {
+	prop := func(coresSeed uint8, nSeed uint16) bool {
+		cores := int(coresSeed%16) + 1
+		n := uint64(nSeed % 1024)
+		owners := 0
+		for pos := 0; pos < cores; pos++ {
+			p := Partition{NumCores: cores, Position: pos}
+			if p.StoreTurn(n) {
+				owners++
+			}
+		}
+		return owners == 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStoreTurnIsRoundRobin verifies the turn cycles with period NumCores.
+func TestStoreTurnIsRoundRobin(t *testing.T) {
+	p := Partition{NumCores: 4, Position: 2}
+	for n := uint64(0); n < 64; n++ {
+		want := n%4 == 2
+		if got := p.StoreTurn(n); got != want {
+			t.Fatalf("StoreTurn(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSubWindowSize(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Partition
+		w       int
+		want    int
+		wantErr bool
+	}{
+		{"even split", Partition{NumCores: 16, Position: 0}, 8192, 512, false},
+		{"single core", Partition{NumCores: 1, Position: 0}, 128, 128, false},
+		{"not divisible", Partition{NumCores: 3, Position: 0}, 8192, 0, true},
+		{"zero window", Partition{NumCores: 2, Position: 0}, 0, 0, true},
+		{"invalid partition", Partition{NumCores: 0, Position: 0}, 64, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.p.SubWindowSize(tt.w)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("SubWindowSize() error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if got != tt.want {
+				t.Errorf("SubWindowSize() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}

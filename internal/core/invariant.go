@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"accelstream/internal/stream"
+)
+
+// ResultSet is a multiset of join results keyed by the (R seq, S seq)
+// pairing, used to compare an engine's output against the Oracle without
+// caring about emission order (parallel engines emit results in
+// nondeterministic interleavings; the multiset must still match exactly).
+type ResultSet map[uint64]int
+
+// NewResultSet builds the multiset for a result slice.
+func NewResultSet(results []stream.Result) ResultSet {
+	rs := make(ResultSet, len(results))
+	for _, r := range results {
+		rs[r.PairID()]++
+	}
+	return rs
+}
+
+// Diff compares two result sets and returns a human-readable list of
+// discrepancies: pairs missing from got (compared-zero-times violations) and
+// pairs over-represented in got (compared-more-than-once violations). An
+// empty slice means the exactly-once invariant holds.
+func (want ResultSet) Diff(got ResultSet) []string {
+	var problems []string
+	ids := make([]uint64, 0, len(want)+len(got))
+	seen := make(map[uint64]bool, len(want)+len(got))
+	for id := range want {
+		ids = append(ids, id)
+		seen[id] = true
+	}
+	for id := range got {
+		if !seen[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w, g := want[id], got[id]
+		if w == g {
+			continue
+		}
+		problems = append(problems, fmt.Sprintf(
+			"pair (R seq %d, S seq %d): expected %d result(s), got %d",
+			id>>32, id&0xFFFFFFFF, w, g))
+	}
+	return problems
+}
+
+// VerifyExactlyOnce checks the paper's central correctness property for a
+// parallel stream join: every incoming tuple is compared exactly once with
+// every tuple resident in the other stream's window. It runs the Oracle on
+// the arrival sequence and diffs the engine's output multiset against the
+// oracle's. A nil error means the invariant holds.
+func VerifyExactlyOnce(w int, cond stream.JoinCondition, inputs []Input, engineResults []stream.Result) error {
+	oracle, err := NewOracle(w, cond)
+	if err != nil {
+		return err
+	}
+	want, err := oracle.Run(inputs)
+	if err != nil {
+		return err
+	}
+	problems := NewResultSet(want).Diff(NewResultSet(engineResults))
+	if len(problems) == 0 {
+		return nil
+	}
+	limit := len(problems)
+	const maxReport = 8
+	if limit > maxReport {
+		limit = maxReport
+	}
+	msg := fmt.Sprintf("core: exactly-once pairing violated (%d discrepancies):", len(problems))
+	for _, p := range problems[:limit] {
+		msg += "\n  " + p
+	}
+	if len(problems) > limit {
+		msg += fmt.Sprintf("\n  ... and %d more", len(problems)-limit)
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// VerifyRoundRobinBalance checks the storage discipline of the uni-flow
+// model: after n arrivals of one stream, the number of tuples stored by each
+// of the cores differs by at most one, and the sum equals n. storedPerCore
+// is how many tuples each core stored (before any expiry).
+func VerifyRoundRobinBalance(n uint64, storedPerCore []uint64) error {
+	if len(storedPerCore) == 0 {
+		return fmt.Errorf("core: round-robin balance check needs at least one core")
+	}
+	var sum, min, max uint64
+	min = ^uint64(0)
+	for _, c := range storedPerCore {
+		sum += c
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if sum != n {
+		return fmt.Errorf("core: round-robin stored %d tuples in total, want %d", sum, n)
+	}
+	if max-min > 1 {
+		return fmt.Errorf("core: round-robin imbalance: min %d, max %d tuples per core", min, max)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"accelstream/internal/stream"
+)
+
+func TestResultSetDiffEmpty(t *testing.T) {
+	rs := []stream.Result{
+		{R: stream.Tuple{Seq: 1}, S: stream.Tuple{Seq: 2}},
+		{R: stream.Tuple{Seq: 3}, S: stream.Tuple{Seq: 4}},
+	}
+	if diffs := NewResultSet(rs).Diff(NewResultSet(rs)); len(diffs) != 0 {
+		t.Errorf("identical sets diff = %v, want empty", diffs)
+	}
+}
+
+func TestResultSetDiffDetectsMissingAndDuplicate(t *testing.T) {
+	want := NewResultSet([]stream.Result{
+		{R: stream.Tuple{Seq: 1}, S: stream.Tuple{Seq: 2}},
+	})
+	// Engine dropped the pair and invented another, duplicated.
+	got := NewResultSet([]stream.Result{
+		{R: stream.Tuple{Seq: 9}, S: stream.Tuple{Seq: 9}},
+		{R: stream.Tuple{Seq: 9}, S: stream.Tuple{Seq: 9}},
+	})
+	diffs := want.Diff(got)
+	if len(diffs) != 2 {
+		t.Fatalf("diff count = %d, want 2: %v", len(diffs), diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	if !strings.Contains(joined, "expected 1 result(s), got 0") {
+		t.Errorf("missing-pair diff not reported: %v", diffs)
+	}
+	if !strings.Contains(joined, "expected 0 result(s), got 2") {
+		t.Errorf("duplicate-pair diff not reported: %v", diffs)
+	}
+}
+
+func TestVerifyExactlyOncePasses(t *testing.T) {
+	inputs := []Input{
+		{Side: stream.SideS, Tuple: stream.Tuple{Key: 1}},
+		{Side: stream.SideS, Tuple: stream.Tuple{Key: 2}},
+		{Side: stream.SideR, Tuple: stream.Tuple{Key: 1}},
+		{Side: stream.SideR, Tuple: stream.Tuple{Key: 2}},
+		{Side: stream.SideS, Tuple: stream.Tuple{Key: 2}},
+	}
+	o, _ := NewOracle(8, stream.EquiJoinOnKey())
+	want, err := o.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyExactlyOnce(8, stream.EquiJoinOnKey(), inputs, want); err != nil {
+		t.Errorf("VerifyExactlyOnce on oracle output = %v, want nil", err)
+	}
+}
+
+func TestVerifyExactlyOnceCatchesDrop(t *testing.T) {
+	inputs := []Input{
+		{Side: stream.SideS, Tuple: stream.Tuple{Key: 1}},
+		{Side: stream.SideR, Tuple: stream.Tuple{Key: 1}},
+	}
+	err := VerifyExactlyOnce(8, stream.EquiJoinOnKey(), inputs, nil)
+	if err == nil {
+		t.Fatal("VerifyExactlyOnce accepted an engine that dropped a result")
+	}
+	if !strings.Contains(err.Error(), "exactly-once pairing violated") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestVerifyExactlyOnceCatchesDuplicate(t *testing.T) {
+	inputs := []Input{
+		{Side: stream.SideS, Tuple: stream.Tuple{Key: 1}},
+		{Side: stream.SideR, Tuple: stream.Tuple{Key: 1}},
+	}
+	dup := []stream.Result{
+		{R: stream.Tuple{Key: 1, Seq: 0}, S: stream.Tuple{Key: 1, Seq: 0}},
+		{R: stream.Tuple{Key: 1, Seq: 0}, S: stream.Tuple{Key: 1, Seq: 0}},
+	}
+	if err := VerifyExactlyOnce(8, stream.EquiJoinOnKey(), inputs, dup); err == nil {
+		t.Fatal("VerifyExactlyOnce accepted a duplicated result")
+	}
+}
+
+func TestVerifyExactlyOnceTruncatesReport(t *testing.T) {
+	// 20 dropped results produce a truncated report with "... and N more".
+	var inputs []Input
+	inputs = append(inputs, Input{Side: stream.SideS, Tuple: stream.Tuple{Key: 1}})
+	for i := 0; i < 20; i++ {
+		inputs = append(inputs, Input{Side: stream.SideR, Tuple: stream.Tuple{Key: 1}})
+	}
+	err := VerifyExactlyOnce(32, stream.EquiJoinOnKey(), inputs, nil)
+	if err == nil || !strings.Contains(err.Error(), "more") {
+		t.Errorf("expected truncated report, got %v", err)
+	}
+}
+
+func TestVerifyRoundRobinBalance(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       uint64
+		stored  []uint64
+		wantErr string
+	}{
+		{"balanced even", 8, []uint64{2, 2, 2, 2}, ""},
+		{"balanced remainder", 10, []uint64{3, 3, 2, 2}, ""},
+		{"no cores", 0, nil, "at least one core"},
+		{"sum mismatch", 8, []uint64{2, 2, 2, 1}, "in total"},
+		{"imbalance", 8, []uint64{4, 0, 2, 2}, "imbalance"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := VerifyRoundRobinBalance(tt.n, tt.stored)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Errorf("VerifyRoundRobinBalance() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("VerifyRoundRobinBalance() = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"accelstream/internal/stream"
+)
+
+// Input is one tuple arrival at the join ingress: a tuple tagged with the
+// stream it belongs to. The ingress defines the single logical arrival order
+// that every correct engine must respect ("by relying on the FIFO property,
+// the ordering requirement is trivially satisfied by using a single
+// (logical) path", Section III).
+type Input struct {
+	Side  stream.Side
+	Tuple stream.Tuple
+}
+
+// Oracle is the reference sliding-window equi/θ-join. It implements Kang's
+// three-step procedure directly and sequentially: for each arriving tuple,
+// (1) probe the opposite stream's window, (2) emit all matches, (3) insert
+// the tuple into its own window (expiring the oldest when full). Every
+// parallel engine in this repository — software or simulated hardware — must
+// produce exactly the multiset of results the Oracle produces for the same
+// arrival order.
+type Oracle struct {
+	cond    stream.JoinCondition
+	windowR *stream.SlidingWindow
+	windowS *stream.SlidingWindow
+	seq     [3]uint64 // per-side arrival counters, indexed by stream.Side
+}
+
+// NewOracle returns an oracle join with a per-stream window of size w.
+func NewOracle(w int, cond stream.JoinCondition) (*Oracle, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("core: oracle window size must be positive, got %d", w)
+	}
+	if err := cond.Validate(); err != nil {
+		return nil, fmt.Errorf("core: oracle join condition: %w", err)
+	}
+	return &Oracle{
+		cond:    cond,
+		windowR: stream.NewSlidingWindow(w),
+		windowS: stream.NewSlidingWindow(w),
+	}, nil
+}
+
+// Push processes one arrival and returns the results it produces, in window
+// scan order. The tuple's Seq field is overwritten with its per-stream
+// arrival number so results are attributable.
+func (o *Oracle) Push(side stream.Side, t stream.Tuple) ([]stream.Result, error) {
+	var own, other *stream.SlidingWindow
+	switch side {
+	case stream.SideR:
+		own, other = o.windowR, o.windowS
+	case stream.SideS:
+		own, other = o.windowS, o.windowR
+	default:
+		return nil, fmt.Errorf("core: oracle push: tuple must belong to R or S, got %v", side)
+	}
+	t.Seq = o.seq[side]
+	o.seq[side]++
+
+	var results []stream.Result
+	other.Scan(func(stored stream.Tuple) bool {
+		if o.cond.Match(t, stored) {
+			if side == stream.SideR {
+				results = append(results, stream.Result{R: t, S: stored})
+			} else {
+				results = append(results, stream.Result{R: stored, S: t})
+			}
+		}
+		return true
+	})
+	own.Insert(t)
+	return results, nil
+}
+
+// Run processes a whole arrival sequence and returns all results.
+func (o *Oracle) Run(inputs []Input) ([]stream.Result, error) {
+	var all []stream.Result
+	for i, in := range inputs {
+		rs, err := o.Push(in.Side, in.Tuple)
+		if err != nil {
+			return nil, fmt.Errorf("core: oracle input %d: %w", i, err)
+		}
+		all = append(all, rs...)
+	}
+	return all, nil
+}
+
+// WindowLen returns the current number of resident tuples for one side.
+func (o *Oracle) WindowLen(side stream.Side) int {
+	switch side {
+	case stream.SideR:
+		return o.windowR.Len()
+	case stream.SideS:
+		return o.windowS.Len()
+	default:
+		return 0
+	}
+}

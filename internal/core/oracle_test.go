@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"accelstream/internal/stream"
+)
+
+func TestNewOracleValidation(t *testing.T) {
+	if _, err := NewOracle(0, stream.EquiJoinOnKey()); err == nil {
+		t.Error("NewOracle(0) succeeded, want error")
+	}
+	if _, err := NewOracle(4, stream.JoinCondition{}); err == nil {
+		t.Error("NewOracle with zero condition succeeded, want error")
+	}
+}
+
+func TestOraclePushRejectsSidelessTuple(t *testing.T) {
+	o, err := NewOracle(4, stream.EquiJoinOnKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Push(stream.SideNone, stream.Tuple{}); err == nil {
+		t.Error("Push(SideNone) succeeded, want error")
+	}
+}
+
+func TestOracleBasicEquiJoin(t *testing.T) {
+	o, err := NewOracle(4, stream.EquiJoinOnKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S window gets keys 1, 2, 3.
+	for _, k := range []uint32{1, 2, 3} {
+		rs, err := o.Push(stream.SideS, stream.Tuple{Key: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 0 {
+			t.Fatalf("unexpected results on S insert: %v", rs)
+		}
+	}
+	// R tuple with key 2 matches exactly the one S tuple with key 2.
+	rs, err := o.Push(stream.SideR, stream.Tuple{Key: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	if rs[0].R.Key != 2 || rs[0].S.Key != 2 {
+		t.Errorf("result = %v, want R key 2 joined with S key 2", rs[0])
+	}
+}
+
+func TestOracleProbeBeforeInsert(t *testing.T) {
+	// A tuple must not join with itself: probe precedes insert.
+	o, err := NewOracle(4, stream.EquiJoinOnKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := o.Push(stream.SideR, stream.Tuple{Key: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("R tuple joined against empty S window: %v", rs)
+	}
+	// The R tuple is in the R window; the same key arriving on S matches it.
+	rs, err = o.Push(stream.SideS, stream.Tuple{Key: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+}
+
+func TestOracleWindowExpiry(t *testing.T) {
+	o, err := NewOracle(2, stream.EquiJoinOnKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill S with keys 7, 7, 7: window of 2 keeps only the last two.
+	for i := 0; i < 3; i++ {
+		if _, err := o.Push(stream.SideS, stream.Tuple{Key: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := o.WindowLen(stream.SideS); got != 2 {
+		t.Fatalf("S window length = %d, want 2", got)
+	}
+	rs, err := o.Push(stream.SideR, stream.Tuple{Key: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2 (expired tuple must not match)", len(rs))
+	}
+	// The surviving S tuples are seq 1 and 2; seq 0 expired.
+	for _, r := range rs {
+		if r.S.Seq == 0 {
+			t.Errorf("result references expired S tuple seq 0: %v", r)
+		}
+	}
+}
+
+func TestOracleThetaJoin(t *testing.T) {
+	// probe.key < window.key
+	cond := stream.JoinCondition{LHS: stream.FieldKey, RHS: stream.FieldKey, Cmp: stream.CmpLT}
+	o, err := NewOracle(8, cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint32{10, 20, 30} {
+		if _, err := o.Push(stream.SideS, stream.Tuple{Key: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := o.Push(stream.SideR, stream.Tuple{Key: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("theta join produced %d results, want 2 (15 < 20 and 15 < 30)", len(rs))
+	}
+}
+
+func TestOracleSeqAssignment(t *testing.T) {
+	o, err := NewOracle(8, stream.EquiJoinOnKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence numbers are per-stream.
+	o.Push(stream.SideR, stream.Tuple{Key: 1})
+	o.Push(stream.SideS, stream.Tuple{Key: 1})
+	rs, _ := o.Push(stream.SideR, stream.Tuple{Key: 1})
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	if rs[0].R.Seq != 1 {
+		t.Errorf("second R tuple has seq %d, want 1", rs[0].R.Seq)
+	}
+	if rs[0].S.Seq != 0 {
+		t.Errorf("first S tuple has seq %d, want 0", rs[0].S.Seq)
+	}
+}
+
+func TestOracleRunMatchesIncrementalPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	inputs := make([]Input, 400)
+	for i := range inputs {
+		side := stream.SideR
+		if rng.Intn(2) == 1 {
+			side = stream.SideS
+		}
+		inputs[i] = Input{Side: side, Tuple: stream.Tuple{Key: uint32(rng.Intn(16))}}
+	}
+	o1, _ := NewOracle(32, stream.EquiJoinOnKey())
+	batch, err := o1.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := NewOracle(32, stream.EquiJoinOnKey())
+	var incr []stream.Result
+	for _, in := range inputs {
+		rs, err := o2.Push(in.Side, in.Tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr = append(incr, rs...)
+	}
+	if len(batch) != len(incr) {
+		t.Fatalf("Run produced %d results, incremental %d", len(batch), len(incr))
+	}
+	if diffs := NewResultSet(batch).Diff(NewResultSet(incr)); len(diffs) != 0 {
+		t.Errorf("Run vs incremental mismatch: %v", diffs)
+	}
+}
+
+func TestOracleRunPropagatesError(t *testing.T) {
+	o, _ := NewOracle(4, stream.EquiJoinOnKey())
+	_, err := o.Run([]Input{{Side: stream.SideNone}})
+	if err == nil || !strings.Contains(err.Error(), "input 0") {
+		t.Errorf("Run error = %v, want input-0 error", err)
+	}
+}

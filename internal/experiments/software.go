@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"accelstream/internal/core"
+	"accelstream/internal/softjoin"
+	"accelstream/internal/stream"
+	"accelstream/internal/workload"
+)
+
+// swThroughput measures the software SplitJoin's input throughput in
+// million tuples per second: windows preloaded, saturated disjoint-key
+// stream, wall-clock timed.
+func swThroughput(cores, window int, measureTuples int, opt Options) (float64, error) {
+	e, err := softjoin.NewUniFlow(softjoin.Config{NumCores: cores, WindowSize: window})
+	if err != nil {
+		return 0, err
+	}
+	r, s, err := workload.WindowFill(workload.Spec{Seed: opt.Seed, Dist: workload.Disjoint}, window)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.Preload(r, s); err != nil {
+		return 0, err
+	}
+	if err := e.Start(); err != nil {
+		return 0, err
+	}
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		for range e.Results() {
+		}
+	}()
+
+	next, err := workload.Alternating(workload.Spec{Seed: opt.Seed + 7, Dist: workload.Disjoint})
+	if err != nil {
+		return 0, err
+	}
+	const batchSize = 256
+	makeBatch := func() []core.Input {
+		b := make([]core.Input, batchSize)
+		for i := range b {
+			b[i] = next()
+		}
+		return b
+	}
+	// Warm the pipeline before timing.
+	warmBatches := measureTuples / batchSize / 10
+	if warmBatches < 2 {
+		warmBatches = 2
+	}
+	for i := 0; i < warmBatches; i++ {
+		e.PushBatch(makeBatch())
+	}
+	start := time.Now()
+	pushed := 0
+	for pushed < measureTuples {
+		e.PushBatch(makeBatch())
+		pushed += batchSize
+	}
+	// Wait until the pipeline has fully processed the pushed load so the
+	// measurement covers processing, not queue absorption.
+	if err := e.Close(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	drainWG.Wait()
+	return float64(pushed) / elapsed.Seconds() / 1e6, nil
+}
+
+// Fig14d regenerates Figure 14d: software uni-flow (SplitJoin) throughput
+// versus window size for 16 and 28 join cores. Absolute numbers reflect
+// this host, not the paper's 32-core Xeon testbed; the shape (inverse in W,
+// increasing in cores) is the reproduction target.
+func Fig14d(opt Options) (Figure, error) {
+	fig := Figure{
+		ID:     "fig14d",
+		Title:  "Uni-flow software throughput vs window size (SplitJoin)",
+		XLabel: "window size (2^x)",
+		YLabel: "million tuples/s",
+	}
+	windows := []int{1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22, 1 << 23}
+	if opt.Quick {
+		windows = []int{1 << 16, 1 << 18, 1 << 20}
+	}
+	for _, cores := range []int{16, 28} {
+		s := Series{Label: fmt.Sprintf("JCs: %d", cores)}
+		for _, window := range windows {
+			// Size the run so each point costs roughly constant wall time:
+			// per-tuple work is ~window comparisons spread over the cores.
+			measure := int(1 << 26 / window * 4)
+			if measure < 512 {
+				measure = 512
+			}
+			if opt.Quick {
+				measure /= 4
+				if measure < 256 {
+					measure = 256
+				}
+			}
+			mtps, err := swThroughput(cores, window, measure, opt)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.Points = append(s.Points, Point{X: float64(log2(window)), Y: mtps})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"absolute values depend on this host's core count and memory; the paper's shape: throughput ∝ cores/window")
+	return fig, nil
+}
+
+// swLoadedLatency measures the software engine's per-tuple latency under
+// sustained load: probes with planted matches ride the saturated stream,
+// and latency is the wall time from push to the probe's result arriving at
+// the gatherer.
+func swLoadedLatency(cores, window, probes int, opt Options) (time.Duration, error) {
+	e, err := softjoin.NewUniFlow(softjoin.Config{NumCores: cores, WindowSize: window})
+	if err != nil {
+		return 0, err
+	}
+	r, s, err := workload.WindowFill(workload.Spec{Seed: opt.Seed, Dist: workload.Disjoint}, window)
+	if err != nil {
+		return 0, err
+	}
+	// Plant one match per probe key at scattered positions. Probe keys use
+	// a range disjoint from the workload's.
+	const probeKeyBase = 0x40000000
+	for i := 0; i < probes; i++ {
+		s[(i*2048+window/3)%window].Key = probeKeyBase + uint32(i)
+	}
+	if err := e.Preload(r, s); err != nil {
+		return 0, err
+	}
+	if err := e.Start(); err != nil {
+		return 0, err
+	}
+
+	pushTimes := make([]time.Time, probes)
+	arrivals := make([]time.Duration, probes)
+	var mu sync.Mutex
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		for res := range e.Results() {
+			if res.R.Key >= probeKeyBase && res.R.Key < probeKeyBase+uint32(probes) {
+				i := int(res.R.Key - probeKeyBase)
+				mu.Lock()
+				if arrivals[i] == 0 {
+					arrivals[i] = time.Since(pushTimes[i])
+				}
+				mu.Unlock()
+			}
+		}
+	}()
+
+	next, err := workload.Alternating(workload.Spec{Seed: opt.Seed + 3, Dist: workload.Disjoint})
+	if err != nil {
+		return 0, err
+	}
+	// Interleave: a burst of background traffic, then one probe.
+	burst := 512
+	if opt.Quick {
+		burst = 64
+	}
+	for i := 0; i < probes; i++ {
+		batch := make([]core.Input, burst)
+		for j := range batch {
+			batch[j] = next()
+		}
+		e.PushBatch(batch)
+		mu.Lock()
+		pushTimes[i] = time.Now()
+		mu.Unlock()
+		e.PushBatch([]core.Input{{Side: stream.SideR, Tuple: stream.Tuple{Key: probeKeyBase + uint32(i)}}})
+	}
+	if err := e.Close(); err != nil {
+		return 0, err
+	}
+	drainWG.Wait()
+
+	var sum time.Duration
+	n := 0
+	for _, a := range arrivals {
+		if a > 0 {
+			sum += a
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: no probe results observed")
+	}
+	return sum / time.Duration(n), nil
+}
+
+// Fig16 regenerates Figure 16: software uni-flow latency versus the number
+// of join cores for windows 2^17–2^19, measured under sustained load.
+func Fig16(opt Options) (Figure, error) {
+	fig := Figure{
+		ID:     "fig16",
+		Title:  "Uni-flow software latency vs join cores (under load)",
+		XLabel: "join cores",
+		YLabel: "latency (ms)",
+	}
+	coresSweep := []int{12, 16, 20, 24, 28, 32}
+	probes := 12
+	if opt.Quick {
+		coresSweep = []int{12, 20, 28}
+		probes = 8
+	}
+	for _, window := range []int{1 << 17, 1 << 18, 1 << 19} {
+		s := Series{Label: fmt.Sprintf("W=2^%d", log2(window))}
+		for _, cores := range coresSweep {
+			lat, err := swLoadedLatency(cores, window, probes, opt)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.Points = append(s.Points, Point{X: float64(cores), Y: float64(lat.Microseconds()) / 1000})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"latency grows with the window and shrinks with more cores; absolute values depend on this host")
+	return fig, nil
+}

@@ -1,0 +1,187 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) plus the design-landscape artefacts of Section II.
+// Each runner builds its workload, drives the cycle-level hardware
+// simulator, the synthesis model, or the software engines, and returns a
+// Figure — a set of labelled series that can be rendered as an aligned text
+// table or CSV, in the same rows/series layout as the paper's plots.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement: an x-coordinate and a value. A NaN-free,
+// non-measured point (e.g. an infeasible synthesis) carries Missing=true
+// and a Note explaining why.
+type Point struct {
+	X       float64
+	Y       float64
+	Missing bool
+	Note    string
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is one regenerated table/figure.
+type Figure struct {
+	ID     string // e.g. "fig14a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// ValueAt returns a series' value at an x-coordinate.
+func (s Series) ValueAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x && !p.Missing {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// SeriesByLabel finds a series by its label.
+func (f Figure) SeriesByLabel(label string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// xs collects the union of x-coordinates across all series, sorted.
+func (f Figure) xs() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				out = append(out, p.X)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Render formats the figure as an aligned text table, one row per
+// x-coordinate and one column per series, with missing points marked.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	rows := [][]string{headers}
+	for _, x := range f.xs() {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X != x {
+					continue
+				}
+				if p.Missing {
+					cell = "n/a"
+					if p.Note != "" {
+						cell = "n/a (" + p.Note + ")"
+					}
+				} else {
+					cell = formatNum(p.Y)
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV formats the figure as comma-separated values with a header row.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Label))
+	}
+	b.WriteByte('\n')
+	for _, x := range f.xs() {
+		b.WriteString(formatNum(x))
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			for _, p := range s.Points {
+				if p.X == x {
+					if !p.Missing {
+						b.WriteString(formatNum(p.Y))
+					}
+					break
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 1 || v <= -1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.6f", v)
+	}
+}
+
+// writeAligned pads each column to its widest cell.
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+}

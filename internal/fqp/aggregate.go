@@ -1,0 +1,159 @@
+package fqp
+
+import (
+	"fmt"
+
+	"accelstream/internal/stream"
+)
+
+// AggKind is a windowed aggregate function an OP-Block can compute.
+type AggKind uint8
+
+// Supported aggregates.
+const (
+	AggCount AggKind = iota + 1
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String implements fmt.Stringer.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(a))
+	}
+}
+
+// Valid reports whether a is a defined aggregate.
+func (a AggKind) Valid() bool { return a >= AggCount && a <= AggMax }
+
+// aggState is the OP-Block's aggregation window: the last AggWindow records
+// (optionally per group).
+type aggState struct {
+	ring   []stream.Record
+	schema *stream.Schema
+}
+
+// Aggregate returns an aggregation plan node over one input: fn(field)
+// over a sliding window of `window` records, grouped by groupField (empty
+// for a global aggregate). Each arriving record emits the updated
+// aggregate for its group.
+func Aggregate(fn AggKind, field, groupField string, window int, in *PlanNode) *PlanNode {
+	return &PlanNode{
+		Op: OpAggregate,
+		Program: Program{
+			Op:            OpAggregate,
+			AggFn:         fn,
+			AggField:      field,
+			AggGroupField: groupField,
+			AggWindow:     window,
+		},
+		Children: []*PlanNode{in},
+	}
+}
+
+// execAggregate updates the block's window and emits the fresh aggregate
+// value for the arriving record's group.
+func (b *OPBlock) execAggregate(rec stream.Record) ([]stream.Record, error) {
+	p := b.program
+	if p.AggFn != AggCount {
+		if _, err := rec.Get(p.AggField); err != nil {
+			return nil, fmt.Errorf("fqp: block %d aggregate: %w", b.id, err)
+		}
+	}
+	var groupVal uint32
+	if p.AggGroupField != "" {
+		v, err := rec.Get(p.AggGroupField)
+		if err != nil {
+			return nil, fmt.Errorf("fqp: block %d aggregate group: %w", b.id, err)
+		}
+		groupVal = v
+	}
+
+	// Slide the window.
+	b.aggRing = append(b.aggRing, rec)
+	if len(b.aggRing) > p.AggWindow {
+		b.aggRing = b.aggRing[1:]
+	}
+
+	// Recompute over the (group-filtered) window.
+	var count, sum uint32
+	var minV, maxV uint32
+	first := true
+	for _, stored := range b.aggRing {
+		if p.AggGroupField != "" {
+			g, err := stored.Get(p.AggGroupField)
+			if err != nil {
+				return nil, err
+			}
+			if g != groupVal {
+				continue
+			}
+		}
+		count++
+		if p.AggFn == AggCount {
+			continue
+		}
+		v, err := stored.Get(p.AggField)
+		if err != nil {
+			return nil, err
+		}
+		sum += v
+		if first || v < minV {
+			minV = v
+		}
+		if first || v > maxV {
+			maxV = v
+		}
+		first = false
+	}
+	var value uint32
+	switch p.AggFn {
+	case AggCount:
+		value = count
+	case AggSum:
+		value = sum
+	case AggMin:
+		value = minV
+	case AggMax:
+		value = maxV
+	}
+
+	if b.aggSchema == nil {
+		fieldName := p.AggFn.String()
+		if p.AggFn != AggCount {
+			fieldName += "_" + p.AggField
+		}
+		fields := []string{fieldName}
+		if p.AggGroupField != "" {
+			fields = append([]string{p.AggGroupField}, fields...)
+		}
+		sch, err := stream.NewSchema(rec.Schema.Name()+"_agg", fields...)
+		if err != nil {
+			return nil, err
+		}
+		b.aggSchema = sch
+	}
+	var out stream.Record
+	var err error
+	if p.AggGroupField != "" {
+		out, err = stream.NewRecord(b.aggSchema, groupVal, value)
+	} else {
+		out, err = stream.NewRecord(b.aggSchema, value)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Seq = rec.Seq
+	b.emitted++
+	return []stream.Record{out}, nil
+}

@@ -1,0 +1,139 @@
+package fqp
+
+import (
+	"testing"
+
+	"accelstream/internal/stream"
+)
+
+var readingSchema = stream.MustSchema("reading", "device", "value")
+
+func reading(device, value uint32) stream.Record {
+	r, err := stream.NewRecord(readingSchema, device, value)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestAggregateProgramValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Program
+		wantErr bool
+	}{
+		{"count ok", Program{Op: OpAggregate, AggFn: AggCount, AggWindow: 4}, false},
+		{"sum ok", Program{Op: OpAggregate, AggFn: AggSum, AggField: "value", AggWindow: 4}, false},
+		{"sum missing field", Program{Op: OpAggregate, AggFn: AggSum, AggWindow: 4}, true},
+		{"bad fn", Program{Op: OpAggregate, AggFn: AggKind(9), AggWindow: 4}, true},
+		{"bad window", Program{Op: OpAggregate, AggFn: AggCount, AggWindow: 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAggregateCountWindow(t *testing.T) {
+	b := NewOPBlock(0)
+	if err := b.Load(Program{Op: OpAggregate, AggFn: AggCount, AggWindow: 3}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{1, 2, 3, 3, 3} // capped by the window
+	for i, w := range want {
+		out, err := b.Exec(0, reading(1, uint32(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("aggregate emitted %d records, want 1", len(out))
+		}
+		got, err := out[0].Get("count")
+		if err != nil || got != w {
+			t.Errorf("count after %d records = %d (%v), want %d", i+1, got, err, w)
+		}
+	}
+}
+
+func TestAggregateSumMinMax(t *testing.T) {
+	for _, tc := range []struct {
+		fn    AggKind
+		field string
+		want  uint32 // over window {20, 5, 30}
+	}{
+		{AggSum, "sum_value", 55},
+		{AggMin, "min_value", 5},
+		{AggMax, "max_value", 30},
+	} {
+		b := NewOPBlock(0)
+		if err := b.Load(Program{Op: OpAggregate, AggFn: tc.fn, AggField: "value", AggWindow: 3}); err != nil {
+			t.Fatal(err)
+		}
+		var last stream.Record
+		for _, v := range []uint32{99, 20, 5, 30} { // 99 slides out
+			out, err := b.Exec(0, reading(1, v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = out[0]
+		}
+		got, err := last.Get(tc.field)
+		if err != nil || got != tc.want {
+			t.Errorf("%v = %d (%v), want %d", tc.fn, got, err, tc.want)
+		}
+	}
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	b := NewOPBlock(0)
+	err := b.Load(Program{Op: OpAggregate, AggFn: AggSum, AggField: "value", AggGroupField: "device", AggWindow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Exec(0, reading(1, 10))
+	b.Exec(0, reading(2, 100))
+	out, err := b.Exec(0, reading(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := out[0].Get("device")
+	sum, _ := out[0].Get("sum_value")
+	if dev != 1 || sum != 15 {
+		t.Errorf("group aggregate = device %d sum %d, want device 1 sum 15", dev, sum)
+	}
+	out, err = b.Exec(0, reading(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ = out[0].Get("device")
+	sum, _ = out[0].Get("sum_value")
+	if dev != 2 || sum != 101 {
+		t.Errorf("group aggregate = device %d sum %d, want device 2 sum 101", dev, sum)
+	}
+}
+
+func TestAggregatePlanAssignsAndRuns(t *testing.T) {
+	f, err := NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Aggregate(AggMax, "value", "", 4,
+		Select("device", stream.CmpEQ, 7, Leaf("reading")))
+	if _, err := f.AssignQuery("peak", plan); err != nil {
+		t.Fatal(err)
+	}
+	f.Ingest("reading", reading(7, 10))
+	f.Ingest("reading", reading(9, 999)) // filtered out
+	f.Ingest("reading", reading(7, 42))
+	results := f.Results("peak")
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (only device 7 passes)", len(results))
+	}
+	got, err := results[1].Get("max_value")
+	if err != nil || got != 42 {
+		t.Errorf("max = %d (%v), want 42", got, err)
+	}
+}

@@ -1,0 +1,208 @@
+package fqp
+
+import (
+	"fmt"
+
+	"accelstream/internal/stream"
+)
+
+// PlanNode is one operator of a continuous-query plan. A plan is a small
+// tree: leaves read external streams, unary nodes (select, project) consume
+// one child, and a join consumes two.
+type PlanNode struct {
+	// Op is the operator class; OpNone marks a leaf stream reference.
+	Op OpType
+	// Stream is the external stream name (leaves only).
+	Stream string
+	// Program carries the operator parameters (non-leaves).
+	Program Program
+	// Children are the operator inputs (0 for leaves, 1 for select and
+	// project, 2 for join).
+	Children []*PlanNode
+}
+
+// Leaf returns a plan node reading an external stream.
+func Leaf(streamName string) *PlanNode {
+	return &PlanNode{Stream: streamName}
+}
+
+// Select returns a selection node over one input.
+func Select(field string, cmp stream.Comparator, constant uint32, in *PlanNode) *PlanNode {
+	return &PlanNode{
+		Op: OpSelect,
+		Program: Program{
+			Op:          OpSelect,
+			SelectField: field,
+			SelectCmp:   cmp,
+			SelectConst: constant,
+		},
+		Children: []*PlanNode{in},
+	}
+}
+
+// Project returns a projection node over one input.
+func Project(fields []string, in *PlanNode) *PlanNode {
+	return &PlanNode{
+		Op:       OpProject,
+		Program:  Program{Op: OpProject, ProjectFields: fields},
+		Children: []*PlanNode{in},
+	}
+}
+
+// Join returns a windowed join node over two inputs.
+func Join(leftField, rightField string, cmp stream.Comparator, window int, left, right *PlanNode) *PlanNode {
+	return &PlanNode{
+		Op: OpJoin,
+		Program: Program{
+			Op:             OpJoin,
+			JoinLeftField:  leftField,
+			JoinRightField: rightField,
+			JoinCmp:        cmp,
+			JoinWindow:     window,
+		},
+		Children: []*PlanNode{left, right},
+	}
+}
+
+// Validate checks the plan's arity and programs.
+func (n *PlanNode) Validate() error {
+	if n == nil {
+		return fmt.Errorf("fqp: nil plan node")
+	}
+	if n.Op == OpNone {
+		if n.Stream == "" {
+			return fmt.Errorf("fqp: leaf node needs a stream name")
+		}
+		if len(n.Children) != 0 {
+			return fmt.Errorf("fqp: leaf node must not have children")
+		}
+		return nil
+	}
+	wantChildren := 1
+	if n.Op == OpJoin {
+		wantChildren = 2
+	}
+	if len(n.Children) != wantChildren {
+		return fmt.Errorf("fqp: %v node needs %d input(s), got %d", n.Op, wantChildren, len(n.Children))
+	}
+	if err := n.Program.Validate(); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Operators counts the operator (non-leaf) nodes of the plan.
+func (n *PlanNode) Operators() int {
+	if n == nil || n.Op == OpNone {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.Operators()
+	}
+	return total
+}
+
+// InstructionWords sums the instruction cost of every operator in the plan.
+func (n *PlanNode) InstructionWords() int {
+	if n == nil || n.Op == OpNone {
+		return 0
+	}
+	total := n.Program.InstructionWords()
+	for _, c := range n.Children {
+		total += c.InstructionWords()
+	}
+	return total
+}
+
+// AssignedBlock records which block executes which plan operator.
+type AssignedBlock struct {
+	Block   BlockID
+	Op      OpType
+	Program Program
+	// Shared marks a block reused from another query's assignment
+	// (Rete-style alpha sharing; see AssignQueryShared).
+	Shared bool
+}
+
+// Assignment is the mapping of one query onto the fabric (the paper's
+// Figure 7: operators placed onto OP-Blocks, with routing composing them).
+type Assignment struct {
+	Query  string
+	Blocks []AssignedBlock
+	// RouteEntries is how many routing-table writes the mapping needed.
+	RouteEntries int
+	// InstructionWords is the total instruction traffic to program the
+	// blocks.
+	InstructionWords int
+}
+
+// AssignQuery maps a validated plan onto free blocks of the fabric,
+// programs them, wires the routes (including ingress fan-out, so several
+// queries can share one input stream as in Figure 7), and taps the root as
+// the query's result stream. It fails without modifying the fabric when not
+// enough free blocks exist.
+func (f *Fabric) AssignQuery(query string, plan *PlanNode) (Assignment, error) {
+	if err := plan.Validate(); err != nil {
+		return Assignment{}, fmt.Errorf("fqp: assign %q: %w", query, err)
+	}
+	if plan.Op == OpNone {
+		return Assignment{}, fmt.Errorf("fqp: assign %q: plan has no operators", query)
+	}
+	need := plan.Operators()
+	free := f.FreeBlocks()
+	if need > len(free) {
+		return Assignment{}, fmt.Errorf("fqp: assign %q: plan needs %d OP-Blocks, only %d free", query, need, len(free))
+	}
+
+	asn := Assignment{Query: query}
+	routesBefore := f.routeWrites
+	nextFree := 0
+
+	var place func(n *PlanNode) (BlockID, error)
+	place = func(n *PlanNode) (BlockID, error) {
+		id := free[nextFree]
+		nextFree++
+		b := f.blocks[id]
+		if err := b.Load(n.Program); err != nil {
+			return 0, err
+		}
+		f.refs[id] = 1
+		asn.Blocks = append(asn.Blocks, AssignedBlock{Block: id, Op: n.Op, Program: n.Program})
+		asn.InstructionWords += n.Program.InstructionWords()
+		for port, child := range n.Children {
+			if child.Op == OpNone {
+				if err := f.ConnectIngress(child.Stream, PortRef{Block: id, Port: port}); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			childID, err := place(child)
+			if err != nil {
+				return 0, err
+			}
+			if err := f.Connect(childID, PortRef{Block: id, Port: port}); err != nil {
+				return 0, err
+			}
+		}
+		return id, nil
+	}
+
+	root, err := place(plan)
+	if err != nil {
+		// Roll back everything this assignment touched.
+		f.ClearQuery(asn)
+		return Assignment{}, fmt.Errorf("fqp: assign %q: %w", query, err)
+	}
+	if err := f.Tap(root, query); err != nil {
+		f.ClearQuery(asn)
+		return Assignment{}, fmt.Errorf("fqp: assign %q: %w", query, err)
+	}
+	asn.RouteEntries = int(f.routeWrites - routesBefore)
+	return asn, nil
+}

@@ -1,0 +1,359 @@
+// Package fqp implements the Flexible Query Processor fabric of Figures
+// 5–7: a fixed, synthesized-once topology of Online-Programmable Blocks
+// (OP-Blocks) and custom blocks joined by a programmable bridge. Queries
+// are never synthesized to gates; they are *assigned* — each operator of a
+// query plan is programmed into a free OP-Block at runtime via two-segment
+// instructions, and the bridge's routing table is rewritten to compose the
+// blocks into the plan's shape ("Lego-like" connectable processing
+// elements). Re-programming takes microseconds of instruction delivery
+// rather than the hours-scale synthesize/halt/reprogram cycle of
+// conventional FPGA designs (Figure 6, reproduced in reconfig.go).
+package fqp
+
+import (
+	"fmt"
+
+	"accelstream/internal/stream"
+)
+
+// OpType is the operator class an OP-Block can be programmed to execute.
+type OpType uint8
+
+// Programmable operator classes. An unprogrammed block passes nothing.
+const (
+	OpNone OpType = iota
+	OpPassthrough
+	OpSelect
+	OpProject
+	OpJoin
+	OpAggregate
+	OpSelectTable
+)
+
+// String implements fmt.Stringer.
+func (o OpType) String() string {
+	switch o {
+	case OpNone:
+		return "unprogrammed"
+	case OpPassthrough:
+		return "passthrough"
+	case OpSelect:
+		return "select"
+	case OpProject:
+		return "project"
+	case OpJoin:
+		return "join"
+	case OpAggregate:
+		return "aggregate"
+	case OpSelectTable:
+		return "select-table"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// BlockID names a block within the fabric.
+type BlockID int
+
+// Program is the operator configuration delivered to one OP-Block. It is
+// the software view of the two-segment instruction stream: segment one
+// carries structural parameters (operator type, window size), segment two
+// the conditions.
+type Program struct {
+	Op OpType
+
+	// Select configuration: named field, comparator, constant.
+	SelectField string
+	SelectCmp   stream.Comparator
+	SelectConst uint32
+
+	// Project configuration: fields to keep.
+	ProjectFields []string
+
+	// Join configuration: equi/θ-join between the block's two input
+	// streams on named fields, with a per-stream sliding window.
+	JoinLeftField  string
+	JoinRightField string
+	JoinCmp        stream.Comparator
+	JoinWindow     int
+
+	// Aggregate configuration: AggFn over AggField across a sliding window
+	// of AggWindow records, optionally grouped by AggGroupField.
+	AggFn         AggKind
+	AggField      string
+	AggGroupField string
+	AggWindow     int
+
+	// SelectTable configuration: an Ibex-style precomputed truth table.
+	Table TruthTable
+}
+
+// Validate checks a program's internal consistency.
+func (p Program) Validate() error {
+	switch p.Op {
+	case OpPassthrough:
+		return nil
+	case OpSelect:
+		if p.SelectField == "" {
+			return fmt.Errorf("fqp: select program needs a field")
+		}
+		if !p.SelectCmp.Valid() {
+			return fmt.Errorf("fqp: select program has invalid comparator %d", p.SelectCmp)
+		}
+		return nil
+	case OpProject:
+		if len(p.ProjectFields) == 0 {
+			return fmt.Errorf("fqp: project program needs at least one field")
+		}
+		return nil
+	case OpJoin:
+		if p.JoinLeftField == "" || p.JoinRightField == "" {
+			return fmt.Errorf("fqp: join program needs both field names")
+		}
+		if !p.JoinCmp.Valid() {
+			return fmt.Errorf("fqp: join program has invalid comparator %d", p.JoinCmp)
+		}
+		if p.JoinWindow <= 0 {
+			return fmt.Errorf("fqp: join program needs a positive window, got %d", p.JoinWindow)
+		}
+		return nil
+	case OpAggregate:
+		if !p.AggFn.Valid() {
+			return fmt.Errorf("fqp: aggregate program has invalid function %d", p.AggFn)
+		}
+		if p.AggFn != AggCount && p.AggField == "" {
+			return fmt.Errorf("fqp: %v aggregate needs a field", p.AggFn)
+		}
+		if p.AggWindow <= 0 {
+			return fmt.Errorf("fqp: aggregate program needs a positive window, got %d", p.AggWindow)
+		}
+		return nil
+	case OpSelectTable:
+		if len(p.Table.Preds) == 0 || len(p.Table.Bits) == 0 {
+			return fmt.Errorf("fqp: select-table program needs a compiled truth table")
+		}
+		if len(p.Table.Preds) > MaxTruthTablePredicates {
+			return fmt.Errorf("fqp: truth table has %d predicates, at most %d supported", len(p.Table.Preds), MaxTruthTablePredicates)
+		}
+		return nil
+	default:
+		return fmt.Errorf("fqp: cannot program operator type %v", p.Op)
+	}
+}
+
+// InstructionWords returns how many instruction words delivering this
+// program costs on the fabric's instruction bus (used by the
+// reconfiguration cost model; joins carry the larger two-segment form of
+// Section IV plus per-window parameters).
+func (p Program) InstructionWords() int {
+	switch p.Op {
+	case OpSelect:
+		return 2
+	case OpProject:
+		return 1 + (len(p.ProjectFields)+1)/2
+	case OpJoin:
+		return 3
+	case OpAggregate:
+		return 2
+	case OpSelectTable:
+		return p.Table.Words()
+	default:
+		return 1
+	}
+}
+
+// OPBlock is one online-programmable block. It executes its current
+// program over arriving records; for joins it keeps the two per-stream
+// sliding windows locally (processing–memory coupling).
+type OPBlock struct {
+	id      BlockID
+	program Program
+
+	// Join state: the two per-stream record windows (0 = left, 1 = right),
+	// bounded by the programmed window size.
+	leftRecs  []stream.Record
+	rightRecs []stream.Record
+
+	// Aggregate state: the sliding record window and the derived output
+	// schema.
+	aggRing   []stream.Record
+	aggSchema *stream.Schema
+
+	processed uint64
+	emitted   uint64
+	reprogram uint64
+}
+
+// NewOPBlock returns an unprogrammed block.
+func NewOPBlock(id BlockID) *OPBlock {
+	return &OPBlock{id: id}
+}
+
+// ID returns the block's fabric identifier.
+func (b *OPBlock) ID() BlockID { return b.id }
+
+// Op returns the currently programmed operator type.
+func (b *OPBlock) Op() OpType { return b.program.Op }
+
+// Programmed reports whether the block currently holds a program.
+func (b *OPBlock) Programmed() bool { return b.program.Op != OpNone }
+
+// Reprogrammings returns how many times the block was (re)programmed.
+func (b *OPBlock) Reprogrammings() uint64 { return b.reprogram }
+
+// Load applies a program to the block at runtime. Join windows are
+// (re)initialized; other state survives, matching the paper's "update the
+// current join operator in real-time".
+func (b *OPBlock) Load(p Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	b.program = p
+	b.leftRecs, b.rightRecs = nil, nil
+	b.aggRing, b.aggSchema = nil, nil
+	b.reprogram++
+	return nil
+}
+
+// Clear returns the block to the unprogrammed pool.
+func (b *OPBlock) Clear() {
+	b.program = Program{}
+	b.leftRecs, b.rightRecs = nil, nil
+	b.aggRing, b.aggSchema = nil, nil
+}
+
+// Exec runs one record through the block's program. port is the input port
+// the record arrived on (only meaningful for joins: 0 left, 1 right). It
+// returns zero or more output records.
+func (b *OPBlock) Exec(port int, rec stream.Record) ([]stream.Record, error) {
+	b.processed++
+	switch b.program.Op {
+	case OpPassthrough:
+		b.emitted++
+		return []stream.Record{rec}, nil
+	case OpSelect:
+		v, err := rec.Get(b.program.SelectField)
+		if err != nil {
+			return nil, fmt.Errorf("fqp: block %d select: %w", b.id, err)
+		}
+		if b.program.SelectCmp.Eval(v, b.program.SelectConst) {
+			b.emitted++
+			return []stream.Record{rec}, nil
+		}
+		return nil, nil
+	case OpProject:
+		out, err := rec.Project(b.program.ProjectFields...)
+		if err != nil {
+			return nil, fmt.Errorf("fqp: block %d project: %w", b.id, err)
+		}
+		b.emitted++
+		return []stream.Record{out}, nil
+	case OpJoin:
+		return b.execJoin(port, rec)
+	case OpAggregate:
+		return b.execAggregate(rec)
+	case OpSelectTable:
+		ok, err := b.program.Table.Match(rec)
+		if err != nil {
+			return nil, fmt.Errorf("fqp: block %d select-table: %w", b.id, err)
+		}
+		if ok {
+			b.emitted++
+			return []stream.Record{rec}, nil
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("fqp: block %d executed while unprogrammed", b.id)
+	}
+}
+
+// execJoin probes the opposite window then stores the record, concatenating
+// matched pairs into a combined record.
+func (b *OPBlock) execJoin(port int, rec stream.Record) ([]stream.Record, error) {
+	var otherRecs []stream.Record
+	var ownField, otherField string
+	switch port {
+	case 0:
+		otherRecs = b.rightRecs
+		ownField, otherField = b.program.JoinLeftField, b.program.JoinRightField
+	case 1:
+		otherRecs = b.leftRecs
+		ownField, otherField = b.program.JoinRightField, b.program.JoinLeftField
+	default:
+		return nil, fmt.Errorf("fqp: block %d join got record on port %d", b.id, port)
+	}
+	probeVal, err := rec.Get(ownField)
+	if err != nil {
+		return nil, fmt.Errorf("fqp: block %d join probe: %w", b.id, err)
+	}
+	var out []stream.Record
+	var scanErr error
+	for _, stored := range otherRecs {
+		storedVal, err := stored.Get(otherField)
+		if err != nil {
+			scanErr = err
+			break
+		}
+		var match bool
+		if port == 0 {
+			match = b.program.JoinCmp.Eval(probeVal, storedVal)
+		} else {
+			match = b.program.JoinCmp.Eval(storedVal, probeVal)
+		}
+		if !match {
+			continue
+		}
+		var joined stream.Record
+		if port == 0 {
+			joined, err = concatRecords(rec, stored)
+		} else {
+			joined, err = concatRecords(stored, rec)
+		}
+		if err != nil {
+			scanErr = err
+			break
+		}
+		out = append(out, joined)
+		b.emitted++
+	}
+	if scanErr != nil {
+		return nil, fmt.Errorf("fqp: block %d join scan: %w", b.id, scanErr)
+	}
+	b.storeJoinRecord(port == 0, rec)
+	return out, nil
+}
+
+// storeJoinRecord inserts into one window, expiring its oldest record when
+// the programmed window size is exceeded.
+func (b *OPBlock) storeJoinRecord(left bool, rec stream.Record) {
+	if left {
+		b.leftRecs = append(b.leftRecs, rec)
+		if len(b.leftRecs) > b.program.JoinWindow {
+			b.leftRecs = b.leftRecs[1:]
+		}
+	} else {
+		b.rightRecs = append(b.rightRecs, rec)
+		if len(b.rightRecs) > b.program.JoinWindow {
+			b.rightRecs = b.rightRecs[1:]
+		}
+	}
+}
+
+// concatRecords merges a left and right record under a combined schema.
+func concatRecords(l, r stream.Record) (stream.Record, error) {
+	fields := make([]string, 0, l.Schema.Arity()+r.Schema.Arity())
+	for _, f := range l.Schema.Fields() {
+		fields = append(fields, l.Schema.Name()+"."+f)
+	}
+	for _, f := range r.Schema.Fields() {
+		fields = append(fields, r.Schema.Name()+"."+f)
+	}
+	schema, err := stream.NewSchema(l.Schema.Name()+"_"+r.Schema.Name(), fields...)
+	if err != nil {
+		return stream.Record{}, err
+	}
+	vals := make([]uint32, 0, len(fields))
+	vals = append(vals, l.Values...)
+	vals = append(vals, r.Values...)
+	return stream.NewRecord(schema, vals...)
+}

@@ -1,0 +1,224 @@
+package fqp
+
+import (
+	"fmt"
+
+	"accelstream/internal/stream"
+)
+
+// PortRef addresses one input port of one block.
+type PortRef struct {
+	Block BlockID
+	Port  int // 0 or 1 (1 only meaningful for join blocks)
+}
+
+// Fabric is a synthesized-once FQP instance: a pool of OP-Blocks plus the
+// programmable bridge, modelled as runtime-rewritable routing tables. The
+// structure (number of blocks, wiring budget) is fixed at synthesis; which
+// operator each block runs and how records flow between blocks changes at
+// runtime — the "parametrized topology" level of dynamism.
+type Fabric struct {
+	blocks []*OPBlock
+
+	// ingress routes an external stream name to block input ports.
+	ingress map[string][]PortRef
+	// routes sends a block's output onward to other block input ports.
+	routes map[BlockID][]PortRef
+	// taps collects a block's output as the result of a named query.
+	taps map[BlockID][]string
+
+	// emitted results per query name.
+	results map[string][]stream.Record
+
+	// Rete-style sharing state: sharable-operator key → block, its inverse,
+	// and per-block reference counts.
+	shared    map[string]BlockID
+	sharedKey map[BlockID]string
+	refs      map[BlockID]int
+
+	routeWrites uint64
+}
+
+// NewFabric builds a fabric with the given number of OP-Blocks.
+func NewFabric(numBlocks int) (*Fabric, error) {
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("fqp: fabric needs at least one block, got %d", numBlocks)
+	}
+	f := &Fabric{
+		ingress:   make(map[string][]PortRef),
+		routes:    make(map[BlockID][]PortRef),
+		taps:      make(map[BlockID][]string),
+		results:   make(map[string][]stream.Record),
+		shared:    make(map[string]BlockID),
+		sharedKey: make(map[BlockID]string),
+		refs:      make(map[BlockID]int),
+	}
+	for i := 0; i < numBlocks; i++ {
+		f.blocks = append(f.blocks, NewOPBlock(BlockID(i)))
+	}
+	return f, nil
+}
+
+// NumBlocks returns the fabric's block count.
+func (f *Fabric) NumBlocks() int { return len(f.blocks) }
+
+// Block returns a block by ID.
+func (f *Fabric) Block(id BlockID) (*OPBlock, error) {
+	if int(id) < 0 || int(id) >= len(f.blocks) {
+		return nil, fmt.Errorf("fqp: no block %d in a %d-block fabric", id, len(f.blocks))
+	}
+	return f.blocks[id], nil
+}
+
+// FreeBlocks returns the IDs of currently unprogrammed blocks.
+func (f *Fabric) FreeBlocks() []BlockID {
+	var free []BlockID
+	for _, b := range f.blocks {
+		if !b.Programmed() {
+			free = append(free, b.ID())
+		}
+	}
+	return free
+}
+
+// ConnectIngress routes an external stream into a block port.
+func (f *Fabric) ConnectIngress(streamName string, to PortRef) error {
+	if _, err := f.Block(to.Block); err != nil {
+		return err
+	}
+	f.ingress[streamName] = append(f.ingress[streamName], to)
+	f.routeWrites++
+	return nil
+}
+
+// Connect routes a block's output into another block's port.
+func (f *Fabric) Connect(from BlockID, to PortRef) error {
+	if _, err := f.Block(from); err != nil {
+		return err
+	}
+	if _, err := f.Block(to.Block); err != nil {
+		return err
+	}
+	f.routes[from] = append(f.routes[from], to)
+	f.routeWrites++
+	return nil
+}
+
+// Tap marks a block's output as the result stream of a named query.
+func (f *Fabric) Tap(from BlockID, query string) error {
+	if _, err := f.Block(from); err != nil {
+		return err
+	}
+	f.taps[from] = append(f.taps[from], query)
+	f.routeWrites++
+	return nil
+}
+
+// RouteWrites returns how many routing-table entries have been written
+// (reconfiguration cost accounting).
+func (f *Fabric) RouteWrites() uint64 { return f.routeWrites }
+
+// Ingest pushes one record of a named external stream through the fabric,
+// propagating block outputs along the routing tables until quiescence.
+func (f *Fabric) Ingest(streamName string, rec stream.Record) error {
+	ports, ok := f.ingress[streamName]
+	if !ok {
+		return fmt.Errorf("fqp: no ingress route for stream %q", streamName)
+	}
+	for _, p := range ports {
+		if err := f.deliver(p, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Fabric) deliver(to PortRef, rec stream.Record) error {
+	b, err := f.Block(to.Block)
+	if err != nil {
+		return err
+	}
+	outs, err := b.Exec(to.Port, rec)
+	if err != nil {
+		return err
+	}
+	for _, out := range outs {
+		for _, q := range f.taps[b.ID()] {
+			f.results[q] = append(f.results[q], out)
+		}
+		for _, next := range f.routes[b.ID()] {
+			if err := f.deliver(next, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Results returns (and keeps) the records a named query has produced.
+func (f *Fabric) Results(query string) []stream.Record {
+	return f.results[query]
+}
+
+// TakeResults returns and clears a query's results.
+func (f *Fabric) TakeResults(query string) []stream.Record {
+	out := f.results[query]
+	delete(f.results, query)
+	return out
+}
+
+// ClearQuery removes a query: its exclusively-owned blocks are cleared back
+// into the free pool and every route touching them is deleted; blocks
+// shared with other queries only drop a reference. The fabric keeps running
+// for all other queries — removal, like insertion, needs no halt.
+func (f *Fabric) ClearQuery(assignment Assignment) {
+	released := make(map[BlockID]bool, len(assignment.Blocks))
+	for _, ab := range assignment.Blocks {
+		if f.refs[ab.Block] > 1 {
+			f.refs[ab.Block]--
+			continue
+		}
+		released[ab.Block] = true
+		delete(f.refs, ab.Block)
+		if key, ok := f.sharedKey[ab.Block]; ok {
+			delete(f.shared, key)
+			delete(f.sharedKey, ab.Block)
+		}
+		f.blocks[ab.Block].Clear()
+	}
+	for name, ports := range f.ingress {
+		f.ingress[name] = dropPorts(ports, released)
+	}
+	for from := range f.routes {
+		if released[from] {
+			delete(f.routes, from)
+			continue
+		}
+		f.routes[from] = dropPorts(f.routes[from], released)
+	}
+	// Remove this query's taps wherever they are, shared blocks included.
+	for from, queries := range f.taps {
+		kept := queries[:0]
+		for _, q := range queries {
+			if q != assignment.Query {
+				kept = append(kept, q)
+			}
+		}
+		if len(kept) == 0 {
+			delete(f.taps, from)
+		} else {
+			f.taps[from] = kept
+		}
+	}
+	delete(f.results, assignment.Query)
+}
+
+func dropPorts(ports []PortRef, used map[BlockID]bool) []PortRef {
+	out := ports[:0]
+	for _, p := range ports {
+		if !used[p.Block] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

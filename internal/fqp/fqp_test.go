@@ -1,0 +1,340 @@
+package fqp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"accelstream/internal/stream"
+)
+
+var (
+	customerSchema = stream.MustSchema("customer", "product_id", "age", "gender")
+	productSchema  = stream.MustSchema("product", "product_id", "price")
+)
+
+func customer(product, age, gender uint32) stream.Record {
+	r, err := stream.NewRecord(customerSchema, product, age, gender)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func product(id, price uint32) stream.Record {
+	r, err := stream.NewRecord(productSchema, id, price)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestProgramValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Program
+		wantErr bool
+	}{
+		{"passthrough", Program{Op: OpPassthrough}, false},
+		{"select ok", Program{Op: OpSelect, SelectField: "age", SelectCmp: stream.CmpGT, SelectConst: 25}, false},
+		{"select missing field", Program{Op: OpSelect, SelectCmp: stream.CmpGT}, true},
+		{"select bad cmp", Program{Op: OpSelect, SelectField: "age"}, true},
+		{"project ok", Program{Op: OpProject, ProjectFields: []string{"age"}}, false},
+		{"project empty", Program{Op: OpProject}, true},
+		{"join ok", Program{Op: OpJoin, JoinLeftField: "a", JoinRightField: "b", JoinCmp: stream.CmpEQ, JoinWindow: 8}, false},
+		{"join no window", Program{Op: OpJoin, JoinLeftField: "a", JoinRightField: "b", JoinCmp: stream.CmpEQ}, true},
+		{"join no fields", Program{Op: OpJoin, JoinCmp: stream.CmpEQ, JoinWindow: 8}, true},
+		{"unprogrammed", Program{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestOPBlockSelect(t *testing.T) {
+	b := NewOPBlock(0)
+	if err := b.Load(Program{Op: OpSelect, SelectField: "age", SelectCmp: stream.CmpGT, SelectConst: 25}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Exec(0, customer(1, 30, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("age 30 should pass Age > 25, got %d records", len(out))
+	}
+	out, err = b.Exec(0, customer(1, 25, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("age 25 should fail Age > 25, got %d records", len(out))
+	}
+}
+
+func TestOPBlockProject(t *testing.T) {
+	b := NewOPBlock(0)
+	if err := b.Load(Program{Op: OpProject, ProjectFields: []string{"age"}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Exec(0, customer(1, 30, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Schema.Arity() != 1 {
+		t.Fatalf("projection result wrong: %v", out)
+	}
+	if v, _ := out[0].Get("age"); v != 30 {
+		t.Errorf("projected age = %d, want 30", v)
+	}
+}
+
+func TestOPBlockJoinWindow(t *testing.T) {
+	b := NewOPBlock(0)
+	err := b.Load(Program{
+		Op: OpJoin, JoinLeftField: "product_id", JoinRightField: "product_id",
+		JoinCmp: stream.CmpEQ, JoinWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left: three products; window 2 keeps the last two.
+	for _, id := range []uint32{1, 2, 3} {
+		if _, err := b.Exec(0, product(id, id*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := b.Exec(1, customer(1, 40, 0)) // product 1 expired
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("expired left record matched: %v", out)
+	}
+	out, err = b.Exec(1, customer(3, 40, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("want 1 join result, got %d", len(out))
+	}
+	if v, err := out[0].Get("product.price"); err != nil || v != 30 {
+		t.Errorf("joined price = %d (%v), want 30", v, err)
+	}
+	if v, err := out[0].Get("customer.age"); err != nil || v != 40 {
+		t.Errorf("joined age = %d (%v), want 40", v, err)
+	}
+}
+
+func TestOPBlockExecUnprogrammedFails(t *testing.T) {
+	b := NewOPBlock(0)
+	if _, err := b.Exec(0, customer(1, 1, 1)); err == nil {
+		t.Error("Exec on unprogrammed block succeeded")
+	}
+}
+
+// TestFigure7TwoQueryAssignment reproduces the paper's Figure 7: two
+// queries over a shared Product stream —
+//
+//	Q1: σ(age>25)(Customer) ⋈[w=1536] Product on product_id
+//	Q2: σ(age>25 ∧ gender=female)(Customer) ⋈[w=2048] Product on product_id
+//
+// mapped onto four OP-Blocks of one fabric, running concurrently.
+func TestFigure7TwoQueryAssignment(t *testing.T) {
+	f, err := NewFabric(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q1 := Join("product_id", "product_id", stream.CmpEQ, 1536,
+		Select("age", stream.CmpGT, 25, Leaf("customer")),
+		Leaf("product"))
+	// Q2's conjunctive selection is realized as two chained OP-Blocks.
+	q2 := Join("product_id", "product_id", stream.CmpEQ, 2048,
+		Select("gender", stream.CmpEQ, 1,
+			Select("age", stream.CmpGT, 25, Leaf("customer"))),
+		Leaf("product"))
+
+	a1, err := f.AssignQuery("q1", q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := f.AssignQuery("q2", q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Blocks) != 2 {
+		t.Errorf("q1 uses %d blocks, want 2 (selection + join)", len(a1.Blocks))
+	}
+	if len(a2.Blocks) != 3 {
+		t.Errorf("q2 uses %d blocks, want 3 (two selections + join)", len(a2.Blocks))
+	}
+	if free := len(f.FreeBlocks()); free != 8-5 {
+		t.Errorf("free blocks = %d, want 3", free)
+	}
+
+	// Drive the shared streams.
+	if err := f.Ingest("product", product(7, 99)); err != nil {
+		t.Fatal(err)
+	}
+	// Male, 30: passes q1's selection only.
+	if err := f.Ingest("customer", customer(7, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Female, 40: passes both selections.
+	if err := f.Ingest("customer", customer(7, 40, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Female, 20: passes neither.
+	if err := f.Ingest("customer", customer(7, 20, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := len(f.Results("q1")); got != 2 {
+		t.Errorf("q1 produced %d results, want 2", got)
+	}
+	if got := len(f.Results("q2")); got != 1 {
+		t.Errorf("q2 produced %d results, want 1", got)
+	}
+}
+
+// TestAssignQueryInsufficientBlocks: assignment must fail cleanly and leave
+// the fabric untouched.
+func TestAssignQueryInsufficientBlocks(t *testing.T) {
+	f, err := NewFabric(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Join("product_id", "product_id", stream.CmpEQ, 16,
+		Select("age", stream.CmpGT, 25, Leaf("customer")),
+		Leaf("product"))
+	if _, err := f.AssignQuery("big", plan); err == nil {
+		t.Fatal("assignment with too few blocks succeeded")
+	}
+	if len(f.FreeBlocks()) != 1 {
+		t.Error("failed assignment leaked programmed blocks")
+	}
+}
+
+// TestClearQueryFreesBlocksWithoutHalting: removing one query keeps the
+// other running.
+func TestClearQueryFreesBlocksWithoutHalting(t *testing.T) {
+	f, err := NewFabric(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := Select("age", stream.CmpGT, 25, Leaf("customer"))
+	q2 := Select("age", stream.CmpLT, 20, Leaf("customer"))
+	a1, err := f.AssignQuery("q1", q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = f.AssignQuery("q2", q2); err != nil {
+		t.Fatal(err)
+	}
+	f.ClearQuery(a1)
+	if got := len(f.FreeBlocks()); got != 3 {
+		t.Errorf("free blocks after clear = %d, want 3", got)
+	}
+	if err := f.Ingest("customer", customer(1, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Results("q2")); got != 1 {
+		t.Errorf("q2 stopped working after q1 removal: %d results", got)
+	}
+	if got := len(f.Results("q1")); got != 0 {
+		t.Errorf("cleared q1 still produced %d results", got)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := &PlanNode{Op: OpJoin, Program: Program{Op: OpJoin, JoinLeftField: "a", JoinRightField: "b", JoinCmp: stream.CmpEQ, JoinWindow: 4}, Children: []*PlanNode{Leaf("x")}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "2 input(s)") {
+		t.Errorf("join with one child validated: %v", err)
+	}
+	if err := (&PlanNode{}).Validate(); err == nil {
+		t.Error("empty leaf validated")
+	}
+	if err := Leaf("s").Validate(); err != nil {
+		t.Errorf("leaf validation failed: %v", err)
+	}
+}
+
+// TestReconfigurationPipelines reproduces the Figure 6 comparison: the FQP
+// path is many orders of magnitude faster than the conventional
+// synthesize-halt-reprogram flow, and it never halts processing.
+func TestReconfigurationPipelines(t *testing.T) {
+	f, err := NewFabric(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Join("product_id", "product_id", stream.CmpEQ, 1536,
+		Select("age", stream.CmpGT, 25, Leaf("customer")),
+		Leaf("product"))
+	asn, err := f.AssignQuery("q", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := ConventionalFlow()
+	fqpFlow, err := FQPFlow(asn, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.HaltMin() == 0 {
+		t.Error("conventional flow must halt processing")
+	}
+	if fqpFlow.HaltMax() != 0 {
+		t.Error("FQP flow must not halt processing")
+	}
+	if fqpFlow.TotalMax() > 100*time.Millisecond {
+		t.Errorf("FQP reconfiguration worst case %v, want µs–ms scale", fqpFlow.TotalMax())
+	}
+	if sp := Speedup(conv, fqpFlow); sp < 1e6 {
+		t.Errorf("conventional/FQP speedup = %.0f, want ≥ 10^6", sp)
+	}
+	if _, err := FQPFlow(asn, 0); err == nil {
+		t.Error("FQPFlow accepted a zero clock")
+	}
+}
+
+func TestFabricErrors(t *testing.T) {
+	if _, err := NewFabric(0); err == nil {
+		t.Error("NewFabric(0) succeeded")
+	}
+	f, err := NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ingest("nosuch", customer(1, 1, 1)); err == nil {
+		t.Error("Ingest on unknown stream succeeded")
+	}
+	if _, err := f.Block(5); err == nil {
+		t.Error("Block(5) on 2-block fabric succeeded")
+	}
+	if err := f.Connect(BlockID(0), PortRef{Block: 9}); err == nil {
+		t.Error("Connect to missing block succeeded")
+	}
+}
+
+func TestTakeResults(t *testing.T) {
+	f, err := NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AssignQuery("q", Select("age", stream.CmpGT, 25, Leaf("customer"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ingest("customer", customer(1, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.TakeResults("q"); len(got) != 1 {
+		t.Fatalf("TakeResults = %d records, want 1", len(got))
+	}
+	if got := f.Results("q"); len(got) != 0 {
+		t.Errorf("results not cleared after TakeResults: %d", len(got))
+	}
+}

@@ -1,0 +1,236 @@
+package fqp
+
+import (
+	"fmt"
+	"strings"
+
+	"accelstream/internal/stream"
+)
+
+// Ibex-style Boolean formula precomputation (Section II, algorithmic
+// model): "to avoid designing complex adaptive circuitry, Ibex proposes
+// precomputation of a truth table for Boolean expressions in software first
+// and transfer the truth table into hardware". A BoolExpr is an arbitrary
+// AND/OR/NOT combination of field predicates; CompileTruthTable evaluates
+// it over every combination of predicate outcomes in software, producing a
+// bit table. The OP-Block then needs only the simple fixed circuitry of n
+// parallel comparators indexing a 2^n-bit lookup — no expression
+// evaluation logic in "hardware".
+
+// FieldPred is one primitive predicate over a named record field.
+type FieldPred struct {
+	Field string
+	Cmp   stream.Comparator
+	Const uint32
+}
+
+// String implements fmt.Stringer.
+func (p FieldPred) String() string {
+	return fmt.Sprintf("%s %s %d", p.Field, p.Cmp, p.Const)
+}
+
+// BoolExpr is a Boolean combination of field predicates.
+type BoolExpr struct {
+	// Exactly one of the following shapes:
+	Pred *FieldPred  // leaf
+	Not  *BoolExpr   // negation
+	And  []*BoolExpr // conjunction (≥2 children)
+	Or   []*BoolExpr // disjunction (≥2 children)
+}
+
+// Predicate returns a leaf expression.
+func Predicate(field string, cmp stream.Comparator, constant uint32) *BoolExpr {
+	return &BoolExpr{Pred: &FieldPred{Field: field, Cmp: cmp, Const: constant}}
+}
+
+// NotExpr negates an expression.
+func NotExpr(e *BoolExpr) *BoolExpr { return &BoolExpr{Not: e} }
+
+// AndExpr conjoins expressions.
+func AndExpr(es ...*BoolExpr) *BoolExpr { return &BoolExpr{And: es} }
+
+// OrExpr disjoins expressions.
+func OrExpr(es ...*BoolExpr) *BoolExpr { return &BoolExpr{Or: es} }
+
+// Validate checks the expression's shape.
+func (e *BoolExpr) Validate() error {
+	if e == nil {
+		return fmt.Errorf("fqp: nil boolean expression")
+	}
+	shapes := 0
+	if e.Pred != nil {
+		shapes++
+		if e.Pred.Field == "" {
+			return fmt.Errorf("fqp: predicate needs a field")
+		}
+		if !e.Pred.Cmp.Valid() {
+			return fmt.Errorf("fqp: predicate on %q has invalid comparator %d", e.Pred.Field, e.Pred.Cmp)
+		}
+	}
+	if e.Not != nil {
+		shapes++
+		if err := e.Not.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, group := range [][]*BoolExpr{e.And, e.Or} {
+		if group == nil {
+			continue
+		}
+		shapes++
+		if len(group) < 2 {
+			return fmt.Errorf("fqp: AND/OR needs at least two operands, got %d", len(group))
+		}
+		for _, c := range group {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	if shapes != 1 {
+		return fmt.Errorf("fqp: boolean expression must have exactly one shape, got %d", shapes)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (e *BoolExpr) String() string {
+	switch {
+	case e == nil:
+		return "<nil>"
+	case e.Pred != nil:
+		return e.Pred.String()
+	case e.Not != nil:
+		return "NOT (" + e.Not.String() + ")"
+	case e.And != nil:
+		parts := make([]string, len(e.And))
+		for i, c := range e.And {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, " AND ") + ")"
+	case e.Or != nil:
+		parts := make([]string, len(e.Or))
+		for i, c := range e.Or {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	default:
+		return "<empty>"
+	}
+}
+
+// collectPreds gathers the distinct primitive predicates, in first-seen
+// order.
+func (e *BoolExpr) collectPreds(seen map[FieldPred]int, out *[]FieldPred) {
+	switch {
+	case e.Pred != nil:
+		if _, ok := seen[*e.Pred]; !ok {
+			seen[*e.Pred] = len(*out)
+			*out = append(*out, *e.Pred)
+		}
+	case e.Not != nil:
+		e.Not.collectPreds(seen, out)
+	default:
+		for _, c := range e.And {
+			c.collectPreds(seen, out)
+		}
+		for _, c := range e.Or {
+			c.collectPreds(seen, out)
+		}
+	}
+}
+
+// evalWith evaluates the expression given each predicate's outcome.
+func (e *BoolExpr) evalWith(idx map[FieldPred]int, bits uint32) bool {
+	switch {
+	case e.Pred != nil:
+		return bits&(1<<idx[*e.Pred]) != 0
+	case e.Not != nil:
+		return !e.Not.evalWith(idx, bits)
+	case e.And != nil:
+		for _, c := range e.And {
+			if !c.evalWith(idx, bits) {
+				return false
+			}
+		}
+		return true
+	case e.Or != nil:
+		for _, c := range e.Or {
+			if c.evalWith(idx, bits) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// MaxTruthTablePredicates bounds the table size (2^n bits must fit the
+// block's condition memory).
+const MaxTruthTablePredicates = 16
+
+// TruthTable is the precomputed form: n predicates (the parallel
+// comparators) and a 2^n-bit outcome table indexed by their packed results.
+type TruthTable struct {
+	Preds []FieldPred
+	Bits  []uint64 // ceil(2^n / 64) words
+}
+
+// CompileTruthTable enumerates every combination of predicate outcomes in
+// software and records the expression's value — the Ibex co-design split.
+func CompileTruthTable(e *BoolExpr) (TruthTable, error) {
+	if err := e.Validate(); err != nil {
+		return TruthTable{}, err
+	}
+	seen := make(map[FieldPred]int)
+	var preds []FieldPred
+	e.collectPreds(seen, &preds)
+	if len(preds) == 0 {
+		return TruthTable{}, fmt.Errorf("fqp: expression has no predicates")
+	}
+	if len(preds) > MaxTruthTablePredicates {
+		return TruthTable{}, fmt.Errorf("fqp: expression has %d distinct predicates, the table supports at most %d", len(preds), MaxTruthTablePredicates)
+	}
+	rows := 1 << len(preds)
+	tt := TruthTable{
+		Preds: preds,
+		Bits:  make([]uint64, (rows+63)/64),
+	}
+	for bits := 0; bits < rows; bits++ {
+		if e.evalWith(seen, uint32(bits)) {
+			tt.Bits[bits/64] |= 1 << (bits % 64)
+		}
+	}
+	return tt, nil
+}
+
+// Match evaluates the table against one record: run the comparators, pack
+// their bits, look up the row.
+func (t TruthTable) Match(rec stream.Record) (bool, error) {
+	var bits uint32
+	for i, p := range t.Preds {
+		v, err := rec.Get(p.Field)
+		if err != nil {
+			return false, err
+		}
+		if p.Cmp.Eval(v, p.Const) {
+			bits |= 1 << i
+		}
+	}
+	return t.Bits[bits/64]&(1<<(bits%64)) != 0, nil
+}
+
+// Words returns the instruction traffic to load this table into a block.
+func (t TruthTable) Words() int {
+	return len(t.Preds) + len(t.Bits)
+}
+
+// SelectTable returns a plan node filtering with a precomputed truth table.
+func SelectTable(table TruthTable, in *PlanNode) *PlanNode {
+	return &PlanNode{
+		Op:       OpSelectTable,
+		Program:  Program{Op: OpSelectTable, Table: table},
+		Children: []*PlanNode{in},
+	}
+}

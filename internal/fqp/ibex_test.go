@@ -1,0 +1,204 @@
+package fqp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accelstream/internal/stream"
+)
+
+// evalDirect evaluates a BoolExpr against a record without the table (the
+// software reference the table must match).
+func evalDirect(t *testing.T, e *BoolExpr, rec stream.Record) bool {
+	t.Helper()
+	switch {
+	case e.Pred != nil:
+		v, err := rec.Get(e.Pred.Field)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Pred.Cmp.Eval(v, e.Pred.Const)
+	case e.Not != nil:
+		return !evalDirect(t, e.Not, rec)
+	case e.And != nil:
+		for _, c := range e.And {
+			if !evalDirect(t, c, rec) {
+				return false
+			}
+		}
+		return true
+	case e.Or != nil:
+		for _, c := range e.Or {
+			if evalDirect(t, c, rec) {
+				return true
+			}
+		}
+		return false
+	default:
+		t.Fatal("empty expression")
+		return false
+	}
+}
+
+func TestBoolExprValidate(t *testing.T) {
+	good := OrExpr(
+		AndExpr(
+			Predicate("age", stream.CmpGT, 25),
+			NotExpr(Predicate("gender", stream.CmpEQ, 0)),
+		),
+		Predicate("age", stream.CmpLT, 10),
+	)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid expression rejected: %v", err)
+	}
+	bad := []*BoolExpr{
+		nil,
+		{},
+		{And: []*BoolExpr{Predicate("a", stream.CmpEQ, 1)}}, // 1 operand
+		{Pred: &FieldPred{Field: "", Cmp: stream.CmpEQ}},
+		{Pred: &FieldPred{Field: "a", Cmp: stream.Comparator(0)}},
+		{Pred: &FieldPred{Field: "a", Cmp: stream.CmpEQ}, Not: Predicate("b", stream.CmpEQ, 1)}, // two shapes
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad expression %d validated", i)
+		}
+	}
+}
+
+func TestCompileTruthTableDedupsPredicates(t *testing.T) {
+	p := Predicate("age", stream.CmpGT, 25)
+	e := OrExpr(p, AndExpr(p, Predicate("gender", stream.CmpEQ, 1)))
+	tt, err := CompileTruthTable(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tt.Preds) != 2 {
+		t.Errorf("table has %d predicates, want 2 (deduplicated)", len(tt.Preds))
+	}
+	if len(tt.Bits) != 1 {
+		t.Errorf("table uses %d words, want 1 for 4 rows", len(tt.Bits))
+	}
+}
+
+func TestCompileTruthTableLimits(t *testing.T) {
+	if _, err := CompileTruthTable(nil); err == nil {
+		t.Error("nil expression compiled")
+	}
+	// 17 distinct predicates exceed the block's condition memory.
+	parts := make([]*BoolExpr, 0, 17)
+	for i := 0; i < 17; i++ {
+		parts = append(parts, Predicate("age", stream.CmpGT, uint32(i)))
+	}
+	if _, err := CompileTruthTable(OrExpr(parts...)); err == nil {
+		t.Error("17-predicate table compiled")
+	}
+}
+
+// TestTruthTableMatchesDirectEvaluation: for random expressions over the
+// customer schema and random records, the precomputed table must agree with
+// direct evaluation — Ibex's hardware/software split is semantics-free.
+func TestTruthTableMatchesDirectEvaluation(t *testing.T) {
+	fields := []string{"product_id", "age", "gender"}
+	cmps := []stream.Comparator{stream.CmpEQ, stream.CmpNE, stream.CmpLT, stream.CmpLE, stream.CmpGT, stream.CmpGE}
+
+	var build func(rng *rand.Rand, depth int) *BoolExpr
+	build = func(rng *rand.Rand, depth int) *BoolExpr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return Predicate(fields[rng.Intn(len(fields))], cmps[rng.Intn(len(cmps))], uint32(rng.Intn(8)))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return NotExpr(build(rng, depth-1))
+		case 1:
+			return AndExpr(build(rng, depth-1), build(rng, depth-1))
+		default:
+			return OrExpr(build(rng, depth-1), build(rng, depth-1))
+		}
+	}
+
+	prop := func(seed int64, pid, age, gender uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		expr := build(rng, 3)
+		tt, err := CompileTruthTable(expr)
+		if err != nil {
+			// Depth-3 trees cannot exceed 8 leaves < 16; any error is a bug.
+			t.Logf("unexpected compile error: %v", err)
+			return false
+		}
+		rec := customer(uint32(pid%8), uint32(age%8), uint32(gender%8))
+		got, err := tt.Match(rec)
+		if err != nil {
+			return false
+		}
+		return got == evalDirect(t, expr, rec)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectTableBlock(t *testing.T) {
+	// age > 25 OR gender = 1 — inexpressible as a selection chain.
+	expr := OrExpr(
+		Predicate("age", stream.CmpGT, 25),
+		Predicate("gender", stream.CmpEQ, 1),
+	)
+	tt, err := CompileTruthTable(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewOPBlock(0)
+	if err := b.Load(Program{Op: OpSelectTable, Table: tt}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		age, gender uint32
+		want        bool
+	}{
+		{30, 0, true},
+		{20, 1, true},
+		{20, 0, false},
+		{30, 1, true},
+	}
+	for _, tc := range cases {
+		out, err := b.Exec(0, customer(1, tc.age, tc.gender))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(out) == 1) != tc.want {
+			t.Errorf("age=%d gender=%d passed=%v, want %v", tc.age, tc.gender, len(out) == 1, tc.want)
+		}
+	}
+	if err := (&OPBlock{}).Load(Program{Op: OpSelectTable}); err == nil {
+		t.Error("empty truth table loaded")
+	}
+}
+
+func TestSelectTablePlanAssigns(t *testing.T) {
+	expr := OrExpr(Predicate("age", stream.CmpLT, 18), Predicate("age", stream.CmpGT, 65))
+	tt, err := CompileTruthTable(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFabric(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn, err := f.AssignQuery("fringe", SelectTable(tt, Leaf("customer")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asn.InstructionWords < 3 {
+		t.Errorf("instruction words = %d, want ≥ 3 (predicates + table)", asn.InstructionWords)
+	}
+	for _, age := range []uint32{10, 30, 70} {
+		if err := f.Ingest("customer", customer(1, age, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(f.Results("fringe")); got != 2 {
+		t.Errorf("got %d results, want 2 (ages 10 and 70)", got)
+	}
+}

@@ -1,0 +1,118 @@
+package fqp
+
+import (
+	"fmt"
+	"time"
+)
+
+// ReconfigStep is one stage of bringing a new/changed query online.
+type ReconfigStep struct {
+	Name string
+	// Min and Max bound the stage's duration (the paper's Figure 6 gives
+	// ranges, e.g. "Minutes ~ Days" for synthesis).
+	Min, Max time.Duration
+	// HaltsProcessing marks stages during which normal stream processing
+	// stops and in-flight data must be buffered, dropped, or re-transmitted.
+	HaltsProcessing bool
+}
+
+// ReconfigPipeline is a full reconfiguration flow.
+type ReconfigPipeline struct {
+	Approach string
+	Steps    []ReconfigStep
+}
+
+// TotalMin and TotalMax sum the stage bounds.
+func (p ReconfigPipeline) TotalMin() time.Duration {
+	var sum time.Duration
+	for _, s := range p.Steps {
+		sum += s.Min
+	}
+	return sum
+}
+
+// TotalMax sums the upper bounds.
+func (p ReconfigPipeline) TotalMax() time.Duration {
+	var sum time.Duration
+	for _, s := range p.Steps {
+		sum += s.Max
+	}
+	return sum
+}
+
+// HaltMin and HaltMax sum the bounds of processing-halting stages only.
+func (p ReconfigPipeline) HaltMin() time.Duration {
+	var sum time.Duration
+	for _, s := range p.Steps {
+		if s.HaltsProcessing {
+			sum += s.Min
+		}
+	}
+	return sum
+}
+
+// HaltMax sums the upper bounds of halting stages.
+func (p ReconfigPipeline) HaltMax() time.Duration {
+	var sum time.Duration
+	for _, s := range p.Steps {
+		if s.HaltsProcessing {
+			sum += s.Max
+		}
+	}
+	return sum
+}
+
+// ConventionalFlow models the common FPGA-based solution of Figure 6:
+// change the hardware model, re-synthesize (an NP-hard tool flow), halt the
+// system, reprogram the FPGA, and resume with costly data-flow control.
+func ConventionalFlow() ReconfigPipeline {
+	return ReconfigPipeline{
+		Approach: "common FPGA-based solution",
+		Steps: []ReconfigStep{
+			{Name: "apply changes in hardware model", Min: time.Hour, Max: 30 * 24 * time.Hour},
+			{Name: "synthesize (map, place, route)", Min: time.Minute, Max: 24 * time.Hour},
+			{Name: "halt normal system operation", Min: time.Second, Max: time.Minute, HaltsProcessing: true},
+			{Name: "reprogram FPGA", Min: time.Second, Max: time.Minute, HaltsProcessing: true},
+			{Name: "resume system (data flow control)", Min: time.Second, Max: time.Minute, HaltsProcessing: true},
+		},
+	}
+}
+
+// FQPFlow models the Flexible Query Processor path of Figure 6 for a
+// concrete assignment: map the new operators onto OP-Blocks (instruction
+// delivery over the fabric's instruction bus at the given clock) and apply
+// them; processing of other queries never halts.
+func FQPFlow(asn Assignment, clockMHz float64) (ReconfigPipeline, error) {
+	if clockMHz <= 0 {
+		return ReconfigPipeline{}, fmt.Errorf("fqp: clock must be positive, got %f", clockMHz)
+	}
+	cyclesPerWord := 1.0
+	nsPerCycle := 1000.0 / clockMHz
+	mapNs := float64(asn.InstructionWords) * cyclesPerWord * nsPerCycle
+	applyNs := float64(asn.RouteEntries) * cyclesPerWord * nsPerCycle
+	if mapNs < 1 {
+		mapNs = 1
+	}
+	if applyNs < 1 {
+		applyNs = 1
+	}
+	return ReconfigPipeline{
+		Approach: "Flexible Query Processor (FQP)",
+		Steps: []ReconfigStep{
+			// Mapping cost spans µs (instruction delivery) up to ms when a
+			// compiler pass decides placement for a large query batch.
+			{Name: "map new operators onto OP-Blocks", Min: time.Duration(mapNs), Max: time.Duration(mapNs) * 1000},
+			{Name: "apply (rewrite bridge routes)", Min: time.Duration(applyNs), Max: time.Duration(applyNs) * 10},
+		},
+	}, nil
+}
+
+// Speedup returns how many times faster pipeline b's worst case is compared
+// to pipeline a's best case — the conservative improvement factor.
+func Speedup(a, b ReconfigPipeline) float64 {
+	bMax := b.TotalMax()
+	if bMax == 0 {
+		return 0
+	}
+	return float64(a.TotalMin()) / float64(bMax)
+}

@@ -1,0 +1,143 @@
+package fqp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Multi-query optimization (Section II, algorithmic model): "to support
+// multi-query optimization, a global query plan based on a Rete-like
+// network is constructed to exploit both inter- and intra-query
+// parallelism". The fabric implements the alpha-node level of that idea:
+// identical selection operators applied directly to the same ingress stream
+// are assigned once and shared by every query that contains them, with
+// reference counting so removing one query never disturbs the others.
+
+// shareKey identifies a sharable operator: a selection applied directly to
+// a named ingress stream.
+func shareKey(streamName string, p Program) (string, bool) {
+	if p.Op != OpSelect {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString(streamName)
+	b.WriteString("|select|")
+	b.WriteString(p.SelectField)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(p.SelectCmp)))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(uint64(p.SelectConst), 10))
+	return b.String(), true
+}
+
+// AssignQueryShared maps a plan like AssignQuery, but reuses already-placed
+// selection blocks when another query applied the identical predicate to
+// the same ingress stream (Rete-style alpha sharing). Shared blocks are
+// reference counted; ClearQuery releases them only when their last user is
+// removed.
+func (f *Fabric) AssignQueryShared(query string, plan *PlanNode) (Assignment, error) {
+	if err := plan.Validate(); err != nil {
+		return Assignment{}, fmt.Errorf("fqp: assign %q: %w", query, err)
+	}
+	if plan.Op == OpNone {
+		return Assignment{}, fmt.Errorf("fqp: assign %q: plan has no operators", query)
+	}
+
+	asn := Assignment{Query: query}
+	routesBefore := f.routeWrites
+	free := f.FreeBlocks()
+	nextFree := 0
+
+	var place func(n *PlanNode) (BlockID, error)
+	place = func(n *PlanNode) (BlockID, error) {
+		// Sharable: a selection whose only input is an ingress leaf.
+		if len(n.Children) == 1 && n.Children[0].Op == OpNone {
+			if key, ok := shareKey(n.Children[0].Stream, n.Program); ok {
+				if id, exists := f.shared[key]; exists {
+					f.refs[id]++
+					asn.Blocks = append(asn.Blocks, AssignedBlock{Block: id, Op: n.Op, Program: n.Program, Shared: true})
+					return id, nil
+				}
+				id, err := f.placeFresh(n, free, &nextFree, &asn)
+				if err != nil {
+					return 0, err
+				}
+				f.shared[key] = id
+				f.sharedKey[id] = key
+				return id, nil
+			}
+		}
+		id, err := f.placeFresh(n, free, &nextFree, &asn)
+		if err != nil {
+			return 0, err
+		}
+		for port, child := range n.Children {
+			if child.Op == OpNone {
+				if err := f.ConnectIngress(child.Stream, PortRef{Block: id, Port: port}); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			childID, err := place(child)
+			if err != nil {
+				return 0, err
+			}
+			if err := f.Connect(childID, PortRef{Block: id, Port: port}); err != nil {
+				return 0, err
+			}
+		}
+		return id, nil
+	}
+
+	root, err := place(plan)
+	if err != nil {
+		f.ClearQuery(asn)
+		return Assignment{}, fmt.Errorf("fqp: assign %q: %w", query, err)
+	}
+	if err := f.Tap(root, query); err != nil {
+		f.ClearQuery(asn)
+		return Assignment{}, fmt.Errorf("fqp: assign %q: %w", query, err)
+	}
+	asn.RouteEntries = int(f.routeWrites - routesBefore)
+	return asn, nil
+}
+
+// placeFresh programs the next free block for a node (leaf children are the
+// caller's responsibility for non-shared nodes; shared selections wire
+// their own ingress here).
+func (f *Fabric) placeFresh(n *PlanNode, free []BlockID, nextFree *int, asn *Assignment) (BlockID, error) {
+	if *nextFree >= len(free) {
+		return 0, fmt.Errorf("fqp: plan needs more OP-Blocks than the %d free", len(free))
+	}
+	id := free[*nextFree]
+	*nextFree++
+	if err := f.blocks[id].Load(n.Program); err != nil {
+		return 0, err
+	}
+	f.refs[id] = 1
+	asn.Blocks = append(asn.Blocks, AssignedBlock{Block: id, Op: n.Op, Program: n.Program})
+	asn.InstructionWords += n.Program.InstructionWords()
+	// Shared-eligible selections wire their ingress immediately so later
+	// sharers reuse both the block and the route.
+	if len(n.Children) == 1 && n.Children[0].Op == OpNone {
+		if _, ok := shareKey(n.Children[0].Stream, n.Program); ok {
+			if err := f.ConnectIngress(n.Children[0].Stream, PortRef{Block: id, Port: 0}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return id, nil
+}
+
+// SharedBlocks returns how many blocks are currently shared by more than
+// one query.
+func (f *Fabric) SharedBlocks() int {
+	n := 0
+	for _, refs := range f.refs {
+		if refs > 1 {
+			n++
+		}
+	}
+	return n
+}

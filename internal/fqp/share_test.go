@@ -1,0 +1,195 @@
+package fqp
+
+import (
+	"testing"
+
+	"accelstream/internal/stream"
+)
+
+// fig7SharedPlans returns two queries that share the σ(age>25) selection
+// over the customer stream (the paper's Figure 7 pair, with Q2's extra
+// gender predicate).
+func fig7SharedPlans() (q1, q2 *PlanNode) {
+	q1 = Join("product_id", "product_id", stream.CmpEQ, 64,
+		Select("age", stream.CmpGT, 25, Leaf("customer")),
+		Leaf("product"))
+	q2 = Join("product_id", "product_id", stream.CmpEQ, 64,
+		Select("gender", stream.CmpEQ, 1,
+			Select("age", stream.CmpGT, 25, Leaf("customer"))),
+		Leaf("product"))
+	return q1, q2
+}
+
+// TestSharedAssignmentReusesAlphaBlock: the identical σ(age>25) over the
+// same ingress is placed once.
+func TestSharedAssignmentReusesAlphaBlock(t *testing.T) {
+	f, err := NewFabric(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, q2 := fig7SharedPlans()
+	a1, err := f.AssignQueryShared("q1", q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := f.AssignQueryShared("q2", q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Blocks) != 2 {
+		t.Errorf("q1 uses %d blocks, want 2", len(a1.Blocks))
+	}
+	// q2 needs only its own join + gender selection; the age selection is
+	// shared.
+	fresh := 0
+	shared := 0
+	for _, ab := range a2.Blocks {
+		if ab.Shared {
+			shared++
+		} else {
+			fresh++
+		}
+	}
+	if shared != 1 || fresh != 2 {
+		t.Errorf("q2 blocks: %d shared / %d fresh, want 1 / 2", shared, fresh)
+	}
+	if f.SharedBlocks() != 1 {
+		t.Errorf("SharedBlocks() = %d, want 1", f.SharedBlocks())
+	}
+	// 8 blocks - (2 + 2 fresh) = 4 free.
+	if got := len(f.FreeBlocks()); got != 4 {
+		t.Errorf("free blocks = %d, want 4", got)
+	}
+
+	// Both queries see results through the shared selection.
+	prod, _ := stream.NewRecord(productSchema, 9, 50)
+	if err := f.Ingest("product", prod); err != nil {
+		t.Fatal(err)
+	}
+	// Female, 40 → both; male, 30 → q1 only.
+	if err := f.Ingest("customer", customer(9, 40, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ingest("customer", customer(9, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Results("q1")); got != 2 {
+		t.Errorf("q1 results = %d, want 2", got)
+	}
+	if got := len(f.Results("q2")); got != 1 {
+		t.Errorf("q2 results = %d, want 1", got)
+	}
+}
+
+// TestSharedAssignmentMatchesUnshared: sharing must not change any query's
+// results.
+func TestSharedAssignmentMatchesUnshared(t *testing.T) {
+	run := func(sharedMode bool) (int, int) {
+		f, err := NewFabric(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q1, q2 := fig7SharedPlans()
+		assign := f.AssignQuery
+		if sharedMode {
+			assign = f.AssignQueryShared
+		}
+		if _, err := assign("q1", q1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := assign("q2", q2); err != nil {
+			t.Fatal(err)
+		}
+		prod, _ := stream.NewRecord(productSchema, 3, 10)
+		if err := f.Ingest("product", prod); err != nil {
+			t.Fatal(err)
+		}
+		for age := uint32(20); age <= 40; age += 5 {
+			for gender := uint32(0); gender <= 1; gender++ {
+				if err := f.Ingest("customer", customer(3, age, gender)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return len(f.Results("q1")), len(f.Results("q2"))
+	}
+	u1, u2 := run(false)
+	s1, s2 := run(true)
+	if u1 != s1 || u2 != s2 {
+		t.Errorf("sharing changed results: unshared %d/%d vs shared %d/%d", u1, u2, s1, s2)
+	}
+	if u1 == 0 || u2 == 0 {
+		t.Error("vacuous comparison")
+	}
+}
+
+// TestClearSharedQueryKeepsTheOther: removing q2 must leave q1 (and the
+// shared block) fully functional; removing q1 afterwards releases it.
+func TestClearSharedQueryKeepsTheOther(t *testing.T) {
+	f, err := NewFabric(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, q2 := fig7SharedPlans()
+	a1, err := f.AssignQueryShared("q1", q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := f.AssignQueryShared("q2", q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ClearQuery(a2)
+	if f.SharedBlocks() != 0 {
+		t.Errorf("SharedBlocks() after q2 removal = %d, want 0", f.SharedBlocks())
+	}
+	prod, _ := stream.NewRecord(productSchema, 5, 1)
+	if err := f.Ingest("product", prod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ingest("customer", customer(5, 30, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Results("q1")); got != 1 {
+		t.Errorf("q1 results after q2 removal = %d, want 1", got)
+	}
+	f.ClearQuery(a1)
+	if got := len(f.FreeBlocks()); got != 8 {
+		t.Errorf("free blocks after clearing both = %d, want 8", got)
+	}
+	if err := f.Ingest("customer", customer(5, 30, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Results("q1")); got != 0 {
+		t.Errorf("cleared q1 still produced results")
+	}
+}
+
+// TestSharedAssignmentInsufficientBlocksRollsBack: a failed shared
+// assignment must release its references.
+func TestSharedAssignmentInsufficientBlocksRollsBack(t *testing.T) {
+	f, err := NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := Select("age", stream.CmpGT, 25, Leaf("customer"))
+	a1, err := f.AssignQueryShared("q1", q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q2 shares the selection but its join does not fit (needs 2 more).
+	_, q2 := fig7SharedPlans()
+	if _, err := f.AssignQueryShared("q2", q2); err == nil {
+		t.Fatal("oversized shared assignment succeeded")
+	}
+	// q1's shared block must still be referenced exactly once and working.
+	if f.refs[a1.Blocks[0].Block] != 1 {
+		t.Errorf("refcount after rollback = %d, want 1", f.refs[a1.Blocks[0].Block])
+	}
+	if err := f.Ingest("customer", customer(1, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Results("q1")); got != 1 {
+		t.Errorf("q1 broken after rollback: %d results", got)
+	}
+}

@@ -1,0 +1,648 @@
+package hwjoin
+
+import (
+	"fmt"
+
+	"accelstream/internal/hwsim"
+	"accelstream/internal/stream"
+)
+
+// The bi-flow join core (Figure 10) processing states. One processing unit
+// serves both streams; the Coordinator Unit grants exactly one action per
+// cycle, so accepting a tuple, scanning, emitting, storing, and
+// neighbour transfers all serialize through it.
+type biState uint8
+
+const (
+	biIdle biState = iota + 1
+	biDecode
+	biScan
+	biEmit
+	biStore
+	// Fast-forward (low-latency handshake join) states.
+	biFFEntryStore // store an ingress tuple before replicating it
+	biFFForward    // push the replica to the next core before scanning
+	biFFShiftStore // store-only acceptance of a neighbour's shifted tuple
+)
+
+// biPort is one direction of a neighbour link: a source of tuples that the
+// downstream core (or the expiry reaper) can take. Interior ports expose a
+// core's over-full window segment; edge ports expose an ingress FIFO.
+type biPort interface {
+	// available reports whether a tuple is offered.
+	available() bool
+	// valid reports whether taking it now is safe (the owning core is not
+	// mid-scan over the offered segment).
+	valid() bool
+	// take removes and returns the offered tuple.
+	take() stream.Tuple
+}
+
+// segmentPort offers the oldest tuple of a core's window segment once the
+// segment is over-full (holds more than the nominal sub-window).
+type segmentPort struct {
+	core *BiCore
+	side stream.Side
+}
+
+func (p segmentPort) available() bool {
+	return p.core.segment(p.side).Len() > p.core.subWindow
+}
+
+func (p segmentPort) valid() bool {
+	return !p.core.scanningSegment(p.side)
+}
+
+func (p segmentPort) take() stream.Tuple {
+	t, ok := p.core.segment(p.side).RemoveOldest()
+	if !ok {
+		panic(fmt.Sprintf("hwjoin: %s segment-%s take on empty segment", p.core.Name(), p.side))
+	}
+	return t
+}
+
+// ingressPort offers tuples from a stream's ingress FIFO at a chain end.
+type ingressPort struct {
+	fifo *hwsim.FIFO[Flit]
+}
+
+func (p ingressPort) available() bool { return p.fifo.CanPop() }
+func (p ingressPort) valid() bool     { return true }
+func (p ingressPort) take() stream.Tuple {
+	return p.fifo.Pop().Tuple
+}
+
+// biLink is the coordinated connection between two neighbouring join cores
+// (or between a chain end and the outside world). It carries S tuples
+// rightward through inS and R tuples leftward through inR. The single lock
+// serializes the two directions: while a tuple is in flight (taken but not
+// yet stored by the receiver), no opposite transfer may cross the link.
+// This is exactly the locking the paper describes: "it is impossible to
+// achieve simultaneous transmission of both TR and TS between two
+// neighboring join cores due to the locks needed to avoid race conditions."
+//
+// Link state is intentionally combinational (same-cycle visibility): it
+// models the coordinator units' request/grant wires, which resolve within a
+// clock cycle. Evaluation order is fixed by component registration, so the
+// simulation stays deterministic.
+type biLink struct {
+	name string
+	lock stream.Side // direction currently in flight; SideNone = free
+	inR  biPort      // provides R tuples flowing right-to-left
+	inS  biPort      // provides S tuples flowing left-to-right
+
+	// Fast-forward replica channels (low-latency handshake join, [36] in
+	// the paper): repR carries R replicas leftward, repS carries S replicas
+	// rightward. Nil on classic chains and at the chain edges.
+	repR *hwsim.FIFO[stream.Tuple]
+	repS *hwsim.FIFO[stream.Tuple]
+	// parked counts replica copies held back by a neighbouring core whose
+	// forward stalled (the copy is logically on this link).
+	parked int
+}
+
+// replicasIdle reports whether no replica is queued on (or parked for) the
+// link. Shift transfers must not overtake an in-flight replica, or the
+// replica's sweep frontier would miss the shifted tuple.
+func (l *biLink) replicasIdle() bool {
+	if l.parked > 0 {
+		return false
+	}
+	return (l.repR == nil || l.repR.Len() == 0) && (l.repS == nil || l.repS.Len() == 0)
+}
+
+// entryTap names an ingress buffer whose waiting tuples count as part of
+// this core's window for one stream.
+type entryTap struct {
+	fifo *hwsim.FIFO[Flit]
+	side stream.Side
+}
+
+// BiCore is one bi-flow join core: window buffers for both streams, buffer
+// managers realized as the segment ports, a coordinator that serializes all
+// actions, and a single processing unit. Compared to the uni-flow core it
+// has five I/O ports (S in/out, R in/out, results) instead of two, which
+// the paper highlights as a major complexity and cost difference.
+type BiCore struct {
+	position  int
+	subWindow int
+
+	segR *stream.SlidingWindow // capacity subWindow+2 (transfer slack)
+	segS *stream.SlidingWindow
+
+	left  *biLink // link to position-1 (S arrives here, R leaves here)
+	right *biLink // link to position+1 (R arrives here, S leaves here)
+
+	results *hwsim.FIFO[stream.Result]
+	cond    stream.JoinCondition
+
+	decodeCycles int
+	memStall     int
+	fastForward  bool
+
+	// Entry-core bookkeeping (fast-forward): replicas scanning the entry
+	// side's segment here must also see tuples still waiting in the ingress
+	// buffer, or a fast replica could sweep past a tuple that arrived
+	// earlier but has not been stored yet. A single-core chain is the entry
+	// for both streams.
+	entryTaps []entryTap
+
+	state     biState
+	decodeCtr int
+	stallCtr  int
+
+	probe     stream.Tuple
+	probeSide stream.Side
+	scanWin   *stream.SlidingWindow
+	scanSide  stream.Side // which of the core's own segments is being read
+	scanIdx   int
+	scanLen   int
+	extraScan []stream.Tuple // ingress-buffer tap appended to entry-core scans
+	emitPend  stream.Result
+	heldLink  *biLink
+	preferS   bool
+	isReplica bool
+	// Parked replica copies whose forward push stalled; retried every
+	// cycle so a congested link never deadlocks two forwarding cores.
+	parkR *stream.Tuple
+	parkS *stream.Tuple
+
+	processed uint64
+	emitted   uint64
+	reads     uint64
+	storedR   uint64
+	storedS   uint64
+}
+
+// NewBiCore builds a bi-flow join core. subWindow is the nominal per-stream
+// segment size; two extra slots absorb in-flight transfer slack.
+func NewBiCore(position, subWindow, fifoDepth, decodeCycles, memStall int, cond stream.JoinCondition) *BiCore {
+	return &BiCore{
+		position:     position,
+		subWindow:    subWindow,
+		segR:         stream.NewSlidingWindow(subWindow + 2),
+		segS:         stream.NewSlidingWindow(subWindow + 2),
+		results:      hwsim.NewFIFO[stream.Result](fmt.Sprintf("bjc%d.results", position), fifoDepth),
+		cond:         cond,
+		decodeCycles: decodeCycles,
+		memStall:     memStall,
+		state:        biIdle,
+	}
+}
+
+// Results returns the core's result FIFO.
+func (c *BiCore) Results() *hwsim.FIFO[stream.Result] { return c.results }
+
+// Name implements hwsim.Component.
+func (c *BiCore) Name() string { return fmt.Sprintf("bjc%d", c.position) }
+
+// Idle reports whether the core has no tuple in flight.
+func (c *BiCore) Idle() bool { return c.state == biIdle }
+
+// Processed returns how many tuples the core fully processed (entered,
+// scanned, and stored).
+func (c *BiCore) Processed() uint64 { return c.processed }
+
+// Emitted returns how many results the core produced.
+func (c *BiCore) Emitted() uint64 { return c.emitted }
+
+// WindowReads returns the number of window-buffer reads performed.
+func (c *BiCore) WindowReads() uint64 { return c.reads }
+
+// Stored returns how many tuples the core stored per stream.
+func (c *BiCore) Stored() (r, s uint64) { return c.storedR, c.storedS }
+
+func (c *BiCore) segment(side stream.Side) *stream.SlidingWindow {
+	if side == stream.SideR {
+		return c.segR
+	}
+	return c.segS
+}
+
+// scanningSegment reports whether the processing unit is mid-scan, paused
+// in emit, or committed to scanning the given own segment (decode and
+// forward stages precede the scan). Neighbour takes from that segment are
+// deferred while it is — otherwise a tuple could slide out from under a
+// probe that has accepted but not yet snapshotted its window.
+func (c *BiCore) scanningSegment(side stream.Side) bool {
+	switch c.state {
+	case biScan, biEmit:
+		return c.scanSide == side
+	case biDecode, biFFForward, biFFEntryStore:
+		return c.probeSide.Opposite() == side
+	default:
+		return false
+	}
+}
+
+// Preload fills a segment directly (oldest first) without simulation
+// cycles. The tuples must not exceed the nominal sub-window.
+func (c *BiCore) Preload(side stream.Side, tuples []stream.Tuple) error {
+	if len(tuples) > c.subWindow {
+		return fmt.Errorf("hwjoin: %s preload of %d tuples exceeds sub-window %d", c.Name(), len(tuples), c.subWindow)
+	}
+	seg := c.segment(side)
+	for _, t := range tuples {
+		seg.Insert(t)
+	}
+	if side == stream.SideR {
+		c.storedR += uint64(len(tuples))
+	} else {
+		c.storedS += uint64(len(tuples))
+	}
+	return nil
+}
+
+// Eval implements hwsim.Component: one cycle of the coordinator-granted
+// action.
+func (c *BiCore) Eval() {
+	c.tryFlushParks()
+	switch c.state {
+	case biIdle:
+		c.tryAccept()
+	case biDecode:
+		c.decodeCtr--
+		if c.decodeCtr <= 0 {
+			c.startScan()
+		}
+	case biScan:
+		c.evalScan()
+	case biEmit:
+		if c.results.CanPush() {
+			c.results.Push(c.emitPend)
+			c.emitted++
+			c.state = biScan
+			c.stallCtr = c.memStall
+		}
+	case biStore:
+		c.evalStore()
+	case biFFEntryStore:
+		c.evalFFEntryStore()
+	case biFFForward:
+		c.evalFFForward()
+	case biFFShiftStore:
+		c.evalFFShiftStore()
+	}
+}
+
+// evalFFEntryStore stores a fresh ingress tuple into its segment, releases
+// the ingress link, and moves on to replication.
+func (c *BiCore) evalFFEntryStore() {
+	seg := c.segment(c.probeSide)
+	if seg.Len() >= seg.Cap() {
+		return // wait for downstream drain (acceptance guard makes this rare)
+	}
+	seg.Insert(c.probe)
+	if c.probeSide == stream.SideR {
+		c.storedR++
+	} else {
+		c.storedS++
+	}
+	if c.heldLink != nil {
+		c.heldLink.lock = stream.SideNone
+		c.heldLink = nil
+	}
+	c.state = biFFForward
+}
+
+// evalFFForward pushes the replica onto the next core's replica channel —
+// before the local scan, which is the whole point of the low-latency
+// variant — then starts the local scan. A congested link parks the copy
+// (still accounted to the link, so shifts cannot overtake it) rather than
+// stalling the core: two cores blocked on each other's full replica
+// channels would otherwise deadlock.
+func (c *BiCore) evalFFForward() {
+	var fifo *hwsim.FIFO[stream.Tuple]
+	var link *biLink
+	if c.probeSide == stream.SideR {
+		link = c.left
+		fifo = link.repR // R replicas travel leftward
+	} else {
+		link = c.right
+		fifo = link.repS
+	}
+	if fifo != nil { // nil at the chain end: the replica's sweep is done
+		switch {
+		case link.lock == stream.SideNone && fifo.Free() > 0:
+			fifo.Push(c.probe)
+		case c.probeSide == stream.SideR && c.parkR == nil:
+			t := c.probe
+			c.parkR = &t
+			link.parked++
+		case c.probeSide == stream.SideS && c.parkS == nil:
+			t := c.probe
+			c.parkS = &t
+			link.parked++
+		default:
+			return // park occupied and link congested: wait
+		}
+	}
+	c.decodeCtr = c.decodeCycles
+	c.state = biDecode
+}
+
+// tryFlushParks retries stalled replica forwards, one per direction per
+// cycle.
+func (c *BiCore) tryFlushParks() {
+	if c.parkR != nil {
+		link := c.left
+		if link.repR != nil && link.lock == stream.SideNone && link.repR.Free() > 0 {
+			link.repR.Push(*c.parkR)
+			c.parkR = nil
+			link.parked--
+		}
+	}
+	if c.parkS != nil {
+		link := c.right
+		if link.repS != nil && link.lock == stream.SideNone && link.repS.Free() > 0 {
+			link.repS.Push(*c.parkS)
+			c.parkS = nil
+			link.parked--
+		}
+	}
+}
+
+// evalFFShiftStore is the store-only acceptance of a shifted tuple: the
+// window segments slide exactly as in the classic chain, but shifted tuples
+// are not re-scanned — replicas already compared them everywhere.
+func (c *BiCore) evalFFShiftStore() {
+	seg := c.segment(c.probeSide)
+	if seg.Len() >= seg.Cap() {
+		return
+	}
+	seg.Insert(c.probe)
+	if c.probeSide == stream.SideR {
+		c.storedR++
+	} else {
+		c.storedS++
+	}
+	if c.heldLink != nil {
+		c.heldLink.lock = stream.SideNone
+		c.heldLink = nil
+	}
+	c.processed++
+	c.state = biIdle
+}
+
+// tryAccept is the coordinator's accept action: take one tuple from a
+// neighbour link (or ingress), claiming the link lock for the duration of
+// the tuple's processing. Acceptance requires room in the target segment so
+// the eventual store cannot block while holding the lock.
+func (c *BiCore) tryAccept() {
+	// Fast-forward mode: queued replicas have absolute priority — they keep
+	// the sweep frontier moving and unblock shift transfers.
+	if c.fastForward && c.tryAcceptReplica() {
+		return
+	}
+	type choice struct {
+		link *biLink
+		port biPort
+		side stream.Side
+	}
+	var order []choice
+	sChoice := choice{c.left, c.left.inS, stream.SideS}
+	rChoice := choice{c.right, c.right.inR, stream.SideR}
+	if c.preferS {
+		order = []choice{sChoice, rChoice}
+	} else {
+		order = []choice{rChoice, sChoice}
+	}
+	for _, ch := range order {
+		if ch.link.lock != stream.SideNone {
+			continue
+		}
+		if !ch.port.available() || !ch.port.valid() {
+			continue
+		}
+		_, isShift := ch.port.(segmentPort)
+		if c.fastForward && isShift && !ch.link.replicasIdle() {
+			// A queued replica must sweep this neighbourhood before the
+			// windows slide underneath it.
+			continue
+		}
+		if c.segment(ch.side).Len() > c.subWindow+1 {
+			// No guaranteed room for the eventual store; wait until the
+			// downstream neighbour drains our own offer.
+			continue
+		}
+		t := ch.port.take()
+		ch.link.lock = ch.side
+		c.heldLink = ch.link
+		c.probe = t
+		c.probeSide = ch.side
+		c.preferS = ch.side != stream.SideS
+		if !c.fastForward {
+			c.decodeCtr = c.decodeCycles
+			c.state = biDecode
+			return
+		}
+		c.isReplica = false
+		if isShift {
+			c.state = biFFShiftStore
+		} else {
+			c.state = biFFEntryStore
+		}
+		return
+	}
+}
+
+// tryAcceptReplica pops one queued replica (R replicas arrive on the right
+// link, S replicas on the left) and begins forward-then-scan processing.
+func (c *BiCore) tryAcceptReplica() bool {
+	type rchoice struct {
+		fifo *hwsim.FIFO[stream.Tuple]
+		side stream.Side
+	}
+	var order []rchoice
+	sChoice := rchoice{c.left.repS, stream.SideS}
+	rChoice := rchoice{c.right.repR, stream.SideR}
+	if c.preferS {
+		order = []rchoice{sChoice, rChoice}
+	} else {
+		order = []rchoice{rChoice, sChoice}
+	}
+	for _, ch := range order {
+		if ch.fifo == nil || !ch.fifo.CanPop() {
+			continue
+		}
+		c.probe = ch.fifo.Pop()
+		c.probeSide = ch.side
+		c.isReplica = true
+		c.heldLink = nil
+		c.preferS = ch.side != stream.SideS
+		c.state = biFFForward
+		return true
+	}
+	return false
+}
+
+func (c *BiCore) startScan() {
+	c.scanSide = c.probeSide.Opposite()
+	c.scanWin = c.segment(c.scanSide)
+	c.scanLen = c.scanWin.Len()
+	c.scanIdx = 0
+	c.extraScan = nil
+	if c.fastForward {
+		for _, tap := range c.entryTaps {
+			if tap.side != c.scanSide {
+				continue
+			}
+			// Tap the ingress buffer: arrived-but-unstored tuples of the
+			// scanned stream are logically part of this core's window.
+			for _, f := range tap.fifo.Snapshot() {
+				if f.Header.Side() == tap.side {
+					c.extraScan = append(c.extraScan, f.Tuple)
+				}
+			}
+		}
+		c.scanLen += len(c.extraScan)
+	}
+	if c.scanLen == 0 {
+		c.finishScan()
+		return
+	}
+	c.stallCtr = c.memStall
+	c.state = biScan
+}
+
+// finishScan ends a probe's local scan: classic cores proceed to the store
+// step; fast-forward cores are done (storage was handled at entry).
+func (c *BiCore) finishScan() {
+	if !c.fastForward {
+		c.state = biStore
+		return
+	}
+	c.processed++
+	c.state = biIdle
+}
+
+func (c *BiCore) evalScan() {
+	if c.scanIdx >= c.scanLen {
+		c.finishScan()
+		return
+	}
+	c.stallCtr--
+	if c.stallCtr > 0 {
+		return
+	}
+	var stored stream.Tuple
+	if segLen := c.scanLen - len(c.extraScan); c.scanIdx >= segLen {
+		stored = c.extraScan[c.scanIdx-segLen]
+	} else {
+		stored = c.scanWin.At(c.scanIdx)
+	}
+	c.scanIdx++
+	c.reads++
+	c.stallCtr = c.memStall
+	if c.fastForward && stored.Tag >= c.probe.Tag {
+		// The stored tuple arrived later; its own replica owns this pair.
+		return
+	}
+	if c.cond.Match(c.probe, stored) {
+		if c.probeSide == stream.SideR {
+			c.emitPend = stream.Result{R: c.probe, S: stored}
+		} else {
+			c.emitPend = stream.Result{R: stored, S: c.probe}
+		}
+		c.state = biEmit
+	}
+}
+
+func (c *BiCore) evalStore() {
+	seg := c.segment(c.probeSide)
+	if seg.Len() >= seg.Cap() {
+		// Hard transfer slack exhausted; wait for the neighbour (or the
+		// reaper) to take our offer. The link lock stays held, which is the
+		// convoying behaviour that throttles bi-flow throughput.
+		return
+	}
+	seg.Insert(c.probe)
+	if c.probeSide == stream.SideR {
+		c.storedR++
+	} else {
+		c.storedS++
+	}
+	if c.heldLink != nil {
+		c.heldLink.lock = stream.SideNone
+		c.heldLink = nil
+	}
+	c.processed++
+	c.state = biIdle
+}
+
+// Commit implements hwsim.Component. Core state is updated in place; link
+// arbitration is deliberately combinational (see biLink).
+func (c *BiCore) Commit() {}
+
+// splitter routes the single ingress flit stream to the two chain ends:
+// S tuples to the left end, R tuples to the right end (Figure 8a). It also
+// stamps every tuple with its global arrival number, the ordering token the
+// fast-forward replicas use.
+type splitter struct {
+	in   *hwsim.FIFO[Flit]
+	outR *hwsim.FIFO[Flit]
+	outS *hwsim.FIFO[Flit]
+	tag  uint64
+}
+
+// Name implements hwsim.Component.
+func (sp *splitter) Name() string { return "splitter" }
+
+// Eval implements hwsim.Component.
+func (sp *splitter) Eval() {
+	if !sp.in.CanPop() {
+		return
+	}
+	var out *hwsim.FIFO[Flit]
+	switch sp.in.Front().Header {
+	case stream.HeaderTupleR:
+		out = sp.outR
+	case stream.HeaderTupleS:
+		out = sp.outS
+	default:
+		sp.in.Pop() // bi-flow cores are programmed at synthesis; drop others
+		return
+	}
+	if out.CanPush() {
+		f := sp.in.Pop()
+		sp.tag++
+		f.Tuple.Tag = sp.tag
+		out.Push(f)
+	}
+}
+
+// Commit implements hwsim.Component.
+func (sp *splitter) Commit() {}
+
+// reaper consumes expired tuples at a chain end: the R expiry at the far
+// left and the S expiry at the far right. It takes whenever the end link is
+// unlocked and the end core's offer is safe to take.
+type reaper struct {
+	name string
+	link *biLink
+	side stream.Side
+	done uint64
+}
+
+// Name implements hwsim.Component.
+func (r *reaper) Name() string { return r.name }
+
+// Eval implements hwsim.Component.
+func (r *reaper) Eval() {
+	var port biPort
+	if r.side == stream.SideR {
+		port = r.link.inR
+	} else {
+		port = r.link.inS
+	}
+	if r.link.lock != stream.SideNone || port == nil {
+		return
+	}
+	if port.available() && port.valid() {
+		port.take()
+		r.done++
+	}
+}
+
+// Commit implements hwsim.Component.
+func (r *reaper) Commit() {}

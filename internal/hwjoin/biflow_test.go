@@ -1,0 +1,309 @@
+package hwjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// flushKeyR and flushKeyS never match anything (nor each other) under the
+// equi-join used in these tests.
+const (
+	flushKeyR = 0xFFFFFFFE
+	flushKeyS = 0xFFFFFFFF
+)
+
+// withFlush appends enough non-matching tuples on both streams to push every
+// real tuple entirely through the chain (and out of the window).
+func withFlush(inputs []core.Input, flushPerSide int) []core.Input {
+	out := append([]core.Input(nil), inputs...)
+	for i := 0; i < flushPerSide; i++ {
+		out = append(out,
+			core.Input{Side: stream.SideR, Tuple: stream.Tuple{Key: flushKeyR}},
+			core.Input{Side: stream.SideS, Tuple: stream.Tuple{Key: flushKeyS}},
+		)
+	}
+	return out
+}
+
+func TestBiFlowConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     BiFlowConfig
+		wantErr bool
+	}{
+		{"ok", BiFlowConfig{NumCores: 4, WindowSize: 64}, false},
+		{"zero cores", BiFlowConfig{NumCores: 0, WindowSize: 64}, true},
+		{"indivisible", BiFlowConfig{NumCores: 3, WindowSize: 64}, true},
+		{"bad decode", BiFlowConfig{NumCores: 4, WindowSize: 64, DecodeCycles: -1}, true},
+		{"bad stall", BiFlowConfig{NumCores: 4, WindowSize: 64, MemStallCycles: -2}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := BuildBiFlow(tt.cfg, false, func() (Flit, bool) { return Flit{}, false })
+			if (err != nil) != tt.wantErr {
+				t.Errorf("BuildBiFlow() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestBiFlowOneDirectionMatchesOracle: with a static preloaded S window and
+// only R tuples flowing (plus flush traffic to push them through the whole
+// chain), handshake-join semantics coincide with strict sliding-window
+// semantics, so the result multiset must equal the oracle's exactly.
+func TestBiFlowOneDirectionMatchesOracle(t *testing.T) {
+	const (
+		cores  = 4
+		window = 32
+		probes = 24
+	)
+	rng := rand.New(rand.NewSource(5))
+
+	s := make([]stream.Tuple, window)
+	for i := range s {
+		s[i] = stream.Tuple{Key: uint32(rng.Intn(8)), Val: uint32(i), Seq: uint64(i)}
+	}
+	var inputs []core.Input
+	for i := 0; i < probes; i++ {
+		inputs = append(inputs, core.Input{Side: stream.SideR, Tuple: stream.Tuple{Key: uint32(rng.Intn(8)), Val: 100 + uint32(i)}})
+	}
+	// Flush with R-only traffic so the S window never changes.
+	flush := window + probes + 8
+	for i := 0; i < flush; i++ {
+		inputs = append(inputs, core.Input{Side: stream.SideR, Tuple: stream.Tuple{Key: flushKeyR}})
+	}
+
+	d, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: window}, true, inputsGenerator(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Preload(nil, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle over the same logical sequence: S first, then all R traffic.
+	// The oracle window must be big enough that S tuples never expire (they
+	// would not in the bi-flow chain either, since no S tuples arrive).
+	oracle, err := core.NewOracle(window+flush+probes, stream.EquiJoinOnKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range s {
+		if _, err := oracle.Push(stream.SideS, stream.Tuple{Key: tu.Key, Val: tu.Val}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []stream.Result
+	for _, in := range inputs {
+		rs, err := oracle.Push(in.Side, in.Tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rs...)
+	}
+	diffs := core.NewResultSet(want).Diff(core.NewResultSet(d.Sink().Results()))
+	if len(diffs) != 0 {
+		t.Errorf("bi-flow one-direction results differ from oracle (%d diffs): %v", len(diffs), diffs[:min(4, len(diffs))])
+	}
+	if len(want) == 0 {
+		t.Error("oracle produced no results; test is vacuous")
+	}
+}
+
+// TestBiFlowExactlyOnceUnderConcurrency: with both streams flowing, the
+// coordinated link locks must still guarantee that no pair is ever compared
+// twice, and that every pair comfortably inside the window is compared at
+// least once by the time the chain has been flushed.
+func TestBiFlowExactlyOnceUnderConcurrency(t *testing.T) {
+	const (
+		cores  = 4
+		window = 64
+		nReal  = 48 // interleaved R/S arrivals per stream
+	)
+	rng := rand.New(rand.NewSource(9))
+	var inputs []core.Input
+	for i := 0; i < 2*nReal; i++ {
+		side := stream.SideR
+		if i%2 == 1 {
+			side = stream.SideS
+		}
+		inputs = append(inputs, core.Input{Side: side, Tuple: stream.Tuple{Key: uint32(rng.Intn(6)), Val: uint32(i)}})
+	}
+	all := withFlush(inputs, 2*window+nReal)
+
+	d, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: window}, true, inputsGenerator(all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	results := d.Sink().Results()
+
+	// No duplicates, and every result satisfies the condition.
+	seen := map[uint64]bool{}
+	for _, r := range results {
+		if r.R.Key != r.S.Key {
+			t.Fatalf("emitted pair violates equi-join: %v", r)
+		}
+		if seen[r.PairID()] {
+			t.Fatalf("pair emitted twice: %v", r)
+		}
+		seen[r.PairID()] = true
+	}
+
+	// Completeness: all real arrivals fit inside one window (nReal ≤ window),
+	// so every matching (r, s) pair among the real tuples must appear.
+	missing := 0
+	for _, a := range inputs {
+		if a.Side != stream.SideR {
+			continue
+		}
+		for _, b := range inputs {
+			if b.Side != stream.SideS || a.Tuple.Key != b.Tuple.Key {
+				continue
+			}
+			// Reconstruct per-stream sequence numbers the generator assigned.
+			rSeq := perStreamSeq(inputs, a)
+			sSeq := perStreamSeq(inputs, b)
+			id := rSeq<<32 | sSeq&0xFFFFFFFF
+			if !seen[id] {
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d matching in-window pairs were never compared", missing)
+	}
+	if len(results) == 0 {
+		t.Error("no results; test is vacuous")
+	}
+}
+
+// perStreamSeq computes the per-stream arrival index of input `in` within
+// the sequence (matching inputsGenerator's numbering).
+func perStreamSeq(inputs []core.Input, in core.Input) uint64 {
+	var seq uint64
+	for i := range inputs {
+		if inputs[i] == in {
+			return seq
+		}
+		if inputs[i].Side == in.Side {
+			seq++
+		}
+	}
+	return seq
+}
+
+// TestBiFlowWindowExpiry: tuples past the window must expire off the chain
+// ends and never match.
+func TestBiFlowWindowExpiry(t *testing.T) {
+	const (
+		cores  = 2
+		window = 8
+	)
+	// One S tuple with key 1, then > window S tuples with other keys, then
+	// an R probe with key 1: the first S tuple has expired, no match.
+	var inputs []core.Input
+	inputs = append(inputs, core.Input{Side: stream.SideS, Tuple: stream.Tuple{Key: 1}})
+	for i := 0; i < window+4; i++ {
+		inputs = append(inputs, core.Input{Side: stream.SideS, Tuple: stream.Tuple{Key: 1000 + uint32(i)}})
+	}
+	inputs = append(inputs, core.Input{Side: stream.SideR, Tuple: stream.Tuple{Key: 1}})
+	all := withFlush(inputs, 3*window)
+
+	d, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: window}, true, inputsGenerator(all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Sink().Results() {
+		if r.R.Key == 1 && r.S.Key == 1 {
+			t.Errorf("expired S tuple matched: %v", r)
+		}
+	}
+	expR, expS := d.Expired()
+	if expR == 0 || expS == 0 {
+		t.Errorf("expected expiries on both ends, got R=%d S=%d", expR, expS)
+	}
+}
+
+// TestBiFlowSlowerThanUniFlow reproduces the architectural comparison behind
+// Figure 14b: at identical core count and window size, the bi-flow chain's
+// input throughput is several times below uni-flow (the paper reports
+// roughly an order of magnitude).
+func TestBiFlowSlowerThanUniFlow(t *testing.T) {
+	const (
+		cores  = 8
+		window = 512
+	)
+	// Uni-flow baseline.
+	uni, err := BuildUniFlow(UniFlowConfig{NumCores: cores, WindowSize: window, Network: Lightweight}, false, saturatedGenerator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]stream.Tuple, window)
+	s := make([]stream.Tuple, window)
+	for i := range r {
+		r[i] = stream.Tuple{Key: 0xF0000000 + uint32(i)}
+		s[i] = stream.Tuple{Key: 0xE0000000 + uint32(i)}
+	}
+	if err := uni.Preload(r, s); err != nil {
+		t.Fatal(err)
+	}
+	uniM := uni.MeasureThroughput(20_000, 100_000)
+
+	bi, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: window}, false, saturatedGenerator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bi.Preload(r, s); err != nil {
+		t.Fatal(err)
+	}
+	biM := bi.MeasureThroughput(50_000, 200_000)
+
+	uniTP := uniM.TuplesPerCycle()
+	biTP := biM.TuplesPerCycle()
+	if biTP <= 0 {
+		t.Fatal("bi-flow made no progress (deadlock?)")
+	}
+	ratio := uniTP / biTP
+	t.Logf("uni-flow %.6f t/c, bi-flow %.6f t/c, ratio %.1f×", uniTP, biTP, ratio)
+	if ratio < 6 {
+		t.Errorf("uni/bi throughput ratio = %.1f, want ≥ 6 (paper reports ≈10×)", ratio)
+	}
+	if ratio > 20 {
+		t.Errorf("uni/bi throughput ratio = %.1f, implausibly high vs the paper's ≈10×", ratio)
+	}
+}
+
+// TestBiFlowProgressUnderSustainedLoad is a liveness check: a long saturated
+// run never deadlocks and keeps accepting input.
+func TestBiFlowProgressUnderSustainedLoad(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		cores := cores
+		t.Run(fmt.Sprintf("cores=%d", cores), func(t *testing.T) {
+			d, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: 16 * cores}, false, saturatedGenerator())
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := d.Source().Injected()
+			d.Sim().Run(50_000)
+			mid := d.Source().Injected()
+			d.Sim().Run(50_000)
+			after := d.Source().Injected()
+			if mid == before || after == mid {
+				t.Fatalf("no injection progress: %d → %d → %d", before, mid, after)
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+package hwjoin
+
+import (
+	"fmt"
+
+	"accelstream/internal/hwsim"
+)
+
+// NetworkKind selects between the two distribution / result-gathering
+// network variants the paper proposes (Section IV).
+type NetworkKind uint8
+
+// The two network designs.
+const (
+	// Lightweight distributes to all join cores at once without extra
+	// components; preferable for small designs but its broadcast fanout
+	// degrades the achievable clock frequency as the design scales.
+	Lightweight NetworkKind = iota + 1
+	// Scalable uses a pipelined tree of DNodes (distribution) and GNodes
+	// (gathering); it consumes more resources and adds log-many cycles of
+	// latency but keeps the clock frequency flat as cores are added.
+	Scalable
+)
+
+// String implements fmt.Stringer.
+func (n NetworkKind) String() string {
+	switch n {
+	case Lightweight:
+		return "lightweight"
+	case Scalable:
+		return "scalable"
+	default:
+		return fmt.Sprintf("network(%d)", uint8(n))
+	}
+}
+
+// Broadcaster is the lightweight distribution network: a single stage that
+// pops the ingress and pushes the flit to every join core's fetcher at once.
+// The broadcast only proceeds when every fetcher can accept, which models
+// the single shared bus: one stalled core stalls the broadcast.
+type Broadcaster struct {
+	in   *hwsim.FIFO[Flit]
+	outs []*hwsim.FIFO[Flit]
+}
+
+// NewBroadcaster wires ingress in to every core fetcher in outs.
+func NewBroadcaster(in *hwsim.FIFO[Flit], outs []*hwsim.FIFO[Flit]) *Broadcaster {
+	return &Broadcaster{in: in, outs: outs}
+}
+
+// Name implements hwsim.Component.
+func (b *Broadcaster) Name() string { return "broadcast" }
+
+// Eval implements hwsim.Component.
+func (b *Broadcaster) Eval() {
+	if !b.in.CanPop() {
+		return
+	}
+	for _, o := range b.outs {
+		if !o.CanPush() {
+			return
+		}
+	}
+	f := b.in.Pop()
+	for _, o := range b.outs {
+		o.Push(f)
+	}
+}
+
+// Commit implements hwsim.Component.
+func (b *Broadcaster) Commit() {}
+
+// DNode is one node of the scalable distribution network: it receives a
+// tuple on its input port and broadcasts it to all its output ports, one
+// stored tuple per clock cycle, provided the next stage is not full
+// (Section IV). Cascading DNodes with a fixed fan-out builds the pipelined
+// distribution tree of Figure 9.
+type DNode struct {
+	name string
+	in   *hwsim.FIFO[Flit]
+	outs []*hwsim.FIFO[Flit]
+}
+
+// NewDNode builds a distribution node forwarding from in to outs.
+func NewDNode(name string, in *hwsim.FIFO[Flit], outs []*hwsim.FIFO[Flit]) *DNode {
+	return &DNode{name: name, in: in, outs: outs}
+}
+
+// Name implements hwsim.Component.
+func (d *DNode) Name() string { return d.name }
+
+// Eval implements hwsim.Component.
+func (d *DNode) Eval() {
+	if !d.in.CanPop() {
+		return
+	}
+	for _, o := range d.outs {
+		if !o.CanPush() {
+			return
+		}
+	}
+	f := d.in.Pop()
+	for _, o := range d.outs {
+		o.Push(f)
+	}
+}
+
+// Commit implements hwsim.Component.
+func (d *DNode) Commit() {}
+
+// distributionNet is the built distribution side of a design.
+type distributionNet struct {
+	ingress *hwsim.FIFO[Flit]
+	comps   []hwsim.Component
+	fifos   []hwsim.Committer
+	nodes   int // DNode count (0 for lightweight)
+	stages  int // pipeline stages between ingress and fetchers
+}
+
+// buildDistribution wires ingress-to-fetchers for the requested network
+// kind. fetchers are the join cores' input FIFOs. fanout is the DNode
+// fan-out for the scalable variant (the paper uses 1→2 and suggests 1→4).
+func buildDistribution(kind NetworkKind, fanout int, fetchers []*hwsim.FIFO[Flit], fifoDepth int) (*distributionNet, error) {
+	if len(fetchers) == 0 {
+		return nil, fmt.Errorf("hwjoin: distribution network needs at least one join core")
+	}
+	switch kind {
+	case Lightweight:
+		in := hwsim.NewFIFO[Flit]("dist.in", fifoDepth)
+		b := NewBroadcaster(in, fetchers)
+		return &distributionNet{
+			ingress: in,
+			comps:   []hwsim.Component{b},
+			fifos:   []hwsim.Committer{in},
+			stages:  1,
+		}, nil
+	case Scalable:
+		if fanout < 2 {
+			return nil, fmt.Errorf("hwjoin: scalable distribution fan-out must be at least 2, got %d", fanout)
+		}
+		net := &distributionNet{}
+		// Build the tree bottom-up: start from the fetcher FIFOs and group
+		// them under DNodes level by level until a single input remains.
+		level := fetchers
+		for len(level) > 1 {
+			var next []*hwsim.FIFO[Flit]
+			for i := 0; i < len(level); i += fanout {
+				end := i + fanout
+				if end > len(level) {
+					end = len(level)
+				}
+				in := hwsim.NewFIFO[Flit](fmt.Sprintf("dnode%d.in", net.nodes), fifoDepth)
+				node := NewDNode(fmt.Sprintf("dnode%d", net.nodes), in, level[i:end])
+				net.nodes++
+				net.comps = append(net.comps, node)
+				net.fifos = append(net.fifos, in)
+				next = append(next, in)
+			}
+			level = next
+			net.stages++
+		}
+		net.ingress = level[0]
+		if net.stages == 0 {
+			// Single core: give it a pass-through stage so the design always
+			// has a distinct ingress FIFO.
+			in := hwsim.NewFIFO[Flit]("dnode0.in", fifoDepth)
+			node := NewDNode("dnode0", in, fetchers)
+			net.nodes = 1
+			net.stages = 1
+			net.comps = append(net.comps, node)
+			net.fifos = append(net.fifos, in)
+			net.ingress = in
+		}
+		return net, nil
+	default:
+		return nil, fmt.Errorf("hwjoin: unknown network kind %d", kind)
+	}
+}

@@ -1,0 +1,56 @@
+// Package hwjoin realizes the paper's two flow-based parallel stream join
+// architectures as cycle-level hardware designs on the hwsim kernel
+// (Section IV, Figures 8–13):
+//
+//   - the uni-flow design (SplitJoin in hardware): a distribution network
+//     (lightweight broadcast or scalable DNode tree), fully independent join
+//     cores built from a Fetcher, a Storage Core, and a Processing Core, and
+//     a result gathering network (lightweight round-robin collector or
+//     scalable GNode tree with the Toggle Grant mechanism);
+//   - the bi-flow design (handshake join / OP-Chain): a linear chain of join
+//     cores with per-stream window buffers, buffer managers, and a
+//     coordinator unit, where R tuples flow right-to-left and S tuples
+//     left-to-right, and neighbour-to-neighbour transfers are serialized by
+//     link locks to avoid the in-flight race conditions the paper describes.
+//
+// Both designs expose input-throughput and latency measurement, and report
+// their structural inventory to the synthesis model in internal/synth.
+package hwjoin
+
+import (
+	"fmt"
+
+	"accelstream/internal/stream"
+)
+
+// Flit is one word on the distribution data bus: a 2-bit header plus a
+// 64-bit payload (Section IV, Figure 9). Tuple flits carry one stream tuple;
+// operator flits carry the two-segment join operator instruction that
+// reprograms the cores at runtime without re-synthesis.
+type Flit struct {
+	Header stream.Header
+	Tuple  stream.Tuple
+	Op     stream.JoinOperator
+}
+
+// TupleFlit wraps a stream tuple into a bus flit.
+func TupleFlit(side stream.Side, t stream.Tuple) Flit {
+	return Flit{Header: stream.HeaderFor(side), Tuple: t}
+}
+
+// OperatorFlit wraps a join operator instruction into a bus flit.
+func OperatorFlit(op stream.JoinOperator) Flit {
+	return Flit{Header: stream.HeaderOperator, Op: op}
+}
+
+// String implements fmt.Stringer.
+func (f Flit) String() string {
+	switch f.Header {
+	case stream.HeaderOperator:
+		return fmt.Sprintf("op{cores=%d cond=%s}", f.Op.NumCores, f.Op.Condition)
+	case stream.HeaderTupleR, stream.HeaderTupleS:
+		return fmt.Sprintf("%s%s", f.Header.Side(), f.Tuple)
+	default:
+		return "idle"
+	}
+}

@@ -1,0 +1,143 @@
+package hwjoin
+
+import (
+	"fmt"
+
+	"accelstream/internal/hwsim"
+	"accelstream/internal/stream"
+)
+
+// Collector is the lightweight result gathering network: a single unit that
+// polls the join cores' result FIFOs round-robin, collecting at most one
+// result per clock cycle. Its collection latency grows linearly with the
+// number of join cores, which the paper identifies as the dominant latency
+// cost of the lightweight design at scale.
+type Collector struct {
+	ins  []*hwsim.FIFO[stream.Result]
+	out  *hwsim.FIFO[stream.Result]
+	next int
+}
+
+// NewCollector builds a round-robin collector from ins to out.
+func NewCollector(ins []*hwsim.FIFO[stream.Result], out *hwsim.FIFO[stream.Result]) *Collector {
+	return &Collector{ins: ins, out: out}
+}
+
+// Name implements hwsim.Component.
+func (c *Collector) Name() string { return "collector" }
+
+// Eval implements hwsim.Component. The poll pointer advances every cycle
+// whether or not the visited core had a result, modelling the fixed
+// round-robin scan of the shared collection bus.
+func (c *Collector) Eval() {
+	in := c.ins[c.next]
+	c.next = (c.next + 1) % len(c.ins)
+	if in.CanPop() && c.out.CanPush() {
+		c.out.Push(in.Pop())
+	}
+}
+
+// Commit implements hwsim.Component.
+func (c *Collector) Commit() {}
+
+// GNode is one node of the scalable result gathering network (Section IV):
+// it collects result tuples from its two upper ports using the Toggle Grant
+// mechanism — the collection permission toggles between the two sources
+// every clock cycle, so each source pushes at most one result every two
+// cycles, with no two-directional handshake needed.
+type GNode struct {
+	name  string
+	inA   *hwsim.FIFO[stream.Result]
+	inB   *hwsim.FIFO[stream.Result] // nil for a pass-through node
+	out   *hwsim.FIFO[stream.Result]
+	grant bool // false: inA has permission; true: inB
+}
+
+// NewGNode builds a gathering node merging inA and inB into out. inB may be
+// nil when an odd source is passed through a level unpaired.
+func NewGNode(name string, inA, inB *hwsim.FIFO[stream.Result], out *hwsim.FIFO[stream.Result]) *GNode {
+	return &GNode{name: name, inA: inA, inB: inB, out: out}
+}
+
+// Name implements hwsim.Component.
+func (g *GNode) Name() string { return g.name }
+
+// Eval implements hwsim.Component. The grant toggles every cycle regardless
+// of whether a transfer happened, exactly as described for the Toggle Grant
+// mechanism ("the destination GNode simply toggles this permission each
+// cycle without the need for any special control unit").
+func (g *GNode) Eval() {
+	granted := g.inA
+	if g.grant && g.inB != nil {
+		granted = g.inB
+	}
+	if g.inB != nil {
+		g.grant = !g.grant
+	}
+	if granted.CanPop() && g.out.CanPush() {
+		g.out.Push(granted.Pop())
+	}
+}
+
+// Commit implements hwsim.Component.
+func (g *GNode) Commit() {}
+
+// gatheringNet is the built result-gathering side of a design.
+type gatheringNet struct {
+	egress *hwsim.FIFO[stream.Result]
+	comps  []hwsim.Component
+	fifos  []hwsim.Committer
+	nodes  int // GNode count (0 for lightweight)
+	stages int
+}
+
+// buildGathering wires the join cores' result FIFOs to a single egress FIFO.
+func buildGathering(kind NetworkKind, results []*hwsim.FIFO[stream.Result], fifoDepth int) (*gatheringNet, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("hwjoin: gathering network needs at least one join core")
+	}
+	switch kind {
+	case Lightweight:
+		out := hwsim.NewFIFO[stream.Result]("gather.out", fifoDepth)
+		c := NewCollector(results, out)
+		return &gatheringNet{
+			egress: out,
+			comps:  []hwsim.Component{c},
+			fifos:  []hwsim.Committer{out},
+			stages: 1,
+		}, nil
+	case Scalable:
+		net := &gatheringNet{}
+		level := results
+		for len(level) > 1 {
+			var next []*hwsim.FIFO[stream.Result]
+			for i := 0; i < len(level); i += 2 {
+				out := hwsim.NewFIFO[stream.Result](fmt.Sprintf("gnode%d.out", net.nodes), fifoDepth)
+				var inB *hwsim.FIFO[stream.Result]
+				if i+1 < len(level) {
+					inB = level[i+1]
+				}
+				node := NewGNode(fmt.Sprintf("gnode%d", net.nodes), level[i], inB, out)
+				net.nodes++
+				net.comps = append(net.comps, node)
+				net.fifos = append(net.fifos, out)
+				next = append(next, out)
+			}
+			level = next
+			net.stages++
+		}
+		net.egress = level[0]
+		if net.stages == 0 {
+			out := hwsim.NewFIFO[stream.Result]("gnode0.out", fifoDepth)
+			node := NewGNode("gnode0", results[0], nil, out)
+			net.nodes = 1
+			net.stages = 1
+			net.comps = append(net.comps, node)
+			net.fifos = append(net.fifos, out)
+			net.egress = out
+		}
+		return net, nil
+	default:
+		return nil, fmt.Errorf("hwjoin: unknown network kind %d", kind)
+	}
+}

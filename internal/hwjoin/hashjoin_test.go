@@ -1,0 +1,138 @@
+package hwjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// TestHashJoinMatchesOracle: the hash-join cores must produce exactly the
+// nested-loop (= oracle) result multiset.
+func TestHashJoinMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	inputs := randomInputs(rng, 800, 12)
+	d, err := BuildUniFlow(UniFlowConfig{
+		NumCores:   8,
+		WindowSize: 64,
+		Algorithm:  HashJoin,
+	}, true, inputsGenerator(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyExactlyOnce(64, stream.EquiJoinOnKey(), inputs, d.Sink().Results()); err != nil {
+		t.Error(err)
+	}
+	if d.Sink().Drained() == 0 {
+		t.Error("no results; vacuous test")
+	}
+}
+
+// TestHashJoinRejectsThetaConditions: buckets only support the equi-join.
+func TestHashJoinRejectsThetaConditions(t *testing.T) {
+	_, err := BuildUniFlow(UniFlowConfig{
+		NumCores:   2,
+		WindowSize: 8,
+		Algorithm:  HashJoin,
+		Condition:  stream.JoinCondition{LHS: stream.FieldKey, RHS: stream.FieldKey, Cmp: stream.CmpLT},
+	}, false, func() (Flit, bool) { return Flit{}, false })
+	if err == nil {
+		t.Fatal("hash join with a θ-condition was accepted")
+	}
+}
+
+// TestHashJoinIsIngestBound: with distinct keys the bucket scan is empty,
+// so throughput approaches one tuple per cycle regardless of window size —
+// versus the nested-loop core's one tuple per sub-window scan.
+func TestHashJoinIsIngestBound(t *testing.T) {
+	const (
+		cores  = 4
+		window = 1024 // nested-loop: 256-cycle scans
+	)
+	r := make([]stream.Tuple, window)
+	s := make([]stream.Tuple, window)
+	for i := range r {
+		r[i] = stream.Tuple{Key: 0xF0000000 + uint32(i)}
+		s[i] = stream.Tuple{Key: 0xE0000000 + uint32(i)}
+	}
+	measure := func(algo JoinAlgorithm) float64 {
+		d, err := BuildUniFlow(UniFlowConfig{
+			NumCores:   cores,
+			WindowSize: window,
+			Algorithm:  algo,
+		}, false, saturatedGenerator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Preload(r, s); err != nil {
+			t.Fatal(err)
+		}
+		return d.MeasureThroughput(5_000, 50_000).TuplesPerCycle()
+	}
+	nested := measure(NestedLoop)
+	hashed := measure(HashJoin)
+	if hashed < 0.8 {
+		t.Errorf("hash join throughput = %.3f tuples/cycle, want ≈1 (ingest-bound)", hashed)
+	}
+	wantNested := 1.0 / float64(window/cores)
+	if nested > wantNested*1.2 {
+		t.Errorf("nested-loop throughput = %.5f, want ≈%.5f (scan-bound)", nested, wantNested)
+	}
+	if hashed/nested < 50 {
+		t.Errorf("hash/nested speedup = %.0f×, want large at window %d", hashed/nested, window)
+	}
+}
+
+// TestHashJoinExpiryRemovesBucketEntries: expired tuples must not match.
+func TestHashJoinExpiryRemovesBucketEntries(t *testing.T) {
+	const window = 8
+	var inputs []core.Input
+	inputs = append(inputs, core.Input{Side: stream.SideS, Tuple: stream.Tuple{Key: 7}})
+	for i := 0; i < window+2; i++ { // push key 7 out of the window
+		inputs = append(inputs, core.Input{Side: stream.SideS, Tuple: stream.Tuple{Key: 100 + uint32(i)}})
+	}
+	inputs = append(inputs, core.Input{Side: stream.SideR, Tuple: stream.Tuple{Key: 7}})
+	d, err := BuildUniFlow(UniFlowConfig{
+		NumCores:   2,
+		WindowSize: window,
+		Algorithm:  HashJoin,
+	}, true, inputsGenerator(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Sink().Drained(); got != 0 {
+		t.Errorf("expired bucket entry matched: %d results", got)
+	}
+	// And the oracle agrees there is nothing to find.
+	if err := core.VerifyExactlyOnce(window, stream.EquiJoinOnKey(), inputs, d.Sink().Results()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashJoinSkewedKeys: heavy key skew degenerates buckets toward the
+// nested-loop scan, but correctness holds.
+func TestHashJoinSkewedKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	inputs := randomInputs(rng, 400, 2) // two keys only: giant buckets
+	d, err := BuildUniFlow(UniFlowConfig{
+		NumCores:   4,
+		WindowSize: 32,
+		Algorithm:  HashJoin,
+	}, true, inputsGenerator(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyExactlyOnce(32, stream.EquiJoinOnKey(), inputs, d.Sink().Results()); err != nil {
+		t.Error(err)
+	}
+}

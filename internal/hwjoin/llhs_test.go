@@ -1,0 +1,214 @@
+package hwjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// TestFastForwardOneDirectionMatchesOracle: with a static preloaded S
+// window, every R probe's replica sweeps the whole chain, so results equal
+// the oracle exactly — without any flush traffic (unlike the classic
+// chain, which needs subsequent arrivals to push probes along).
+func TestFastForwardOneDirectionMatchesOracle(t *testing.T) {
+	const (
+		cores  = 4
+		window = 32
+		probes = 24
+	)
+	rng := rand.New(rand.NewSource(5))
+	s := make([]stream.Tuple, window)
+	for i := range s {
+		s[i] = stream.Tuple{Key: uint32(rng.Intn(8)), Seq: uint64(i)}
+	}
+	var inputs []core.Input
+	for i := 0; i < probes; i++ {
+		inputs = append(inputs, core.Input{Side: stream.SideR, Tuple: stream.Tuple{Key: uint32(rng.Intn(8))}})
+	}
+	d, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: window, FastForward: true}, true, inputsGenerator(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Preload(nil, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	oracle, err := core.NewOracle(window+probes, stream.EquiJoinOnKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range s {
+		if _, err := oracle.Push(stream.SideS, stream.Tuple{Key: tu.Key}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []stream.Result
+	for _, in := range inputs {
+		rs, err := oracle.Push(in.Side, in.Tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rs...)
+	}
+	diffs := core.NewResultSet(want).Diff(core.NewResultSet(d.Sink().Results()))
+	if len(diffs) != 0 {
+		t.Errorf("fast-forward one-direction mismatch (%d diffs): %v", len(diffs), diffs[:min(4, len(diffs))])
+	}
+	if len(want) == 0 {
+		t.Error("vacuous test")
+	}
+}
+
+// TestFastForwardExactlyOnceUnderConcurrency: the global-tag rule keeps
+// pairings exactly-once with both streams flowing; every in-window pair
+// appears and none twice.
+func TestFastForwardExactlyOnceUnderConcurrency(t *testing.T) {
+	const (
+		window = 64
+		nReal  = 48
+	)
+	for _, cores := range []int{1, 2, 4, 8} {
+		cores := cores
+		t.Run(fmt.Sprintf("cores=%d", cores), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			var inputs []core.Input
+			for i := 0; i < 2*nReal; i++ {
+				side := stream.SideR
+				if i%2 == 1 {
+					side = stream.SideS
+				}
+				inputs = append(inputs, core.Input{Side: side, Tuple: stream.Tuple{Key: uint32(rng.Intn(6))}})
+			}
+			d, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: window, FastForward: true}, true, inputsGenerator(inputs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.RunToQuiescence(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			// All arrivals fit in one window, so the oracle's multiset must
+			// appear exactly — the strongest form of the invariant.
+			if err := core.VerifyExactlyOnce(window, stream.EquiJoinOnKey(), inputs, d.Sink().Results()); err != nil {
+				t.Error(err)
+			}
+			if d.Sink().Drained() == 0 {
+				t.Error("vacuous test")
+			}
+		})
+	}
+}
+
+// TestFastForwardLatencyBeatsClassic is the Section III claim: a probe's
+// full result set completes in ≈N hops + one sub-window scan on the
+// low-latency chain, while the classic chain leaves most of the window
+// unmet until later arrivals push the probe along.
+func TestFastForwardLatencyBeatsClassic(t *testing.T) {
+	const (
+		cores  = 8
+		window = 256 // sub-window 32
+	)
+	s := make([]stream.Tuple, window)
+	for i := range s {
+		s[i] = stream.Tuple{Key: 0xE0000000 + uint32(i), Seq: uint64(i)}
+	}
+	// One match per chain segment: the probe must visit every core to
+	// complete.
+	matches := 0
+	for i := 0; i < window; i += window / cores {
+		s[i].Key = 42
+		matches++
+	}
+	run := func(ff bool) (results uint64, cycles uint64) {
+		probe := true
+		gen := func() (Flit, bool) {
+			if !probe {
+				return Flit{}, false
+			}
+			probe = false
+			return TupleFlit(stream.SideR, stream.Tuple{Key: 42}), true
+		}
+		d, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: window, FastForward: ff}, true, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Preload(nil, s); err != nil {
+			t.Fatal(err)
+		}
+		cycles, err = d.RunToQuiescence(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Sink().Drained(), cycles
+	}
+	classicResults, _ := run(false)
+	ffResults, ffCycles := run(true)
+
+	if ffResults != uint64(matches) {
+		t.Errorf("fast-forward produced %d results, want %d (full window met)", ffResults, matches)
+	}
+	if classicResults >= ffResults {
+		t.Errorf("classic chain produced %d results without follow-up traffic; should be < %d (probe stuck at entry core)", classicResults, ffResults)
+	}
+	// Completion bound: N·(hop+store) + decode + one sub-window scan at
+	// memStall cycles per read, plus emits and collection.
+	sub := window / cores
+	stall := 7
+	bound := uint64(cores*6 + 2 + sub*stall + matches*4 + 64)
+	if ffCycles > bound {
+		t.Errorf("fast-forward completion took %d cycles, want ≤ %d (N hops + one scan)", ffCycles, bound)
+	}
+}
+
+// TestFastForwardSustainedLoad: liveness and window expiry under saturation.
+func TestFastForwardSustainedLoad(t *testing.T) {
+	d, err := BuildBiFlow(BiFlowConfig{NumCores: 4, WindowSize: 64, FastForward: true}, false, saturatedGenerator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Source().Injected()
+	d.Sim().Run(60_000)
+	mid := d.Source().Injected()
+	d.Sim().Run(60_000)
+	after := d.Source().Injected()
+	if mid == before || after == mid {
+		t.Fatalf("no injection progress: %d → %d → %d", before, mid, after)
+	}
+	expR, expS := d.Expired()
+	if expR == 0 || expS == 0 {
+		t.Errorf("no expiry under sustained load: R=%d S=%d", expR, expS)
+	}
+}
+
+// TestFastForwardNoDuplicateProperty mirrors the classic chain's property
+// test under randomized configurations.
+func TestFastForwardNoDuplicateProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 1 << (rng.Intn(3))                // 1..4
+		window := cores * (1 << (rng.Intn(3) + 2)) // sub-window 4..16
+		inputs := randomInputs(rng, 150, rng.Intn(8)+2)
+		d, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: window, FastForward: true}, true, inputsGenerator(inputs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.RunToQuiescence(50_000_000); err != nil {
+			t.Fatalf("seed %d cores=%d window=%d: %v", seed, cores, window, err)
+		}
+		seen := map[uint64]bool{}
+		for _, r := range d.Sink().Results() {
+			if r.R.Key != r.S.Key {
+				t.Fatalf("seed %d: condition violation %v", seed, r)
+			}
+			if seen[r.PairID()] {
+				t.Fatalf("seed %d: duplicate pair %v", seed, r)
+			}
+			seen[r.PairID()] = true
+		}
+	}
+}

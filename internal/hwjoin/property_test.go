@@ -1,0 +1,103 @@
+package hwjoin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// TestUniFlowOracleEquivalenceProperty drives randomized configurations —
+// core count, window size, network kind, fan-out, join algorithm, key
+// skew — through the cycle simulator and demands exact oracle equivalence
+// every time.
+func TestUniFlowOracleEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64, coresSeed, windowSeed, netSeed, fanSeed, algoSeed, domainSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 1 << (coresSeed % 5)               // 1..16
+		window := cores * (1 << (windowSeed%4 + 1)) // sub-window 2..16
+		network := Lightweight
+		if netSeed%2 == 1 {
+			network = Scalable
+		}
+		fanout := int(fanSeed%3)*2 + 2 // 2, 4, 6
+		algo := NestedLoop
+		if algoSeed%2 == 1 {
+			algo = HashJoin
+		}
+		domain := int(domainSeed%20) + 2
+
+		inputs := randomInputs(rng, 250, domain)
+		d, err := BuildUniFlow(UniFlowConfig{
+			NumCores:   cores,
+			WindowSize: window,
+			Network:    network,
+			Fanout:     fanout,
+			Algorithm:  algo,
+		}, true, inputsGenerator(inputs))
+		if err != nil {
+			t.Logf("build failed for cores=%d window=%d: %v", cores, window, err)
+			return false
+		}
+		if _, err := d.RunToQuiescence(20_000_000); err != nil {
+			t.Logf("no quiescence for cores=%d window=%d: %v", cores, window, err)
+			return false
+		}
+		if err := core.VerifyExactlyOnce(window, stream.EquiJoinOnKey(), inputs, d.Sink().Results()); err != nil {
+			t.Logf("cores=%d window=%d net=%v fanout=%d algo=%v: %v", cores, window, network, fanout, algo, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBiFlowNoDuplicateProperty: for random chains and workloads, the
+// coordinated bi-flow chain never emits a pair twice and never emits a
+// condition-violating pair.
+func TestBiFlowNoDuplicateProperty(t *testing.T) {
+	prop := func(seed int64, coresSeed, windowSeed, domainSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 1 << (coresSeed % 3)               // 1..4
+		window := cores * (1 << (windowSeed%3 + 2)) // sub-window 4..16
+		domain := int(domainSeed%8) + 2
+
+		inputs := withFlush(randomInputs(rng, 120, domain), 2*window+120)
+		d, err := BuildBiFlow(BiFlowConfig{NumCores: cores, WindowSize: window}, true, inputsGenerator(inputs))
+		if err != nil {
+			return false
+		}
+		if _, err := d.RunToQuiescence(50_000_000); err != nil {
+			t.Logf("no quiescence for cores=%d window=%d: %v", cores, window, err)
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, r := range d.Sink().Results() {
+			if r.R.Key != r.S.Key {
+				t.Logf("condition violation: %v", r)
+				return false
+			}
+			if seen[r.PairID()] {
+				t.Logf("duplicate pair: %v", r)
+				return false
+			}
+			seen[r.PairID()] = true
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,365 @@
+package hwjoin
+
+import (
+	"fmt"
+
+	"accelstream/internal/core"
+	"accelstream/internal/hwsim"
+	"accelstream/internal/stream"
+)
+
+// Processing Core controller states (Figure 13).
+type procState uint8
+
+const (
+	procIdle procState = iota + 1 // unprogrammed, waiting for a join operator
+	procOpRead1
+	procOpRead2
+	procScan // Join Processing: one window read per cycle
+	procEmit // Emit Result: push one matched pair
+	procWait // Join Wait: programmed, waiting for a tuple
+)
+
+// Storage Core controller states (Figure 12). The "R Store Done" / "S Store
+// Done" states of the paper's diagram are zero-work exits and are folded
+// into the return to idle; skipping a store (not this core's turn) costs no
+// extra cycle.
+type storState uint8
+
+const (
+	storIdle storState = iota + 1
+	storOpStore1
+	storOpStore2
+	storStore // Store in Window R / Store in Window S (one BRAM write)
+)
+
+// JoinAlgorithm selects how the Processing Core evaluates the join. The
+// paper's design "does not pose any limitation on the chosen join
+// algorithm, e.g., nested-loop join or hash join" — both are provided.
+type JoinAlgorithm uint8
+
+// Join algorithms.
+const (
+	// NestedLoop scans the whole opposite sub-window, one BRAM read per
+	// cycle — the configuration of the paper's measurements.
+	NestedLoop JoinAlgorithm = iota + 1
+	// HashJoin walks only the matching hash bucket, one entry per cycle.
+	// Valid only for the equi-join on the key field; it makes the core
+	// ingest-bound (≈1 tuple/cycle) instead of scan-bound.
+	HashJoin
+)
+
+// String implements fmt.Stringer.
+func (a JoinAlgorithm) String() string {
+	switch a {
+	case NestedLoop:
+		return "nested-loop"
+	case HashJoin:
+		return "hash"
+	default:
+		return fmt.Sprintf("algorithm(%d)", uint8(a))
+	}
+}
+
+// UniCore is one uni-flow join core (Figure 11): a Fetcher buffer that
+// decouples the core from the distribution network, a Storage Core that
+// stores every NumCores-th tuple of each stream into its sub-window, and a
+// Processing Core that compares each incoming tuple against the resident
+// sub-window of the opposite stream, one read per clock cycle.
+//
+// Both controller FSMs follow the paper's state diagrams; the core accepts
+// a new flit only when the Processing Core is in Join Wait (or Idle) so a
+// tuple's window probe always runs against exactly the window contents at
+// its arrival, giving results identical to the sequential oracle.
+type UniCore struct {
+	position int
+	algo     JoinAlgorithm
+
+	fetcher *hwsim.FIFO[Flit]
+	results *hwsim.FIFO[stream.Result]
+
+	windowR *stream.SlidingWindow
+	windowS *stream.SlidingWindow
+
+	// Hash-join state: per-stream buckets keyed by the 32-bit key, each
+	// bucket in arrival order (the BRAM chain of a hardware hash table).
+	bucketsR map[uint32][]stream.Tuple
+	bucketsS map[uint32][]stream.Tuple
+
+	part       core.Partition
+	cond       stream.JoinCondition
+	programmed bool
+	pendingOp  stream.JoinOperator
+
+	// Arrival counters per stream (Storage Core round-robin turn state).
+	countR, countS uint64
+	// How many tuples this core actually stored, per stream (diagnostics).
+	storedR, storedS uint64
+
+	proc      procState
+	stor      storState
+	pending   *Flit
+	probe     stream.Tuple
+	probeSide stream.Side
+	scanIdx   int
+	scanLen   int
+	scanWin   *stream.SlidingWindow
+	scanList  []stream.Tuple // hash join: the probed bucket snapshot
+	emitPend  stream.Result
+	storeT    stream.Tuple
+	storeSide stream.Side
+
+	// Counters for measurement.
+	processed uint64 // tuples fully scanned
+	emitted   uint64
+	reads     uint64 // window reads performed (BRAM activity)
+}
+
+// NewUniCore builds a join core at the given chain position with per-stream
+// sub-windows of subWindow tuples and the given FIFO depths.
+func NewUniCore(position, subWindow, fifoDepth int) *UniCore {
+	return NewUniCoreWithAlgorithm(position, subWindow, fifoDepth, NestedLoop)
+}
+
+// NewUniCoreWithAlgorithm builds a join core using the given join
+// algorithm.
+func NewUniCoreWithAlgorithm(position, subWindow, fifoDepth int, algo JoinAlgorithm) *UniCore {
+	c := &UniCore{
+		position: position,
+		algo:     algo,
+		fetcher:  hwsim.NewFIFO[Flit](fmt.Sprintf("jc%d.fetcher", position), fifoDepth),
+		results:  hwsim.NewFIFO[stream.Result](fmt.Sprintf("jc%d.results", position), fifoDepth),
+		windowR:  stream.NewSlidingWindow(subWindow),
+		windowS:  stream.NewSlidingWindow(subWindow),
+		proc:     procIdle,
+		stor:     storIdle,
+	}
+	if algo == HashJoin {
+		c.bucketsR = make(map[uint32][]stream.Tuple)
+		c.bucketsS = make(map[uint32][]stream.Tuple)
+	}
+	return c
+}
+
+// insertWindow stores a tuple into one stream's sub-window (ring plus hash
+// buckets when hash join is selected), expiring the oldest as needed.
+func (c *UniCore) insertWindow(side stream.Side, t stream.Tuple) {
+	win := c.windowR
+	buckets := c.bucketsR
+	if side == stream.SideS {
+		win = c.windowS
+		buckets = c.bucketsS
+	}
+	expired, ok := win.Insert(t)
+	if c.algo != HashJoin {
+		return
+	}
+	if ok {
+		// The expired tuple is the oldest of this stream at this core, so
+		// it is the first entry of its bucket's chain.
+		b := buckets[expired.Key]
+		if len(b) > 0 {
+			if len(b) == 1 {
+				delete(buckets, expired.Key)
+			} else {
+				buckets[expired.Key] = b[1:]
+			}
+		}
+	}
+	buckets[t.Key] = append(buckets[t.Key], t)
+}
+
+// Fetcher returns the core's input FIFO (fed by the distribution network).
+func (c *UniCore) Fetcher() *hwsim.FIFO[Flit] { return c.fetcher }
+
+// Results returns the core's result FIFO (drained by the gathering network).
+func (c *UniCore) Results() *hwsim.FIFO[stream.Result] { return c.results }
+
+// Name implements hwsim.Component.
+func (c *UniCore) Name() string { return fmt.Sprintf("jc%d", c.position) }
+
+// Idle reports whether the core has no in-flight work (both FSMs parked and
+// no fetched-but-undispatched flit).
+func (c *UniCore) Idle() bool {
+	return c.pending == nil &&
+		(c.proc == procWait || c.proc == procIdle) &&
+		c.stor == storIdle
+}
+
+// Programmed reports whether a join operator has been stored.
+func (c *UniCore) Programmed() bool { return c.programmed }
+
+// Stored returns how many tuples this core stored per stream.
+func (c *UniCore) Stored() (r, s uint64) { return c.storedR, c.storedS }
+
+// Processed returns how many tuples the processing core finished scanning.
+func (c *UniCore) Processed() uint64 { return c.processed }
+
+// Emitted returns how many results this core produced.
+func (c *UniCore) Emitted() uint64 { return c.emitted }
+
+// WindowReads returns the number of BRAM reads performed (power/activity
+// accounting).
+func (c *UniCore) WindowReads() uint64 { return c.reads }
+
+// Preload fills the core's sub-windows directly (the simulation equivalent
+// of a BRAM initialization file) and fixes the arrival counters so that
+// round-robin turns continue correctly. r and s must not exceed the
+// sub-window capacity. countR/countS are the global per-stream arrival
+// counts represented by the preloaded state.
+func (c *UniCore) Preload(r, s []stream.Tuple, countR, countS uint64) error {
+	if len(r) > c.windowR.Cap() || len(s) > c.windowS.Cap() {
+		return fmt.Errorf("hwjoin: preload of %d/%d tuples exceeds sub-window capacity %d", len(r), len(s), c.windowR.Cap())
+	}
+	for _, t := range r {
+		c.insertWindow(stream.SideR, t)
+	}
+	for _, t := range s {
+		c.insertWindow(stream.SideS, t)
+	}
+	c.storedR += uint64(len(r))
+	c.storedS += uint64(len(s))
+	c.countR = countR
+	c.countS = countS
+	return nil
+}
+
+// Eval implements hwsim.Component. Each call is one clock cycle of the two
+// controllers plus the fetch/dispatch logic.
+func (c *UniCore) Eval() {
+	c.evalProcessing()
+	c.evalStorage()
+	c.fetchAndDispatch()
+}
+
+func (c *UniCore) evalProcessing() {
+	switch c.proc {
+	case procOpRead1:
+		c.proc = procOpRead2
+	case procOpRead2:
+		c.cond = c.pendingOp.Condition
+		c.programmed = true
+		c.proc = procWait
+	case procEmit:
+		if c.results.CanPush() {
+			c.results.Push(c.emitPend)
+			c.emitted++
+			c.proc = procScan
+		}
+	case procScan:
+		if c.scanIdx < c.scanLen {
+			var stored stream.Tuple
+			if c.scanList != nil {
+				stored = c.scanList[c.scanIdx]
+			} else {
+				stored = c.scanWin.At(c.scanIdx)
+			}
+			c.scanIdx++
+			c.reads++
+			if c.cond.Match(c.probe, stored) {
+				if c.probeSide == stream.SideR {
+					c.emitPend = stream.Result{R: c.probe, S: stored}
+				} else {
+					c.emitPend = stream.Result{R: stored, S: c.probe}
+				}
+				c.proc = procEmit
+				return
+			}
+		}
+		if c.scanIdx >= c.scanLen {
+			c.processed++
+			c.proc = procWait
+		}
+	}
+}
+
+func (c *UniCore) evalStorage() {
+	switch c.stor {
+	case storOpStore1:
+		c.stor = storOpStore2
+	case storOpStore2:
+		c.part = core.Partition{NumCores: c.pendingOp.NumCores, Position: c.position}
+		c.stor = storIdle
+	case storStore:
+		c.insertWindow(c.storeSide, c.storeT)
+		if c.storeSide == stream.SideR {
+			c.storedR++
+		} else {
+			c.storedS++
+		}
+		c.stor = storIdle
+	}
+}
+
+func (c *UniCore) fetchAndDispatch() {
+	if c.pending == nil && c.fetcher.CanPop() {
+		f := c.fetcher.Pop()
+		c.pending = &f
+	}
+	if c.pending == nil || c.stor != storIdle {
+		return
+	}
+	if c.proc != procWait && c.proc != procIdle {
+		return
+	}
+	f := *c.pending
+	switch f.Header {
+	case stream.HeaderOperator:
+		c.pendingOp = f.Op
+		c.proc = procOpRead1
+		c.stor = storOpStore1
+		c.pending = nil
+	case stream.HeaderTupleR, stream.HeaderTupleS:
+		if !c.programmed {
+			panic(fmt.Sprintf("hwjoin: %s received a tuple before a join operator was programmed", c.Name()))
+		}
+		side := f.Header.Side()
+		// Storage Core: count the arrival and store on this core's turn.
+		var turn bool
+		if side == stream.SideR {
+			turn = c.part.StoreTurn(c.countR)
+			c.countR++
+		} else {
+			turn = c.part.StoreTurn(c.countS)
+			c.countS++
+		}
+		if turn {
+			c.storeT = f.Tuple
+			c.storeSide = side
+			c.stor = storStore
+		}
+		// Processing Core: snapshot the opposite window (nested loop) or
+		// the matching bucket (hash join) and start the scan.
+		c.probe = f.Tuple
+		c.probeSide = side
+		c.scanList = nil
+		if c.algo == HashJoin {
+			if side == stream.SideR {
+				c.scanList = c.bucketsS[f.Tuple.Key]
+			} else {
+				c.scanList = c.bucketsR[f.Tuple.Key]
+			}
+			c.scanLen = len(c.scanList)
+		} else {
+			if side == stream.SideR {
+				c.scanWin = c.windowS
+			} else {
+				c.scanWin = c.windowR
+			}
+			c.scanLen = c.scanWin.Len()
+		}
+		c.scanIdx = 0
+		if c.scanLen == 0 {
+			// Processing Skip: nothing to compare against.
+			c.processed++
+			c.proc = procWait
+		} else {
+			c.proc = procScan
+		}
+		c.pending = nil
+	}
+}
+
+// Commit implements hwsim.Component. All core state is private to the core,
+// so in-place updates in Eval are already deterministic; nothing to latch.
+func (c *UniCore) Commit() {}

@@ -1,0 +1,432 @@
+package hwjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// inputsGenerator turns an arrival sequence into a flit generator, assigning
+// per-stream sequence numbers exactly like the oracle does.
+func inputsGenerator(inputs []core.Input) func() (Flit, bool) {
+	i := 0
+	var seqR, seqS uint64
+	return func() (Flit, bool) {
+		if i >= len(inputs) {
+			return Flit{}, false
+		}
+		in := inputs[i]
+		i++
+		t := in.Tuple
+		if in.Side == stream.SideR {
+			t.Seq = seqR
+			seqR++
+		} else {
+			t.Seq = seqS
+			seqS++
+		}
+		return TupleFlit(in.Side, t), true
+	}
+}
+
+// randomInputs builds a random interleaved workload with keys drawn from a
+// small domain so matches actually occur.
+func randomInputs(rng *rand.Rand, n, keyDomain int) []core.Input {
+	inputs := make([]core.Input, n)
+	for i := range inputs {
+		side := stream.SideR
+		if rng.Intn(2) == 1 {
+			side = stream.SideS
+		}
+		inputs[i] = core.Input{Side: side, Tuple: stream.Tuple{Key: uint32(rng.Intn(keyDomain)), Val: uint32(i)}}
+	}
+	return inputs
+}
+
+func TestUniFlowConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     UniFlowConfig
+		wantErr bool
+	}{
+		{"ok", UniFlowConfig{NumCores: 4, WindowSize: 64}, false},
+		{"zero cores", UniFlowConfig{NumCores: 0, WindowSize: 64}, true},
+		{"indivisible window", UniFlowConfig{NumCores: 3, WindowSize: 64}, true},
+		{"zero window", UniFlowConfig{NumCores: 4, WindowSize: 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := BuildUniFlow(tt.cfg, false, func() (Flit, bool) { return Flit{}, false })
+			if (err != nil) != tt.wantErr {
+				t.Errorf("BuildUniFlow() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestUniFlowMatchesOracle is the central correctness test: for a variety of
+// core counts, window sizes, and network kinds, the hardware design must
+// produce exactly the oracle's result multiset.
+func TestUniFlowMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		cores, window int
+		network       NetworkKind
+		fanout        int
+	}{
+		{1, 16, Lightweight, 0},
+		{2, 16, Lightweight, 0},
+		{4, 64, Lightweight, 0},
+		{4, 64, Scalable, 2},
+		{8, 64, Scalable, 2},
+		{8, 64, Scalable, 4},
+		{16, 128, Scalable, 2},
+		{16, 16, Lightweight, 0},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("cores=%d_w=%d_%v_fan=%d", tc.cores, tc.window, tc.network, tc.fanout)
+		t.Run(name, func(t *testing.T) {
+			inputs := randomInputs(rng, 600, 24)
+			d, err := BuildUniFlow(UniFlowConfig{
+				NumCores:   tc.cores,
+				WindowSize: tc.window,
+				Network:    tc.network,
+				Fanout:     tc.fanout,
+			}, true, inputsGenerator(inputs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.RunToQuiescence(5_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if err := core.VerifyExactlyOnce(tc.window, stream.EquiJoinOnKey(), inputs, d.Sink().Results()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestUniFlowThetaJoinMatchesOracle exercises a non-equi condition.
+func TestUniFlowThetaJoinMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cond := stream.JoinCondition{LHS: stream.FieldKey, RHS: stream.FieldKey, Cmp: stream.CmpLT}
+	inputs := randomInputs(rng, 200, 16)
+	d, err := BuildUniFlow(UniFlowConfig{
+		NumCores:   4,
+		WindowSize: 32,
+		Condition:  cond,
+	}, true, inputsGenerator(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyExactlyOnce(32, cond, inputs, d.Sink().Results()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUniFlowRoundRobinBalance checks the storage discipline across cores.
+func TestUniFlowRoundRobinBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inputs := randomInputs(rng, 500, 1000) // huge domain: essentially no matches
+	d, err := BuildUniFlow(UniFlowConfig{NumCores: 8, WindowSize: 4096}, false, inputsGenerator(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var nR, nS uint64
+	for _, in := range inputs {
+		if in.Side == stream.SideR {
+			nR++
+		} else {
+			nS++
+		}
+	}
+	storedR := make([]uint64, 0, 8)
+	storedS := make([]uint64, 0, 8)
+	for _, c := range d.Cores() {
+		r, s := c.Stored()
+		storedR = append(storedR, r)
+		storedS = append(storedS, s)
+	}
+	if err := core.VerifyRoundRobinBalance(nR, storedR); err != nil {
+		t.Error(err)
+	}
+	if err := core.VerifyRoundRobinBalance(nS, storedS); err != nil {
+		t.Error(err)
+	}
+}
+
+// saturatedGenerator produces an endless alternating R/S stream with keys
+// that never match (distinct per stream), for pure throughput measurement.
+func saturatedGenerator() func() (Flit, bool) {
+	var n uint64
+	return func() (Flit, bool) {
+		n++
+		if n%2 == 0 {
+			return TupleFlit(stream.SideR, stream.Tuple{Key: uint32(n), Val: 1, Seq: n / 2}), true
+		}
+		return TupleFlit(stream.SideS, stream.Tuple{Key: uint32(n), Val: 2, Seq: n / 2}), true
+	}
+}
+
+// TestUniFlowThroughputScalesWithSubWindow verifies the paper's performance
+// model: steady-state input throughput is one tuple per sub-window-scan,
+// i.e. NumCores/WindowSize tuples per cycle — linear speedup in cores
+// (Figure 14a).
+func TestUniFlowThroughputScalesWithSubWindow(t *testing.T) {
+	window := 1024
+	for _, cores := range []int{2, 4, 8, 16} {
+		cores := cores
+		t.Run(fmt.Sprintf("cores=%d", cores), func(t *testing.T) {
+			d, err := BuildUniFlow(UniFlowConfig{
+				NumCores:   cores,
+				WindowSize: window,
+				Network:    Scalable,
+			}, false, saturatedGenerator())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Saturation needs full windows; preload them.
+			r := make([]stream.Tuple, window)
+			s := make([]stream.Tuple, window)
+			for i := range r {
+				r[i] = stream.Tuple{Key: 0xF0000000 + uint32(i), Seq: uint64(i)}
+				s[i] = stream.Tuple{Key: 0xE0000000 + uint32(i), Seq: uint64(i)}
+			}
+			if err := d.Preload(r, s); err != nil {
+				t.Fatal(err)
+			}
+			subWindow := window / cores
+			m := d.MeasureThroughput(uint64(20*subWindow), uint64(100*subWindow))
+			got := m.TuplesPerCycle()
+			want := 1.0 / float64(subWindow)
+			if got < want*0.9 || got > want*1.1 {
+				t.Errorf("throughput = %.6f tuples/cycle, want %.6f ±10%% (sub-window %d)", got, want, subWindow)
+			}
+		})
+	}
+}
+
+// TestUniFlowLatency verifies the latency model of Figure 15: the time to
+// process one tuple is dominated by the sub-window scan plus the network
+// depths.
+func TestUniFlowLatency(t *testing.T) {
+	const window = 256
+	for _, tc := range []struct {
+		cores   int
+		network NetworkKind
+	}{
+		{4, Lightweight},
+		{4, Scalable},
+		{16, Scalable},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("cores=%d_%v", tc.cores, tc.network), func(t *testing.T) {
+			probe := core.Input{Side: stream.SideR, Tuple: stream.Tuple{Key: 42, Seq: 0}}
+			d, err := BuildUniFlow(UniFlowConfig{
+				NumCores:   tc.cores,
+				WindowSize: window,
+				Network:    tc.network,
+			}, true, inputsGenerator([]core.Input{probe}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := make([]stream.Tuple, window)
+			for i := range s {
+				s[i] = stream.Tuple{Key: 0xE0000000 + uint32(i), Seq: uint64(i)}
+			}
+			s[window/2] = stream.Tuple{Key: 42, Seq: uint64(window / 2)} // one match
+			if err := d.Preload(nil, s); err != nil {
+				t.Fatal(err)
+			}
+			cycles, err := d.RunToQuiescence(100_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub := window / tc.cores
+			// Lower bound: operator programming + the full sub-window scan.
+			if cycles < uint64(sub) {
+				t.Errorf("latency %d cycles below the sub-window scan %d", cycles, sub)
+			}
+			// Upper bound: scan + both network depths + small constants.
+			slack := uint64(sub + 8*tc.cores + 64)
+			if cycles > slack {
+				t.Errorf("latency %d cycles exceeds expected bound %d", cycles, slack)
+			}
+			if d.Sink().Drained() != 1 {
+				t.Errorf("drained %d results, want 1", d.Sink().Drained())
+			}
+		})
+	}
+}
+
+// TestUniFlowLightweightCollectionDominatesAtScale reproduces the Figure 15
+// observation: with many cores, the lightweight design's round-robin result
+// collection costs more cycles than the scalable tree.
+func TestUniFlowLightweightCollectionDominatesAtScale(t *testing.T) {
+	const cores = 64
+	const window = 256 // sub-window 4: scan is negligible
+	latency := func(network NetworkKind) uint64 {
+		probe := core.Input{Side: stream.SideR, Tuple: stream.Tuple{Key: 42, Seq: 0}}
+		d, err := BuildUniFlow(UniFlowConfig{
+			NumCores:   cores,
+			WindowSize: window,
+			Network:    network,
+		}, true, inputsGenerator([]core.Input{probe}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := make([]stream.Tuple, window)
+		for i := range s {
+			s[i] = stream.Tuple{Key: 0xE0000000 + uint32(i), Seq: uint64(i)}
+		}
+		s[1] = stream.Tuple{Key: 42, Seq: 1}
+		if err := d.Preload(nil, s); err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := d.RunToQuiescence(100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	light := latency(Lightweight)
+	scalable := latency(Scalable)
+	if light <= scalable {
+		t.Errorf("lightweight latency %d should exceed scalable latency %d at %d cores", light, scalable, cores)
+	}
+}
+
+// TestUniFlowRuntimeReprogramming checks the FQP headline feature: a new
+// join operator flit reprograms the running cores without any halt or
+// re-synthesis, and subsequent tuples use the new condition.
+func TestUniFlowRuntimeReprogramming(t *testing.T) {
+	lt := stream.JoinCondition{LHS: stream.FieldKey, RHS: stream.FieldKey, Cmp: stream.CmpLT}
+	flits := []Flit{
+		TupleFlit(stream.SideS, stream.Tuple{Key: 5, Seq: 0}),
+		TupleFlit(stream.SideR, stream.Tuple{Key: 5, Seq: 0}), // EQ: matches
+		TupleFlit(stream.SideR, stream.Tuple{Key: 3, Seq: 1}), // EQ: no match
+		OperatorFlit(stream.JoinOperator{NumCores: 2, Condition: lt}),
+		TupleFlit(stream.SideR, stream.Tuple{Key: 3, Seq: 2}), // LT: 3 < 5 matches
+		TupleFlit(stream.SideR, stream.Tuple{Key: 7, Seq: 3}), // LT: no match
+	}
+	i := 0
+	gen := func() (Flit, bool) {
+		if i >= len(flits) {
+			return Flit{}, false
+		}
+		f := flits[i]
+		i++
+		return f, true
+	}
+	d, err := BuildUniFlow(UniFlowConfig{NumCores: 2, WindowSize: 8}, true, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunToQuiescence(10_000); err != nil {
+		t.Fatal(err)
+	}
+	results := d.Sink().Results()
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %v", len(results), results)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range results {
+		seen[r.PairID()] = true
+	}
+	if !seen[(stream.Result{R: stream.Tuple{Seq: 0}, S: stream.Tuple{Seq: 0}}).PairID()] {
+		t.Error("missing EQ-phase result (R seq 0, S seq 0)")
+	}
+	if !seen[(stream.Result{R: stream.Tuple{Seq: 2}, S: stream.Tuple{Seq: 0}}).PairID()] {
+		t.Error("missing LT-phase result (R seq 2, S seq 0)")
+	}
+}
+
+// TestUniFlowPreloadMatchesStreaming: preloading windows then probing gives
+// the same results as streaming the same tuples in.
+func TestUniFlowPreloadMatchesStreaming(t *testing.T) {
+	const window = 64
+	const cores = 4
+	s := make([]stream.Tuple, window)
+	for i := range s {
+		s[i] = stream.Tuple{Key: uint32(i % 10), Val: uint32(i), Seq: uint64(i)}
+	}
+	probe := stream.Tuple{Key: 7, Seq: 0}
+
+	// Variant A: preload.
+	dA, err := BuildUniFlow(UniFlowConfig{NumCores: cores, WindowSize: window}, true,
+		inputsGenerator([]core.Input{{Side: stream.SideR, Tuple: probe}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dA.Preload(nil, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dA.RunToQuiescence(100_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Variant B: stream everything.
+	inputs := make([]core.Input, 0, window+1)
+	for _, tu := range s {
+		inputs = append(inputs, core.Input{Side: stream.SideS, Tuple: tu})
+	}
+	inputs = append(inputs, core.Input{Side: stream.SideR, Tuple: probe})
+	dB, err := BuildUniFlow(UniFlowConfig{NumCores: cores, WindowSize: window}, true, inputsGenerator(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dB.RunToQuiescence(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	gotA := core.NewResultSet(dA.Sink().Results())
+	gotB := core.NewResultSet(dB.Sink().Results())
+	if diffs := gotB.Diff(gotA); len(diffs) != 0 {
+		t.Errorf("preload vs streaming mismatch: %v", diffs)
+	}
+	if len(gotA) == 0 {
+		t.Error("probe produced no results; test is vacuous")
+	}
+}
+
+// TestUniFlowNetworkTopology sanity-checks DNode/GNode counts and stages.
+func TestUniFlowNetworkTopology(t *testing.T) {
+	tests := []struct {
+		cores, fanout         int
+		wantDNodes, wantDepth int
+	}{
+		{8, 2, 7, 3},
+		{16, 2, 15, 4},
+		{16, 4, 5, 2},
+		{2, 2, 1, 1},
+	}
+	for _, tt := range tests {
+		d, err := BuildUniFlow(UniFlowConfig{
+			NumCores:   tt.cores,
+			WindowSize: tt.cores * 4,
+			Network:    Scalable,
+			Fanout:     tt.fanout,
+		}, false, func() (Flit, bool) { return Flit{}, false })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.DNodes() != tt.wantDNodes {
+			t.Errorf("cores=%d fanout=%d: DNodes = %d, want %d", tt.cores, tt.fanout, d.DNodes(), tt.wantDNodes)
+		}
+		if d.DistributionStages() != tt.wantDepth {
+			t.Errorf("cores=%d fanout=%d: stages = %d, want %d", tt.cores, tt.fanout, d.DistributionStages(), tt.wantDepth)
+		}
+		if tt.fanout == 2 && d.GNodes() != tt.cores-1 {
+			t.Errorf("cores=%d: GNodes = %d, want %d", tt.cores, d.GNodes(), tt.cores-1)
+		}
+	}
+}

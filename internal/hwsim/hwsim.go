@@ -1,0 +1,223 @@
+// Package hwsim is a small cycle-level digital-hardware simulation kernel.
+//
+// It models synchronous designs the way an RTL simulator does, but at the
+// granularity this repository needs: components (clocked processes) evaluate
+// combinationally against the *committed* state of the previous clock edge
+// and stage their effects; a commit phase then applies all staged effects at
+// once, which is the clock edge. Because every Eval observes only committed
+// state, evaluation order between components cannot change behaviour — the
+// simulation is deterministic by construction.
+//
+// Communication between components uses registered FIFOs with ready/valid
+// semantics: a producer may push when the FIFO's committed occupancy is
+// below capacity (the registered "full" flag of the previous cycle), a
+// consumer may pop when committed occupancy is non-zero. A capacity-2 FIFO
+// therefore behaves like the standard skid buffer and sustains one transfer
+// per cycle; a capacity-1 FIFO alternates, exactly like single-register
+// handshakes in hardware.
+package hwsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Component is a clocked process. Eval runs in the combinational phase and
+// may read committed FIFO/register state and stage pushes, pops, and its own
+// next state. Commit latches staged state and runs at the clock edge.
+type Component interface {
+	// Name identifies the component in diagnostics.
+	Name() string
+	// Eval computes staged effects from committed state.
+	Eval()
+	// Commit applies staged effects; it must not read other components.
+	Commit()
+}
+
+// Committer is anything with clock-edge state (FIFOs, registers) that is not
+// itself a clocked process.
+type Committer interface {
+	Commit()
+}
+
+// ErrMaxCyclesExceeded is returned by RunUntil when the predicate did not
+// become true within the cycle budget.
+var ErrMaxCyclesExceeded = errors.New("hwsim: maximum cycle count exceeded")
+
+// Simulator drives a set of components and state elements through clock
+// cycles. The zero value is usable.
+type Simulator struct {
+	comps      []Component
+	committers []Committer
+	cycle      uint64
+}
+
+// Add registers clocked processes with the simulator.
+func (s *Simulator) Add(comps ...Component) {
+	s.comps = append(s.comps, comps...)
+}
+
+// AddState registers state elements (FIFOs, registers) with the simulator.
+func (s *Simulator) AddState(cs ...Committer) {
+	s.committers = append(s.committers, cs...)
+}
+
+// Cycle returns the number of completed clock cycles.
+func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// Step advances the design by one clock cycle: all components evaluate
+// against committed state, then all state commits.
+func (s *Simulator) Step() {
+	for _, c := range s.comps {
+		c.Eval()
+	}
+	for _, st := range s.committers {
+		st.Commit()
+	}
+	for _, c := range s.comps {
+		c.Commit()
+	}
+	s.cycle++
+}
+
+// Run advances the design by n clock cycles.
+func (s *Simulator) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.Step()
+	}
+}
+
+// RunUntil steps the design until done() reports true, checking after every
+// cycle, and returns the number of cycles it took. It returns
+// ErrMaxCyclesExceeded if the predicate is still false after maxCycles.
+func (s *Simulator) RunUntil(maxCycles uint64, done func() bool) (uint64, error) {
+	start := s.cycle
+	for !done() {
+		if s.cycle-start >= maxCycles {
+			return s.cycle - start, fmt.Errorf("%w (budget %d)", ErrMaxCyclesExceeded, maxCycles)
+		}
+		s.Step()
+	}
+	return s.cycle - start, nil
+}
+
+// FIFO is a registered queue with single-producer/single-consumer discipline
+// per cycle. Protocol violations (pushing past capacity, popping empty,
+// double pop in one cycle) panic: they indicate a design bug in the circuit
+// being simulated, the moral equivalent of a failed hardware assertion.
+type FIFO[T any] struct {
+	name     string
+	capacity int
+
+	q          []T
+	stagedPush []T
+	stagedPop  int
+}
+
+// NewFIFO returns an empty FIFO with the given capacity.
+func NewFIFO[T any](name string, capacity int) *FIFO[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("hwsim: FIFO %q capacity must be positive, got %d", name, capacity))
+	}
+	return &FIFO[T]{name: name, capacity: capacity}
+}
+
+// Name returns the FIFO's diagnostic name.
+func (f *FIFO[T]) Name() string { return f.name }
+
+// Cap returns the FIFO capacity in entries.
+func (f *FIFO[T]) Cap() int { return f.capacity }
+
+// Len returns the committed occupancy (as of the last clock edge).
+func (f *FIFO[T]) Len() int { return len(f.q) }
+
+// CanPush reports whether the registered full flag allows a push this cycle.
+func (f *FIFO[T]) CanPush() bool { return len(f.q) < f.capacity }
+
+// Free returns how many entries can still be staged this cycle, accounting
+// for pushes already staged by earlier evaluations in the same cycle. Use
+// it when one component may push a FIFO twice per cycle through different
+// paths.
+func (f *FIFO[T]) Free() int { return f.capacity - len(f.q) - len(f.stagedPush) }
+
+// Snapshot returns a copy of the committed entries, oldest first. It models
+// read-only taps on the FIFO's storage (no pop side effects).
+func (f *FIFO[T]) Snapshot() []T {
+	out := make([]T, len(f.q))
+	copy(out, f.q)
+	return out
+}
+
+// CanPop reports whether the registered empty flag allows a pop this cycle.
+func (f *FIFO[T]) CanPop() bool { return len(f.q) > f.stagedPop }
+
+// Push stages an entry for the next clock edge.
+func (f *FIFO[T]) Push(v T) {
+	if len(f.q)+len(f.stagedPush) >= f.capacity {
+		panic(fmt.Sprintf("hwsim: FIFO %q overflow: pushed while full", f.name))
+	}
+	f.stagedPush = append(f.stagedPush, v)
+}
+
+// Front returns the oldest committed entry without consuming it.
+func (f *FIFO[T]) Front() T {
+	if len(f.q) == 0 {
+		panic(fmt.Sprintf("hwsim: FIFO %q Front on empty queue", f.name))
+	}
+	return f.q[0]
+}
+
+// Pop stages consumption of the oldest entry and returns it.
+func (f *FIFO[T]) Pop() T {
+	if f.stagedPop > 0 {
+		panic(fmt.Sprintf("hwsim: FIFO %q double pop in one cycle", f.name))
+	}
+	if len(f.q) == 0 {
+		panic(fmt.Sprintf("hwsim: FIFO %q underflow: popped while empty", f.name))
+	}
+	f.stagedPop = 1
+	return f.q[0]
+}
+
+// Commit applies staged pops and pushes at the clock edge.
+func (f *FIFO[T]) Commit() {
+	if f.stagedPop > 0 {
+		f.q = f.q[f.stagedPop:]
+		f.stagedPop = 0
+	}
+	if len(f.stagedPush) > 0 {
+		f.q = append(f.q, f.stagedPush...)
+		f.stagedPush = f.stagedPush[:0]
+	}
+	if len(f.q) > f.capacity {
+		panic(fmt.Sprintf("hwsim: FIFO %q exceeded capacity after commit: %d > %d", f.name, len(f.q), f.capacity))
+	}
+}
+
+// Reg is a single clocked register holding a value of type T.
+type Reg[T any] struct {
+	cur, next T
+	loaded    bool
+}
+
+// NewReg returns a register initialized to v.
+func NewReg[T any](v T) *Reg[T] {
+	return &Reg[T]{cur: v, next: v}
+}
+
+// Get returns the committed value.
+func (r *Reg[T]) Get() T { return r.cur }
+
+// Set stages a new value for the next clock edge.
+func (r *Reg[T]) Set(v T) {
+	r.next = v
+	r.loaded = true
+}
+
+// Commit latches the staged value.
+func (r *Reg[T]) Commit() {
+	if r.loaded {
+		r.cur = r.next
+		r.loaded = false
+	}
+}

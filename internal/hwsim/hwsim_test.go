@@ -1,0 +1,213 @@
+package hwsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// producer pushes increasing integers whenever its output FIFO accepts.
+type producer struct {
+	out  *FIFO[int]
+	next int
+	sent int
+}
+
+func (p *producer) Name() string { return "producer" }
+func (p *producer) Eval() {
+	if p.out.CanPush() {
+		p.out.Push(p.next)
+		p.next++
+		p.sent++
+	}
+}
+func (p *producer) Commit() {}
+
+// consumer pops whenever input is non-empty and records what it saw.
+type consumer struct {
+	in   *FIFO[int]
+	got  []int
+	stop bool
+}
+
+func (c *consumer) Name() string { return "consumer" }
+func (c *consumer) Eval() {
+	if c.stop || !c.in.CanPop() {
+		return
+	}
+	c.got = append(c.got, c.in.Pop())
+}
+func (c *consumer) Commit() {}
+
+func buildPipe(capacity int) (*Simulator, *producer, *consumer) {
+	f := NewFIFO[int]("pipe", capacity)
+	p := &producer{out: f}
+	c := &consumer{in: f}
+	var sim Simulator
+	sim.Add(p, c)
+	sim.AddState(f)
+	return &sim, p, c
+}
+
+func TestFIFOCapacity2SustainsOneTransferPerCycle(t *testing.T) {
+	sim, _, c := buildPipe(2)
+	sim.Run(100)
+	// Cycle 0 stages the first push; the consumer first sees data in cycle 1.
+	// Steady state must be one pop per cycle: 99 values after 100 cycles.
+	if len(c.got) != 99 {
+		t.Fatalf("consumer received %d values in 100 cycles, want 99 (full throughput)", len(c.got))
+	}
+	for i, v := range c.got {
+		if v != i {
+			t.Fatalf("out-of-order delivery: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestFIFOCapacity1AlternatesCycles(t *testing.T) {
+	// A single-register handshake cannot sustain one transfer per cycle:
+	// the producer sees the registered full flag one cycle late.
+	sim, _, c := buildPipe(1)
+	sim.Run(100)
+	if len(c.got) <= 40 || len(c.got) >= 60 {
+		t.Fatalf("capacity-1 FIFO delivered %d values in 100 cycles, want ≈50 (alternating)", len(c.got))
+	}
+}
+
+func TestFIFOBackpressure(t *testing.T) {
+	f := NewFIFO[int]("bp", 2)
+	p := &producer{out: f}
+	var sim Simulator
+	sim.Add(p)
+	sim.AddState(f)
+	sim.Run(50)
+	// With no consumer, only the FIFO capacity is ever sent.
+	if p.sent != 2 {
+		t.Fatalf("producer sent %d values into a capacity-2 FIFO with no consumer, want 2", p.sent)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("FIFO holds %d, want 2", f.Len())
+	}
+}
+
+func TestFIFOPanicsOnMisuse(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("zero capacity", func() { NewFIFO[int]("x", 0) })
+	assertPanics("pop empty", func() { NewFIFO[int]("x", 1).Pop() })
+	assertPanics("front empty", func() { NewFIFO[int]("x", 1).Front() })
+	assertPanics("overflow", func() {
+		f := NewFIFO[int]("x", 1)
+		f.Push(1)
+		f.Push(2)
+	})
+	assertPanics("double pop", func() {
+		f := NewFIFO[int]("x", 2)
+		f.Push(1)
+		f.Commit()
+		f.Pop()
+		f.Pop()
+	})
+}
+
+func TestFIFOPushVisibleOnlyAfterCommit(t *testing.T) {
+	f := NewFIFO[int]("reg", 2)
+	f.Push(7)
+	if f.Len() != 0 || f.CanPop() {
+		t.Fatal("staged push visible before the clock edge")
+	}
+	f.Commit()
+	if f.Len() != 1 || f.Front() != 7 {
+		t.Fatal("committed push not visible after the clock edge")
+	}
+}
+
+func TestFIFOSimultaneousPushPop(t *testing.T) {
+	f := NewFIFO[int]("sp", 2)
+	f.Push(1)
+	f.Commit()
+	// Same cycle: pop the 1, push a 2.
+	got := f.Pop()
+	f.Push(2)
+	f.Commit()
+	if got != 1 {
+		t.Fatalf("Pop() = %d, want 1", got)
+	}
+	if f.Len() != 1 || f.Front() != 2 {
+		t.Fatalf("after simultaneous push/pop: len=%d front=%v", f.Len(), f.q)
+	}
+}
+
+func TestRegLatchesOnCommit(t *testing.T) {
+	r := NewReg(10)
+	r.Set(20)
+	if r.Get() != 10 {
+		t.Fatal("Set visible before commit")
+	}
+	r.Commit()
+	if r.Get() != 20 {
+		t.Fatal("Set not visible after commit")
+	}
+	// Commit without Set keeps the value.
+	r.Commit()
+	if r.Get() != 20 {
+		t.Fatal("Commit without Set changed the value")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	sim, _, c := buildPipe(2)
+	cycles, err := sim.RunUntil(1000, func() bool { return len(c.got) >= 10 })
+	if err != nil {
+		t.Fatalf("RunUntil error = %v", err)
+	}
+	if cycles == 0 || cycles > 20 {
+		t.Errorf("RunUntil took %d cycles for 10 transfers, want ≈11", cycles)
+	}
+}
+
+func TestRunUntilBudgetExceeded(t *testing.T) {
+	var sim Simulator
+	_, err := sim.RunUntil(5, func() bool { return false })
+	if !errors.Is(err, ErrMaxCyclesExceeded) {
+		t.Fatalf("RunUntil error = %v, want ErrMaxCyclesExceeded", err)
+	}
+}
+
+func TestCycleCounter(t *testing.T) {
+	var sim Simulator
+	sim.Run(17)
+	if sim.Cycle() != 17 {
+		t.Fatalf("Cycle() = %d, want 17", sim.Cycle())
+	}
+}
+
+// TestFIFOPreservesOrderAndContent: whatever interleaving of available
+// cycles, a FIFO delivers exactly the pushed sequence.
+func TestFIFOPreservesOrderAndContent(t *testing.T) {
+	prop := func(capSeed uint8, n uint8) bool {
+		capacity := int(capSeed%7) + 1
+		sim, p, c := buildPipe(capacity)
+		target := int(n%200) + 1
+		_, err := sim.RunUntil(10000, func() bool { return len(c.got) >= target })
+		if err != nil {
+			return false
+		}
+		for i, v := range c.got {
+			if v != i {
+				return false
+			}
+		}
+		return p.sent >= target
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package hwsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerProbeValidation(t *testing.T) {
+	tr := NewTracer(&strings.Builder{})
+	if err := tr.Probe("", 1, func() uint64 { return 0 }); err == nil {
+		t.Error("nameless probe accepted")
+	}
+	if err := tr.Probe("x", 0, func() uint64 { return 0 }); err == nil {
+		t.Error("zero-width probe accepted")
+	}
+	if err := tr.Probe("x", 65, func() uint64 { return 0 }); err == nil {
+		t.Error("over-wide probe accepted")
+	}
+	if err := tr.Probe("x", 1, nil); err == nil {
+		t.Error("nil sampler accepted")
+	}
+	if err := tr.Probe("ok", 8, func() uint64 { return 0 }); err != nil {
+		t.Errorf("valid probe rejected: %v", err)
+	}
+	tr.Sample(0)
+	if err := tr.Probe("late", 1, func() uint64 { return 0 }); err == nil {
+		t.Error("probe after tracing started accepted")
+	}
+}
+
+func TestTracerVCDOutput(t *testing.T) {
+	var out strings.Builder
+	tr := NewTracer(&out)
+
+	f := NewFIFO[int]("pipe", 2)
+	p := &producer{out: f}
+	c := &consumer{in: f}
+	var sim Simulator
+	sim.Add(p, c)
+	sim.AddState(f)
+
+	if err := tr.Probe("fifo_len", 8, func() uint64 { return uint64(f.Len()) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Probe("fifo_full", 1, func() uint64 {
+		if f.CanPush() {
+			return 0
+		}
+		return 1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunTraced(10, tr); err != nil {
+		t.Fatal(err)
+	}
+	vcd := out.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$var wire 8", "fifo_len",
+		"$var wire 1", "fifo_full",
+		"$enddefinitions $end",
+		"#1\n",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("VCD missing %q:\n%s", want, vcd)
+		}
+	}
+	// Steady state: len oscillates at most between values; at least the
+	// initial change record must exist for both signals.
+	if !strings.Contains(vcd, "b1 ") && !strings.Contains(vcd, "b10 ") {
+		t.Errorf("no multi-bit change records in VCD:\n%s", vcd)
+	}
+}
+
+// TestTracerOnlyDumpsChanges: a constant signal appears once.
+func TestTracerOnlyDumpsChanges(t *testing.T) {
+	var out strings.Builder
+	tr := NewTracer(&out)
+	if err := tr.Probe("const", 4, func() uint64 { return 5 }); err != nil {
+		t.Fatal(err)
+	}
+	var sim Simulator
+	if err := sim.RunTraced(20, tr); err != nil {
+		t.Fatal(err)
+	}
+	vcd := out.String()
+	if got := strings.Count(vcd, "b101 "); got != 1 {
+		t.Errorf("constant signal dumped %d times, want 1:\n%s", got, vcd)
+	}
+}
+
+func TestVCDIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		id := vcdID(i)
+		if id == "" || seen[id] {
+			t.Fatalf("vcdID(%d) = %q not unique/valid", i, id)
+		}
+		seen[id] = true
+	}
+}

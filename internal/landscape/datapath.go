@@ -1,0 +1,143 @@
+package landscape
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stage is one hop of a distributed data path: data travels from a source
+// (producer) through network, storage, and memory stages to a destination
+// (consumer). Any stage can be made "active" by coupling it with an
+// accelerator, which is the paper's active-data-path view of the system
+// model.
+type Stage struct {
+	// Name identifies the hop, e.g. "edge switch" or "storage node".
+	Name string
+	// BandwidthMBps is how fast data crosses this hop.
+	BandwidthMBps float64
+	// ComputeMBps is the filtering/processing rate an accelerator placed at
+	// this hop achieves; 0 means the hop cannot host computation.
+	ComputeMBps float64
+}
+
+// Path is an ordered data path from producer to consumer. The final stage
+// is the destination host (CPUs), which can always compute.
+type Path struct {
+	Stages []Stage
+}
+
+// Validate checks the path.
+func (p Path) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("landscape: data path needs at least one stage")
+	}
+	for i, s := range p.Stages {
+		if s.BandwidthMBps <= 0 {
+			return fmt.Errorf("landscape: stage %d (%s) needs positive bandwidth", i, s.Name)
+		}
+		if s.ComputeMBps < 0 {
+			return fmt.Errorf("landscape: stage %d (%s) has negative compute", i, s.Name)
+		}
+	}
+	if p.Stages[len(p.Stages)-1].ComputeMBps <= 0 {
+		return fmt.Errorf("landscape: the destination stage must be able to compute")
+	}
+	return nil
+}
+
+// Placement is one way of running a filtering/aggregation task over the
+// path: compute at the stage with the given index, forwarding only the
+// surviving fraction of data onward.
+type Placement struct {
+	StageIndex int
+	Stage      string
+	Model      DeploymentModel
+	// TimeSeconds is the modelled end-to-end time for one data volume.
+	TimeSeconds float64
+	// BytesMoved is the total traffic summed over every hop.
+	BytesMoved float64
+}
+
+// EvaluatePlacements models running a task with the given input volume
+// (megabytes) and selectivity (fraction of data surviving the computation)
+// at every compute-capable stage of the path. Placing the computation at
+// stage i means full-volume traffic up to and including hop i and reduced
+// traffic after it — the earlier a selective computation runs, the less the
+// path carries. The returned slice is ordered by stage.
+//
+// The deployment model of a placement follows the paper's taxonomy: at the
+// destination it is a plain CPU baseline (or co-processor when the
+// destination hosts an accelerator), mid-path it is co-placement.
+func EvaluatePlacements(p Path, volumeMB, selectivity float64) ([]Placement, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if volumeMB <= 0 {
+		return nil, fmt.Errorf("landscape: volume must be positive, got %f", volumeMB)
+	}
+	if selectivity < 0 || selectivity > 1 {
+		return nil, fmt.Errorf("landscape: selectivity must be within [0,1], got %f", selectivity)
+	}
+	var out []Placement
+	for i, s := range p.Stages {
+		if s.ComputeMBps <= 0 {
+			continue
+		}
+		var elapsed, moved float64
+		vol := volumeMB
+		for j, hop := range p.Stages {
+			if j == i {
+				// Compute here, then forward the surviving fraction.
+				elapsed += vol / s.ComputeMBps
+				vol *= selectivity
+			}
+			elapsed += vol / hop.BandwidthMBps
+			moved += vol
+		}
+		model := CoPlacement
+		if i == len(p.Stages)-1 {
+			model = CoProcessor
+		}
+		out = append(out, Placement{
+			StageIndex:  i,
+			Stage:       s.Name,
+			Model:       model,
+			TimeSeconds: elapsed,
+			BytesMoved:  moved * 1e6,
+		})
+	}
+	return out, nil
+}
+
+// Best returns the placement with the lowest modelled time.
+func Best(placements []Placement) (Placement, error) {
+	if len(placements) == 0 {
+		return Placement{}, fmt.Errorf("landscape: no feasible placements")
+	}
+	best := placements[0]
+	for _, pl := range placements[1:] {
+		if pl.TimeSeconds < best.TimeSeconds {
+			best = pl
+		}
+	}
+	return best, nil
+}
+
+// DataReduction returns the traffic saved by a placement relative to the
+// baseline of computing at the destination, as a fraction in [0,1).
+func DataReduction(placements []Placement, chosen Placement) float64 {
+	var baseline Placement
+	found := false
+	for _, pl := range placements {
+		if pl.StageIndex > baseline.StageIndex || !found {
+			if pl.Model == CoProcessor {
+				baseline = pl
+				found = true
+			}
+		}
+	}
+	if !found || baseline.BytesMoved == 0 {
+		return 0
+	}
+	return math.Max(0, 1-chosen.BytesMoved/baseline.BytesMoved)
+}

@@ -1,0 +1,250 @@
+// Package landscape encodes the paper's first contribution: the
+// formalization of the hardware-acceleration design landscape for
+// distributed real-time analytics (Section II, Figures 1, 3, 4, and 18).
+// It provides the accelerator spectrum with the latency/data-size envelopes
+// of Figure 1, the four-layer design-space classification of Figure 4
+// populated with the systems the paper cites, the three deployment models,
+// and an active-data-path cost model for choosing where on a distributed
+// data path an accelerator should be placed.
+package landscape
+
+import (
+	"fmt"
+	"time"
+)
+
+// AcceleratorClass is one point on the commodity→specialization spectrum of
+// Figure 3.
+type AcceleratorClass uint8
+
+// The accelerator spectrum, from commodity to fully specialized.
+const (
+	GeneralPurposeCPU AcceleratorClass = iota + 1
+	HardwareThreading                  // e.g. Intel Hyper-threading
+	SIMD                               // e.g. AVX, SSE, SPARC DAX
+	GPU                                // discrete and integrated
+	FPGA                               // Xilinx/Altera reconfigurable fabrics
+	ASIC                               // e.g. SPARC M7, TPU
+)
+
+// String implements fmt.Stringer.
+func (c AcceleratorClass) String() string {
+	switch c {
+	case GeneralPurposeCPU:
+		return "general-purpose CPU"
+	case HardwareThreading:
+		return "hardware multi-threading"
+	case SIMD:
+		return "SIMD"
+	case GPU:
+		return "GPU"
+	case FPGA:
+		return "FPGA"
+	case ASIC:
+		return "ASIC"
+	default:
+		return fmt.Sprintf("accelerator(%d)", uint8(c))
+	}
+}
+
+// Envelope is a region of the latency × data-size plane of Figure 1 where
+// an accelerator class is the envisioned fit.
+type Envelope struct {
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	MinBytes   uint64
+	MaxBytes   uint64
+}
+
+// Contains reports whether a working point falls inside the envelope.
+func (e Envelope) Contains(latencyTarget time.Duration, dataBytes uint64) bool {
+	return latencyTarget >= e.MinLatency && latencyTarget <= e.MaxLatency &&
+		dataBytes >= e.MinBytes && dataBytes <= e.MaxBytes
+}
+
+const (
+	gigabyte = 1 << 30
+	terabyte = 1 << 40
+	petabyte = 1 << 50
+)
+
+// envelopes reproduces Figure 1's technology outlook: ASICs serve the
+// tightest-latency band, FPGAs the microsecond-to-millisecond band, GPUs
+// milliseconds-to-seconds on up to terabytes, and general-purpose
+// processors the large-batch regime.
+var envelopes = map[AcceleratorClass]Envelope{
+	ASIC: {MinLatency: 0, MaxLatency: 100 * time.Microsecond,
+		MinBytes: 0, MaxBytes: terabyte},
+	FPGA: {MinLatency: 1 * time.Microsecond, MaxLatency: 100 * time.Millisecond,
+		MinBytes: 0, MaxBytes: 8 * terabyte},
+	GPU: {MinLatency: 1 * time.Millisecond, MaxLatency: 100 * time.Second,
+		MinBytes: gigabyte / 4, MaxBytes: 64 * terabyte},
+	GeneralPurposeCPU: {MinLatency: 1 * time.Second, MaxLatency: 100 * 24 * time.Hour,
+		MinBytes: gigabyte, MaxBytes: 4 * petabyte},
+}
+
+// EnvelopeFor returns the Figure 1 envelope of a class, when it has one
+// (the embedded features — SIMD, hardware threading — share the CPU's).
+func EnvelopeFor(c AcceleratorClass) (Envelope, bool) {
+	switch c {
+	case SIMD, HardwareThreading:
+		e, ok := envelopes[GeneralPurposeCPU]
+		return e, ok
+	default:
+		e, ok := envelopes[c]
+		return e, ok
+	}
+}
+
+// Recommend returns the accelerator classes whose Figure 1 envelope covers
+// the given real-time-analytics working point, most specialized first.
+func Recommend(latencyTarget time.Duration, dataBytes uint64) []AcceleratorClass {
+	var out []AcceleratorClass
+	for _, c := range []AcceleratorClass{ASIC, FPGA, GPU, GeneralPurposeCPU} {
+		if envelopes[c].Contains(latencyTarget, dataBytes) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DeploymentModel is the system-model layer of Figure 4: how accelerators
+// join the distributed compute infrastructure.
+type DeploymentModel uint8
+
+// The three deployment categories.
+const (
+	// Standalone embeds the entire software stack on the accelerator.
+	Standalone DeploymentModel = iota + 1
+	// CoPlacement puts accelerators on the data path (network, storage,
+	// memory) for partial or best-effort computation.
+	CoPlacement
+	// CoProcessor offloads (partial) computation from the host CPUs.
+	CoProcessor
+)
+
+// String implements fmt.Stringer.
+func (d DeploymentModel) String() string {
+	switch d {
+	case Standalone:
+		return "standalone"
+	case CoPlacement:
+		return "co-placement"
+	case CoProcessor:
+		return "co-processor"
+	default:
+		return fmt.Sprintf("deployment(%d)", uint8(d))
+	}
+}
+
+// RepresentationalModel is the dynamism spectrum of Figure 4's third layer.
+type RepresentationalModel uint8
+
+// From fully static to fully dynamic.
+const (
+	StaticCircuit RepresentationalModel = iota + 1
+	ParametrizedCircuit
+	ParametrizedDataSegments
+	ParametrizedTopology
+	TemporalSpatialInstructions
+)
+
+// String implements fmt.Stringer.
+func (r RepresentationalModel) String() string {
+	switch r {
+	case StaticCircuit:
+		return "static circuit"
+	case ParametrizedCircuit:
+		return "parametrized circuit"
+	case ParametrizedDataSegments:
+		return "parametrized data segments"
+	case ParametrizedTopology:
+		return "parametrized topology"
+	case TemporalSpatialInstructions:
+		return "temporal/spatial instructions"
+	default:
+		return fmt.Sprintf("representation(%d)", uint8(r))
+	}
+}
+
+// ParallelismPattern is the algorithmic-model layer's design patterns.
+type ParallelismPattern uint8
+
+// The three parallelism patterns.
+const (
+	DataParallelism ParallelismPattern = iota + 1
+	TaskParallelism
+	PipelineParallelism
+)
+
+// String implements fmt.Stringer.
+func (p ParallelismPattern) String() string {
+	switch p {
+	case DataParallelism:
+		return "data parallelism"
+	case TaskParallelism:
+		return "task parallelism"
+	case PipelineParallelism:
+		return "pipeline parallelism"
+	default:
+		return fmt.Sprintf("parallelism(%d)", uint8(p))
+	}
+}
+
+// SystemEntry classifies one published system within the Figure 4
+// landscape.
+type SystemEntry struct {
+	Name           string
+	Deployment     DeploymentModel
+	Representation RepresentationalModel
+	Parallelism    []ParallelismPattern
+	// DynamicCompiler is true for SQL front ends that map queries at
+	// runtime (FQP) rather than generating circuits (Glacier).
+	DynamicCompiler bool
+	Notes           string
+}
+
+// Registry returns the Figure 4 classification of the systems the paper
+// places in the landscape.
+func Registry() []SystemEntry {
+	return []SystemEntry{
+		{Name: "Glacier", Deployment: Standalone, Representation: StaticCircuit,
+			Parallelism: []ParallelismPattern{PipelineParallelism},
+			Notes:       "SQL-to-circuit static compiler; design fixed after synthesis"},
+		{Name: "fpga-ToPSS", Deployment: Standalone, Representation: ParametrizedCircuit,
+			Parallelism: []ParallelismPattern{DataParallelism, PipelineParallelism},
+			Notes:       "on-chip/off-chip memory split hides dynamic-query access latency"},
+		{Name: "skeleton automata", Deployment: Standalone, Representation: ParametrizedCircuit,
+			Parallelism: []ParallelismPattern{PipelineParallelism},
+			Notes:       "static NFA skeleton in gates, XPath conditions in memory"},
+		{Name: "Ibex", Deployment: CoProcessor, Representation: ParametrizedCircuit,
+			Parallelism: []ParallelismPattern{PipelineParallelism},
+			Notes:       "storage engine off-load; Boolean conditions precomputed in software"},
+		{Name: "Q100", Deployment: CoProcessor, Representation: TemporalSpatialInstructions,
+			Parallelism: []ParallelismPattern{PipelineParallelism, TaskParallelism},
+			Notes:       "database processing unit with temporal/spatial instructions"},
+		{Name: "IBM Netezza", Deployment: CoPlacement, Representation: ParametrizedCircuit,
+			Parallelism: []ParallelismPattern{DataParallelism},
+			Notes:       "commercial warehouse appliance off-loading query computation"},
+		{Name: "FQP", Deployment: Standalone, Representation: ParametrizedTopology,
+			Parallelism:     []ParallelismPattern{DataParallelism, TaskParallelism, PipelineParallelism},
+			DynamicCompiler: true,
+			Notes:           "online-programmable blocks; micro and macro runtime changes"},
+		{Name: "handshake join", Deployment: Standalone, Representation: ParametrizedCircuit,
+			Parallelism: []ParallelismPattern{DataParallelism, PipelineParallelism},
+			Notes:       "bi-directional data flow; scalable but latency grows with the chain"},
+		{Name: "SplitJoin", Deployment: Standalone, Representation: ParametrizedCircuit,
+			Parallelism: []ParallelismPattern{DataParallelism},
+			Notes:       "uni-directional top-down flow; fully independent join cores"},
+	}
+}
+
+// Lookup finds a registry entry by name.
+func Lookup(name string) (SystemEntry, bool) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return SystemEntry{}, false
+}

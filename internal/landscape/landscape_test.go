@@ -1,0 +1,170 @@
+package landscape
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecommendFigure1Bands(t *testing.T) {
+	tests := []struct {
+		name     string
+		latency  time.Duration
+		data     uint64
+		wantBest AcceleratorClass
+	}{
+		{"tight real-time, modest data", 50 * time.Microsecond, 1 << 30, ASIC},
+		{"sub-millisecond analytics", 10 * time.Millisecond, 1 << 30, FPGA},
+		{"second-scale on terabytes", 10 * time.Second, 4 << 40, GPU},
+		{"batch over petabytes", time.Hour, 1 << 50, GeneralPurposeCPU},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Recommend(tt.latency, tt.data)
+			if len(got) == 0 {
+				t.Fatal("no recommendation")
+			}
+			if got[0] != tt.wantBest {
+				t.Errorf("Recommend() best = %v, want %v (all: %v)", got[0], tt.wantBest, got)
+			}
+		})
+	}
+}
+
+func TestRecommendEmptyForImpossiblePoint(t *testing.T) {
+	// Sub-microsecond latency over a petabyte is outside every envelope.
+	if got := Recommend(100*time.Nanosecond, 2<<50); len(got) != 0 {
+		t.Errorf("impossible working point got recommendations: %v", got)
+	}
+}
+
+func TestEnvelopeForEmbeddedFeatures(t *testing.T) {
+	cpu, ok := EnvelopeFor(GeneralPurposeCPU)
+	if !ok {
+		t.Fatal("CPU envelope missing")
+	}
+	simd, ok := EnvelopeFor(SIMD)
+	if !ok || simd != cpu {
+		t.Error("SIMD should share the CPU envelope")
+	}
+	ht, ok := EnvelopeFor(HardwareThreading)
+	if !ok || ht != cpu {
+		t.Error("hardware threading should share the CPU envelope")
+	}
+}
+
+func TestRegistryClassifications(t *testing.T) {
+	// Spot-check the Figure 4 placements the paper states explicitly.
+	tests := []struct {
+		name string
+		want func(SystemEntry) bool
+		desc string
+	}{
+		{"Glacier", func(e SystemEntry) bool { return e.Representation == StaticCircuit && !e.DynamicCompiler }, "static compiler, static circuit"},
+		{"FQP", func(e SystemEntry) bool { return e.Representation == ParametrizedTopology && e.DynamicCompiler }, "dynamic compiler, parametrized topology"},
+		{"Q100", func(e SystemEntry) bool { return e.Representation == TemporalSpatialInstructions }, "temporal/spatial instructions"},
+		{"IBM Netezza", func(e SystemEntry) bool { return e.Deployment == CoPlacement }, "co-placement"},
+		{"Ibex", func(e SystemEntry) bool { return e.Deployment == CoProcessor }, "co-processor"},
+		{"SplitJoin", func(e SystemEntry) bool { return e.Representation == ParametrizedCircuit }, "uni-flow"},
+	}
+	for _, tt := range tests {
+		e, ok := Lookup(tt.name)
+		if !ok {
+			t.Errorf("registry missing %q", tt.name)
+			continue
+		}
+		if !tt.want(e) {
+			t.Errorf("%s misclassified (%s): %+v", tt.name, tt.desc, e)
+		}
+	}
+	if _, ok := Lookup("nosuch"); ok {
+		t.Error("Lookup(nosuch) succeeded")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Standalone.String() != "standalone" || CoPlacement.String() != "co-placement" || CoProcessor.String() != "co-processor" {
+		t.Error("DeploymentModel strings wrong")
+	}
+	if FPGA.String() != "FPGA" || ASIC.String() != "ASIC" {
+		t.Error("AcceleratorClass strings wrong")
+	}
+	if ParametrizedTopology.String() != "parametrized topology" {
+		t.Error("RepresentationalModel string wrong")
+	}
+	if PipelineParallelism.String() != "pipeline parallelism" {
+		t.Error("ParallelismPattern string wrong")
+	}
+}
+
+func testPath() Path {
+	return Path{Stages: []Stage{
+		{Name: "edge switch", BandwidthMBps: 1000, ComputeMBps: 4000},
+		{Name: "storage node", BandwidthMBps: 400, ComputeMBps: 2000},
+		{Name: "destination host", BandwidthMBps: 3000, ComputeMBps: 1500},
+	}}
+}
+
+func TestEvaluatePlacementsValidation(t *testing.T) {
+	if _, err := EvaluatePlacements(Path{}, 100, 0.5); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := EvaluatePlacements(testPath(), 0, 0.5); err == nil {
+		t.Error("zero volume accepted")
+	}
+	if _, err := EvaluatePlacements(testPath(), 100, 1.5); err == nil {
+		t.Error("selectivity > 1 accepted")
+	}
+	bad := testPath()
+	bad.Stages[2].ComputeMBps = 0
+	if _, err := EvaluatePlacements(bad, 100, 0.5); err == nil {
+		t.Error("path with compute-less destination accepted")
+	}
+}
+
+// TestSelectiveFilterPushesUpstream: with a highly selective filter, the
+// best placement is early on the path (co-placement at the switch); with no
+// reduction at all, pushing upstream cannot beat the faster destination
+// CPUs by data savings.
+func TestSelectiveFilterPushesUpstream(t *testing.T) {
+	placements, err := EvaluatePlacements(testPath(), 10_000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) != 3 {
+		t.Fatalf("got %d placements, want 3", len(placements))
+	}
+	best, err := Best(placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model != CoPlacement || best.StageIndex != 0 {
+		t.Errorf("best placement for a 1%% filter = %+v, want co-placement at the edge switch", best)
+	}
+	if red := DataReduction(placements, best); red < 0.5 {
+		t.Errorf("data reduction = %.2f, want large savings from early filtering", red)
+	}
+}
+
+func TestNonSelectiveTaskStaysAtDestination(t *testing.T) {
+	placements, err := EvaluatePlacements(testPath(), 10_000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Best(placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With selectivity 1 there are no traffic savings; the edge switch only
+	// wins if its accelerator outruns the CPUs, which it does here (4000 vs
+	// 1500 MB/s) — so the winner must still be a compute-rate argument, not
+	// a traffic one.
+	if red := DataReduction(placements, best); red != 0 {
+		t.Errorf("selectivity-1 task reports data reduction %.2f, want 0", red)
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	if _, err := Best(nil); err == nil {
+		t.Error("Best(nil) succeeded")
+	}
+}

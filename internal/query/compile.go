@@ -1,0 +1,299 @@
+package query
+
+import (
+	"fmt"
+
+	"accelstream/internal/fqp"
+	"accelstream/internal/stream"
+)
+
+// Catalog maps stream names to their schemas for semantic validation.
+type Catalog map[string]*stream.Schema
+
+// Compile lowers a parsed query to an FQP plan (the dynamic-compiler path):
+// WHERE conjuncts are pushed down to the side they reference, the join (if
+// any) sits above them, and an explicit projection tops the plan.
+func Compile(q *Query, cat Catalog) (*fqp.PlanNode, error) {
+	if q == nil {
+		return nil, fmt.Errorf("query: nil query")
+	}
+	fromSchema, ok := cat[q.From.Name]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown stream %q", q.From.Name)
+	}
+	aliases := map[string]*stream.Schema{q.From.Alias: fromSchema}
+	var joinSchema *stream.Schema
+	if q.Join != nil {
+		joinSchema, ok = cat[q.Join.Name]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown stream %q", q.Join.Name)
+		}
+		if q.Join.Alias == q.From.Alias {
+			return nil, fmt.Errorf("query: duplicate alias %q", q.Join.Alias)
+		}
+		aliases[q.Join.Alias] = joinSchema
+	}
+
+	// resolve maps a field reference to the alias it belongs to.
+	resolve := func(ref FieldRef) (string, error) {
+		if ref.Alias != "" {
+			sch, ok := aliases[ref.Alias]
+			if !ok {
+				return "", fmt.Errorf("query: unknown alias %q", ref.Alias)
+			}
+			if _, err := sch.FieldIndex(ref.Field); err != nil {
+				return "", err
+			}
+			return ref.Alias, nil
+		}
+		var owner string
+		for alias, sch := range aliases {
+			if _, err := sch.FieldIndex(ref.Field); err == nil {
+				if owner != "" {
+					return "", fmt.Errorf("query: field %q is ambiguous between %q and %q", ref.Field, owner, alias)
+				}
+				owner = alias
+			}
+		}
+		if owner == "" {
+			return "", fmt.Errorf("query: unknown field %q", ref.Field)
+		}
+		return owner, nil
+	}
+
+	// Push selections down to their side.
+	side := map[string]*fqp.PlanNode{q.From.Alias: fqp.Leaf(q.From.Name)}
+	if q.Join != nil {
+		side[q.Join.Alias] = fqp.Leaf(q.Join.Name)
+	}
+	for _, pred := range q.Where {
+		owner, err := resolve(pred.Ref)
+		if err != nil {
+			return nil, err
+		}
+		side[owner] = fqp.Select(pred.Ref.Field, pred.Cmp, pred.Const, side[owner])
+	}
+	// Non-conjunctive WHERE trees: simple conjuncts still push down as plain
+	// selections; each conjunct containing OR/NOT is precomputed to an
+	// Ibex-style truth table in software and evaluated by one select-table
+	// block on the side it references.
+	if q.WhereExpr != nil {
+		for _, conjunct := range q.WhereExpr.Conjuncts() {
+			if conjunct.Pred != nil {
+				owner, err := resolve(conjunct.Pred.Ref)
+				if err != nil {
+					return nil, err
+				}
+				side[owner] = fqp.Select(conjunct.Pred.Ref.Field, conjunct.Pred.Cmp, conjunct.Pred.Const, side[owner])
+				continue
+			}
+			owner := ""
+			for _, ref := range conjunct.Fields() {
+				o, err := resolve(ref)
+				if err != nil {
+					return nil, err
+				}
+				if owner == "" {
+					owner = o
+				} else if owner != o {
+					return nil, fmt.Errorf("query: a disjunctive condition may reference only one stream, found both %q and %q", owner, o)
+				}
+			}
+			if owner == "" {
+				return nil, fmt.Errorf("query: empty WHERE conjunct")
+			}
+			expr, err := toBoolExpr(conjunct)
+			if err != nil {
+				return nil, err
+			}
+			table, err := fqp.CompileTruthTable(expr)
+			if err != nil {
+				return nil, err
+			}
+			side[owner] = fqp.SelectTable(table, side[owner])
+		}
+	}
+
+	var plan *fqp.PlanNode
+	if q.Aggregate != nil {
+		if q.Join != nil {
+			return nil, fmt.Errorf("query: aggregates over joins are not supported")
+		}
+		fn, err := aggKind(q.Aggregate.Fn)
+		if err != nil {
+			return nil, err
+		}
+		if q.Aggregate.Field != "" {
+			if _, err := fromSchema.FieldIndex(q.Aggregate.Field); err != nil {
+				return nil, err
+			}
+		}
+		if q.Aggregate.GroupBy != "" {
+			if _, err := fromSchema.FieldIndex(q.Aggregate.GroupBy); err != nil {
+				return nil, err
+			}
+		}
+		plan = fqp.Aggregate(fn, q.Aggregate.Field, q.Aggregate.GroupBy, q.From.Rows, side[q.From.Alias])
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("query: compiled plan invalid: %w", err)
+		}
+		return plan, nil
+	}
+	if q.Join == nil {
+		plan = side[q.From.Alias]
+		if plan.Op == fqp.OpNone {
+			// A bare scan still needs one block to materialize the query.
+			plan = &fqp.PlanNode{
+				Op:       fqp.OpPassthrough,
+				Program:  fqp.Program{Op: fqp.OpPassthrough},
+				Children: []*fqp.PlanNode{plan},
+			}
+		}
+	} else {
+		if q.On == nil {
+			return nil, fmt.Errorf("query: JOIN without ON")
+		}
+		leftOwner, err := resolve(q.On.Left)
+		if err != nil {
+			return nil, err
+		}
+		rightOwner, err := resolve(q.On.Right)
+		if err != nil {
+			return nil, err
+		}
+		if leftOwner == rightOwner {
+			return nil, fmt.Errorf("query: join condition references only %q", leftOwner)
+		}
+		left, right := q.On.Left, q.On.Right
+		if leftOwner != q.From.Alias {
+			left, right = right, left
+		}
+		window := q.From.Rows
+		if q.Join.Rows > window {
+			window = q.Join.Rows
+		}
+		plan = fqp.Join(left.Field, right.Field, q.On.Cmp, window,
+			side[q.From.Alias], side[q.Join.Alias])
+	}
+
+	// Projection: SELECT * keeps the operator output as-is.
+	if len(q.Projection) > 0 {
+		fields := make([]string, 0, len(q.Projection))
+		for _, ref := range q.Projection {
+			owner, err := resolve(ref)
+			if err != nil {
+				return nil, err
+			}
+			if q.Join != nil {
+				// Joined records carry schema-prefixed field names.
+				fields = append(fields, aliases[owner].Name()+"."+ref.Field)
+			} else {
+				fields = append(fields, ref.Field)
+			}
+		}
+		plan = fqp.Project(fields, plan)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("query: compiled plan invalid: %w", err)
+	}
+	return plan, nil
+}
+
+// toBoolExpr lowers a parsed WHERE tree to the fabric's Boolean-expression
+// form (field names only — ownership was already resolved to one side).
+func toBoolExpr(w *WhereNode) (*fqp.BoolExpr, error) {
+	switch {
+	case w == nil:
+		return nil, fmt.Errorf("query: nil WHERE node")
+	case w.Pred != nil:
+		return fqp.Predicate(w.Pred.Ref.Field, w.Pred.Cmp, w.Pred.Const), nil
+	case w.Not != nil:
+		inner, err := toBoolExpr(w.Not)
+		if err != nil {
+			return nil, err
+		}
+		return fqp.NotExpr(inner), nil
+	case w.And != nil:
+		parts := make([]*fqp.BoolExpr, 0, len(w.And))
+		for _, c := range w.And {
+			e, err := toBoolExpr(c)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+		}
+		return fqp.AndExpr(parts...), nil
+	case w.Or != nil:
+		parts := make([]*fqp.BoolExpr, 0, len(w.Or))
+		for _, c := range w.Or {
+			e, err := toBoolExpr(c)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+		}
+		return fqp.OrExpr(parts...), nil
+	default:
+		return nil, fmt.Errorf("query: empty WHERE node")
+	}
+}
+
+// aggKind maps an SQL aggregate name to the fabric's AggKind.
+func aggKind(fn string) (fqp.AggKind, error) {
+	switch fn {
+	case "COUNT":
+		return fqp.AggCount, nil
+	case "SUM":
+		return fqp.AggSum, nil
+	case "MIN":
+		return fqp.AggMin, nil
+	case "MAX":
+		return fqp.AggMax, nil
+	default:
+		return 0, fmt.Errorf("query: unknown aggregate %q", fn)
+	}
+}
+
+// Circuit is the product of the static (Glacier-style) compiler: a sealed
+// single-query engine. It exposes no programming or routing interface —
+// changing the query means re-synthesizing a new circuit, which is exactly
+// the cost the FQP model avoids (Figure 6).
+type Circuit struct {
+	name   string
+	fabric *fqp.Fabric
+}
+
+// CompileStatic parses nothing new — it lowers the same plan, but seals it
+// inside a private single-query fabric.
+func CompileStatic(name string, q *Query, cat Catalog) (*Circuit, error) {
+	plan, err := Compile(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := fqp.NewFabric(plan.Operators())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fab.AssignQuery(name, plan); err != nil {
+		return nil, err
+	}
+	return &Circuit{name: name, fabric: fab}, nil
+}
+
+// Name returns the circuit's query name.
+func (c *Circuit) Name() string { return c.name }
+
+// Process pushes one record through the sealed circuit and returns any
+// results it produced.
+func (c *Circuit) Process(streamName string, rec stream.Record) ([]stream.Record, error) {
+	if err := c.fabric.Ingest(streamName, rec); err != nil {
+		return nil, err
+	}
+	return c.fabric.TakeResults(c.name), nil
+}
+
+// ResynthesisCost returns what changing this circuit costs: the full
+// conventional FPGA flow.
+func (c *Circuit) ResynthesisCost() fqp.ReconfigPipeline {
+	return fqp.ConventionalFlow()
+}

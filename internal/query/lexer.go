@@ -1,0 +1,92 @@
+// Package query is the declarative programming-model layer of the
+// acceleration landscape (Section II): a small SQL dialect for continuous
+// queries over windowed streams, with the two compiler styles the paper
+// contrasts —
+//
+//   - a static compiler in the style of Glacier: the query becomes a sealed
+//     circuit whose operators and wiring cannot change after synthesis;
+//   - a dynamic compiler in the style of FQP: the query becomes a plan of
+//     OP-Block programs that is assigned onto an already-running fabric at
+//     runtime, in microseconds, without halting other queries.
+//
+// The dialect:
+//
+//	SELECT <field[, field...] | *>
+//	FROM <stream> [ROWS <n>] [AS <alias>]
+//	[JOIN <stream> [ROWS <n>] [AS <alias>] ON <a.f> = <b.f>]
+//	[WHERE <ref> <cmp> <const> [AND ...]]
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokSymbol // , . ( ) *
+	tokCmp    // = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Keywords are returned as tokIdent and
+// matched case-insensitively by the parser.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',' || c == '.' || c == '(' || c == ')' || c == '*':
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			text := input[start:i]
+			if text == "!" {
+				return nil, fmt.Errorf("query: stray '!' at position %d", start)
+			}
+			toks = append(toks, token{kind: tokCmp, text: text, pos: start})
+		case unicode.IsDigit(c):
+			start := i
+			for i < n && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// isKeyword matches an identifier token against a keyword,
+// case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,448 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"accelstream/internal/stream"
+)
+
+// FieldRef names a field, optionally qualified by a stream alias.
+type FieldRef struct {
+	Alias string // empty when unqualified
+	Field string
+}
+
+// String implements fmt.Stringer.
+func (f FieldRef) String() string {
+	if f.Alias == "" {
+		return f.Field
+	}
+	return f.Alias + "." + f.Field
+}
+
+// StreamRef is a FROM/JOIN source with its window.
+type StreamRef struct {
+	Name  string
+	Alias string // defaults to Name
+	Rows  int    // window size; defaults to DefaultWindowRows
+}
+
+// DefaultWindowRows is the window applied when a stream gives no ROWS
+// clause.
+const DefaultWindowRows = 1024
+
+// Predicate is one WHERE conjunct: ref cmp constant.
+type Predicate struct {
+	Ref   FieldRef
+	Cmp   stream.Comparator
+	Const uint32
+}
+
+// JoinOn is the join condition between the two sources.
+type JoinOn struct {
+	Left  FieldRef
+	Right FieldRef
+	Cmp   stream.Comparator
+}
+
+// WhereNode is the parsed WHERE expression tree: an arbitrary AND/OR/NOT
+// combination of predicates. Pure conjunctions are also flattened into
+// Query.Where for the common pushdown path.
+type WhereNode struct {
+	Pred *Predicate
+	Not  *WhereNode
+	And  []*WhereNode
+	Or   []*WhereNode
+}
+
+// isConjunction reports whether the tree is only ANDs of simple predicates,
+// returning the flattened list when it is.
+func (w *WhereNode) isConjunction() ([]Predicate, bool) {
+	switch {
+	case w == nil:
+		return nil, true
+	case w.Pred != nil:
+		return []Predicate{*w.Pred}, true
+	case w.And != nil:
+		var all []Predicate
+		for _, c := range w.And {
+			preds, ok := c.isConjunction()
+			if !ok {
+				return nil, false
+			}
+			all = append(all, preds...)
+		}
+		return all, true
+	default:
+		return nil, false
+	}
+}
+
+// Conjuncts splits the top level of the tree into AND-ed parts (the whole
+// tree if its top is not an AND).
+func (w *WhereNode) Conjuncts() []*WhereNode {
+	if w == nil {
+		return nil
+	}
+	if w.And != nil {
+		var out []*WhereNode
+		for _, c := range w.And {
+			out = append(out, c.Conjuncts()...)
+		}
+		return out
+	}
+	return []*WhereNode{w}
+}
+
+// Fields collects every field reference in the tree.
+func (w *WhereNode) Fields() []FieldRef {
+	var out []FieldRef
+	switch {
+	case w == nil:
+	case w.Pred != nil:
+		out = append(out, w.Pred.Ref)
+	case w.Not != nil:
+		out = w.Not.Fields()
+	default:
+		for _, c := range w.And {
+			out = append(out, c.Fields()...)
+		}
+		for _, c := range w.Or {
+			out = append(out, c.Fields()...)
+		}
+	}
+	return out
+}
+
+// AggSpec is an aggregate projection: FN(field) with an optional GROUP BY.
+type AggSpec struct {
+	Fn      string // COUNT, SUM, MIN, MAX (upper-cased)
+	Field   string // empty for COUNT(*)
+	GroupBy string // empty for a global aggregate
+}
+
+// Query is the parsed AST.
+type Query struct {
+	Projection []FieldRef // empty means SELECT *
+	Aggregate  *AggSpec   // set for aggregate queries (exclusive with Projection)
+	From       StreamRef
+	Join       *StreamRef
+	On         *JoinOn
+	// Where holds the flattened predicates when the WHERE clause is a pure
+	// conjunction (the common pushdown case); WhereExpr holds the full tree
+	// when it contains OR or NOT (compiled Ibex-style to a truth table).
+	Where     []Predicate
+	WhereExpr *WhereNode
+}
+
+// Parse parses one query in the package dialect.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().isKeyword(kw) {
+		return fmt.Errorf("query: expected %s at position %d, found %q", kw, p.cur().pos, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	var q Query
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "*" {
+		p.next()
+	} else if agg, ok, err := p.tryParseAggregate(); err != nil {
+		return nil, err
+	} else if ok {
+		q.Aggregate = agg
+	} else {
+		for {
+			ref, err := p.parseFieldRef()
+			if err != nil {
+				return nil, err
+			}
+			q.Projection = append(q.Projection, ref)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseStreamRef()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+
+	if p.cur().isKeyword("JOIN") {
+		p.next()
+		join, err := p.parseStreamRef()
+		if err != nil {
+			return nil, err
+		}
+		q.Join = &join
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.parseFieldRef()
+		if err != nil {
+			return nil, err
+		}
+		cmp, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.parseFieldRef()
+		if err != nil {
+			return nil, err
+		}
+		q.On = &JoinOn{Left: left, Right: right, Cmp: cmp}
+	}
+
+	if p.cur().isKeyword("WHERE") {
+		p.next()
+		expr, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if preds, ok := expr.isConjunction(); ok {
+			q.Where = preds
+		} else {
+			q.WhereExpr = expr
+		}
+	}
+
+	if p.cur().isKeyword("GROUP") {
+		if q.Aggregate == nil {
+			return nil, fmt.Errorf("query: GROUP BY requires an aggregate projection")
+		}
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, fmt.Errorf("query: GROUP BY needs a field at position %d", p.cur().pos)
+		}
+		q.Aggregate.GroupBy = p.next().text
+	}
+
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at position %d: %q", p.cur().pos, p.cur().text)
+	}
+	return &q, nil
+}
+
+// tryParseAggregate recognizes COUNT(*) / COUNT(f) / SUM(f) / MIN(f) /
+// MAX(f) at the head of the projection list.
+func (p *parser) tryParseAggregate() (*AggSpec, bool, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, false, nil
+	}
+	fn := strings.ToUpper(t.text)
+	switch fn {
+	case "COUNT", "SUM", "MIN", "MAX":
+	default:
+		return nil, false, nil
+	}
+	// Aggregate only when followed by '('.
+	if p.toks[p.i+1].kind != tokSymbol || p.toks[p.i+1].text != "(" {
+		return nil, false, nil
+	}
+	p.next() // fn
+	p.next() // (
+	spec := &AggSpec{Fn: fn}
+	if p.cur().kind == tokSymbol && p.cur().text == "*" {
+		if fn != "COUNT" {
+			return nil, false, fmt.Errorf("query: %s(*) is not supported; name a field", fn)
+		}
+		p.next()
+	} else {
+		if p.cur().kind != tokIdent {
+			return nil, false, fmt.Errorf("query: %s needs a field at position %d", fn, p.cur().pos)
+		}
+		spec.Field = p.next().text
+	}
+	if p.cur().kind != tokSymbol || p.cur().text != ")" {
+		return nil, false, fmt.Errorf("query: missing ')' after aggregate at position %d", p.cur().pos)
+	}
+	p.next()
+	return spec, true, nil
+}
+
+// parseOrExpr implements the WHERE grammar:
+//
+//	or    := and (OR and)*
+//	and   := unary (AND unary)*
+//	unary := NOT unary | '(' or ')' | predicate
+func (p *parser) parseOrExpr() (*WhereNode, error) {
+	left, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	terms := []*WhereNode{left}
+	for p.cur().isKeyword("OR") {
+		p.next()
+		right, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &WhereNode{Or: terms}, nil
+}
+
+func (p *parser) parseAndExpr() (*WhereNode, error) {
+	left, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	terms := []*WhereNode{left}
+	for p.cur().isKeyword("AND") {
+		p.next()
+		right, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &WhereNode{And: terms}, nil
+}
+
+func (p *parser) parseUnaryExpr() (*WhereNode, error) {
+	if p.cur().isKeyword("NOT") {
+		p.next()
+		inner, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &WhereNode{Not: inner}, nil
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "(" {
+		p.next()
+		inner, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokSymbol || p.cur().text != ")" {
+			return nil, fmt.Errorf("query: missing ')' at position %d", p.cur().pos)
+		}
+		p.next()
+		return inner, nil
+	}
+	ref, err := p.parseFieldRef()
+	if err != nil {
+		return nil, err
+	}
+	cmp, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokNumber {
+		return nil, fmt.Errorf("query: expected a numeric constant at position %d, found %q", p.cur().pos, p.cur().text)
+	}
+	v, err := strconv.ParseUint(p.next().text, 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("query: constant out of range: %w", err)
+	}
+	return &WhereNode{Pred: &Predicate{Ref: ref, Cmp: cmp, Const: uint32(v)}}, nil
+}
+
+func (p *parser) parseStreamRef() (StreamRef, error) {
+	if p.cur().kind != tokIdent {
+		return StreamRef{}, fmt.Errorf("query: expected a stream name at position %d, found %q", p.cur().pos, p.cur().text)
+	}
+	ref := StreamRef{Name: p.next().text, Rows: DefaultWindowRows}
+	if p.cur().isKeyword("ROWS") {
+		p.next()
+		if p.cur().kind != tokNumber {
+			return StreamRef{}, fmt.Errorf("query: ROWS needs a number at position %d", p.cur().pos)
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n <= 0 {
+			return StreamRef{}, fmt.Errorf("query: invalid ROWS value")
+		}
+		ref.Rows = n
+	}
+	if p.cur().isKeyword("AS") {
+		p.next()
+		if p.cur().kind != tokIdent {
+			return StreamRef{}, fmt.Errorf("query: AS needs an identifier at position %d", p.cur().pos)
+		}
+		ref.Alias = p.next().text
+	}
+	if ref.Alias == "" {
+		ref.Alias = ref.Name
+	}
+	return ref, nil
+}
+
+func (p *parser) parseFieldRef() (FieldRef, error) {
+	if p.cur().kind != tokIdent {
+		return FieldRef{}, fmt.Errorf("query: expected a field at position %d, found %q", p.cur().pos, p.cur().text)
+	}
+	first := p.next().text
+	if p.cur().kind == tokSymbol && p.cur().text == "." {
+		p.next()
+		if p.cur().kind != tokIdent {
+			return FieldRef{}, fmt.Errorf("query: expected a field after '.' at position %d", p.cur().pos)
+		}
+		return FieldRef{Alias: first, Field: p.next().text}, nil
+	}
+	return FieldRef{Field: first}, nil
+}
+
+func (p *parser) parseCmp() (stream.Comparator, error) {
+	if p.cur().kind != tokCmp {
+		return 0, fmt.Errorf("query: expected a comparison at position %d, found %q", p.cur().pos, p.cur().text)
+	}
+	switch p.next().text {
+	case "=":
+		return stream.CmpEQ, nil
+	case "!=":
+		return stream.CmpNE, nil
+	case "<":
+		return stream.CmpLT, nil
+	case "<=":
+		return stream.CmpLE, nil
+	case ">":
+		return stream.CmpGT, nil
+	case ">=":
+		return stream.CmpGE, nil
+	default:
+		return 0, fmt.Errorf("query: unknown comparison")
+	}
+}

@@ -1,0 +1,453 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"accelstream/internal/fqp"
+	"accelstream/internal/stream"
+)
+
+var testCatalog = Catalog{
+	"customer": stream.MustSchema("customer", "product_id", "age", "gender"),
+	"product":  stream.MustSchema("product", "product_id", "price"),
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("a ! b"); err == nil {
+		t.Error("stray '!' accepted")
+	}
+	if _, err := lex("a # b"); err == nil {
+		t.Error("unknown character accepted")
+	}
+}
+
+func TestParseFigure7Query(t *testing.T) {
+	q, err := Parse(`SELECT c.age, p.price
+		FROM customer ROWS 1536 AS c
+		JOIN product ROWS 1536 AS p ON c.product_id = p.product_id
+		WHERE c.age > 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Projection) != 2 {
+		t.Errorf("projection arity = %d, want 2", len(q.Projection))
+	}
+	if q.From.Name != "customer" || q.From.Alias != "c" || q.From.Rows != 1536 {
+		t.Errorf("FROM = %+v", q.From)
+	}
+	if q.Join == nil || q.Join.Name != "product" || q.Join.Alias != "p" {
+		t.Fatalf("JOIN = %+v", q.Join)
+	}
+	if q.On == nil || q.On.Cmp != stream.CmpEQ || q.On.Left.String() != "c.product_id" {
+		t.Errorf("ON = %+v", q.On)
+	}
+	if len(q.Where) != 1 || q.Where[0].Cmp != stream.CmpGT || q.Where[0].Const != 25 {
+		t.Errorf("WHERE = %+v", q.Where)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	q, err := Parse("SELECT * FROM customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Projection) != 0 {
+		t.Error("SELECT * should produce an empty projection")
+	}
+	if q.From.Alias != "customer" || q.From.Rows != DefaultWindowRows {
+		t.Errorf("defaults not applied: %+v", q.From)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM s WHERE",
+		"SELECT * FROM s WHERE a >",
+		"SELECT * FROM s WHERE a > b",
+		"SELECT * FROM a JOIN b",
+		"SELECT * FROM a JOIN b ON x = ",
+		"SELECT * FROM s ROWS zero",
+		"SELECT * FROM s trailing garbage",
+		"SELECT a. FROM s",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseAllComparators(t *testing.T) {
+	ops := map[string]stream.Comparator{
+		"=": stream.CmpEQ, "!=": stream.CmpNE, "<": stream.CmpLT,
+		"<=": stream.CmpLE, ">": stream.CmpGT, ">=": stream.CmpGE,
+	}
+	for text, want := range ops {
+		q, err := Parse("SELECT * FROM s WHERE f " + text + " 5")
+		if err != nil {
+			t.Fatalf("Parse with %q: %v", text, err)
+		}
+		if q.Where[0].Cmp != want {
+			t.Errorf("comparator %q parsed as %v", text, q.Where[0].Cmp)
+		}
+	}
+}
+
+func TestCompileJoinQuery(t *testing.T) {
+	q, err := Parse(`SELECT c.age, p.price FROM customer ROWS 64 AS c
+		JOIN product ROWS 64 AS p ON c.product_id = p.product_id WHERE c.age > 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q, testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// project → join → (select(customer), leaf(product))
+	if plan.Op != fqp.OpProject {
+		t.Fatalf("root op = %v, want project", plan.Op)
+	}
+	join := plan.Children[0]
+	if join.Op != fqp.OpJoin || join.Program.JoinWindow != 64 {
+		t.Fatalf("join node = %+v", join.Program)
+	}
+	if join.Children[0].Op != fqp.OpSelect {
+		t.Errorf("selection not pushed to the customer side: %v", join.Children[0].Op)
+	}
+	if join.Children[1].Op != fqp.OpNone || join.Children[1].Stream != "product" {
+		t.Errorf("right child = %+v", join.Children[1])
+	}
+	if plan.Operators() != 3 {
+		t.Errorf("plan uses %d operators, want 3", plan.Operators())
+	}
+}
+
+func TestCompileUnqualifiedFieldResolution(t *testing.T) {
+	// price exists only in product; age only in customer.
+	q, err := Parse(`SELECT age, price FROM customer AS c
+		JOIN product AS p ON product_id = price WHERE age > 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// product_id is ambiguous (both schemas have it) → error.
+	if _, err := Compile(q, testCatalog); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous field compiled: %v", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM nosuch",
+		"SELECT * FROM customer JOIN nosuch ON customer.product_id = nosuch.x",
+		"SELECT nosuchfield FROM customer",
+		"SELECT * FROM customer AS c JOIN product AS c ON c.product_id = c.product_id",
+		"SELECT * FROM customer AS a JOIN product AS b ON a.product_id = a.age",
+	}
+	for _, in := range cases {
+		q, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if _, err := Compile(q, testCatalog); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// TestCompileAndRunOnFabric: end-to-end — parse, compile, assign, ingest.
+func TestCompileAndRunOnFabric(t *testing.T) {
+	q, err := Parse(`SELECT c.age, p.price FROM customer ROWS 16 AS c
+		JOIN product ROWS 16 AS p ON c.product_id = p.product_id WHERE c.age > 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q, testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := fqp.NewFabric(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fab.AssignQuery("q", plan); err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := stream.NewRecord(testCatalog["product"], 7, 99)
+	if err := fab.Ingest("product", prod); err != nil {
+		t.Fatal(err)
+	}
+	young, _ := stream.NewRecord(testCatalog["customer"], 7, 20, 0)
+	if err := fab.Ingest("customer", young); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := stream.NewRecord(testCatalog["customer"], 7, 40, 0)
+	if err := fab.Ingest("customer", old); err != nil {
+		t.Fatal(err)
+	}
+	results := fab.Results("q")
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	if age, err := results[0].Get("customer.age"); err != nil || age != 40 {
+		t.Errorf("result age = %d (%v), want 40", age, err)
+	}
+	if price, err := results[0].Get("product.price"); err != nil || price != 99 {
+		t.Errorf("result price = %d (%v), want 99", price, err)
+	}
+}
+
+// TestStaticCircuit: the Glacier-style compiler yields a working but sealed
+// engine whose change cost is the conventional flow.
+func TestStaticCircuit(t *testing.T) {
+	q, err := Parse("SELECT age FROM customer WHERE age > 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileStatic("static", q, testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "static" {
+		t.Errorf("Name() = %q", c.Name())
+	}
+	rec, _ := stream.NewRecord(testCatalog["customer"], 1, 30, 0)
+	out, err := c.Process("customer", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d records, want 1", len(out))
+	}
+	rec2, _ := stream.NewRecord(testCatalog["customer"], 1, 20, 0)
+	out, err = c.Process("customer", rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("age 20 passed the filter")
+	}
+	if cost := c.ResynthesisCost(); cost.HaltMin() == 0 {
+		t.Error("static circuit resynthesis must halt processing")
+	}
+}
+
+// TestParseBooleanWhere: OR/NOT/parentheses produce an expression tree;
+// pure conjunctions stay on the flattened fast path.
+func TestParseBooleanWhere(t *testing.T) {
+	q, err := Parse("SELECT * FROM customer WHERE age > 25 AND gender = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.WhereExpr != nil || len(q.Where) != 2 {
+		t.Errorf("conjunction not flattened: Where=%v WhereExpr=%v", q.Where, q.WhereExpr)
+	}
+
+	q, err = Parse("SELECT * FROM customer WHERE age > 65 OR age < 18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.WhereExpr == nil || len(q.WhereExpr.Or) != 2 {
+		t.Fatalf("OR not parsed: %+v", q.WhereExpr)
+	}
+
+	q, err = Parse("SELECT * FROM customer WHERE NOT (age > 18 AND age < 65) AND gender = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.WhereExpr == nil {
+		t.Fatal("NOT expression lost")
+	}
+	conj := q.WhereExpr.Conjuncts()
+	if len(conj) != 2 {
+		t.Fatalf("got %d conjuncts, want 2", len(conj))
+	}
+
+	for _, bad := range []string{
+		"SELECT * FROM s WHERE (a > 1",
+		"SELECT * FROM s WHERE a > 1 OR",
+		"SELECT * FROM s WHERE NOT",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestCompileDisjunctionToTruthTable: a disjunctive WHERE compiles to an
+// Ibex-style select-table block and filters correctly on the fabric.
+func TestCompileDisjunctionToTruthTable(t *testing.T) {
+	q, err := Parse(`SELECT age FROM customer WHERE (age > 65 OR age < 18) AND gender = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q, testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// project → select(gender) and select-table(age-disjunction) in some
+	// pushdown order.
+	sawTable := false
+	sawSelect := false
+	for n := plan; n != nil && len(n.Children) > 0; n = n.Children[0] {
+		switch n.Op {
+		case fqp.OpSelectTable:
+			sawTable = true
+		case fqp.OpSelect:
+			sawSelect = true
+		}
+	}
+	if !sawTable || !sawSelect {
+		t.Fatalf("expected both a select-table and a plain select in the chain (table=%v select=%v)", sawTable, sawSelect)
+	}
+
+	fab, err := fqp.NewFabric(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fab.AssignQuery("fringe", plan); err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(age, gender uint32) {
+		rec, err := stream.NewRecord(testCatalog["customer"], 1, age, gender)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fab.Ingest("customer", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest(70, 1) // pass
+	ingest(10, 1) // pass
+	ingest(30, 1) // fail (middle age)
+	ingest(70, 0) // fail (gender)
+	if got := len(fab.Results("fringe")); got != 2 {
+		t.Errorf("got %d results, want 2", got)
+	}
+}
+
+// TestCompileCrossStreamDisjunctionRejected: OR spanning both join sides
+// cannot be pushed to a single block.
+func TestCompileCrossStreamDisjunctionRejected(t *testing.T) {
+	q, err := Parse(`SELECT * FROM customer AS c JOIN product AS p ON c.product_id = p.product_id
+		WHERE c.age > 10 OR p.price > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(q, testCatalog); err == nil || !strings.Contains(err.Error(), "one stream") {
+		t.Errorf("cross-stream disjunction compiled: %v", err)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM customer ROWS 64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Aggregate == nil || q.Aggregate.Fn != "COUNT" || q.Aggregate.Field != "" {
+		t.Errorf("COUNT(*) parsed as %+v", q.Aggregate)
+	}
+	q, err = Parse("SELECT SUM(age) FROM customer GROUP BY gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Aggregate == nil || q.Aggregate.Fn != "SUM" || q.Aggregate.Field != "age" || q.Aggregate.GroupBy != "gender" {
+		t.Errorf("SUM(age) GROUP BY gender parsed as %+v", q.Aggregate)
+	}
+	// A field that merely shares an aggregate's name is not an aggregate.
+	q, err = Parse("SELECT count FROM counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Aggregate != nil {
+		t.Error("bare field 'count' parsed as an aggregate")
+	}
+	for _, bad := range []string{
+		"SELECT SUM(*) FROM customer",
+		"SELECT SUM( FROM customer",
+		"SELECT SUM(age FROM customer",
+		"SELECT age FROM customer GROUP BY gender", // GROUP BY without aggregate
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestCompileAggregateRunsOnFabric(t *testing.T) {
+	q, err := Parse("SELECT MAX(age) FROM customer ROWS 4 WHERE age > 10 GROUP BY gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q, testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Op != fqp.OpAggregate || plan.Operators() != 2 {
+		t.Fatalf("plan = %v with %d operators, want aggregate over select", plan.Op, plan.Operators())
+	}
+	fab, err := fqp.NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fab.AssignQuery("peak", plan); err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(age, gender uint32) {
+		rec, err := stream.NewRecord(testCatalog["customer"], 1, age, gender)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fab.Ingest("customer", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest(5, 0)  // filtered by WHERE
+	ingest(30, 0) // max(0)=30
+	ingest(20, 1) // max(1)=20
+	ingest(25, 0) // max(0)=30
+	results := fab.Results("peak")
+	if len(results) != 3 {
+		t.Fatalf("got %d aggregate updates, want 3", len(results))
+	}
+	last := results[len(results)-1]
+	g, _ := last.Get("gender")
+	m, _ := last.Get("max_age")
+	if g != 0 || m != 30 {
+		t.Errorf("final update gender=%d max=%d, want 0/30", g, m)
+	}
+}
+
+func TestCompileAggregateErrors(t *testing.T) {
+	for _, bad := range []string{
+		"SELECT SUM(nosuch) FROM customer",
+		"SELECT COUNT(*) FROM customer GROUP BY nosuch",
+		"SELECT COUNT(*) FROM customer AS c JOIN product AS p ON c.product_id = p.product_id",
+	} {
+		q, err := Parse(bad)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", bad, err)
+		}
+		if _, err := Compile(q, testCatalog); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestBareScanCompiles: SELECT * FROM s occupies one passthrough block.
+func TestBareScanCompiles(t *testing.T) {
+	q, err := Parse("SELECT * FROM customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q, testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Op != fqp.OpPassthrough || plan.Operators() != 1 {
+		t.Errorf("bare scan plan = %v with %d operators", plan.Op, plan.Operators())
+	}
+}

@@ -1,0 +1,408 @@
+package softjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok", Config{NumCores: 4, WindowSize: 64}, false},
+		{"indivisible ok (software rounds up)", Config{NumCores: 3, WindowSize: 64}, false},
+		{"zero cores", Config{NumCores: 0, WindowSize: 64}, true},
+		{"zero window", Config{NumCores: 4, WindowSize: 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewUniFlow(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewUniFlow() error = %v, wantErr %v", err, tt.wantErr)
+			}
+			_, err = NewBiFlow(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewBiFlow() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// drain consumes an engine's result channel into a slice concurrently.
+func drain(results <-chan stream.Result) (*sync.WaitGroup, *[]stream.Result) {
+	var wg sync.WaitGroup
+	var got []stream.Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := range results {
+			got = append(got, r)
+		}
+	}()
+	return &wg, &got
+}
+
+func randomWorkload(rng *rand.Rand, n, keyDomain int) []core.Input {
+	inputs := make([]core.Input, n)
+	for i := range inputs {
+		side := stream.SideR
+		if rng.Intn(2) == 1 {
+			side = stream.SideS
+		}
+		inputs[i] = core.Input{Side: side, Tuple: stream.Tuple{Key: uint32(rng.Intn(keyDomain)), Val: uint32(i)}}
+	}
+	return inputs
+}
+
+// TestUniFlowMatchesOracle: the software SplitJoin must produce exactly the
+// oracle's multiset for any arrival order, any core count, any batch size.
+func TestUniFlowMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct {
+		cores, window, batch int
+	}{
+		{1, 16, 1},
+		{2, 32, 3},
+		{4, 64, 64},
+		{8, 64, 7},
+		{16, 128, 128},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("cores=%d_w=%d_b=%d", tc.cores, tc.window, tc.batch), func(t *testing.T) {
+			inputs := randomWorkload(rng, 800, 24)
+			e, err := NewUniFlow(Config{NumCores: tc.cores, WindowSize: tc.window, BatchSize: tc.batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Start(); err != nil {
+				t.Fatal(err)
+			}
+			wg, got := drain(e.Results())
+			for _, in := range inputs {
+				e.Push(in.Side, in.Tuple)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			if err := core.VerifyExactlyOnce(tc.window, stream.EquiJoinOnKey(), inputs, *got); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestUniFlowRoundRobinBalance: the storage discipline balances within one
+// tuple across cores.
+func TestUniFlowRoundRobinBalance(t *testing.T) {
+	e, err := NewUniFlow(Config{NumCores: 8, WindowSize: 1 << 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wg, _ := drain(e.Results())
+	const nR, nS = 1000, 900
+	for i := 0; i < nR; i++ {
+		e.Push(stream.SideR, stream.Tuple{Key: uint32(i)})
+	}
+	for i := 0; i < nS; i++ {
+		e.Push(stream.SideS, stream.Tuple{Key: 1 << 20})
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := core.VerifyRoundRobinBalance(nR, e.StoredPerCore(stream.SideR)); err != nil {
+		t.Error(err)
+	}
+	if err := core.VerifyRoundRobinBalance(nS, e.StoredPerCore(stream.SideS)); err != nil {
+		t.Error(err)
+	}
+	if got, want := e.Processed(), uint64((nR+nS)*8); got != want {
+		t.Errorf("Processed() = %d, want %d (every core sees every tuple)", got, want)
+	}
+}
+
+// TestUniFlowPreload: preloaded windows join like streamed ones.
+func TestUniFlowPreload(t *testing.T) {
+	const window = 64
+	s := make([]stream.Tuple, window)
+	for i := range s {
+		s[i] = stream.Tuple{Key: uint32(i % 8), Seq: uint64(i)}
+	}
+	e, err := NewUniFlow(Config{NumCores: 4, WindowSize: window, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Preload(nil, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wg, got := drain(e.Results())
+	e.Push(stream.SideR, stream.Tuple{Key: 3})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(*got) != window/8 {
+		t.Errorf("probe matched %d tuples, want %d", len(*got), window/8)
+	}
+}
+
+func TestUniFlowPreloadAfterStartFails(t *testing.T) {
+	e, err := NewUniFlow(Config{NumCores: 2, WindowSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Preload(nil, nil); err == nil {
+		t.Error("Preload after Start succeeded, want error")
+	}
+	wg, _ := drain(e.Results())
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestUniFlowLifecycleErrors(t *testing.T) {
+	e, err := NewUniFlow(Config{NumCores: 2, WindowSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err == nil {
+		t.Error("Close before Start succeeded, want error")
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err == nil {
+		t.Error("double Start succeeded, want error")
+	}
+	wg, _ := drain(e.Results())
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("repeated Close = %v, want nil", err)
+	}
+	wg.Wait()
+}
+
+// TestBiFlowOneDirectionMatchesOracle mirrors the hardware test: static S
+// side, R-only traffic plus flush gives strict-semantics results.
+func TestBiFlowOneDirectionMatchesOracle(t *testing.T) {
+	const (
+		cores  = 4
+		window = 32
+		probes = 20
+	)
+	rng := rand.New(rand.NewSource(31))
+	s := make([]stream.Tuple, window)
+	for i := range s {
+		s[i] = stream.Tuple{Key: uint32(rng.Intn(8)), Seq: uint64(i)}
+	}
+	e, err := NewBiFlow(Config{NumCores: cores, WindowSize: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Preload(nil, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wg, got := drain(e.Results())
+
+	oracle, err := core.NewOracle(window+probes+1024, stream.EquiJoinOnKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range s {
+		if _, err := oracle.Push(stream.SideS, stream.Tuple{Key: tu.Key}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []stream.Result
+	for i := 0; i < probes; i++ {
+		tu := stream.Tuple{Key: uint32(rng.Intn(8))}
+		rs, err := oracle.Push(stream.SideR, tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rs...)
+		e.Push(stream.SideR, tu)
+	}
+	// Flush: push the real probes through the entire chain.
+	for i := 0; i < window+probes+16; i++ {
+		fl := stream.Tuple{Key: 0xFFFFFFFE}
+		if _, err := oracle.Push(stream.SideR, fl); err != nil {
+			t.Fatal(err)
+		}
+		e.Push(stream.SideR, fl)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	diffs := core.NewResultSet(want).Diff(core.NewResultSet(*got))
+	if len(diffs) != 0 {
+		t.Errorf("bi-flow one-direction mismatch (%d diffs): %v", len(diffs), diffs[:min(4, len(diffs))])
+	}
+	if len(want) == 0 {
+		t.Error("oracle produced nothing; vacuous test")
+	}
+}
+
+// TestBiFlowNoDuplicatesUnderConcurrency: with both streams flowing, no
+// pair is ever emitted twice and all emitted pairs satisfy the condition.
+func TestBiFlowNoDuplicatesUnderConcurrency(t *testing.T) {
+	const (
+		cores  = 4
+		window = 64
+	)
+	rng := rand.New(rand.NewSource(41))
+	e, err := NewBiFlow(Config{NumCores: cores, WindowSize: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wg, got := drain(e.Results())
+	for i := 0; i < 2000; i++ {
+		side := stream.SideR
+		if i%2 == 1 {
+			side = stream.SideS
+		}
+		e.Push(side, stream.Tuple{Key: uint32(rng.Intn(6))})
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, r := range *got {
+		if r.R.Key != r.S.Key {
+			t.Fatalf("pair violates condition: %v", r)
+		}
+		if seen[r.PairID()] {
+			t.Fatalf("pair emitted twice: %v", r)
+		}
+		seen[r.PairID()] = true
+	}
+	if len(*got) == 0 {
+		t.Error("no results; vacuous test")
+	}
+	expR, expS := e.Expired()
+	if expR == 0 || expS == 0 {
+		t.Errorf("expected expiry on both ends, got R=%d S=%d", expR, expS)
+	}
+}
+
+// TestUniFlowOrderedResults: with OrderedResults, results are released in
+// the arrival order of their probing tuples, and the multiset is unchanged.
+func TestUniFlowOrderedResults(t *testing.T) {
+	const (
+		cores  = 8
+		window = 64
+		probes = 300
+	)
+	s := make([]stream.Tuple, window)
+	for i := range s {
+		s[i] = stream.Tuple{Key: uint32(i % 4), Seq: uint64(i)}
+	}
+	run := func(ordered bool) []stream.Result {
+		e, err := NewUniFlow(Config{
+			NumCores:       cores,
+			WindowSize:     window,
+			BatchSize:      4,
+			OrderedResults: ordered,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Preload(nil, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		wg, got := drain(e.Results())
+		for i := 0; i < probes; i++ {
+			e.Push(stream.SideR, stream.Tuple{Key: uint32(i % 4), Val: uint32(i)})
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		return *got
+	}
+	ordered := run(true)
+	relaxed := run(false)
+	if len(ordered) == 0 {
+		t.Fatal("no results; vacuous test")
+	}
+	// Ordered mode: probing tuples (all from R here) appear in arrival order.
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].R.Seq < ordered[i-1].R.Seq {
+			t.Fatalf("ordered mode emitted probe seq %d after %d at position %d",
+				ordered[i].R.Seq, ordered[i-1].R.Seq, i)
+		}
+	}
+	// Same multiset as relaxed mode.
+	if diffs := core.NewResultSet(relaxed).Diff(core.NewResultSet(ordered)); len(diffs) != 0 {
+		t.Errorf("ordered mode changed the result multiset: %v", diffs[:min(4, len(diffs))])
+	}
+}
+
+// TestUniFlowComparisonsPerTuple: each tuple is compared against one full
+// sub-window per core once windows are warm — the N·(W/N)=W work invariant.
+func TestUniFlowComparisonsPerTuple(t *testing.T) {
+	const (
+		cores  = 4
+		window = 128
+		probes = 50
+	)
+	r := make([]stream.Tuple, window)
+	s := make([]stream.Tuple, window)
+	for i := range r {
+		r[i] = stream.Tuple{Key: 0xF0000000 + uint32(i)}
+		s[i] = stream.Tuple{Key: 0xE0000000 + uint32(i)}
+	}
+	e, err := NewUniFlow(Config{NumCores: cores, WindowSize: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Preload(r, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wg, _ := drain(e.Results())
+	for i := 0; i < probes; i++ {
+		e.Push(stream.SideR, stream.Tuple{Key: 1})
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got, want := e.Comparisons(), uint64(probes*window); got != want {
+		t.Errorf("Comparisons() = %d, want %d (full window per tuple)", got, want)
+	}
+}

@@ -1,0 +1,430 @@
+// Package softjoin provides the software realizations of the two flow-based
+// parallel stream joins on a multicore host, mirroring the SplitJoin
+// software release the paper benchmarks in Figures 14d and 16:
+//
+//   - UniFlow: the SplitJoin architecture — a distributor thread broadcasts
+//     every incoming tuple (in batches) to N independent join-core
+//     goroutines; each core stores every N-th tuple of each stream into its
+//     local sub-window (round-robin, coordination-free) and probes its
+//     sub-window of the opposite stream; a result-gathering goroutine merges
+//     the per-core result channels.
+//   - BiFlow: a handshake-join chain of goroutines for baseline comparison.
+//
+// Unlike the hardware packages, these engines use real concurrency; their
+// throughput and latency are measured in wall-clock time on the host.
+package softjoin
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// Config parameterizes a software join engine.
+type Config struct {
+	// NumCores is the number of join-core goroutines.
+	NumCores int
+	// WindowSize is the total per-stream window. It need not divide evenly
+	// across the cores; each core rounds its sub-window up.
+	WindowSize int
+	// Condition is the join condition. Defaults to the equi-join on key.
+	Condition stream.JoinCondition
+	// BatchSize is the number of tuples per distribution batch. SplitJoin
+	// distributes in chunks to amortize hand-off costs. Defaults to 64.
+	BatchSize int
+	// ChannelDepth is the buffering (in batches) of the distribution and
+	// gathering channels. Defaults to 4.
+	ChannelDepth int
+	// OrderedResults enables SplitJoin's punctuated ordering: results are
+	// released in the arrival order of the tuples that produced them,
+	// gated by the slowest core's progress. The default (relaxed) mode
+	// forwards results as soon as any core produces them.
+	OrderedResults bool
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.ChannelDepth == 0 {
+		cfg.ChannelDepth = 4
+	}
+	if cfg.Condition == (stream.JoinCondition{}) {
+		cfg.Condition = stream.EquiJoinOnKey()
+	}
+}
+
+// Validate checks the configuration.
+func (cfg Config) Validate() error {
+	if cfg.NumCores <= 0 {
+		return fmt.Errorf("softjoin: NumCores must be positive, got %d", cfg.NumCores)
+	}
+	if cfg.WindowSize <= 0 {
+		return fmt.Errorf("softjoin: WindowSize must be positive, got %d", cfg.WindowSize)
+	}
+	if cfg.BatchSize < 0 || cfg.ChannelDepth < 0 {
+		return fmt.Errorf("softjoin: BatchSize and ChannelDepth must be non-negative")
+	}
+	return cfg.Condition.Validate()
+}
+
+// subWindowSize is the per-core sub-window. Unlike the hardware designs
+// (whose BRAMs are provisioned in equal sub-windows), the software engine
+// accepts windows that do not divide evenly: each core rounds its share up,
+// so the effective total window is NumCores·⌈W/N⌉ ≥ W.
+func (cfg Config) subWindowSize() int {
+	return (cfg.WindowSize + cfg.NumCores - 1) / cfg.NumCores
+}
+
+// UniFlow is the software SplitJoin engine. Build with NewUniFlow, feed it
+// with Push/PushBatch from a single producer goroutine, read Results, and
+// Close it to drain and release all goroutines.
+type UniFlow struct {
+	cfg       Config
+	subWindow int
+
+	in      chan []core.Input
+	batch   []core.Input
+	cores   []*softCore
+	results chan stream.Result
+
+	wg       sync.WaitGroup
+	gatherWG sync.WaitGroup
+	started  bool
+	closed   bool
+
+	seqR, seqS uint64
+
+	injected  atomic.Uint64
+	collected atomic.Uint64
+}
+
+// softCore is one join-core goroutine's state.
+type softCore struct {
+	part    core.Partition
+	cond    stream.JoinCondition
+	in      chan []core.Input
+	out     chan taggedResult
+	windowR *stream.SlidingWindow
+	windowS *stream.SlidingWindow
+
+	countR, countS   uint64
+	storedR, storedS atomic.Uint64
+	processed        atomic.Uint64
+	compared         atomic.Uint64
+}
+
+// NewUniFlow builds (but does not start) the engine.
+func NewUniFlow(cfg Config) (*UniFlow, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &UniFlow{
+		cfg:       cfg,
+		subWindow: cfg.subWindowSize(),
+		in:        make(chan []core.Input, cfg.ChannelDepth),
+		results:   make(chan stream.Result, cfg.ChannelDepth*cfg.BatchSize+1),
+	}
+	for i := 0; i < cfg.NumCores; i++ {
+		e.cores = append(e.cores, &softCore{
+			part:    core.Partition{NumCores: cfg.NumCores, Position: i},
+			cond:    cfg.Condition,
+			in:      make(chan []core.Input, cfg.ChannelDepth),
+			out:     make(chan taggedResult, cfg.ChannelDepth*cfg.BatchSize+1),
+			windowR: stream.NewSlidingWindow(cfg.subWindowSize()),
+			windowS: stream.NewSlidingWindow(cfg.subWindowSize()),
+		})
+	}
+	return e, nil
+}
+
+// Preload fills the cores' sub-windows round-robin without running the
+// engine, mirroring hwjoin.UniFlowDesign.Preload. Must be called before
+// Start.
+func (e *UniFlow) Preload(r, s []stream.Tuple) error {
+	if e.started {
+		return fmt.Errorf("softjoin: Preload must precede Start")
+	}
+	n := e.cfg.NumCores
+	fill := func(side stream.Side, tuples []stream.Tuple) {
+		for i, t := range tuples {
+			c := e.cores[i%n]
+			if side == stream.SideR {
+				c.windowR.Insert(t)
+				c.storedR.Add(1)
+			} else {
+				c.windowS.Insert(t)
+				c.storedS.Add(1)
+			}
+		}
+	}
+	if len(r) > e.cfg.WindowSize || len(s) > e.cfg.WindowSize {
+		return fmt.Errorf("softjoin: preload exceeds window size %d", e.cfg.WindowSize)
+	}
+	fill(stream.SideR, r)
+	fill(stream.SideS, s)
+	for _, c := range e.cores {
+		c.countR = uint64(len(r))
+		c.countS = uint64(len(s))
+	}
+	e.seqR = uint64(len(r))
+	e.seqS = uint64(len(s))
+	return nil
+}
+
+// Start launches the distributor, the join cores, and the result gatherer.
+func (e *UniFlow) Start() error {
+	if e.started {
+		return fmt.Errorf("softjoin: engine already started")
+	}
+	e.started = true
+
+	// Join cores.
+	for _, c := range e.cores {
+		c := c
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			c.run()
+		}()
+	}
+
+	// Distributor: broadcast each batch to every core.
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for batch := range e.in {
+			for _, c := range e.cores {
+				c.in <- batch
+			}
+		}
+		for _, c := range e.cores {
+			close(c.in)
+		}
+	}()
+
+	// Result gathering. Relaxed mode: one goroutine per core feeding the
+	// shared output directly. Ordered mode: the per-core goroutines feed a
+	// merged channel drained by a single reordering goroutine.
+	if !e.cfg.OrderedResults {
+		for _, c := range e.cores {
+			c := c
+			e.gatherWG.Add(1)
+			go func() {
+				defer e.gatherWG.Done()
+				for tr := range c.out {
+					if tr.punct {
+						continue
+					}
+					e.collected.Add(1)
+					e.results <- tr.res
+				}
+			}()
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.gatherWG.Wait()
+			close(e.results)
+		}()
+		return nil
+	}
+
+	merged := make(chan taggedResult, len(e.cores))
+	for _, c := range e.cores {
+		c := c
+		e.gatherWG.Add(1)
+		go func() {
+			defer e.gatherWG.Done()
+			for tr := range c.out {
+				merged <- tr
+			}
+		}()
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.gatherWG.Wait()
+		close(merged)
+	}()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer close(e.results)
+		var rb reorderBuffer
+		watermarks := make([]uint64, len(e.cores))
+		emit := func(r stream.Result) {
+			e.collected.Add(1)
+			e.results <- r
+		}
+		for tr := range merged {
+			if tr.punct {
+				watermarks[tr.core] = tr.processed
+				low := watermarks[0]
+				for _, w := range watermarks[1:] {
+					if w < low {
+						low = w
+					}
+				}
+				rb.release(low, emit)
+				continue
+			}
+			rb.add(tr)
+		}
+		rb.flush(emit)
+	}()
+	return nil
+}
+
+// run is the join-core loop: for every tuple in every batch, probe the
+// opposite sub-window and store on this core's round-robin turn.
+func (c *softCore) run() {
+	defer close(c.out)
+	for batch := range c.in {
+		for i := range batch {
+			in := &batch[i]
+			t := in.Tuple
+			switch in.Side {
+			case stream.SideR:
+				c.probe(t, stream.SideR, c.windowS)
+				if c.part.StoreTurn(c.countR) {
+					c.windowR.Insert(t)
+					c.storedR.Add(1)
+				}
+				c.countR++
+			case stream.SideS:
+				c.probe(t, stream.SideS, c.windowR)
+				if c.part.StoreTurn(c.countS) {
+					c.windowS.Insert(t)
+					c.storedS.Add(1)
+				}
+				c.countS++
+			}
+			c.processed.Add(1)
+		}
+		// Punctuate: everything up to this arrival count has been emitted.
+		c.out <- taggedResult{punct: true, core: c.part.Position, processed: c.processed.Load()}
+	}
+}
+
+func (c *softCore) probe(t stream.Tuple, side stream.Side, win *stream.SlidingWindow) {
+	cond := c.cond
+	idx := c.processed.Load() // global arrival index of this tuple
+	win.Scan(func(stored stream.Tuple) bool {
+		c.compared.Add(1)
+		if cond.Match(t, stored) {
+			if side == stream.SideR {
+				c.out <- taggedResult{res: stream.Result{R: t, S: stored}, idx: idx}
+			} else {
+				c.out <- taggedResult{res: stream.Result{R: stored, S: t}, idx: idx}
+			}
+		}
+		return true
+	})
+}
+
+// Push submits one tuple. It assigns the per-stream sequence number and
+// blocks when the pipeline is saturated (backpressure). Single-producer.
+func (e *UniFlow) Push(side stream.Side, t stream.Tuple) {
+	if side == stream.SideR {
+		t.Seq = e.seqR
+		e.seqR++
+	} else {
+		t.Seq = e.seqS
+		e.seqS++
+	}
+	e.batch = append(e.batch, core.Input{Side: side, Tuple: t})
+	if len(e.batch) >= e.cfg.BatchSize {
+		e.flushBatch()
+	}
+}
+
+// PushBatch submits a prepared batch directly, assigning sequence numbers
+// in place.
+func (e *UniFlow) PushBatch(batch []core.Input) {
+	e.flushBatch()
+	for i := range batch {
+		if batch[i].Side == stream.SideR {
+			batch[i].Tuple.Seq = e.seqR
+			e.seqR++
+		} else {
+			batch[i].Tuple.Seq = e.seqS
+			e.seqS++
+		}
+	}
+	e.injected.Add(uint64(len(batch)))
+	e.in <- batch
+}
+
+func (e *UniFlow) flushBatch() {
+	if len(e.batch) == 0 {
+		return
+	}
+	b := e.batch
+	e.batch = make([]core.Input, 0, e.cfg.BatchSize)
+	e.injected.Add(uint64(len(b)))
+	e.in <- b
+}
+
+// Results returns the merged result channel. It is closed after Close once
+// all in-flight work has drained.
+func (e *UniFlow) Results() <-chan stream.Result { return e.results }
+
+// Close flushes pending input, stops the pipeline, and waits for every
+// goroutine to exit. The Results channel must be drained concurrently or
+// Close may block forever.
+func (e *UniFlow) Close() error {
+	if !e.started {
+		return fmt.Errorf("softjoin: engine not started")
+	}
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.flushBatch()
+	close(e.in)
+	e.wg.Wait()
+	return nil
+}
+
+// Injected returns how many tuples were submitted.
+func (e *UniFlow) Injected() uint64 { return e.injected.Load() }
+
+// Collected returns how many results were gathered.
+func (e *UniFlow) Collected() uint64 { return e.collected.Load() }
+
+// Processed returns the total per-core tuple processing count (each tuple is
+// processed once by every core).
+func (e *UniFlow) Processed() uint64 {
+	var sum uint64
+	for _, c := range e.cores {
+		sum += c.processed.Load()
+	}
+	return sum
+}
+
+// Comparisons returns the total number of window comparisons performed.
+func (e *UniFlow) Comparisons() uint64 {
+	var sum uint64
+	for _, c := range e.cores {
+		sum += c.compared.Load()
+	}
+	return sum
+}
+
+// StoredPerCore returns each core's stored-tuple counts for one stream.
+func (e *UniFlow) StoredPerCore(side stream.Side) []uint64 {
+	out := make([]uint64, len(e.cores))
+	for i, c := range e.cores {
+		if side == stream.SideR {
+			out[i] = c.storedR.Load()
+		} else {
+			out[i] = c.storedS.Load()
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package stream
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Comparator is a hardware-friendly comparison operator applied between two
+// 32-bit fields. Join cores and OP-Blocks implement the comparison as a
+// small combinational circuit selected by this code.
+type Comparator uint8
+
+// Supported comparison circuits. The paper's experiments use an equi-join
+// ("though there is no limitation on the condition(s) used"); the remaining
+// codes exercise that generality.
+const (
+	CmpEQ Comparator = iota + 1
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String implements fmt.Stringer.
+func (c Comparator) String() string {
+	switch c {
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "!="
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	default:
+		return "cmp(" + strconv.Itoa(int(c)) + ")"
+	}
+}
+
+// Eval applies the comparison to two 32-bit operands.
+func (c Comparator) Eval(a, b uint32) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// Valid reports whether c is one of the defined comparator codes.
+func (c Comparator) Valid() bool { return c >= CmpEQ && c <= CmpGE }
+
+// Field selects which half of the 64-bit tuple a condition reads.
+type Field uint8
+
+// Tuple fields addressable by conditions.
+const (
+	FieldKey Field = iota + 1
+	FieldVal
+)
+
+// String implements fmt.Stringer.
+func (f Field) String() string {
+	switch f {
+	case FieldKey:
+		return "key"
+	case FieldVal:
+		return "val"
+	default:
+		return "field(" + strconv.Itoa(int(f)) + ")"
+	}
+}
+
+// Extract reads the selected field from a tuple.
+func (f Field) Extract(t Tuple) uint32 {
+	switch f {
+	case FieldKey:
+		return t.Key
+	case FieldVal:
+		return t.Val
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether f is a defined field code.
+func (f Field) Valid() bool { return f == FieldKey || f == FieldVal }
+
+// JoinCondition is the dynamically programmable condition segment of a join
+// operator: compare field LHS of the probing tuple against field RHS of the
+// window tuple using Cmp. The zero value is invalid; use EquiJoinOnKey for
+// the common case.
+type JoinCondition struct {
+	LHS Field
+	RHS Field
+	Cmp Comparator
+}
+
+// EquiJoinOnKey returns the equi-join condition on the 32-bit key field used
+// throughout the paper's evaluation.
+func EquiJoinOnKey() JoinCondition {
+	return JoinCondition{LHS: FieldKey, RHS: FieldKey, Cmp: CmpEQ}
+}
+
+// Validate reports whether the condition is well formed.
+func (jc JoinCondition) Validate() error {
+	if !jc.LHS.Valid() {
+		return fmt.Errorf("stream: invalid join condition LHS field %d", jc.LHS)
+	}
+	if !jc.RHS.Valid() {
+		return fmt.Errorf("stream: invalid join condition RHS field %d", jc.RHS)
+	}
+	if !jc.Cmp.Valid() {
+		return fmt.Errorf("stream: invalid join condition comparator %d", jc.Cmp)
+	}
+	return nil
+}
+
+// Match evaluates the condition with `probe` as the newly arrived tuple and
+// `stored` as the window-resident tuple.
+func (jc JoinCondition) Match(probe, stored Tuple) bool {
+	return jc.Cmp.Eval(jc.LHS.Extract(probe), jc.RHS.Extract(stored))
+}
+
+// String implements fmt.Stringer.
+func (jc JoinCondition) String() string {
+	return fmt.Sprintf("probe.%s %s window.%s", jc.LHS, jc.Cmp, jc.RHS)
+}
+
+// SelectionCondition is a programmable single-tuple predicate of the form
+// `field cmp constant` as implemented by selection OP-Blocks (e.g. Age > 25
+// in the paper's Figure 7 query plan).
+type SelectionCondition struct {
+	Field Field
+	Cmp   Comparator
+	Const uint32
+}
+
+// Validate reports whether the condition is well formed.
+func (sc SelectionCondition) Validate() error {
+	if !sc.Field.Valid() {
+		return fmt.Errorf("stream: invalid selection field %d", sc.Field)
+	}
+	if !sc.Cmp.Valid() {
+		return fmt.Errorf("stream: invalid selection comparator %d", sc.Cmp)
+	}
+	return nil
+}
+
+// Match evaluates the predicate against one tuple.
+func (sc SelectionCondition) Match(t Tuple) bool {
+	return sc.Cmp.Eval(sc.Field.Extract(t), sc.Const)
+}
+
+// String implements fmt.Stringer.
+func (sc SelectionCondition) String() string {
+	return fmt.Sprintf("%s %s %d", sc.Field, sc.Cmp, sc.Const)
+}
+
+// JoinOperator is the full two-segment join operator instruction described
+// in Section IV: "The first segment defines join parameters such as the
+// number of join cores and the current join core position among them, while
+// the second segment carries the join operator conditions." Programming it
+// into a running join core takes the Operator Store 1 / Operator Store 2
+// FSM states, one segment per state.
+type JoinOperator struct {
+	// Segment 1: join parameters.
+	NumCores int // total join cores participating
+	Position int // this core's position in [0, NumCores)
+
+	// Segment 2: operator condition.
+	Condition JoinCondition
+}
+
+// Validate reports whether the operator instruction is well formed for the
+// core it is addressed to.
+func (op JoinOperator) Validate() error {
+	if op.NumCores <= 0 {
+		return fmt.Errorf("stream: join operator NumCores must be positive, got %d", op.NumCores)
+	}
+	if op.Position < 0 || op.Position >= op.NumCores {
+		return fmt.Errorf("stream: join operator Position %d out of range [0,%d)", op.Position, op.NumCores)
+	}
+	if err := op.Condition.Validate(); err != nil {
+		return fmt.Errorf("stream: join operator condition: %w", err)
+	}
+	return nil
+}
+
+// Segment1 packs the join parameters into the first 64-bit instruction word.
+func (op JoinOperator) Segment1() uint64 {
+	return uint64(uint32(op.NumCores))<<32 | uint64(uint32(op.Position))
+}
+
+// Segment2 packs the condition into the second 64-bit instruction word.
+func (op JoinOperator) Segment2() uint64 {
+	return uint64(op.Condition.LHS)<<16 | uint64(op.Condition.RHS)<<8 | uint64(op.Condition.Cmp)
+}
+
+// DecodeJoinOperator reconstructs a JoinOperator from its two instruction
+// segments. It is the inverse of Segment1/Segment2.
+func DecodeJoinOperator(seg1, seg2 uint64) JoinOperator {
+	return JoinOperator{
+		NumCores: int(uint32(seg1 >> 32)),
+		Position: int(uint32(seg1)),
+		Condition: JoinCondition{
+			LHS: Field(seg2 >> 16 & 0xFF),
+			RHS: Field(seg2 >> 8 & 0xFF),
+			Cmp: Comparator(seg2 & 0xFF),
+		},
+	}
+}

@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComparatorEval(t *testing.T) {
+	tests := []struct {
+		cmp  Comparator
+		a, b uint32
+		want bool
+	}{
+		{CmpEQ, 5, 5, true},
+		{CmpEQ, 5, 6, false},
+		{CmpNE, 5, 6, true},
+		{CmpNE, 5, 5, false},
+		{CmpLT, 4, 5, true},
+		{CmpLT, 5, 5, false},
+		{CmpLE, 5, 5, true},
+		{CmpLE, 6, 5, false},
+		{CmpGT, 6, 5, true},
+		{CmpGT, 5, 5, false},
+		{CmpGE, 5, 5, true},
+		{CmpGE, 4, 5, false},
+		{Comparator(0), 1, 1, false}, // invalid comparator never matches
+	}
+	for _, tt := range tests {
+		if got := tt.cmp.Eval(tt.a, tt.b); got != tt.want {
+			t.Errorf("%v.Eval(%d, %d) = %v, want %v", tt.cmp, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestComparatorStringAndValid(t *testing.T) {
+	valid := map[Comparator]string{
+		CmpEQ: "=", CmpNE: "!=", CmpLT: "<", CmpLE: "<=", CmpGT: ">", CmpGE: ">=",
+	}
+	for cmp, want := range valid {
+		if got := cmp.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", cmp, got, want)
+		}
+		if !cmp.Valid() {
+			t.Errorf("%v.Valid() = false, want true", cmp)
+		}
+	}
+	if Comparator(0).Valid() || Comparator(200).Valid() {
+		t.Error("out-of-range comparators reported valid")
+	}
+}
+
+func TestFieldExtract(t *testing.T) {
+	tu := Tuple{Key: 10, Val: 20}
+	if got := FieldKey.Extract(tu); got != 10 {
+		t.Errorf("FieldKey.Extract = %d, want 10", got)
+	}
+	if got := FieldVal.Extract(tu); got != 20 {
+		t.Errorf("FieldVal.Extract = %d, want 20", got)
+	}
+	if got := Field(0).Extract(tu); got != 0 {
+		t.Errorf("invalid field Extract = %d, want 0", got)
+	}
+}
+
+func TestEquiJoinOnKey(t *testing.T) {
+	jc := EquiJoinOnKey()
+	if err := jc.Validate(); err != nil {
+		t.Fatalf("EquiJoinOnKey().Validate() = %v", err)
+	}
+	if !jc.Match(Tuple{Key: 3}, Tuple{Key: 3}) {
+		t.Error("equal keys did not match")
+	}
+	if jc.Match(Tuple{Key: 3}, Tuple{Key: 4}) {
+		t.Error("unequal keys matched")
+	}
+}
+
+func TestJoinConditionValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		jc      JoinCondition
+		wantErr bool
+	}{
+		{"valid", JoinCondition{FieldKey, FieldVal, CmpLT}, false},
+		{"bad lhs", JoinCondition{Field(0), FieldVal, CmpLT}, true},
+		{"bad rhs", JoinCondition{FieldKey, Field(9), CmpLT}, true},
+		{"bad cmp", JoinCondition{FieldKey, FieldVal, Comparator(0)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.jc.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSelectionCondition(t *testing.T) {
+	sc := SelectionCondition{Field: FieldVal, Cmp: CmpGT, Const: 25} // Age > 25
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	if !sc.Match(Tuple{Val: 30}) {
+		t.Error("val 30 should pass Age > 25")
+	}
+	if sc.Match(Tuple{Val: 25}) {
+		t.Error("val 25 should fail Age > 25")
+	}
+	bad := SelectionCondition{Field: Field(7), Cmp: CmpGT}
+	if bad.Validate() == nil {
+		t.Error("invalid field accepted")
+	}
+	bad2 := SelectionCondition{Field: FieldKey, Cmp: Comparator(0)}
+	if bad2.Validate() == nil {
+		t.Error("invalid comparator accepted")
+	}
+}
+
+func TestJoinOperatorValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		op      JoinOperator
+		wantErr bool
+	}{
+		{"valid", JoinOperator{NumCores: 4, Position: 3, Condition: EquiJoinOnKey()}, false},
+		{"zero cores", JoinOperator{NumCores: 0, Position: 0, Condition: EquiJoinOnKey()}, true},
+		{"position too high", JoinOperator{NumCores: 4, Position: 4, Condition: EquiJoinOnKey()}, true},
+		{"negative position", JoinOperator{NumCores: 4, Position: -1, Condition: EquiJoinOnKey()}, true},
+		{"bad condition", JoinOperator{NumCores: 4, Position: 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.op.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestJoinOperatorSegmentsRoundTrip checks that the two-segment instruction
+// encoding (Operator Store 1 / Operator Store 2) is lossless.
+func TestJoinOperatorSegmentsRoundTrip(t *testing.T) {
+	prop := func(cores uint16, posSeed uint16, lhs, rhs, cmp uint8) bool {
+		n := int(cores%1024) + 1
+		op := JoinOperator{
+			NumCores: n,
+			Position: int(posSeed) % n,
+			Condition: JoinCondition{
+				LHS: Field(lhs%2 + 1),
+				RHS: Field(rhs%2 + 1),
+				Cmp: Comparator(cmp%6 + 1),
+			},
+		}
+		got := DecodeJoinOperator(op.Segment1(), op.Segment2())
+		return got == op
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

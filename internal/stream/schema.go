@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema describes the layout of a multi-field event record as it travels
+// through the FQP fabric. Each field occupies one 32-bit lane on the data
+// bus. Schemas of varying size are the motivation for the paper's
+// "parametrized data segments": the fabric's wiring budget fixes how many
+// lanes a single bus transfer carries, and wider records are vertically
+// partitioned into several segments.
+type Schema struct {
+	name   string
+	fields []string
+	index  map[string]int
+}
+
+// NewSchema builds a schema from an ordered field list. Field names must be
+// unique and non-empty.
+func NewSchema(name string, fields ...string) (*Schema, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("stream: schema %q must have at least one field", name)
+	}
+	idx := make(map[string]int, len(fields))
+	for i, f := range fields {
+		if f == "" {
+			return nil, fmt.Errorf("stream: schema %q has an empty field name at position %d", name, i)
+		}
+		if _, dup := idx[f]; dup {
+			return nil, fmt.Errorf("stream: schema %q has duplicate field %q", name, f)
+		}
+		idx[f] = i
+	}
+	return &Schema{name: name, fields: append([]string(nil), fields...), index: idx}, nil
+}
+
+// MustSchema is NewSchema that panics on error, for static declarations.
+func MustSchema(name string, fields ...string) *Schema {
+	s, err := NewSchema(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the schema (stream) name.
+func (s *Schema) Name() string { return s.name }
+
+// Arity returns the number of fields.
+func (s *Schema) Arity() int { return len(s.fields) }
+
+// Fields returns a copy of the ordered field names.
+func (s *Schema) Fields() []string { return append([]string(nil), s.fields...) }
+
+// FieldIndex returns the lane index of a named field.
+func (s *Schema) FieldIndex(name string) (int, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("stream: schema %q has no field %q", s.name, name)
+	}
+	return i, nil
+}
+
+// WidthBits returns the wire width of one record under this schema,
+// excluding the 2-bit bus header.
+func (s *Schema) WidthBits() int { return 32 * len(s.fields) }
+
+// Segments returns how many bus transfers a record needs when the wiring
+// budget provides lanesPerSegment 32-bit lanes per transfer (the vertical
+// partitioning of "parametrized data segments").
+func (s *Schema) Segments(lanesPerSegment int) int {
+	if lanesPerSegment <= 0 {
+		panic(fmt.Sprintf("stream: lanesPerSegment must be positive, got %d", lanesPerSegment))
+	}
+	return (len(s.fields) + lanesPerSegment - 1) / lanesPerSegment
+}
+
+// String implements fmt.Stringer.
+func (s *Schema) String() string {
+	return s.name + "(" + strings.Join(s.fields, ", ") + ")"
+}
+
+// Record is one event under a schema: a value per field, in schema order.
+type Record struct {
+	Schema *Schema
+	Values []uint32
+	Seq    uint64
+}
+
+// NewRecord builds a record, validating arity against the schema.
+func NewRecord(s *Schema, values ...uint32) (Record, error) {
+	if s == nil {
+		return Record{}, fmt.Errorf("stream: record requires a schema")
+	}
+	if len(values) != s.Arity() {
+		return Record{}, fmt.Errorf("stream: record for %q needs %d values, got %d", s.Name(), s.Arity(), len(values))
+	}
+	return Record{Schema: s, Values: append([]uint32(nil), values...)}, nil
+}
+
+// Get returns the value of a named field.
+func (r Record) Get(field string) (uint32, error) {
+	i, err := r.Schema.FieldIndex(field)
+	if err != nil {
+		return 0, err
+	}
+	return r.Values[i], nil
+}
+
+// Project returns a new record containing only the named fields, under a
+// derived schema. This is the projection OP-Block behaviour.
+func (r Record) Project(fields ...string) (Record, error) {
+	out := make([]uint32, 0, len(fields))
+	for _, f := range fields {
+		v, err := r.Get(f)
+		if err != nil {
+			return Record{}, err
+		}
+		out = append(out, v)
+	}
+	sub, err := NewSchema(r.Schema.Name()+"_proj", fields...)
+	if err != nil {
+		return Record{}, err
+	}
+	rec, err := NewRecord(sub, out...)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Seq = r.Seq
+	return rec, nil
+}
+
+// String implements fmt.Stringer.
+func (r Record) String() string {
+	var b strings.Builder
+	b.WriteString(r.Schema.Name())
+	b.WriteByte('{')
+	for i, f := range r.Schema.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", f, r.Values[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		fields  []string
+		wantErr string
+	}{
+		{"ok", []string{"id", "age"}, ""},
+		{"empty", nil, "at least one field"},
+		{"blank field", []string{"id", ""}, "empty field name"},
+		{"duplicate", []string{"id", "id"}, "duplicate field"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSchema("cust", tt.fields...)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("NewSchema() error = %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("NewSchema() error = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema with no fields did not panic")
+		}
+	}()
+	MustSchema("bad")
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := MustSchema("customer", "id", "age", "gender")
+	if s.Name() != "customer" {
+		t.Errorf("Name() = %q", s.Name())
+	}
+	if s.Arity() != 3 {
+		t.Errorf("Arity() = %d, want 3", s.Arity())
+	}
+	if s.WidthBits() != 96 {
+		t.Errorf("WidthBits() = %d, want 96", s.WidthBits())
+	}
+	i, err := s.FieldIndex("age")
+	if err != nil || i != 1 {
+		t.Errorf("FieldIndex(age) = %d, %v; want 1, nil", i, err)
+	}
+	if _, err := s.FieldIndex("missing"); err == nil {
+		t.Error("FieldIndex(missing) succeeded, want error")
+	}
+	fields := s.Fields()
+	fields[0] = "mutated"
+	if s.fields[0] != "id" {
+		t.Error("Fields() did not return a defensive copy")
+	}
+	if got, want := s.String(), "customer(id, age, gender)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSchemaSegments(t *testing.T) {
+	s := MustSchema("wide", "a", "b", "c", "d", "e")
+	tests := []struct {
+		lanes int
+		want  int
+	}{
+		{1, 5},
+		{2, 3},
+		{4, 2},
+		{5, 1},
+		{8, 1},
+	}
+	for _, tt := range tests {
+		if got := s.Segments(tt.lanes); got != tt.want {
+			t.Errorf("Segments(%d) = %d, want %d", tt.lanes, got, tt.want)
+		}
+	}
+}
+
+func TestSchemaSegmentsPanicsOnNonPositive(t *testing.T) {
+	s := MustSchema("x", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Segments(0) did not panic")
+		}
+	}()
+	s.Segments(0)
+}
+
+func TestRecordLifecycle(t *testing.T) {
+	s := MustSchema("customer", "id", "age", "gender")
+	if _, err := NewRecord(nil, 1); err == nil {
+		t.Error("NewRecord(nil) succeeded, want error")
+	}
+	if _, err := NewRecord(s, 1, 2); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	r, err := NewRecord(s, 7, 31, 1)
+	if err != nil {
+		t.Fatalf("NewRecord() error = %v", err)
+	}
+	age, err := r.Get("age")
+	if err != nil || age != 31 {
+		t.Errorf("Get(age) = %d, %v; want 31, nil", age, err)
+	}
+	if _, err := r.Get("missing"); err == nil {
+		t.Error("Get(missing) succeeded, want error")
+	}
+	if got, want := r.String(), "customer{id=7, age=31, gender=1}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRecordProject(t *testing.T) {
+	s := MustSchema("customer", "id", "age", "gender")
+	r, err := NewRecord(s, 7, 31, 1)
+	if err != nil {
+		t.Fatalf("NewRecord() error = %v", err)
+	}
+	r.Seq = 99
+	p, err := r.Project("gender", "id")
+	if err != nil {
+		t.Fatalf("Project() error = %v", err)
+	}
+	if p.Schema.Arity() != 2 {
+		t.Fatalf("projected arity = %d, want 2", p.Schema.Arity())
+	}
+	g, _ := p.Get("gender")
+	id, _ := p.Get("id")
+	if g != 1 || id != 7 {
+		t.Errorf("projected values gender=%d id=%d, want 1 and 7", g, id)
+	}
+	if p.Seq != 99 {
+		t.Errorf("projection dropped Seq: got %d, want 99", p.Seq)
+	}
+	if _, err := r.Project("missing"); err == nil {
+		t.Error("Project(missing) succeeded, want error")
+	}
+}

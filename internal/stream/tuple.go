@@ -1,0 +1,157 @@
+// Package stream provides the streaming substrate shared by every engine in
+// this repository: fixed-width tuples as they appear on the hardware data
+// bus, sliding-window semantics, relational operators over tuples, and the
+// continuous-query abstract syntax consumed by the FQP compilers.
+//
+// The tuple layout follows the paper's experimental setup (Section V): input
+// streams consist of 64-bit tuples carried on a data bus with a 2-bit header
+// that distinguishes a new join operator from a tuple belonging to either
+// the R or the S stream. Result tuples are twice the input width because a
+// result is the concatenation of the two inputs that met the join condition.
+package stream
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Side identifies which input stream a tuple belongs to.
+type Side uint8
+
+// Streams of a binary stream join. A third value, SideNone, is the zero
+// value and marks tuples that carry no stream affiliation (e.g. operator
+// words).
+const (
+	SideNone Side = iota
+	SideR
+	SideS
+)
+
+// Opposite returns the other stream: R for S and S for R.
+// It panics for SideNone, which has no opposite.
+func (s Side) Opposite() Side {
+	switch s {
+	case SideR:
+		return SideS
+	case SideS:
+		return SideR
+	default:
+		panic("stream: SideNone has no opposite side")
+	}
+}
+
+// String returns "R", "S", or "none".
+func (s Side) String() string {
+	switch s {
+	case SideR:
+		return "R"
+	case SideS:
+		return "S"
+	default:
+		return "none"
+	}
+}
+
+// Header is the 2-bit bus header that precedes every word on the data bus
+// (Section IV: "including their 2-bit headers. The header defines whether we
+// are dealing with a new join operator or a tuple belonging to either the R
+// or S stream").
+type Header uint8
+
+// Bus header values. HeaderIdle marks an empty bus cycle.
+const (
+	HeaderIdle Header = iota
+	HeaderTupleR
+	HeaderTupleS
+	HeaderOperator
+)
+
+// String implements fmt.Stringer.
+func (h Header) String() string {
+	switch h {
+	case HeaderIdle:
+		return "idle"
+	case HeaderTupleR:
+		return "tuple-R"
+	case HeaderTupleS:
+		return "tuple-S"
+	case HeaderOperator:
+		return "operator"
+	default:
+		return "header(" + strconv.Itoa(int(h)) + ")"
+	}
+}
+
+// Side maps a tuple header to the stream it belongs to.
+func (h Header) Side() Side {
+	switch h {
+	case HeaderTupleR:
+		return SideR
+	case HeaderTupleS:
+		return SideS
+	default:
+		return SideNone
+	}
+}
+
+// HeaderFor maps a stream side to its bus header.
+func HeaderFor(s Side) Header {
+	switch s {
+	case SideR:
+		return HeaderTupleR
+	case SideS:
+		return HeaderTupleS
+	default:
+		return HeaderIdle
+	}
+}
+
+// Tuple is a 64-bit stream tuple: a 32-bit join key and a 32-bit payload
+// value, exactly the width used in the paper's hardware experiments. Seq
+// and Tag are simulation metadata, not part of the 64-bit wire format: Seq
+// is the arrival sequence number within the tuple's own stream (so
+// correctness checkers can identify tuples uniquely), and Tag is the global
+// arrival number across both streams (the ordering token the low-latency
+// handshake join's replicas compare against to keep pairings exactly-once).
+type Tuple struct {
+	Key uint32
+	Val uint32
+	Seq uint64
+	Tag uint64
+}
+
+// Word packs the wire-visible portion of the tuple into the 64-bit bus word.
+func (t Tuple) Word() uint64 {
+	return uint64(t.Key)<<32 | uint64(t.Val)
+}
+
+// TupleFromWord unpacks a 64-bit bus word into a Tuple. The sequence number
+// is not carried on the wire and is left zero.
+func TupleFromWord(w uint64) Tuple {
+	return Tuple{Key: uint32(w >> 32), Val: uint32(w)}
+}
+
+// String implements fmt.Stringer.
+func (t Tuple) String() string {
+	return fmt.Sprintf("(key=%d val=%d seq=%d)", t.Key, t.Val, t.Seq)
+}
+
+// Result is a join result: the concatenation of one R tuple and one S tuple
+// that satisfied the join condition. On the hardware result bus its width is
+// twice the input data width, not counting the header.
+type Result struct {
+	R Tuple
+	S Tuple
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("[R%s ⋈ S%s]", r.R, r.S)
+}
+
+// PairID returns a unique identifier of the (R, S) pairing based on the two
+// arrival sequence numbers. Correctness checkers use it to verify the
+// exactly-once pairing invariant.
+func (r Result) PairID() uint64 {
+	return r.R.Seq<<32 | r.S.Seq&0xFFFFFFFF
+}

@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSideOpposite(t *testing.T) {
+	if got := SideR.Opposite(); got != SideS {
+		t.Errorf("SideR.Opposite() = %v, want SideS", got)
+	}
+	if got := SideS.Opposite(); got != SideR {
+		t.Errorf("SideS.Opposite() = %v, want SideR", got)
+	}
+}
+
+func TestSideOppositePanicsOnNone(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SideNone.Opposite() did not panic")
+		}
+	}()
+	SideNone.Opposite()
+}
+
+func TestSideString(t *testing.T) {
+	tests := []struct {
+		side Side
+		want string
+	}{
+		{SideR, "R"},
+		{SideS, "S"},
+		{SideNone, "none"},
+	}
+	for _, tt := range tests {
+		if got := tt.side.String(); got != tt.want {
+			t.Errorf("Side(%d).String() = %q, want %q", tt.side, got, tt.want)
+		}
+	}
+}
+
+func TestHeaderSideRoundTrip(t *testing.T) {
+	for _, side := range []Side{SideR, SideS} {
+		if got := HeaderFor(side).Side(); got != side {
+			t.Errorf("HeaderFor(%v).Side() = %v, want %v", side, got, side)
+		}
+	}
+	if got := HeaderFor(SideNone); got != HeaderIdle {
+		t.Errorf("HeaderFor(SideNone) = %v, want HeaderIdle", got)
+	}
+	if got := HeaderOperator.Side(); got != SideNone {
+		t.Errorf("HeaderOperator.Side() = %v, want SideNone", got)
+	}
+}
+
+func TestHeaderString(t *testing.T) {
+	tests := []struct {
+		h    Header
+		want string
+	}{
+		{HeaderIdle, "idle"},
+		{HeaderTupleR, "tuple-R"},
+		{HeaderTupleS, "tuple-S"},
+		{HeaderOperator, "operator"},
+		{Header(9), "header(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.h.String(); got != tt.want {
+			t.Errorf("Header(%d).String() = %q, want %q", tt.h, got, tt.want)
+		}
+	}
+}
+
+func TestTupleWordRoundTrip(t *testing.T) {
+	prop := func(key, val uint32) bool {
+		in := Tuple{Key: key, Val: val}
+		out := TupleFromWord(in.Word())
+		return out.Key == key && out.Val == val
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleWordLayout(t *testing.T) {
+	// The key occupies the high half of the 64-bit bus word.
+	tu := Tuple{Key: 0xDEADBEEF, Val: 0x01020304}
+	if got, want := tu.Word(), uint64(0xDEADBEEF01020304); got != want {
+		t.Errorf("Word() = %#x, want %#x", got, want)
+	}
+}
+
+func TestResultPairID(t *testing.T) {
+	r := Result{R: Tuple{Seq: 7}, S: Tuple{Seq: 11}}
+	if got, want := r.PairID(), uint64(7<<32|11); got != want {
+		t.Errorf("PairID() = %d, want %d", got, want)
+	}
+}
+
+func TestResultPairIDDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for rs := uint64(0); rs < 32; rs++ {
+		for ss := uint64(0); ss < 32; ss++ {
+			id := (Result{R: Tuple{Seq: rs}, S: Tuple{Seq: ss}}).PairID()
+			if seen[id] {
+				t.Fatalf("duplicate PairID %d for rs=%d ss=%d", id, rs, ss)
+			}
+			seen[id] = true
+		}
+	}
+}

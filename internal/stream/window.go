@@ -1,0 +1,96 @@
+package stream
+
+import "fmt"
+
+// SlidingWindow is a count-based (tuple-count) sliding window over one
+// stream, the abstraction that turns an unbounded stream into a finite
+// relation (Section III). It behaves exactly like the circular window
+// buffers realized in BRAM on the hardware join cores: a fixed-capacity
+// ring where inserting into a full window expires the oldest tuple.
+//
+// The zero value is not usable; construct with NewSlidingWindow.
+type SlidingWindow struct {
+	buf   []Tuple // fixed backing store of len == capacity
+	head  int     // position of the oldest tuple
+	count int
+}
+
+// NewSlidingWindow returns an empty window with the given capacity.
+// It panics if capacity is not positive, matching the hardware where a
+// zero-entry BRAM cannot be instantiated.
+func NewSlidingWindow(capacity int) *SlidingWindow {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("stream: window capacity must be positive, got %d", capacity))
+	}
+	return &SlidingWindow{buf: make([]Tuple, capacity)}
+}
+
+// Cap returns the window capacity.
+func (w *SlidingWindow) Cap() int { return len(w.buf) }
+
+// Len returns the number of tuples currently resident.
+func (w *SlidingWindow) Len() int { return w.count }
+
+// Insert stores t, expiring the oldest resident tuple when full. It returns
+// the expired tuple and whether an expiry happened.
+func (w *SlidingWindow) Insert(t Tuple) (expired Tuple, ok bool) {
+	if w.count < len(w.buf) {
+		w.buf[(w.head+w.count)%len(w.buf)] = t
+		w.count++
+		return Tuple{}, false
+	}
+	expired = w.buf[w.head]
+	w.buf[w.head] = t
+	w.head = (w.head + 1) % len(w.buf)
+	return expired, true
+}
+
+// At returns the i-th tuple in arrival order (0 = oldest resident). It
+// panics if i is out of range, mirroring a BRAM address violation.
+func (w *SlidingWindow) At(i int) Tuple {
+	if i < 0 || i >= w.count {
+		panic(fmt.Sprintf("stream: window index %d out of range [0,%d)", i, w.count))
+	}
+	return w.buf[(w.head+i)%len(w.buf)]
+}
+
+// RemoveOldest removes and returns the oldest resident tuple. It reports
+// false on an empty window. Bi-flow join cores use it to hand their oldest
+// tuple to the neighbouring core (or to expiry) during the coordinated
+// neighbour-to-neighbour transfer.
+func (w *SlidingWindow) RemoveOldest() (Tuple, bool) {
+	if w.count == 0 {
+		return Tuple{}, false
+	}
+	t := w.buf[w.head]
+	w.head = (w.head + 1) % len(w.buf)
+	w.count--
+	return t, true
+}
+
+// Scan calls fn for every resident tuple in arrival order (oldest first),
+// the access pattern of the Processing Core's one-read-per-cycle window
+// scan. Scanning stops early if fn returns false.
+func (w *SlidingWindow) Scan(fn func(Tuple) bool) {
+	for i := 0; i < w.count; i++ {
+		if !fn(w.buf[(w.head+i)%len(w.buf)]) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the resident tuples in arrival order as a fresh slice.
+func (w *SlidingWindow) Snapshot() []Tuple {
+	out := make([]Tuple, 0, w.count)
+	w.Scan(func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Reset empties the window without releasing its storage.
+func (w *SlidingWindow) Reset() {
+	w.head = 0
+	w.count = 0
+}

@@ -1,0 +1,237 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSlidingWindowPanicsOnNonPositive(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSlidingWindow(%d) did not panic", capacity)
+				}
+			}()
+			NewSlidingWindow(capacity)
+		}()
+	}
+}
+
+func TestSlidingWindowFillAndExpire(t *testing.T) {
+	w := NewSlidingWindow(3)
+	for i := 0; i < 3; i++ {
+		if _, expired := w.Insert(Tuple{Key: uint32(i), Seq: uint64(i)}); expired {
+			t.Fatalf("unexpected expiry while filling at i=%d", i)
+		}
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", w.Len())
+	}
+	expired, ok := w.Insert(Tuple{Key: 3, Seq: 3})
+	if !ok {
+		t.Fatal("expected expiry on insert into full window")
+	}
+	if expired.Key != 0 {
+		t.Errorf("expired tuple key = %d, want 0 (oldest)", expired.Key)
+	}
+	want := []uint32{1, 2, 3}
+	for i, k := range want {
+		if got := w.At(i).Key; got != k {
+			t.Errorf("At(%d).Key = %d, want %d", i, got, k)
+		}
+	}
+}
+
+func TestSlidingWindowAtPanicsOutOfRange(t *testing.T) {
+	w := NewSlidingWindow(2)
+	w.Insert(Tuple{Key: 1})
+	for _, i := range []int{-1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			w.At(i)
+		}()
+	}
+}
+
+func TestSlidingWindowScanOrderAndEarlyStop(t *testing.T) {
+	w := NewSlidingWindow(4)
+	for i := 0; i < 6; i++ { // wraps twice
+		w.Insert(Tuple{Key: uint32(i)})
+	}
+	var keys []uint32
+	w.Scan(func(tu Tuple) bool {
+		keys = append(keys, tu.Key)
+		return true
+	})
+	want := []uint32{2, 3, 4, 5}
+	if len(keys) != len(want) {
+		t.Fatalf("scan visited %d tuples, want %d", len(keys), len(want))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("scan[%d] = %d, want %d", i, keys[i], want[i])
+		}
+	}
+
+	var visited int
+	w.Scan(func(Tuple) bool {
+		visited++
+		return visited < 2
+	})
+	if visited != 2 {
+		t.Errorf("early-stop scan visited %d, want 2", visited)
+	}
+}
+
+func TestSlidingWindowReset(t *testing.T) {
+	w := NewSlidingWindow(4)
+	for i := 0; i < 10; i++ {
+		w.Insert(Tuple{Key: uint32(i)})
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d, want 0", w.Len())
+	}
+	w.Insert(Tuple{Key: 42})
+	if got := w.At(0).Key; got != 42 {
+		t.Errorf("At(0).Key after reset = %d, want 42", got)
+	}
+}
+
+// TestSlidingWindowHoldsMostRecent is the core window invariant: after any
+// insertion sequence, the window holds exactly the min(n, cap) most recent
+// tuples in arrival order.
+func TestSlidingWindowHoldsMostRecent(t *testing.T) {
+	prop := func(capSeed uint8, n uint16) bool {
+		capacity := int(capSeed%64) + 1
+		w := NewSlidingWindow(capacity)
+		total := int(n % 512)
+		for i := 0; i < total; i++ {
+			w.Insert(Tuple{Seq: uint64(i)})
+		}
+		wantLen := total
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if w.Len() != wantLen {
+			return false
+		}
+		first := total - wantLen
+		for i := 0; i < wantLen; i++ {
+			if w.At(i).Seq != uint64(first+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlidingWindowExpiryIsFIFO verifies tuples expire in exactly arrival
+// order once the window is full.
+func TestSlidingWindowExpiryIsFIFO(t *testing.T) {
+	prop := func(capSeed uint8, n uint16) bool {
+		capacity := int(capSeed%32) + 1
+		total := int(n%256) + capacity
+		w := NewSlidingWindow(capacity)
+		var expireSeqs []uint64
+		for i := 0; i < total; i++ {
+			if old, ok := w.Insert(Tuple{Seq: uint64(i)}); ok {
+				expireSeqs = append(expireSeqs, old.Seq)
+			}
+		}
+		for i, seq := range expireSeqs {
+			if seq != uint64(i) {
+				return false
+			}
+		}
+		return len(expireSeqs) == total-capacity
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlidingWindowRemoveOldest(t *testing.T) {
+	w := NewSlidingWindow(3)
+	if _, ok := w.RemoveOldest(); ok {
+		t.Fatal("RemoveOldest on empty window reported ok")
+	}
+	for i := 0; i < 5; i++ { // wraps: holds 2, 3, 4
+		w.Insert(Tuple{Seq: uint64(i)})
+	}
+	got, ok := w.RemoveOldest()
+	if !ok || got.Seq != 2 {
+		t.Fatalf("RemoveOldest = %v, %v; want seq 2", got, ok)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", w.Len())
+	}
+	// Insert after removal must preserve order: 3, 4, 9.
+	w.Insert(Tuple{Seq: 9})
+	want := []uint64{3, 4, 9}
+	for i, seq := range want {
+		if got := w.At(i).Seq; got != seq {
+			t.Errorf("At(%d).Seq = %d, want %d", i, got, seq)
+		}
+	}
+}
+
+// TestSlidingWindowRemoveInsertInterleaved drives a random mix of inserts
+// and removals against a reference slice implementation.
+func TestSlidingWindowRemoveInsertInterleaved(t *testing.T) {
+	w := NewSlidingWindow(4)
+	var ref []Tuple
+	seq := uint64(0)
+	ops := []bool{true, true, false, true, true, true, true, false, false, true, false, true, true, true, true, true}
+	for _, insert := range ops {
+		if insert {
+			t1 := Tuple{Seq: seq}
+			seq++
+			if len(ref) == 4 {
+				ref = ref[1:]
+			}
+			ref = append(ref, t1)
+			w.Insert(t1)
+		} else {
+			if len(ref) > 0 {
+				ref = ref[1:]
+			}
+			w.RemoveOldest()
+		}
+		if w.Len() != len(ref) {
+			t.Fatalf("Len() = %d, want %d", w.Len(), len(ref))
+		}
+		for i, want := range ref {
+			if got := w.At(i); got != want {
+				t.Fatalf("At(%d) = %v, want %v (ref %v)", i, got, want, ref)
+			}
+		}
+	}
+}
+
+func TestSlidingWindowSnapshotMatchesScan(t *testing.T) {
+	w := NewSlidingWindow(5)
+	for i := 0; i < 8; i++ {
+		w.Insert(Tuple{Seq: uint64(i)})
+	}
+	snap := w.Snapshot()
+	if len(snap) != w.Len() {
+		t.Fatalf("snapshot length %d != window length %d", len(snap), w.Len())
+	}
+	i := 0
+	w.Scan(func(tu Tuple) bool {
+		if snap[i] != tu {
+			t.Errorf("snapshot[%d] = %v, scan saw %v", i, snap[i], tu)
+		}
+		i++
+		return true
+	})
+}

@@ -1,0 +1,68 @@
+// Package synth models what the Xilinx synthesis tool chain reported for
+// the paper's designs: per-device resource capacities, resource estimates
+// for the uni-flow and bi-flow join architectures, a maximum-clock-frequency
+// (Fmax) timing model, a feasibility check, and a power model.
+//
+// None of this is measured on real silicon. The model structure is physical
+// (fanout-driven critical paths, BRAM allocation granularity, activity-based
+// dynamic power), and its free constants are calibrated against the handful
+// of absolute numbers the paper reports: 100 MHz operation on the Virtex-5,
+// 300 MHz on the Virtex-7, the feasibility frontier of Figures 14a–14c, and
+// the 800.35 mW / 1647.53 mW power pair of Section V. The calibration
+// points and rationale are documented in EXPERIMENTS.md.
+package synth
+
+// Device is the capacity and speed model of one FPGA.
+type Device struct {
+	// Name is the part name, e.g. "XC5VLX50T".
+	Name string
+	// Family is the marketing family, e.g. "Virtex-5".
+	Family string
+	// LUTs and FFs are the logic capacity.
+	LUTs int
+	FFs  int
+	// BRAM36 is the number of 36 Kb block RAMs.
+	BRAM36 int
+	// LUTRAMBits is the distributed-RAM capacity in bits.
+	LUTRAMBits int
+	// BaseLogicDelayNs is the intrinsic critical-path delay of the join
+	// core logic on this device (speed-grade constant of the timing model).
+	BaseLogicDelayNs float64
+	// NetDelayFactor scales interconnect delays relative to the Virtex-7
+	// (older/slower fabrics route slower).
+	NetDelayFactor float64
+	// NominalMHz is the clock the paper's experiments drive the device at.
+	NominalMHz float64
+	// StaticPowerMW is the device static (leakage + clocking) power.
+	StaticPowerMW float64
+}
+
+// The two evaluation platforms of Section V.
+var (
+	// Virtex5LX50T is the ML505 evaluation platform FPGA.
+	Virtex5LX50T = Device{
+		Name:             "XC5VLX50T",
+		Family:           "Virtex-5",
+		LUTs:             28800,
+		FFs:              28800,
+		BRAM36:           60,
+		LUTRAMBits:       480 * 1024,
+		BaseLogicDelayNs: 5.10,
+		NetDelayFactor:   1.7,
+		NominalMHz:       100,
+		StaticPowerMW:    363,
+	}
+	// Virtex7VX485T is the VC707 evaluation board FPGA.
+	Virtex7VX485T = Device{
+		Name:             "XC7VX485T",
+		Family:           "Virtex-7",
+		LUTs:             303600,
+		FFs:              607200,
+		BRAM36:           1030,
+		LUTRAMBits:       8175 * 1024,
+		BaseLogicDelayNs: 2.80,
+		NetDelayFactor:   1.0,
+		NominalMHz:       300,
+		StaticPowerMW:    420,
+	}
+)

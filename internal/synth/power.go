@@ -1,0 +1,85 @@
+package synth
+
+import "accelstream/internal/core"
+
+// Power-model constants: dynamic power per resource unit per MHz, plus a
+// per-flow-model activity factor. The bi-flow design's activity is higher
+// because its window contents are continuously shifted between neighbouring
+// cores and its coordinator, buffer managers, and five-port I/O toggle on
+// every transfer, whereas the uni-flow design's tuples are written once and
+// only read afterwards.
+//
+// Calibrated against Section V: with 16 join cores and a total window size
+// of 2^13 per stream on the Virtex-5 at 100 MHz, the paper measured
+// 1647.53 mW for bi-flow and 800.35 mW for uni-flow (a >50% saving for
+// uni-flow). See EXPERIMENTS.md for the calibration discussion.
+const (
+	lutPowerMWPerMHz    = 0.00030
+	ffPowerMWPerMHz     = 0.00012
+	bram36PowerMWPerMHz = 0.05256
+	ioPowerMWPerMHz     = 0.004
+
+	uniFlowActivity = 1.0
+	biFlowActivity  = 1.40
+)
+
+// PowerMW estimates total (static + dynamic) power in milliwatts for a
+// design running at the given clock.
+func PowerMW(spec DesignSpec, dev Device, clockMHz float64) (float64, error) {
+	spec.applyDefaults()
+	est, err := EstimateResources(spec)
+	if err != nil {
+		return 0, err
+	}
+	activity := uniFlowActivity
+	if spec.Flow == core.BiFlow {
+		activity = biFlowActivity
+	}
+	dynamic := (lutPowerMWPerMHz*float64(est.LUTs) +
+		ffPowerMWPerMHz*float64(est.FFs) +
+		bram36PowerMWPerMHz*float64(est.BRAM36) +
+		ioPowerMWPerMHz*float64(est.IOs)) * clockMHz * activity
+	return dev.StaticPowerMW + dynamic, nil
+}
+
+// Report is a full synthesis report for one design on one device.
+type Report struct {
+	Spec         DesignSpec
+	Device       string
+	Resources    ResourceEstimate
+	Fit          Fit
+	FmaxMHz      float64
+	OperatingMHz float64
+	PowerMW      float64 // at OperatingMHz; 0 if the design does not fit
+}
+
+// Synthesize produces the full report: resources, fit, timing, and power.
+func Synthesize(spec DesignSpec, dev Device) (Report, error) {
+	spec.applyDefaults()
+	if err := spec.Validate(); err != nil {
+		return Report{}, err
+	}
+	est, err := EstimateResources(spec)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Spec:      spec,
+		Device:    dev.Name,
+		Resources: est,
+		Fit:       CheckFit(est, dev),
+	}
+	if !rep.Fit.Feasible {
+		return rep, nil
+	}
+	if rep.FmaxMHz, err = Fmax(spec, dev); err != nil {
+		return Report{}, err
+	}
+	if rep.OperatingMHz, err = OperatingMHz(spec, dev); err != nil {
+		return Report{}, err
+	}
+	if rep.PowerMW, err = PowerMW(spec, dev, rep.OperatingMHz); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,214 @@
+package synth
+
+import (
+	"fmt"
+
+	"accelstream/internal/core"
+	"accelstream/internal/hwjoin"
+)
+
+// DesignSpec identifies one hardware configuration to synthesize.
+type DesignSpec struct {
+	// Flow selects the join architecture.
+	Flow core.FlowModel
+	// NumCores is the number of join cores.
+	NumCores int
+	// WindowSize is the total per-stream window.
+	WindowSize int
+	// Network is the distribution/gathering network kind. Bi-flow designs
+	// use it for result gathering only.
+	Network hwjoin.NetworkKind
+	// Fanout is the scalable distribution tree fan-out (default 2).
+	Fanout int
+	// TupleBits is the input tuple width (default 64).
+	TupleBits int
+}
+
+func (s *DesignSpec) applyDefaults() {
+	if s.Fanout == 0 {
+		s.Fanout = 2
+	}
+	if s.TupleBits == 0 {
+		s.TupleBits = 64
+	}
+	if s.Network == 0 {
+		s.Network = hwjoin.Lightweight
+	}
+	if s.Flow == 0 {
+		s.Flow = core.UniFlow
+	}
+}
+
+// Validate checks the specification.
+func (s DesignSpec) Validate() error {
+	if s.NumCores <= 0 {
+		return fmt.Errorf("synth: NumCores must be positive, got %d", s.NumCores)
+	}
+	p := core.Partition{NumCores: s.NumCores, Position: 0}
+	if _, err := p.SubWindowSize(s.WindowSize); err != nil {
+		return err
+	}
+	if s.Flow != core.UniFlow && s.Flow != core.BiFlow {
+		return fmt.Errorf("synth: unknown flow model %d", s.Flow)
+	}
+	return nil
+}
+
+// SubWindow returns the per-core per-stream window share.
+func (s DesignSpec) SubWindow() int { return s.WindowSize / s.NumCores }
+
+// ResourceEstimate is the synthesis-style resource count of a design.
+type ResourceEstimate struct {
+	LUTs       int
+	FFs        int
+	BRAM36     int
+	LUTRAMBits int
+	// IOs counts join-core I/O ports (the paper flags the uni-flow core's
+	// reduction from five ports to two as a major complexity win).
+	IOs int
+	// DNodes and GNodes are the network component counts.
+	DNodes int
+	GNodes int
+}
+
+// Calibrated per-component resource constants. A uni-flow join core is a
+// fetcher, two small FSMs, one comparator datapath, and two window buffers;
+// a bi-flow core roughly doubles the logic (two buffer managers, the
+// coordinator, neighbour-transfer circuitry, five I/O ports).
+const (
+	uniCoreLUTs = 320
+	uniCoreFFs  = 260
+	biCoreLUTs  = 780
+	biCoreFFs   = 640
+
+	dnodeLUTs = 40
+	gnodeLUTs = 50
+
+	// Auxiliary logic shared by any design: stream de-packetizer, operator
+	// distribution, clocking (cf. the fabric surrounding the cores in
+	// Figure 5).
+	auxLUTs   = 500
+	auxFFs    = 1000
+	auxBRAM36 = 4
+
+	// A window whose bits fit within this bound is mapped to distributed
+	// (LUT) RAM instead of block RAM.
+	lutramThresholdBits = 4096
+)
+
+// bram36For returns the number of 36 Kb BRAMs needed for a buffer of the
+// given bit count (minimum one: block RAM is allocated whole).
+func bram36For(bits int) int {
+	const bram36Bits = 36 * 1024
+	n := (bits + bram36Bits - 1) / bram36Bits
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// EstimateResources computes the synthesis-style resource usage of a design.
+func EstimateResources(spec DesignSpec) (ResourceEstimate, error) {
+	spec.applyDefaults()
+	if err := spec.Validate(); err != nil {
+		return ResourceEstimate{}, err
+	}
+	var est ResourceEstimate
+	n := spec.NumCores
+	subWindowBits := spec.SubWindow() * spec.TupleBits
+
+	switch spec.Flow {
+	case core.UniFlow:
+		est.LUTs = n * uniCoreLUTs
+		est.FFs = n * uniCoreFFs
+		est.IOs = n * 2 // tuple in, result out
+		// Two window buffers per core.
+		perWindowBits := subWindowBits
+		if perWindowBits <= lutramThresholdBits {
+			est.LUTRAMBits = n * 2 * perWindowBits
+		} else {
+			est.BRAM36 = n * 2 * bram36For(perWindowBits)
+		}
+	case core.BiFlow:
+		est.LUTs = n * biCoreLUTs
+		est.FFs = n * biCoreFFs
+		est.IOs = n * 5 // R in/out, S in/out, result out
+		// The bi-flow window buffers are effectively doubled: the buffer
+		// managers keep transfer staging copies so that neighbour handoffs
+		// and scans can overlap (ping-pong buffering).
+		perWindowBits := 2 * subWindowBits
+		if perWindowBits <= lutramThresholdBits {
+			est.LUTRAMBits = n * 2 * perWindowBits
+		} else {
+			est.BRAM36 = n * 2 * bram36For(perWindowBits)
+		}
+	}
+
+	// Distribution network (uni-flow only: bi-flow feeds the chain ends).
+	if spec.Flow == core.UniFlow {
+		switch spec.Network {
+		case hwjoin.Scalable:
+			est.DNodes = countTreeNodes(n, spec.Fanout)
+			est.LUTs += est.DNodes * dnodeLUTs
+			est.FFs += est.DNodes * 2 * (spec.TupleBits + 2) // two pipeline entries
+		default:
+			// Lightweight broadcast: fanout buffers grow with core count.
+			est.LUTs += 2 * n
+		}
+	}
+
+	// Result gathering network.
+	resultBits := 2*spec.TupleBits + 2
+	switch spec.Network {
+	case hwjoin.Scalable:
+		est.GNodes = countTreeNodes(n, 2)
+		est.LUTs += est.GNodes * gnodeLUTs
+		est.FFs += est.GNodes * 2 * resultBits
+	default:
+		// Lightweight round-robin collector: a mux tree over all cores.
+		est.LUTs += 8 * n
+	}
+
+	est.LUTs += auxLUTs
+	est.FFs += auxFFs
+	est.BRAM36 += auxBRAM36
+	return est, nil
+}
+
+// countTreeNodes returns how many internal nodes a bottom-up tree over n
+// leaves with the given fan-out has (matching hwjoin's network builders).
+func countTreeNodes(n, fanout int) int {
+	if n <= 1 {
+		return 1
+	}
+	nodes := 0
+	level := n
+	for level > 1 {
+		next := (level + fanout - 1) / fanout
+		nodes += next
+		level = next
+	}
+	return nodes
+}
+
+// Fit describes whether a design fits a device, and what bound it hits.
+type Fit struct {
+	Feasible bool
+	Reason   string
+}
+
+// CheckFit tests a resource estimate against a device's capacity.
+func CheckFit(est ResourceEstimate, dev Device) Fit {
+	switch {
+	case est.LUTs > dev.LUTs:
+		return Fit{Reason: fmt.Sprintf("needs %d LUTs, %s has %d", est.LUTs, dev.Name, dev.LUTs)}
+	case est.FFs > dev.FFs:
+		return Fit{Reason: fmt.Sprintf("needs %d FFs, %s has %d", est.FFs, dev.Name, dev.FFs)}
+	case est.BRAM36 > dev.BRAM36:
+		return Fit{Reason: fmt.Sprintf("needs %d BRAM36, %s has %d", est.BRAM36, dev.Name, dev.BRAM36)}
+	case est.LUTRAMBits > dev.LUTRAMBits:
+		return Fit{Reason: fmt.Sprintf("needs %d LUTRAM bits, %s has %d", est.LUTRAMBits, dev.Name, dev.LUTRAMBits)}
+	default:
+		return Fit{Feasible: true}
+	}
+}

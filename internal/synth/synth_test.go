@@ -1,0 +1,294 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"accelstream/internal/core"
+	"accelstream/internal/hwjoin"
+)
+
+func TestDesignSpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    DesignSpec
+		wantErr bool
+	}{
+		{"ok uni", DesignSpec{Flow: core.UniFlow, NumCores: 16, WindowSize: 8192}, false},
+		{"ok bi", DesignSpec{Flow: core.BiFlow, NumCores: 16, WindowSize: 8192}, false},
+		{"zero cores", DesignSpec{Flow: core.UniFlow, NumCores: 0, WindowSize: 64}, true},
+		{"indivisible", DesignSpec{Flow: core.UniFlow, NumCores: 3, WindowSize: 64}, true},
+		{"bad flow", DesignSpec{Flow: core.FlowModel(9), NumCores: 2, WindowSize: 64}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.spec.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestFeasibilityFrontierVirtex5 reproduces the exact feasibility boundary
+// the paper reports for the ML505 platform (Figures 14a and 14b):
+// uni-flow fits 16 cores at W=2^13 but not 32 or 64 cores beyond W=2^11,
+// and bi-flow cannot fit 16 cores at 2^13 although it can at 2^12.
+func TestFeasibilityFrontierVirtex5(t *testing.T) {
+	tests := []struct {
+		name     string
+		flow     core.FlowModel
+		cores    int
+		window   int
+		feasible bool
+	}{
+		{"uni 16 @ 2^13", core.UniFlow, 16, 1 << 13, true},
+		{"uni 16 @ 2^11", core.UniFlow, 16, 1 << 11, true},
+		{"uni 32 @ 2^11", core.UniFlow, 32, 1 << 11, true},
+		{"uni 64 @ 2^11", core.UniFlow, 64, 1 << 11, true},
+		{"uni 32 @ 2^13", core.UniFlow, 32, 1 << 13, false},
+		{"uni 64 @ 2^13", core.UniFlow, 64, 1 << 13, false},
+		{"uni 32 @ 2^12", core.UniFlow, 32, 1 << 12, false},
+		{"uni 64 @ 2^12", core.UniFlow, 64, 1 << 12, false},
+		{"bi 16 @ 2^12", core.BiFlow, 16, 1 << 12, true},
+		{"bi 16 @ 2^13", core.BiFlow, 16, 1 << 13, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rep, err := Synthesize(DesignSpec{Flow: tt.flow, NumCores: tt.cores, WindowSize: tt.window}, Virtex5LX50T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Fit.Feasible != tt.feasible {
+				t.Errorf("feasible = %v (reason %q), want %v", rep.Fit.Feasible, rep.Fit.Reason, tt.feasible)
+			}
+		})
+	}
+}
+
+// TestFeasibilityFrontierVirtex7 reproduces Figure 14c's boundary: the
+// VC707 fits up to 512 uni-flow cores with windows up to 2^18.
+func TestFeasibilityFrontierVirtex7(t *testing.T) {
+	tests := []struct {
+		name     string
+		cores    int
+		window   int
+		feasible bool
+	}{
+		{"512 @ 2^18", 512, 1 << 18, true},
+		{"512 @ 2^11", 512, 1 << 11, true},
+		{"512 @ 2^19", 512, 1 << 19, false},
+		{"1024 @ 2^18", 1024, 1 << 18, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rep, err := Synthesize(DesignSpec{
+				Flow:       core.UniFlow,
+				NumCores:   tt.cores,
+				WindowSize: tt.window,
+				Network:    hwjoin.Scalable,
+			}, Virtex7VX485T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Fit.Feasible != tt.feasible {
+				t.Errorf("feasible = %v (reason %q), want %v", rep.Fit.Feasible, rep.Fit.Reason, tt.feasible)
+			}
+		})
+	}
+}
+
+// TestFmaxLightweightDropsScalableFlat reproduces the Figure 17 shape.
+func TestFmaxLightweightDropsScalableFlat(t *testing.T) {
+	fmax := func(cores int, network hwjoin.NetworkKind) float64 {
+		f, err := Fmax(DesignSpec{
+			Flow:       core.UniFlow,
+			NumCores:   cores,
+			WindowSize: cores * 512,
+			Network:    network,
+		}, Virtex7VX485T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	light2 := fmax(2, hwjoin.Lightweight)
+	light512 := fmax(512, hwjoin.Lightweight)
+	scal2 := fmax(2, hwjoin.Scalable)
+	scal512 := fmax(512, hwjoin.Scalable)
+
+	if light2 < 320 || light2 > 360 {
+		t.Errorf("V7 lightweight Fmax at 2 cores = %.1f, want ≈340", light2)
+	}
+	if light512 < 180 || light512 > 220 {
+		t.Errorf("V7 lightweight Fmax at 512 cores = %.1f, want ≈200", light512)
+	}
+	if scal512 < 295 {
+		t.Errorf("V7 scalable Fmax at 512 cores = %.1f, must support the 300 MHz run of Fig. 14c", scal512)
+	}
+	drop := (scal2 - scal512) / scal2
+	if drop > 0.10 {
+		t.Errorf("scalable Fmax drops %.0f%% from 2 to 512 cores; paper reports no significant variation", drop*100)
+	}
+	if light512 >= scal512 {
+		t.Error("lightweight must fall below scalable at 512 cores")
+	}
+}
+
+// TestFmaxVirtex5Band checks the V5 lightweight designs sit in the paper's
+// 160–190 MHz band (they are operated at 100 MHz regardless).
+func TestFmaxVirtex5Band(t *testing.T) {
+	for _, cores := range []int{2, 4, 8, 16} {
+		f, err := Fmax(DesignSpec{Flow: core.UniFlow, NumCores: cores, WindowSize: 8192}, Virtex5LX50T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < 150 || f > 200 {
+			t.Errorf("V5 Fmax at %d cores = %.1f, want within 150–200", cores, f)
+		}
+		op, err := OperatingMHz(DesignSpec{Flow: core.UniFlow, NumCores: cores, WindowSize: 8192}, Virtex5LX50T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != 100 {
+			t.Errorf("V5 operating clock = %.1f, want the nominal 100 MHz", op)
+		}
+	}
+}
+
+// TestOperatingClockCappedByFmax: the 512-core lightweight V7 design cannot
+// run at the nominal 300 MHz.
+func TestOperatingClockCappedByFmax(t *testing.T) {
+	spec := DesignSpec{Flow: core.UniFlow, NumCores: 512, WindowSize: 512 * 512, Network: hwjoin.Lightweight}
+	op, err := OperatingMHz(spec, Virtex7VX485T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Fmax(spec, Virtex7VX485T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != f {
+		t.Errorf("operating clock %.1f should equal Fmax %.1f when Fmax < nominal", op, f)
+	}
+	if op >= 300 {
+		t.Errorf("operating clock %.1f should be below the 300 MHz nominal", op)
+	}
+}
+
+// TestPowerCalibration reproduces the paper's Section V power numbers for
+// 16 cores with a total per-stream window of 2^13 on the Virtex-5 at
+// 100 MHz: 800.35 mW uni-flow, 1647.53 mW bi-flow, i.e. >50% saving.
+func TestPowerCalibration(t *testing.T) {
+	uni, err := PowerMW(DesignSpec{Flow: core.UniFlow, NumCores: 16, WindowSize: 1 << 13}, Virtex5LX50T, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := PowerMW(DesignSpec{Flow: core.BiFlow, NumCores: 16, WindowSize: 1 << 13}, Virtex5LX50T, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(uni-800.35) > 0.02*800.35 {
+		t.Errorf("uni-flow power = %.2f mW, want 800.35 ±2%%", uni)
+	}
+	if math.Abs(bi-1647.53) > 0.02*1647.53 {
+		t.Errorf("bi-flow power = %.2f mW, want 1647.53 ±2%%", bi)
+	}
+	if saving := 1 - uni/bi; saving < 0.50 {
+		t.Errorf("uni-flow power saving = %.0f%%, paper reports more than 50%%", saving*100)
+	}
+}
+
+// TestPowerScalesWithClock: dynamic power is linear in frequency.
+func TestPowerScalesWithClock(t *testing.T) {
+	spec := DesignSpec{Flow: core.UniFlow, NumCores: 16, WindowSize: 1 << 13}
+	p100, err := PowerMW(spec, Virtex5LX50T, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p200, err := PowerMW(spec, Virtex5LX50T, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn100 := p100 - Virtex5LX50T.StaticPowerMW
+	dyn200 := p200 - Virtex5LX50T.StaticPowerMW
+	if math.Abs(dyn200-2*dyn100) > 1e-6 {
+		t.Errorf("dynamic power not linear in clock: %f at 100, %f at 200", dyn100, dyn200)
+	}
+}
+
+// TestResourceEstimateShape checks structural expectations of the model.
+func TestResourceEstimateShape(t *testing.T) {
+	uni, err := EstimateResources(DesignSpec{Flow: core.UniFlow, NumCores: 16, WindowSize: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := EstimateResources(DesignSpec{Flow: core.BiFlow, NumCores: 16, WindowSize: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.LUTs <= uni.LUTs || bi.FFs <= uni.FFs {
+		t.Error("bi-flow cores must cost more logic than uni-flow cores")
+	}
+	if uni.IOs != 16*2 {
+		t.Errorf("uni-flow IOs = %d, want 2 per core", uni.IOs)
+	}
+	if bi.IOs != 16*5 {
+		t.Errorf("bi-flow IOs = %d, want 5 per core", bi.IOs)
+	}
+
+	// Scalable networks add DNodes/GNodes and their pipeline FFs.
+	scal, err := EstimateResources(DesignSpec{Flow: core.UniFlow, NumCores: 16, WindowSize: 8192, Network: hwjoin.Scalable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scal.DNodes != 15 || scal.GNodes != 15 {
+		t.Errorf("scalable 16-core network: DNodes=%d GNodes=%d, want 15/15", scal.DNodes, scal.GNodes)
+	}
+	if scal.FFs <= uni.FFs {
+		t.Error("scalable network must consume more FFs than lightweight")
+	}
+
+	// Small windows map to distributed RAM, large to BRAM.
+	small, err := EstimateResources(DesignSpec{Flow: core.UniFlow, NumCores: 64, WindowSize: 1 << 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.LUTRAMBits == 0 || small.BRAM36 != auxBRAM36 {
+		t.Errorf("2^11/64-core windows should map to LUTRAM, got %+v", small)
+	}
+}
+
+func TestSynthesizeInfeasibleReportsReason(t *testing.T) {
+	rep, err := Synthesize(DesignSpec{Flow: core.UniFlow, NumCores: 64, WindowSize: 1 << 13}, Virtex5LX50T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fit.Feasible {
+		t.Fatal("expected infeasible")
+	}
+	if !strings.Contains(rep.Fit.Reason, "BRAM") {
+		t.Errorf("reason = %q, want BRAM bound", rep.Fit.Reason)
+	}
+	if rep.PowerMW != 0 || rep.FmaxMHz != 0 {
+		t.Error("infeasible report must not invent timing/power numbers")
+	}
+}
+
+func TestCountTreeNodes(t *testing.T) {
+	tests := []struct {
+		n, fanout, want int
+	}{
+		{1, 2, 1},
+		{2, 2, 1},
+		{8, 2, 7},
+		{16, 2, 15},
+		{16, 4, 5},
+		{512, 2, 511},
+	}
+	for _, tt := range tests {
+		if got := countTreeNodes(tt.n, tt.fanout); got != tt.want {
+			t.Errorf("countTreeNodes(%d, %d) = %d, want %d", tt.n, tt.fanout, got, tt.want)
+		}
+	}
+}

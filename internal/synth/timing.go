@@ -1,0 +1,68 @@
+package synth
+
+import (
+	"math"
+
+	"accelstream/internal/core"
+	"accelstream/internal/hwjoin"
+)
+
+// Timing-model constants. The critical path of a built design is the core
+// logic delay (device constant) plus an interconnect term that depends on
+// the network architecture:
+//
+//   - the scalable tree keeps a constant small fan-out per stage, so its
+//     interconnect delay does not grow with the number of cores;
+//   - the lightweight broadcast/collection buses drive every core directly,
+//     so routing distance (≈ log of the span) and electrical fan-out
+//     (≈ linear in cores) both stretch the critical path.
+//
+// Constants are calibrated to Figure 17: the Virtex-7 lightweight design
+// falls from ≈340 MHz at 2 cores to ≈200 MHz at 512, the scalable variant
+// stays flat around 300 MHz, and the small Virtex-5 designs sit in the
+// 160–190 MHz band (operated at 100 MHz in the experiments).
+const (
+	treeNetDelayNs     = 0.30  // scalable network, per critical stage
+	lightLogDelayNs    = 0.117 // lightweight, per doubling of cores (routing span)
+	lightLinearDelayNs = 0.002 // lightweight, per core (electrical fan-out)
+	bramSpreadDelayNs  = 0.0002
+	biFlowExtraNs      = 0.30 // coordinator arbitration on the critical path
+)
+
+// Fmax estimates the maximum clock frequency (MHz) a design achieves on a
+// device.
+func Fmax(spec DesignSpec, dev Device) (float64, error) {
+	spec.applyDefaults()
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	est, err := EstimateResources(spec)
+	if err != nil {
+		return 0, err
+	}
+	t := dev.BaseLogicDelayNs
+	switch spec.Network {
+	case hwjoin.Scalable:
+		t += treeNetDelayNs * dev.NetDelayFactor
+	default:
+		n := float64(spec.NumCores)
+		t += dev.NetDelayFactor * (lightLogDelayNs*math.Log2(math.Max(n, 1)) + lightLinearDelayNs*n)
+	}
+	// Large BRAM footprints spread the design across the die.
+	t += bramSpreadDelayNs * float64(est.BRAM36) * dev.NetDelayFactor
+	if spec.Flow == core.BiFlow {
+		t += biFlowExtraNs * dev.NetDelayFactor
+	}
+	return 1000 / t, nil
+}
+
+// OperatingMHz returns the clock the paper's experiments would drive this
+// design at: the device's nominal experiment clock, capped by the achieved
+// Fmax.
+func OperatingMHz(spec DesignSpec, dev Device) (float64, error) {
+	f, err := Fmax(spec, dev)
+	if err != nil {
+		return 0, err
+	}
+	return math.Min(f, dev.NominalMHz), nil
+}

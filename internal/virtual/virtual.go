@@ -1,0 +1,265 @@
+// Package virtual implements the paper's closing vision (Section VI,
+// Figure 18): superimposing the FQP abstraction over a pool of
+// heterogeneous compute nodes — FPGAs and general-purpose hosts, deployed
+// standalone, co-placed on the data path, or as co-processors — "in order
+// to hide their intricacy and to virtualize the computation over them".
+//
+// A Cluster owns one FQP fabric per node (hardware fabrics on FPGA nodes,
+// functionally identical software fabrics on CPU nodes) and schedules each
+// deployed query onto a node that satisfies its latency requirement and has
+// capacity, preferring the node class whose Figure 1 envelope fits. Records
+// ingested into the cluster fan out to every node hosting a query over that
+// stream; results are collected per query regardless of where it runs.
+package virtual
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"accelstream/internal/fqp"
+	"accelstream/internal/landscape"
+	"accelstream/internal/stream"
+	"accelstream/internal/synth"
+)
+
+// NodeKind is the hardware class of a cluster node.
+type NodeKind uint8
+
+// Node classes.
+const (
+	KindFPGA NodeKind = iota + 1
+	KindCPU
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindFPGA:
+		return "FPGA"
+	case KindCPU:
+		return "CPU"
+	default:
+		return fmt.Sprintf("node-kind(%d)", uint8(k))
+	}
+}
+
+// Node describes one compute node offered to the cluster.
+type Node struct {
+	// Name identifies the node.
+	Name string
+	// Kind is the hardware class.
+	Kind NodeKind
+	// Deployment is how the node sits in the distributed system.
+	Deployment landscape.DeploymentModel
+	// Blocks is the node's OP-Block capacity (for FPGA nodes, what its
+	// synthesized fabric provides; for CPU nodes, the operator budget its
+	// cores sustain).
+	Blocks int
+	// ClockMHz is the fabric clock (FPGA nodes).
+	ClockMHz float64
+	// Device is the FPGA capacity model (FPGA nodes; informational).
+	Device *synth.Device
+}
+
+// Validate checks the node description.
+func (n Node) Validate() error {
+	if n.Name == "" {
+		return fmt.Errorf("virtual: node needs a name")
+	}
+	if n.Kind != KindFPGA && n.Kind != KindCPU {
+		return fmt.Errorf("virtual: node %q has unknown kind %d", n.Name, n.Kind)
+	}
+	if n.Blocks <= 0 {
+		return fmt.Errorf("virtual: node %q needs positive block capacity", n.Name)
+	}
+	if n.Kind == KindFPGA && n.ClockMHz <= 0 {
+		return fmt.Errorf("virtual: FPGA node %q needs a clock", n.Name)
+	}
+	return nil
+}
+
+// latencyClass is the order-of-magnitude response time of one operator hop
+// on this node class, used by the scheduler's QoS check (Figure 1's
+// envelopes collapsed to the two node classes offered here).
+func (n Node) latencyClass() time.Duration {
+	if n.Kind == KindFPGA {
+		return 10 * time.Microsecond
+	}
+	return 5 * time.Millisecond
+}
+
+// QoS states a deployed query's requirements.
+type QoS struct {
+	// MaxLatency is the per-result latency bound; zero means unconstrained.
+	MaxLatency time.Duration
+}
+
+// Placement reports where a query landed.
+type Placement struct {
+	Node       string
+	Kind       NodeKind
+	Deployment landscape.DeploymentModel
+	Assignment fqp.Assignment
+}
+
+// nodeState is a node plus its running fabric.
+type nodeState struct {
+	node    Node
+	fabric  *fqp.Fabric
+	queries map[string]fqp.Assignment
+}
+
+func (ns *nodeState) usedBlocks() int {
+	return ns.node.Blocks - len(ns.fabric.FreeBlocks())
+}
+
+// Cluster is a pool of nodes behind one FQP-style interface.
+type Cluster struct {
+	nodes      []*nodeState
+	placements map[string]*nodeState
+}
+
+// NewCluster builds a cluster over the given nodes.
+func NewCluster(nodes ...Node) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("virtual: cluster needs at least one node")
+	}
+	c := &Cluster{placements: make(map[string]*nodeState)}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("virtual: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		fab, err := fqp.NewFabric(n.Blocks)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &nodeState{
+			node:    n,
+			fabric:  fab,
+			queries: make(map[string]fqp.Assignment),
+		})
+	}
+	return c, nil
+}
+
+// Deploy schedules a query onto the cluster: among nodes with enough free
+// blocks whose latency class meets the QoS, it picks FPGA nodes before CPU
+// nodes and, within a class, the least-loaded node. The same dynamic
+// assignment path as a single fabric is used — deployment never halts
+// anything.
+func (c *Cluster) Deploy(query string, plan *fqp.PlanNode, qos QoS) (Placement, error) {
+	if _, dup := c.placements[query]; dup {
+		return Placement{}, fmt.Errorf("virtual: query %q is already deployed", query)
+	}
+	if err := plan.Validate(); err != nil {
+		return Placement{}, fmt.Errorf("virtual: deploy %q: %w", query, err)
+	}
+	need := plan.Operators()
+
+	candidates := make([]*nodeState, 0, len(c.nodes))
+	for _, ns := range c.nodes {
+		if len(ns.fabric.FreeBlocks()) < need {
+			continue
+		}
+		if qos.MaxLatency > 0 && ns.node.latencyClass() > qos.MaxLatency {
+			continue
+		}
+		candidates = append(candidates, ns)
+	}
+	if len(candidates) == 0 {
+		return Placement{}, fmt.Errorf("virtual: no node can host %q (needs %d blocks, latency ≤ %v)", query, need, qos.MaxLatency)
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if a.node.Kind != b.node.Kind {
+			return a.node.Kind == KindFPGA // specialize first
+		}
+		la := float64(a.usedBlocks()) / float64(a.node.Blocks)
+		lb := float64(b.usedBlocks()) / float64(b.node.Blocks)
+		return la < lb
+	})
+	chosen := candidates[0]
+	asn, err := chosen.fabric.AssignQueryShared(query, plan)
+	if err != nil {
+		return Placement{}, fmt.Errorf("virtual: deploy %q on %s: %w", query, chosen.node.Name, err)
+	}
+	chosen.queries[query] = asn
+	c.placements[query] = chosen
+	return Placement{
+		Node:       chosen.node.Name,
+		Kind:       chosen.node.Kind,
+		Deployment: chosen.node.Deployment,
+		Assignment: asn,
+	}, nil
+}
+
+// Remove takes a query off the cluster, releasing its blocks. Other queries
+// keep running.
+func (c *Cluster) Remove(query string) error {
+	ns, ok := c.placements[query]
+	if !ok {
+		return fmt.Errorf("virtual: query %q is not deployed", query)
+	}
+	ns.fabric.ClearQuery(ns.queries[query])
+	delete(ns.queries, query)
+	delete(c.placements, query)
+	return nil
+}
+
+// Ingest fans one record of a named stream out to every node hosting at
+// least one query reading it. Nodes without a matching ingress are skipped
+// (their fabrics never see the stream).
+func (c *Cluster) Ingest(streamName string, rec stream.Record) error {
+	delivered := false
+	for _, ns := range c.nodes {
+		if err := ns.fabric.Ingest(streamName, rec); err == nil {
+			delivered = true
+		}
+	}
+	if !delivered {
+		return fmt.Errorf("virtual: no deployed query reads stream %q", streamName)
+	}
+	return nil
+}
+
+// Results returns a query's accumulated results from whichever node runs it.
+func (c *Cluster) Results(query string) []stream.Record {
+	ns, ok := c.placements[query]
+	if !ok {
+		return nil
+	}
+	return ns.fabric.Results(query)
+}
+
+// TakeResults returns and clears a query's results.
+func (c *Cluster) TakeResults(query string) []stream.Record {
+	ns, ok := c.placements[query]
+	if !ok {
+		return nil
+	}
+	return ns.fabric.TakeResults(query)
+}
+
+// NodeUtilization reports each node's block usage as (used, capacity).
+func (c *Cluster) NodeUtilization() map[string][2]int {
+	out := make(map[string][2]int, len(c.nodes))
+	for _, ns := range c.nodes {
+		out[ns.node.Name] = [2]int{ns.usedBlocks(), ns.node.Blocks}
+	}
+	return out
+}
+
+// PlacementOf reports where a deployed query runs.
+func (c *Cluster) PlacementOf(query string) (string, bool) {
+	ns, ok := c.placements[query]
+	if !ok {
+		return "", false
+	}
+	return ns.node.Name, true
+}

@@ -1,0 +1,231 @@
+package virtual
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"accelstream/internal/fqp"
+	"accelstream/internal/landscape"
+	"accelstream/internal/stream"
+	"accelstream/internal/synth"
+)
+
+var sensorSchema = stream.MustSchema("sensor", "device", "value")
+
+func sensorRec(device, value uint32) stream.Record {
+	r, err := stream.NewRecord(sensorSchema, device, value)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func testNodes() []Node {
+	return []Node{
+		{Name: "fpga-0", Kind: KindFPGA, Deployment: landscape.CoPlacement, Blocks: 4, ClockMHz: 300, Device: &synth.Virtex7VX485T},
+		{Name: "fpga-1", Kind: KindFPGA, Deployment: landscape.Standalone, Blocks: 4, ClockMHz: 100, Device: &synth.Virtex5LX50T},
+		{Name: "host-0", Kind: KindCPU, Deployment: landscape.CoProcessor, Blocks: 32},
+	}
+}
+
+func filterPlan(threshold uint32) *fqp.PlanNode {
+	return fqp.Select("value", stream.CmpGT, threshold, fqp.Leaf("sensor"))
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := NewCluster(Node{Kind: KindFPGA, Blocks: 2, ClockMHz: 100}); err == nil {
+		t.Error("nameless node accepted")
+	}
+	if _, err := NewCluster(Node{Name: "x", Kind: KindFPGA, Blocks: 2}); err == nil {
+		t.Error("clockless FPGA accepted")
+	}
+	if _, err := NewCluster(Node{Name: "x", Kind: KindCPU, Blocks: 0}); err == nil {
+		t.Error("zero-capacity node accepted")
+	}
+	n := Node{Name: "x", Kind: KindCPU, Blocks: 2}
+	if _, err := NewCluster(n, n); err == nil {
+		t.Error("duplicate node names accepted")
+	}
+}
+
+// TestDeployPrefersFPGA: with capacity everywhere, the scheduler
+// specializes.
+func TestDeployPrefersFPGA(t *testing.T) {
+	c, err := NewCluster(testNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := c.Deploy("q", filterPlan(10), QoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Kind != KindFPGA {
+		t.Errorf("placement kind = %v, want FPGA", pl.Kind)
+	}
+}
+
+// TestDeployBalancesAcrossFPGAs: the second query goes to the other,
+// less-loaded FPGA.
+func TestDeployBalancesAcrossFPGAs(t *testing.T) {
+	c, err := NewCluster(testNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.Deploy("q1", filterPlan(10), QoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Deploy("q2", filterPlan(20), QoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Node == p2.Node {
+		t.Errorf("both queries landed on %s; want load balancing across FPGAs", p1.Node)
+	}
+}
+
+// TestDeploySpillsToCPU: once the FPGA fabrics are full, a big query lands
+// on the host — same abstraction, different node class.
+func TestDeploySpillsToCPU(t *testing.T) {
+	c, err := NewCluster(testNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 5-operator query cannot fit a 4-block FPGA.
+	big := fqp.Project([]string{"value"},
+		fqp.Select("device", stream.CmpLT, 100,
+			fqp.Select("device", stream.CmpGT, 10,
+				fqp.Select("value", stream.CmpLE, 900,
+					fqp.Select("value", stream.CmpGT, 10, fqp.Leaf("sensor"))))))
+	pl, err := c.Deploy("big", big, QoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Kind != KindCPU {
+		t.Errorf("oversized query landed on %v, want the CPU host", pl.Kind)
+	}
+}
+
+// TestQoSLatencyExcludesCPU: a tight latency bound rules the host out.
+func TestQoSLatencyExcludesCPU(t *testing.T) {
+	c, err := NewCluster(testNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := fqp.Select("device", stream.CmpGT, 1,
+		fqp.Select("device", stream.CmpLT, 99,
+			fqp.Select("value", stream.CmpGT, 10,
+				fqp.Select("value", stream.CmpLT, 900,
+					fqp.Select("value", stream.CmpNE, 0, fqp.Leaf("sensor"))))))
+	if _, err := c.Deploy("tight", big, QoS{MaxLatency: time.Millisecond}); err == nil {
+		t.Fatal("5-operator query with 1ms bound fit somewhere; only the CPU had room and it must be excluded")
+	} else if !strings.Contains(err.Error(), "no node") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// Relaxing the bound admits the CPU.
+	if _, err := c.Deploy("loose", big, QoS{MaxLatency: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestReachesOnlyHostingNodes and results flow back per query.
+func TestIngestAndResults(t *testing.T) {
+	c, err := NewCluster(testNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("hot", filterPlan(100), QoS{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("warm", filterPlan(50), QoS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest("sensor", sensorRec(1, 75)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest("sensor", sensorRec(1, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Results("hot")); got != 1 {
+		t.Errorf("hot results = %d, want 1", got)
+	}
+	if got := len(c.Results("warm")); got != 2 {
+		t.Errorf("warm results = %d, want 2", got)
+	}
+	if err := c.Ingest("nosuch", sensorRec(1, 1)); err == nil {
+		t.Error("ingest of an unread stream succeeded")
+	}
+	if got := c.TakeResults("hot"); len(got) != 1 {
+		t.Errorf("TakeResults = %d, want 1", len(got))
+	}
+	if got := len(c.Results("hot")); got != 0 {
+		t.Errorf("results not cleared: %d", got)
+	}
+	if c.Results("nosuch") != nil {
+		t.Error("results for unknown query")
+	}
+}
+
+// TestRemoveFreesCapacity: removal releases blocks so a new query fits.
+func TestRemoveFreesCapacity(t *testing.T) {
+	c, err := NewCluster(Node{Name: "only", Kind: KindFPGA, Blocks: 1, ClockMHz: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("a", filterPlan(1), QoS{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("b", filterPlan(2), QoS{}); err == nil {
+		t.Fatal("second query fit a full 1-block node")
+	}
+	if err := c.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("b", filterPlan(2), QoS{}); err != nil {
+		t.Fatalf("redeploy after removal failed: %v", err)
+	}
+	if err := c.Remove("nosuch"); err == nil {
+		t.Error("removing an unknown query succeeded")
+	}
+}
+
+// TestDuplicateDeployRejected.
+func TestDuplicateDeployRejected(t *testing.T) {
+	c, err := NewCluster(testNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("q", filterPlan(1), QoS{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("q", filterPlan(2), QoS{}); err == nil {
+		t.Error("duplicate deployment accepted")
+	}
+}
+
+// TestNodeUtilizationAndPlacement bookkeeping.
+func TestNodeUtilizationAndPlacement(t *testing.T) {
+	c, err := NewCluster(testNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := c.Deploy("q", filterPlan(1), QoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := c.NodeUtilization()
+	if got := util[pl.Node]; got[0] != 1 {
+		t.Errorf("node %s uses %d blocks, want 1", pl.Node, got[0])
+	}
+	where, ok := c.PlacementOf("q")
+	if !ok || where != pl.Node {
+		t.Errorf("PlacementOf = %q, %v; want %q", where, ok, pl.Node)
+	}
+	if _, ok := c.PlacementOf("nosuch"); ok {
+		t.Error("PlacementOf(nosuch) reported a node")
+	}
+}

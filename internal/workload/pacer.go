@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Pacer shapes an input stream to a fixed offered load, for experiments
+// that need latency at controlled utilization rather than at saturation
+// (the hockey-stick curve of any queueing system). It uses absolute
+// deadline scheduling so pacing error does not accumulate.
+type Pacer struct {
+	interval time.Duration
+	next     time.Time
+	now      func() time.Time
+	sleep    func(time.Duration)
+}
+
+// NewPacer returns a pacer emitting at the given rate (tuples per second).
+func NewPacer(tuplesPerSec float64) (*Pacer, error) {
+	if tuplesPerSec <= 0 {
+		return nil, fmt.Errorf("workload: pacer rate must be positive, got %f", tuplesPerSec)
+	}
+	return &Pacer{
+		interval: time.Duration(float64(time.Second) / tuplesPerSec),
+		now:      time.Now,
+		sleep:    time.Sleep,
+	}, nil
+}
+
+// Interval returns the pacing interval.
+func (p *Pacer) Interval() time.Duration { return p.interval }
+
+// Wait blocks until the next emission slot. The first call establishes the
+// schedule origin.
+func (p *Pacer) Wait() {
+	now := p.now()
+	if p.next.IsZero() {
+		p.next = now
+	}
+	if d := p.next.Sub(now); d > 0 {
+		p.sleep(d)
+	}
+	p.next = p.next.Add(p.interval)
+}
+
+// WaitBatch blocks until a batch of n emissions is due, amortizing timer
+// overhead for high rates.
+func (p *Pacer) WaitBatch(n int) {
+	if n <= 0 {
+		return
+	}
+	now := p.now()
+	if p.next.IsZero() {
+		p.next = now
+	}
+	if d := p.next.Sub(now); d > 0 {
+		p.sleep(d)
+	}
+	p.next = p.next.Add(time.Duration(n) * p.interval)
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewPacerValidation(t *testing.T) {
+	if _, err := NewPacer(0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewPacer(-5); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+// fakeClock drives a pacer deterministically.
+type fakeClock struct {
+	t      time.Time
+	slept  time.Duration
+	sleeps int
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) sleep(d time.Duration) {
+	c.slept += d
+	c.sleeps++
+	c.t = c.t.Add(d)
+}
+
+func TestPacerSchedule(t *testing.T) {
+	p, err := NewPacer(1000) // 1 ms interval
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	p.now = clk.now
+	p.sleep = clk.sleep
+
+	for i := 0; i < 10; i++ {
+		p.Wait()
+	}
+	// First Wait is immediate; the next nine sleep 1 ms each.
+	if clk.slept != 9*time.Millisecond {
+		t.Errorf("total sleep = %v, want 9ms", clk.slept)
+	}
+}
+
+func TestPacerAbsorbsSlowCaller(t *testing.T) {
+	p, err := NewPacer(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	p.now = clk.now
+	p.sleep = clk.sleep
+
+	p.Wait()
+	// Caller dawdles 5 ms: the next five slots are already due, so Wait
+	// must not sleep (absolute schedule, no drift accumulation).
+	clk.t = clk.t.Add(5 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		p.Wait()
+	}
+	if clk.sleeps != 0 {
+		t.Errorf("pacer slept %d times while behind schedule", clk.sleeps)
+	}
+	// Once caught up, pacing resumes.
+	p.Wait()
+	if clk.sleeps != 1 {
+		t.Errorf("pacer did not resume sleeping after catching up (%d sleeps)", clk.sleeps)
+	}
+}
+
+func TestPacerWaitBatch(t *testing.T) {
+	p, err := NewPacer(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	p.now = clk.now
+	p.sleep = clk.sleep
+
+	p.WaitBatch(0) // no-op
+	p.WaitBatch(10)
+	p.WaitBatch(10)
+	// The second batch is due 10 ms after the first.
+	if clk.slept != 10*time.Millisecond {
+		t.Errorf("total sleep = %v, want 10ms", clk.slept)
+	}
+}
+
+func TestPacerRealTimeSmoke(t *testing.T) {
+	p, err := NewPacer(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		p.Wait()
+	}
+	elapsed := time.Since(start)
+	if elapsed < 4*time.Millisecond {
+		t.Errorf("50 waits at 10 kHz took %v, want ≥ ~4.9ms", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("50 waits at 10 kHz took %v; pacer stuck", elapsed)
+	}
+}

@@ -1,0 +1,228 @@
+// Package workload generates the synthetic input streams used by the tests,
+// examples, and benchmark harness. The paper's evaluation drives both
+// platforms with saturated streams of 64-bit tuples joined by an equi-join;
+// this package reproduces that setup and adds controlled key distributions
+// (uniform, Zipf, disjoint) so match selectivity can be dialed.
+//
+// All generators are deterministic given a seed, so experiment runs are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// KeyDist selects how join keys are drawn.
+type KeyDist uint8
+
+// Key distributions.
+const (
+	// Uniform draws keys uniformly from [0, KeyDomain).
+	Uniform KeyDist = iota + 1
+	// Zipf draws keys with a Zipf(1.2) skew over [0, KeyDomain).
+	Zipf
+	// Disjoint gives the R and S streams non-overlapping key ranges, so no
+	// tuple ever matches — the zero-selectivity saturation workload used
+	// for pure throughput measurement.
+	Disjoint
+)
+
+// String implements fmt.Stringer.
+func (d KeyDist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipf:
+		return "zipf"
+	case Disjoint:
+		return "disjoint"
+	default:
+		return fmt.Sprintf("dist(%d)", uint8(d))
+	}
+}
+
+// Spec describes a workload.
+type Spec struct {
+	// Seed makes the workload reproducible.
+	Seed int64
+	// Dist is the key distribution. Defaults to Uniform.
+	Dist KeyDist
+	// KeyDomain is the number of distinct keys per stream. Defaults to
+	// 1 << 20 (large domain: low selectivity).
+	KeyDomain int
+	// RFraction is the fraction of arrivals belonging to stream R.
+	// Defaults to 0.5 (the balanced interleaving of the paper's setup).
+	RFraction float64
+}
+
+func (s *Spec) applyDefaults() {
+	if s.Dist == 0 {
+		s.Dist = Uniform
+	}
+	if s.KeyDomain == 0 {
+		s.KeyDomain = 1 << 20
+	}
+	if s.RFraction == 0 {
+		s.RFraction = 0.5
+	}
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.KeyDomain < 0 {
+		return fmt.Errorf("workload: KeyDomain must be non-negative, got %d", s.KeyDomain)
+	}
+	if s.RFraction < 0 || s.RFraction > 1 {
+		return fmt.Errorf("workload: RFraction must be within [0,1], got %f", s.RFraction)
+	}
+	return nil
+}
+
+// Generator produces an endless stream of arrivals.
+type Generator struct {
+	spec Spec
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	seqR, seqS uint64
+	produced   uint64
+}
+
+// NewGenerator builds a generator for the spec.
+func NewGenerator(spec Spec) (*Generator, error) {
+	spec.applyDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := &Generator{spec: spec, rng: rng}
+	if spec.Dist == Zipf {
+		g.zipf = rand.NewZipf(rng, 1.2, 1, uint64(spec.KeyDomain-1))
+	}
+	return g, nil
+}
+
+// Next produces the next arrival. Sequence numbers are assigned per stream.
+func (g *Generator) Next() core.Input {
+	side := stream.SideS
+	if g.rng.Float64() < g.spec.RFraction {
+		side = stream.SideR
+	}
+	var key uint32
+	switch g.spec.Dist {
+	case Zipf:
+		key = uint32(g.zipf.Uint64())
+	case Disjoint:
+		if side == stream.SideR {
+			key = 0x80000000 | uint32(g.rng.Intn(g.spec.KeyDomain))
+		} else {
+			key = uint32(g.rng.Intn(g.spec.KeyDomain)) &^ 0x80000000
+		}
+	default:
+		key = uint32(g.rng.Intn(g.spec.KeyDomain))
+	}
+	in := core.Input{Side: side, Tuple: stream.Tuple{Key: key, Val: uint32(g.produced)}}
+	if side == stream.SideR {
+		in.Tuple.Seq = g.seqR
+		g.seqR++
+	} else {
+		in.Tuple.Seq = g.seqS
+		g.seqS++
+	}
+	g.produced++
+	return in
+}
+
+// Take materializes the next n arrivals.
+func (g *Generator) Take(n int) []core.Input {
+	out := make([]core.Input, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Produced returns how many arrivals have been generated.
+func (g *Generator) Produced() uint64 { return g.produced }
+
+// WindowFill produces two tuple slices (R and S) suitable for preloading a
+// per-stream window of size w, drawn from the spec's distributions. The
+// tuples carry per-stream sequence numbers 0..w-1.
+func WindowFill(spec Spec, w int) (r, s []stream.Tuple, err error) {
+	spec.applyDefaults()
+	spec.RFraction = 0.5
+	g, err := NewGenerator(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	r = make([]stream.Tuple, w)
+	s = make([]stream.Tuple, w)
+	for i := 0; i < w; i++ {
+		in := g.Next()
+		t := in.Tuple
+		t.Seq = uint64(i)
+		r[i] = t
+		in = g.Next()
+		t = in.Tuple
+		t.Seq = uint64(i)
+		s[i] = t
+	}
+	if spec.Dist == Disjoint {
+		// Force disjointness regardless of which side the generator drew.
+		for i := range r {
+			r[i].Key |= 0x80000000
+			s[i].Key &^= 0x80000000
+		}
+	}
+	return r, s, nil
+}
+
+// Alternating returns a generator function producing a strict R/S/R/S
+// interleaving with the spec's key distribution — the balanced saturation
+// stream used for throughput runs.
+func Alternating(spec Spec) (func() core.Input, error) {
+	spec.applyDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var zipf *rand.Zipf
+	if spec.Dist == Zipf {
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(spec.KeyDomain-1))
+	}
+	var n, seqR, seqS uint64
+	return func() core.Input {
+		side := stream.SideR
+		if n%2 == 1 {
+			side = stream.SideS
+		}
+		n++
+		var key uint32
+		switch spec.Dist {
+		case Zipf:
+			key = uint32(zipf.Uint64())
+		case Disjoint:
+			key = uint32(rng.Intn(spec.KeyDomain))
+			if side == stream.SideR {
+				key |= 0x80000000
+			} else {
+				key &^= 0x80000000
+			}
+		default:
+			key = uint32(rng.Intn(spec.KeyDomain))
+		}
+		in := core.Input{Side: side, Tuple: stream.Tuple{Key: key}}
+		if side == stream.SideR {
+			in.Tuple.Seq = seqR
+			seqR++
+		} else {
+			in.Tuple.Seq = seqS
+			seqS++
+		}
+		return in
+	}, nil
+}

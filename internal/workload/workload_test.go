@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"accelstream/internal/stream"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{KeyDomain: -1}).Validate(); err == nil {
+		t.Error("negative KeyDomain accepted")
+	}
+	if err := (Spec{RFraction: 1.5}).Validate(); err == nil {
+		t.Error("RFraction > 1 accepted")
+	}
+	if _, err := NewGenerator(Spec{RFraction: -0.5}); err == nil {
+		t.Error("NewGenerator accepted invalid spec")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, err := NewGenerator(Spec{Seed: 99, Dist: Zipf, KeyDomain: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(Spec{Seed: 99, Dist: Zipf, KeyDomain: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g1.Take(500)
+	b := g2.Take(500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generators diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if g1.Produced() != 500 {
+		t.Errorf("Produced() = %d, want 500", g1.Produced())
+	}
+}
+
+func TestGeneratorSequenceNumbersPerStream(t *testing.T) {
+	g, err := NewGenerator(Spec{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantR, wantS uint64
+	for _, in := range g.Take(1000) {
+		if in.Side == stream.SideR {
+			if in.Tuple.Seq != wantR {
+				t.Fatalf("R seq = %d, want %d", in.Tuple.Seq, wantR)
+			}
+			wantR++
+		} else {
+			if in.Tuple.Seq != wantS {
+				t.Fatalf("S seq = %d, want %d", in.Tuple.Seq, wantS)
+			}
+			wantS++
+		}
+	}
+}
+
+func TestDisjointNeverMatches(t *testing.T) {
+	g, err := NewGenerator(Spec{Seed: 1, Dist: Disjoint, KeyDomain: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rKeys := map[uint32]bool{}
+	sKeys := map[uint32]bool{}
+	for _, in := range g.Take(2000) {
+		if in.Side == stream.SideR {
+			rKeys[in.Tuple.Key] = true
+		} else {
+			sKeys[in.Tuple.Key] = true
+		}
+	}
+	for k := range rKeys {
+		if sKeys[k] {
+			t.Fatalf("key %d appears in both streams under Disjoint", k)
+		}
+	}
+}
+
+func TestRFractionRespected(t *testing.T) {
+	g, err := NewGenerator(Spec{Seed: 3, RFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r int
+	const n = 20000
+	for _, in := range g.Take(n) {
+		if in.Side == stream.SideR {
+			r++
+		}
+	}
+	frac := float64(r) / n
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("R fraction = %.3f, want ≈0.25", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, err := NewGenerator(Spec{Seed: 7, Dist: Zipf, KeyDomain: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint32]int{}
+	const n = 20000
+	for _, in := range g.Take(n) {
+		counts[in.Tuple.Key]++
+	}
+	// Under Zipf(1.2) the most frequent key dominates; under uniform over
+	// 65536 keys any single key would appear ~0.3 times in expectation.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/20 {
+		t.Errorf("max key frequency %d of %d; distribution does not look Zipf-skewed", max, n)
+	}
+}
+
+func TestWindowFill(t *testing.T) {
+	r, s, err := WindowFill(Spec{Seed: 11, Dist: Disjoint, KeyDomain: 512}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 128 || len(s) != 128 {
+		t.Fatalf("lengths %d/%d, want 128/128", len(r), len(s))
+	}
+	for i := range r {
+		if r[i].Seq != uint64(i) || s[i].Seq != uint64(i) {
+			t.Fatalf("sequence numbers not consecutive at %d", i)
+		}
+		if r[i].Key&0x80000000 == 0 {
+			t.Fatalf("disjoint R key missing high bit: %#x", r[i].Key)
+		}
+		if s[i].Key&0x80000000 != 0 {
+			t.Fatalf("disjoint S key has high bit: %#x", s[i].Key)
+		}
+	}
+}
+
+func TestAlternating(t *testing.T) {
+	next, err := Alternating(Spec{Seed: 13, Dist: Disjoint, KeyDomain: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		in := next()
+		wantSide := stream.SideR
+		if i%2 == 1 {
+			wantSide = stream.SideS
+		}
+		if in.Side != wantSide {
+			t.Fatalf("arrival %d side = %v, want %v", i, in.Side, wantSide)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package accelstream
+
+import (
+	"accelstream/internal/landscape"
+	"accelstream/internal/virtual"
+)
+
+// DeploymentModel is how an accelerator joins the distributed system
+// (standalone, co-placement, co-processor — the system-model layer of the
+// paper's design landscape).
+type DeploymentModel = landscape.DeploymentModel
+
+// The three deployment categories.
+const (
+	Standalone  = landscape.Standalone
+	CoPlacement = landscape.CoPlacement
+	CoProcessor = landscape.CoProcessor
+)
+
+// ClusterNode describes one compute node offered to a virtualized FQP
+// cluster.
+type ClusterNode = virtual.Node
+
+// Node hardware classes.
+const (
+	NodeFPGA = virtual.KindFPGA
+	NodeCPU  = virtual.KindCPU
+)
+
+// Cluster virtualizes the FQP abstraction over heterogeneous nodes
+// (Section VI, Figure 18): queries deploy against the pool, the scheduler
+// picks a node honoring capacity and latency QoS, and streams/results flow
+// through one interface regardless of where each query runs.
+type Cluster = virtual.Cluster
+
+// ClusterQoS states a deployed query's requirements.
+type ClusterQoS = virtual.QoS
+
+// NewCluster builds a virtualized cluster over the given nodes.
+func NewCluster(nodes ...ClusterNode) (*Cluster, error) {
+	return virtual.NewCluster(nodes...)
+}
