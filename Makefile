@@ -1,0 +1,31 @@
+# Developer entry points. The repo is stdlib-only Go; everything below
+# runs offline with just the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test test-race check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs gofmt; prints the offending paths.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# The race detector sweep focuses on the concurrent subsystems: the
+# network service (sessions, credits, drain) and the software engines.
+test-race:
+	$(GO) test -race ./internal/server/... ./internal/wire/... ./internal/softjoin/...
+
+check: build vet fmt-check test

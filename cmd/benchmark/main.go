@@ -7,13 +7,17 @@
 //	benchmark -fig 14a            # one figure
 //	benchmark -fig all -csv out/  # everything, with CSVs
 //	benchmark -fig 14d -quick     # shrunken sweeps
+//	benchmark -fig 14a -json      # one JSON object per experiment row
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"accelstream"
@@ -31,6 +35,7 @@ func run() error {
 	quick := flag.Bool("quick", false, "shrink sweeps and measurement intervals")
 	seed := flag.Int64("seed", 42, "workload seed")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into (optional)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable results: one JSON object per experiment row")
 	list := flag.Bool("list", false, "list available experiment IDs and exit")
 	flag.Parse()
 
@@ -50,7 +55,17 @@ func run() error {
 		return err
 	}
 	for _, res := range results {
-		fmt.Println(res.Text)
+		if *jsonOut {
+			lines, err := jsonRows(res)
+			if err != nil {
+				return err
+			}
+			for _, line := range lines {
+				fmt.Println(line)
+			}
+		} else {
+			fmt.Println(res.Text)
+		}
 		if *csvDir != "" && res.CSV != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				return err
@@ -59,7 +74,9 @@ func run() error {
 			if err := os.WriteFile(path, []byte(res.CSV), 0o644); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n\n", path)
+			if !*jsonOut {
+				fmt.Printf("wrote %s\n\n", path)
+			}
 		}
 	}
 	return nil
@@ -67,9 +84,67 @@ func run() error {
 
 func isNamedExperiment(id string) bool {
 	switch id {
-	case "power", "hwsw", "landscape", "fanout", "loadlat", "llhs":
+	case "power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat":
 		return true
 	default:
 		return false
 	}
+}
+
+// jsonRow is the machine-readable form of one experiment data row,
+// stable across PRs so benchmark trajectories can be tracked in
+// BENCH_*.json files.
+type jsonRow struct {
+	Experiment string             `json:"experiment"`
+	XLabel     string             `json:"x_label,omitempty"`
+	X          float64            `json:"x"`
+	Values     map[string]float64 `json:"values"`
+}
+
+// jsonRows renders one experiment result as JSON lines, one object per
+// data row (x-coordinate). Prose-only artefacts yield a single object
+// carrying the text.
+func jsonRows(res accelstream.ExperimentResult) ([]string, error) {
+	if res.CSV == "" {
+		obj, err := json.Marshal(map[string]string{"experiment": res.ID, "text": res.Text})
+		if err != nil {
+			return nil, err
+		}
+		return []string{string(obj)}, nil
+	}
+	records, err := csv.NewReader(strings.NewReader(res.CSV)).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s CSV: %w", res.ID, err)
+	}
+	if len(records) < 1 || len(records[0]) < 1 {
+		return nil, fmt.Errorf("experiment %s: empty CSV", res.ID)
+	}
+	header := records[0]
+	var lines []string
+	for _, rec := range records[1:] {
+		row := jsonRow{
+			Experiment: res.ID,
+			XLabel:     header[0],
+			Values:     map[string]float64{},
+		}
+		if x, err := strconv.ParseFloat(rec[0], 64); err == nil {
+			row.X = x
+		}
+		for i := 1; i < len(rec) && i < len(header); i++ {
+			if rec[i] == "" {
+				continue // missing point (e.g. infeasible synthesis)
+			}
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				continue
+			}
+			row.Values[header[i]] = v
+		}
+		obj, err := json.Marshal(row)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, string(obj))
+	}
+	return lines, nil
 }

@@ -1,9 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+
+	"accelstream"
+)
 
 func TestIsNamedExperiment(t *testing.T) {
-	for _, id := range []string{"power", "hwsw", "landscape", "fanout", "loadlat", "llhs"} {
+	for _, id := range []string{"power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat"} {
 		if !isNamedExperiment(id) {
 			t.Errorf("isNamedExperiment(%q) = false", id)
 		}
@@ -12,5 +17,62 @@ func TestIsNamedExperiment(t *testing.T) {
 		if isNamedExperiment(id) {
 			t.Errorf("isNamedExperiment(%q) = true", id)
 		}
+	}
+}
+
+func TestJSONRowsFromCSV(t *testing.T) {
+	res := accelstream.ExperimentResult{
+		ID:   "figx",
+		Text: "figx table",
+		CSV:  "cores,A,B\n2,0.5,1.5\n4,1.0,\n8,2.0,nan-ish\n",
+	}
+	lines, err := jsonRows(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var first jsonRow
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
+	}
+	if first.Experiment != "figx" || first.XLabel != "cores" || first.X != 2 {
+		t.Errorf("unexpected first row: %+v", first)
+	}
+	if first.Values["A"] != 0.5 || first.Values["B"] != 1.5 {
+		t.Errorf("unexpected first-row values: %v", first.Values)
+	}
+	// Empty and unparsable cells are dropped, not emitted as zeros.
+	var second, third jsonRow
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := second.Values["B"]; ok {
+		t.Errorf("empty cell should be omitted: %v", second.Values)
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &third); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := third.Values["B"]; ok {
+		t.Errorf("unparsable cell should be omitted: %v", third.Values)
+	}
+}
+
+func TestJSONRowsProseOnly(t *testing.T) {
+	res := accelstream.ExperimentResult{ID: "landscape", Text: "some prose"}
+	lines, err := jsonRows(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	var obj map[string]string
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["experiment"] != "landscape" || obj["text"] != "some prose" {
+		t.Errorf("unexpected prose object: %v", obj)
 	}
 }

@@ -1,0 +1,78 @@
+// Command streamd is the network-attached stream-join daemon: it serves
+// the repository's join engines (software SplitJoin / handshake join, or
+// the cycle-level simulated uni-flow design for small windows) over TCP
+// using the internal/wire protocol. Each client session configures and
+// owns one engine; flow control is credit-based so engine backpressure
+// reaches the producers.
+//
+// Usage:
+//
+//	streamd -addr :7800
+//	streamd -addr :7800 -credits 16 -maxbatch 8192 -idle 2m -quiet
+//
+// Stop with SIGINT/SIGTERM; the daemon drains active sessions for up to
+// -drain before force-closing them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"accelstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "streamd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":7800", "listen address")
+	credits := flag.Int("credits", 8, "per-session batch-credit window")
+	maxBatch := flag.Int("maxbatch", 8192, "maximum tuples per batch frame")
+	idle := flag.Duration("idle", 2*time.Minute, "idle session timeout (negative disables)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
+	maxSessions := flag.Int("max-sessions", 0, "concurrent session cap (0: unlimited)")
+	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "streamd: ", log.LstdFlags)
+	cfg := accelstream.ServerConfig{
+		InitialCredits: *credits,
+		MaxBatch:       *maxBatch,
+		IdleTimeout:    *idle,
+		MaxSessions:    *maxSessions,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv, err := accelstream.Serve(*addr, cfg)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	logger.Printf("received %v, draining sessions (budget %v)", got, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain budget exhausted; sessions aborted: %v", err)
+	}
+	for _, m := range srv.Metrics() {
+		logger.Printf("session %d (%v): %d tuples in / %d batches, %d results out, avg batch latency %v",
+			m.ID, m.Engine, m.TuplesIn, m.BatchesIn, m.ResultsOut, m.AvgBatchLatency)
+	}
+	logger.Printf("bye")
+	return nil
+}

@@ -24,6 +24,39 @@ func main() {
 	}
 }
 
+func parseDevice(name string) (accelstream.Device, error) {
+	switch strings.ToLower(name) {
+	case "v5":
+		return accelstream.Virtex5LX50T, nil
+	case "v7":
+		return accelstream.Virtex7VX485T, nil
+	default:
+		return accelstream.Device{}, fmt.Errorf("unknown device %q", name)
+	}
+}
+
+func parseNetwork(name string) (accelstream.NetworkKind, error) {
+	switch strings.ToLower(name) {
+	case "lightweight":
+		return accelstream.Lightweight, nil
+	case "scalable":
+		return accelstream.Scalable, nil
+	default:
+		return 0, fmt.Errorf("unknown network %q", name)
+	}
+}
+
+func parseFlow(name string) (accelstream.FlowModel, error) {
+	switch strings.ToLower(name) {
+	case "uni":
+		return accelstream.UniFlow, nil
+	case "bi":
+		return accelstream.BiFlow, nil
+	default:
+		return 0, fmt.Errorf("unknown flow model %q", name)
+	}
+}
+
 func run() error {
 	flowName := flag.String("flow", "uni", "flow model: uni or bi")
 	cores := flag.Int("cores", 16, "join cores")
@@ -35,32 +68,17 @@ func run() error {
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the measurement to this file (uni-flow only)")
 	flag.Parse()
 
-	var dev accelstream.Device
-	switch strings.ToLower(*deviceName) {
-	case "v5":
-		dev = accelstream.Virtex5LX50T
-	case "v7":
-		dev = accelstream.Virtex7VX485T
-	default:
-		return fmt.Errorf("unknown device %q", *deviceName)
+	dev, err := parseDevice(*deviceName)
+	if err != nil {
+		return err
 	}
-	var network accelstream.NetworkKind
-	switch strings.ToLower(*networkName) {
-	case "lightweight":
-		network = accelstream.Lightweight
-	case "scalable":
-		network = accelstream.Scalable
-	default:
-		return fmt.Errorf("unknown network %q", *networkName)
+	network, err := parseNetwork(*networkName)
+	if err != nil {
+		return err
 	}
-	var flow accelstream.FlowModel
-	switch strings.ToLower(*flowName) {
-	case "uni":
-		flow = accelstream.UniFlow
-	case "bi":
-		flow = accelstream.BiFlow
-	default:
-		return fmt.Errorf("unknown flow model %q", *flowName)
+	flow, err := parseFlow(*flowName)
+	if err != nil {
+		return err
 	}
 
 	rep, err := accelstream.Synthesize(accelstream.DesignSpec{

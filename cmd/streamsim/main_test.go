@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"accelstream"
+)
+
+func TestParseDevice(t *testing.T) {
+	v5, err := parseDevice("v5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v5 != accelstream.Virtex5LX50T {
+		t.Errorf("parseDevice(v5) = %v", v5)
+	}
+	v7, err := parseDevice("V7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v7 != accelstream.Virtex7VX485T {
+		t.Errorf("parseDevice(V7) = %v", v7)
+	}
+	if _, err := parseDevice("spartan"); err == nil {
+		t.Error("parseDevice(spartan) succeeded")
+	}
+}
+
+func TestParseNetwork(t *testing.T) {
+	lw, err := parseNetwork("lightweight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lw != accelstream.Lightweight {
+		t.Errorf("parseNetwork(lightweight) = %v", lw)
+	}
+	sc, err := parseNetwork("Scalable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != accelstream.Scalable {
+		t.Errorf("parseNetwork(Scalable) = %v", sc)
+	}
+	if _, err := parseNetwork("mesh"); err == nil {
+		t.Error("parseNetwork(mesh) succeeded")
+	}
+}
+
+func TestParseFlow(t *testing.T) {
+	uni, err := parseFlow("uni")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni != accelstream.UniFlow {
+		t.Errorf("parseFlow(uni) = %v", uni)
+	}
+	bi, err := parseFlow("BI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi != accelstream.BiFlow {
+		t.Errorf("parseFlow(BI) = %v", bi)
+	}
+	if _, err := parseFlow("tri"); err == nil {
+		t.Error("parseFlow(tri) succeeded")
+	}
+}

@@ -56,6 +56,7 @@ var experimentRunners = map[string]func(experiments.Options) ([]ExperimentResult
 	"fanout":  figureRunner(experiments.FanoutAblation),
 	"loadlat": figureRunner(experiments.LoadLatency),
 	"llhs":    figureRunner(experiments.LatencyByArchitecture),
+	"netlat":  figureRunner(experiments.NetLatency),
 	"fig6": func(experiments.Options) ([]ExperimentResult, error) {
 		text, err := experiments.Fig6Table()
 		if err != nil {

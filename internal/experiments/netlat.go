@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"accelstream/internal/core"
+	"accelstream/internal/server"
+	"accelstream/internal/softjoin"
+	"accelstream/internal/stream"
+	"accelstream/internal/wire"
+)
+
+// netListen grabs an ephemeral loopback port for the experiment's server.
+func netListen() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// shutdownServer drains the experiment's server with a bounded budget.
+func shutdownServer(srv *server.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}
+
+// netProbeKeyBase marks probe tuples; filler traffic stays outside this
+// range so the drain goroutines can spot probe results cheaply.
+const netProbeKeyBase = 0x40000000
+
+// probeDriver abstracts "an engine I can push batches into and observe
+// probe matches from", letting the same measurement loop time the
+// in-process engine and the network-attached session identically.
+type probeDriver interface {
+	push(batch []core.Input) error
+	// matches delivers the R-side key of every probe result seen.
+	matches() <-chan uint32
+	close() error
+}
+
+// inprocDriver drives a softjoin.UniFlow directly.
+type inprocDriver struct {
+	eng  *softjoin.UniFlow
+	hits chan uint32
+	done chan struct{}
+}
+
+func newInprocDriver(cores, window int) (*inprocDriver, error) {
+	eng, err := softjoin.NewUniFlow(softjoin.Config{NumCores: cores, WindowSize: window})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	d := &inprocDriver{eng: eng, hits: make(chan uint32, 256), done: make(chan struct{})}
+	go func() {
+		defer close(d.done)
+		for r := range eng.Results() {
+			if r.R.Key >= netProbeKeyBase {
+				d.hits <- r.R.Key
+			}
+		}
+	}()
+	return d, nil
+}
+
+func (d *inprocDriver) push(batch []core.Input) error {
+	d.eng.PushBatch(batch)
+	return nil
+}
+
+func (d *inprocDriver) matches() <-chan uint32 { return d.hits }
+
+func (d *inprocDriver) close() error {
+	err := d.eng.Close()
+	<-d.done
+	return err
+}
+
+// netDriver drives the same engine configuration behind a loopback TCP
+// session of the stream-join service.
+type netDriver struct {
+	client *server.Client
+	hits   chan uint32
+	done   chan struct{}
+}
+
+func newNetDriver(addr string, cores, window int) (*netDriver, error) {
+	c, err := server.Dial(addr, wire.OpenConfig{Engine: wire.EngineSoftUni, Cores: cores, Window: window})
+	if err != nil {
+		return nil, err
+	}
+	d := &netDriver{client: c, hits: make(chan uint32, 256), done: make(chan struct{})}
+	go func() {
+		defer close(d.done)
+		for r := range c.Results() {
+			if r.R.Key >= netProbeKeyBase {
+				d.hits <- r.R.Key
+			}
+		}
+	}()
+	return d, nil
+}
+
+func (d *netDriver) push(batch []core.Input) error { return d.client.SendBatch(batch) }
+
+func (d *netDriver) matches() <-chan uint32 { return d.hits }
+
+func (d *netDriver) close() error {
+	_, err := d.client.Close()
+	<-d.done
+	return err
+}
+
+// probeLatency measures mean end-to-end probe latency at one batch size:
+// for each probe, an S tuple with a unique probe key is planted, then an
+// R probe rides the tail of a batchSize-tuple batch; the clock runs from
+// the push of the probe batch to the arrival of its result.
+func probeLatency(d probeDriver, batchSize, probes int) (time.Duration, error) {
+	var filler uint32
+	fillerInput := func(side stream.Side) core.Input {
+		filler++
+		key := filler | 0x80000000 // outside the probe range, R/S-disjoint
+		if side == stream.SideS {
+			key = filler &^ 0xC0000000
+		}
+		return core.Input{Side: side, Tuple: stream.Tuple{Key: key}}
+	}
+	var sum time.Duration
+	for i := 0; i < probes; i++ {
+		probeKey := uint32(netProbeKeyBase + i)
+		if err := d.push([]core.Input{{Side: stream.SideS, Tuple: stream.Tuple{Key: probeKey}}}); err != nil {
+			return 0, err
+		}
+		batch := make([]core.Input, 0, batchSize)
+		for j := 0; j < batchSize-1; j++ {
+			batch = append(batch, fillerInput(stream.Side(1+j%2)))
+		}
+		batch = append(batch, core.Input{Side: stream.SideR, Tuple: stream.Tuple{Key: probeKey}})
+		t0 := time.Now()
+		if err := d.push(batch); err != nil {
+			return 0, err
+		}
+		deadline := time.After(30 * time.Second)
+		for {
+			select {
+			case k := <-d.matches():
+				if k == probeKey {
+					sum += time.Since(t0)
+				} else {
+					continue
+				}
+			case <-deadline:
+				return 0, fmt.Errorf("experiments: probe %d never produced a result", i)
+			}
+			break
+		}
+	}
+	return sum / time.Duration(probes), nil
+}
+
+// NetLatency is an extension experiment: the data-path cost of serving
+// the join over a socket. It times the same uni-flow software engine
+// twice — in-process and behind a loopback TCP session of the
+// stream-join service — across batch sizes, echoing the paper's Fig. 4
+// observation that a co-processor deployment pays a host<->accelerator
+// transfer cost on the active data path that amortizes with batching.
+func NetLatency(opt Options) (Figure, error) {
+	fig := Figure{
+		ID:     "netlat",
+		Title:  "Extension: in-process vs network-attached probe latency (uni-flow software engine)",
+		XLabel: "batch size (tuples per frame)",
+		YLabel: "mean probe latency (µs)",
+	}
+	const (
+		cores  = 2
+		window = 1 << 10
+	)
+	batchSizes := []int{1, 8, 64, 256}
+	probes := 16
+	if opt.Quick {
+		batchSizes = []int{1, 64}
+		probes = 6
+	}
+
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		return Figure{}, err
+	}
+	ln, err := netListen()
+	if err != nil {
+		return Figure{}, err
+	}
+	go srv.Serve(ln)
+	defer shutdownServer(srv)
+	addr := ln.Addr().String()
+
+	inproc := Series{Label: "in-process"}
+	network := Series{Label: "network (loopback TCP)"}
+	for _, b := range batchSizes {
+		d, err := newInprocDriver(cores, window)
+		if err != nil {
+			return Figure{}, err
+		}
+		lat, err := probeLatency(d, b, probes)
+		d.close()
+		if err != nil {
+			return Figure{}, err
+		}
+		inproc.Points = append(inproc.Points, Point{X: float64(b), Y: float64(lat.Microseconds())})
+
+		nd, err := newNetDriver(addr, cores, window)
+		if err != nil {
+			return Figure{}, err
+		}
+		nlat, err := probeLatency(nd, b, probes)
+		nd.close()
+		if err != nil {
+			return Figure{}, err
+		}
+		network.Points = append(network.Points, Point{X: float64(b), Y: float64(nlat.Microseconds())})
+	}
+	fig.Series = append(fig.Series, inproc, network)
+	fig.Notes = append(fig.Notes,
+		"network-attached latency adds the wire data path (framing, loopback TCP, credit return) to the same engine",
+		"the gap is the software analogue of the paper's Fig. 4 co-processor data-path cost; batching amortizes it")
+	return fig, nil
+}

@@ -39,6 +39,11 @@ func (s *Source) Injected() uint64 { return s.injected }
 // injected.
 func (s *Source) Exhausted() bool { return s.exhausted && s.pending == nil }
 
+// Reopen clears the exhausted latch so the generator is polled again on the
+// next cycle. Streaming adapters (internal/server) use it to run the design
+// to quiescence between replenishments of an otherwise-empty generator.
+func (s *Source) Reopen() { s.exhausted = false }
+
 // InjectionCycle returns when the tuple with the given sequence number was
 // injected. Valid only when tracking is enabled.
 func (s *Source) InjectionCycle(seq uint64) (uint64, bool) {

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+	"accelstream/internal/wire"
+)
+
+// Client is one session against a network-attached stream-join server.
+// SendBatch may be called from one producer goroutine while another
+// goroutine drains Results; Close flushes the session and returns the
+// server's final statistics.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	credits    chan struct{}
+	results    chan stream.Result
+	readerDone chan struct{}
+
+	mu        sync.Mutex
+	err       error
+	stats     wire.Stats
+	closeSent bool
+	batchSeq  uint64
+
+	// Credit round-trip instrumentation: send times are queued FIFO and
+	// matched to returning credits (the server acks batches in order).
+	rttMu    sync.Mutex
+	sendTime []time.Time
+	rttSum   time.Duration
+	rttMax   time.Duration
+	rttCount uint64
+}
+
+// DialTimeout is the connection + handshake deadline used by Dial.
+const DialTimeout = 10 * time.Second
+
+// Dial connects to a stream-join server and opens a session with the
+// given engine configuration.
+func Dial(addr string, cfg wire.OpenConfig) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:       conn,
+		w:          wire.NewWriter(conn),
+		results:    make(chan stream.Result, 4096),
+		readerDone: make(chan struct{}),
+	}
+	conn.SetDeadline(time.Now().Add(DialTimeout))
+	if err := c.w.WriteOpen(cfg); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := wire.NewReader(conn)
+	f, err := r.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: reading open-ack: %w", err)
+	}
+	switch f.Type {
+	case wire.FrameOpenAck:
+	case wire.FrameError:
+		msg := wire.DecodeError(f.Payload)
+		conn.Close()
+		return nil, fmt.Errorf("server: session rejected: %s", msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("server: unexpected %v frame during handshake", f.Type)
+	}
+	ack, err := wire.DecodeOpenAck(f.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	c.credits = make(chan struct{}, ack.Credits)
+	for i := 0; i < ack.Credits; i++ {
+		c.credits <- struct{}{}
+	}
+	go c.readLoop(r)
+	return c, nil
+}
+
+// Credits returns the credit-window capacity granted by the server.
+func (c *Client) Credits() int { return cap(c.credits) }
+
+// Err returns the first fatal session error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *Client) setErr(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// SendBatch ships one batch of side-tagged tuples. It blocks while the
+// session's batch credits are exhausted — i.e. while the server-side
+// engine (or the result path back to this client) is saturated — so
+// engine backpressure propagates to the producer.
+func (c *Client) SendBatch(batch []core.Input) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	select {
+	case <-c.credits:
+	case <-c.readerDone:
+		if err := c.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("server: session closed")
+	}
+	c.rttMu.Lock()
+	c.sendTime = append(c.sendTime, time.Now())
+	c.rttMu.Unlock()
+	c.wmu.Lock()
+	c.batchSeq++
+	err := c.w.WriteBatch(c.batchSeq, batch)
+	c.wmu.Unlock()
+	if err != nil {
+		c.setErr(err)
+		return err
+	}
+	return nil
+}
+
+// Results returns the stream of join results. The channel closes when the
+// session ends (after Close's drain completes, or on a fatal error).
+func (c *Client) Results() <-chan stream.Result { return c.results }
+
+// Close gracefully drains the session: it sends the Close frame, waits
+// for the server to flush all in-flight work and report its final
+// statistics, then releases the connection. Results must be consumed
+// concurrently or the drain cannot complete.
+func (c *Client) Close() (wire.Stats, error) {
+	c.mu.Lock()
+	alreadySent := c.closeSent
+	c.closeSent = true
+	c.mu.Unlock()
+	if !alreadySent {
+		c.wmu.Lock()
+		err := c.w.WriteClose()
+		c.wmu.Unlock()
+		if err != nil {
+			c.setErr(err)
+			c.conn.Close()
+		}
+	}
+	<-c.readerDone
+	c.conn.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats, c.err
+}
+
+// BatchRTT reports the observed credit round-trip time — send of a Batch
+// frame to return of its credit, which includes network transit and the
+// engine's ingest time — as (average, max, samples).
+func (c *Client) BatchRTT() (avg, max time.Duration, samples uint64) {
+	c.rttMu.Lock()
+	defer c.rttMu.Unlock()
+	if c.rttCount > 0 {
+		avg = c.rttSum / time.Duration(c.rttCount)
+	}
+	return avg, c.rttMax, c.rttCount
+}
+
+// readLoop is the client's single reader: results, credits, and the
+// session-ending Closed/Error frames all arrive here.
+func (c *Client) readLoop(r *wire.Reader) {
+	defer close(c.readerDone)
+	defer close(c.results)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			c.setErr(fmt.Errorf("server: connection lost: %w", err))
+			return
+		}
+		switch f.Type {
+		case wire.FrameResults:
+			results, err := wire.DecodeResults(f.Payload)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			for _, res := range results {
+				c.results <- res
+			}
+		case wire.FrameCredit:
+			n, err := wire.DecodeCredit(f.Payload)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			now := time.Now()
+			c.rttMu.Lock()
+			for i := 0; i < n && len(c.sendTime) > 0; i++ {
+				rtt := now.Sub(c.sendTime[0])
+				c.sendTime = c.sendTime[1:]
+				c.rttSum += rtt
+				c.rttCount++
+				if rtt > c.rttMax {
+					c.rttMax = rtt
+				}
+			}
+			c.rttMu.Unlock()
+			for i := 0; i < n; i++ {
+				select {
+				case c.credits <- struct{}{}:
+				default:
+				}
+			}
+		case wire.FrameClosed:
+			st, err := wire.DecodeClosed(f.Payload)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			c.mu.Lock()
+			c.stats = st
+			c.mu.Unlock()
+			return
+		case wire.FrameError:
+			c.setErr(fmt.Errorf("server: %s", wire.DecodeError(f.Payload)))
+			return
+		default:
+			c.setErr(fmt.Errorf("server: unexpected %v frame", f.Type))
+			return
+		}
+	}
+}

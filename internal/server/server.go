@@ -1,0 +1,247 @@
+// Package server exposes the repository's stream-join engines as a
+// network service: a TCP server accepting concurrent client sessions
+// (each running its own engine configured by the session's Open frame)
+// and the matching client library. Framing, validation, and flow control
+// are defined in internal/wire; this package adds the session lifecycle:
+// handshake, credit-based backpressure, per-session metrics, idle/read
+// deadlines, and graceful drain on shutdown.
+//
+// The paper's Section II frames accelerator deployment as a data-path
+// placement problem (standalone vs co-placement vs co-processor, Fig. 4);
+// serving the join over a socket is the standalone/network-attached point
+// of that landscape, and the `netlat` experiment measures exactly the
+// data-path cost this layer adds over an in-process engine.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// InitialCredits is the per-session batch-credit window granted at
+	// open. Defaults to 8.
+	InitialCredits int
+	// MaxBatch is the largest accepted tuple count per Batch frame.
+	// Defaults to 8192.
+	MaxBatch int
+	// IdleTimeout closes a session whose client sends nothing for this
+	// long. Defaults to 2 minutes; negative disables.
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the Open frame. Defaults to
+	// 10 seconds.
+	HandshakeTimeout time.Duration
+	// MaxSessions caps concurrent sessions (0: unlimited).
+	MaxSessions int
+	// Logf, when set, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.InitialCredits == 0 {
+		c.InitialCredits = 8
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8192
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.InitialCredits < 0 {
+		return fmt.Errorf("server: InitialCredits must be non-negative")
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("server: MaxBatch must be non-negative")
+	}
+	return nil
+}
+
+// Server is the network-attached stream-join service.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	history  []SessionMetrics // closed sessions, most recent last
+	nextID   uint64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// New builds a server. Call Serve or ListenAndServe to start it.
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, sessions: make(map[uint64]*session)}, nil
+}
+
+// logf emits a lifecycle line when logging is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Register associates ln with the server (so Addr and Shutdown see it)
+// without starting the accept loop; Serve registers automatically, so
+// Register is only needed when Serve runs in a separate goroutine and the
+// caller must observe Addr immediately.
+func (s *Server) Register(ln net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	return nil
+}
+
+// Serve accepts sessions on ln until the listener is closed (normally by
+// Shutdown, which makes Serve return nil).
+func (s *Server) Serve(ln net.Listener) error {
+	if err := s.Register(ln); err != nil {
+		return err
+	}
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed || (s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions) {
+			full := !s.closed
+			s.mu.Unlock()
+			rejectConn(conn, full)
+			continue
+		}
+		s.nextID++
+		sess := newSession(s, s.nextID, conn)
+		s.sessions[sess.id] = sess
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			sess.run()
+			s.retire(sess)
+		}()
+	}
+}
+
+// rejectConn turns away a connection that arrived while the server was
+// full or draining, with a best-effort Error frame.
+func rejectConn(conn net.Conn, full bool) {
+	msg := "server draining"
+	if full {
+		msg = "server at session capacity"
+	}
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	writeErrorFrame(conn, msg)
+	conn.Close()
+}
+
+// retire moves a finished session from the live table to the history.
+func (s *Server) retire(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, sess.id)
+	s.history = append(s.history, sess.metrics())
+	const keep = 256
+	if len(s.history) > keep {
+		s.history = s.history[len(s.history)-keep:]
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown gracefully drains the server: it stops accepting, then waits
+// for every active session to finish naturally (clients completing their
+// drain handshake). When ctx expires, remaining sessions are aborted by
+// closing their connections; Shutdown still waits for their goroutines to
+// exit before returning, so no engine goroutine outlives it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			sess.abort()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
+// Metrics snapshots every live session plus recently closed ones, ordered
+// by session ID.
+func (s *Server) Metrics() []SessionMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionMetrics, 0, len(s.sessions)+len(s.history))
+	out = append(out, s.history...)
+	for _, sess := range s.sessions {
+		out = append(out, sess.metrics())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelstream/internal/stream"
+	"accelstream/internal/wire"
+)
+
+// SessionMetrics is a point-in-time snapshot of one session.
+type SessionMetrics struct {
+	// ID is the server-assigned session identifier.
+	ID uint64
+	// Engine is the engine kind the session runs.
+	Engine wire.EngineKind
+	// Remote is the client address.
+	Remote string
+	// TuplesIn / BatchesIn count ingested input.
+	TuplesIn  uint64
+	BatchesIn uint64
+	// ResultsOut counts join results (matches) streamed back.
+	ResultsOut uint64
+	// Backlog is the engine's undelivered-result queue depth.
+	Backlog int
+	// AvgBatchLatency / MaxBatchLatency measure frame-decode to
+	// engine-accept time (the interval the batch's credit is withheld).
+	AvgBatchLatency time.Duration
+	MaxBatchLatency time.Duration
+	// Open reports whether the session is still live.
+	Open bool
+}
+
+// session is one client connection and its engine.
+type session struct {
+	srv  *Server
+	id   uint64
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes (reader acks vs writer results)
+	w   *wire.Writer
+	r   *wire.Reader
+
+	eng    engine
+	engCfg wire.OpenConfig
+	opened atomic.Bool
+	live   atomic.Bool
+
+	tuplesIn   atomic.Uint64
+	batchesIn  atomic.Uint64
+	resultsOut atomic.Uint64
+	latNanos   atomic.Uint64
+	latMax     atomic.Uint64
+}
+
+func newSession(srv *Server, id uint64, conn net.Conn) *session {
+	s := &session{
+		srv:  srv,
+		id:   id,
+		conn: conn,
+		w:    wire.NewWriter(conn),
+		r:    wire.NewReader(conn),
+	}
+	s.live.Store(true)
+	return s
+}
+
+// writeErrorFrame best-effort emits an Error frame on a raw connection
+// (used for rejects before a session exists).
+func writeErrorFrame(w io.Writer, msg string) {
+	wire.NewWriter(w).WriteError(msg)
+}
+
+// sendLocked serializes one frame write under the session write lock.
+func (s *session) send(f func(*wire.Writer) error) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return f(s.w)
+}
+
+// metrics snapshots the session counters.
+func (s *session) metrics() SessionMetrics {
+	m := SessionMetrics{
+		ID:              s.id,
+		Remote:          s.conn.RemoteAddr().String(),
+		TuplesIn:        s.tuplesIn.Load(),
+		BatchesIn:       s.batchesIn.Load(),
+		ResultsOut:      s.resultsOut.Load(),
+		MaxBatchLatency: time.Duration(s.latMax.Load()),
+		Open:            s.live.Load(),
+	}
+	if m.BatchesIn > 0 {
+		m.AvgBatchLatency = time.Duration(s.latNanos.Load() / m.BatchesIn)
+	}
+	// engCfg and eng are written once during the handshake; the opened
+	// flag publishes them, so read them only after observing it.
+	if s.opened.Load() {
+		m.Engine = s.engCfg.Engine
+		if m.Open {
+			m.Backlog = s.eng.Backlog()
+		}
+	}
+	return m
+}
+
+// abort force-closes the connection; the reader unblocks with an error
+// and the normal teardown path runs.
+func (s *session) abort() {
+	s.conn.Close()
+}
+
+// fail sends a best-effort Error frame and records the cause.
+func (s *session) fail(msg string) {
+	s.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	s.send(func(w *wire.Writer) error { return w.WriteError(msg) })
+}
+
+// run owns the session from handshake to teardown.
+func (s *session) run() {
+	defer s.live.Store(false)
+	defer s.conn.Close()
+
+	if err := s.handshake(); err != nil {
+		s.srv.logf("session %d: handshake failed: %v", s.id, err)
+		return
+	}
+	s.srv.logf("session %d: open from %s (%v, %d cores, window %d)",
+		s.id, s.conn.RemoteAddr(), s.engCfg.Engine, s.engCfg.Cores, s.engCfg.Window)
+
+	// Writer: stream engine results back, coalescing whatever is ready
+	// into one Results frame per write.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.pumpResults()
+	}()
+
+	graceful := s.readLoop()
+
+	// Stop the engine. Close flushes in-flight work, after which the
+	// results channel closes and the writer finishes streaming.
+	if err := s.eng.Close(); err != nil {
+		s.srv.logf("session %d: engine close: %v", s.id, err)
+	}
+	<-writerDone
+
+	if graceful {
+		st := wire.Stats{
+			TuplesIn:   s.tuplesIn.Load(),
+			BatchesIn:  s.batchesIn.Load(),
+			ResultsOut: s.resultsOut.Load(),
+		}
+		s.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		if err := s.send(func(w *wire.Writer) error { return w.WriteClosed(st) }); err != nil {
+			s.srv.logf("session %d: writing closed frame: %v", s.id, err)
+		}
+	}
+	m := s.metrics()
+	s.srv.logf("session %d: closed (graceful=%v): %d tuples in / %d batches, %d results out, avg batch latency %v",
+		s.id, graceful, m.TuplesIn, m.BatchesIn, m.ResultsOut, m.AvgBatchLatency)
+}
+
+// handshake reads and validates the Open frame and starts the engine.
+func (s *session) handshake() error {
+	s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.HandshakeTimeout))
+	f, err := s.r.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.FrameOpen {
+		s.fail("expected open frame")
+		return fmt.Errorf("first frame is %v, want open", f.Type)
+	}
+	cfg, err := wire.DecodeOpen(f.Payload)
+	if err != nil {
+		s.fail(err.Error())
+		return err
+	}
+	eng, err := buildEngine(cfg)
+	if err != nil {
+		s.fail(err.Error())
+		return err
+	}
+	if err := eng.Start(); err != nil {
+		s.fail(err.Error())
+		return err
+	}
+	s.eng = eng
+	s.engCfg = cfg
+	s.opened.Store(true)
+	return s.send(func(w *wire.Writer) error {
+		return w.WriteOpenAck(wire.OpenAck{Credits: s.srv.cfg.InitialCredits, Session: s.id})
+	})
+}
+
+// readLoop ingests frames until Close (graceful, returns true) or a
+// connection/protocol error (returns false).
+func (s *session) readLoop() bool {
+	for {
+		if s.srv.cfg.IdleTimeout > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.IdleTimeout))
+		} else {
+			s.conn.SetReadDeadline(time.Time{})
+		}
+		f, err := s.r.ReadFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				s.srv.logf("session %d: client disconnected", s.id)
+			} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.fail("idle timeout")
+				s.srv.logf("session %d: idle timeout", s.id)
+			} else {
+				s.srv.logf("session %d: read: %v", s.id, err)
+			}
+			return false
+		}
+		switch f.Type {
+		case wire.FrameBatch:
+			start := time.Now()
+			_, batch, err := wire.DecodeBatch(f.Payload, s.srv.cfg.MaxBatch)
+			if err != nil {
+				s.fail(err.Error())
+				s.srv.logf("session %d: bad batch: %v", s.id, err)
+				return false
+			}
+			// PushBatch blocks while the engine (or the result path
+			// back to this client) is saturated; the credit for this
+			// batch is withheld for exactly that long, which is the
+			// backpressure signal the client observes.
+			if err := s.eng.PushBatch(batch); err != nil {
+				s.fail(err.Error())
+				s.srv.logf("session %d: engine push: %v", s.id, err)
+				return false
+			}
+			elapsed := time.Since(start)
+			s.tuplesIn.Add(uint64(len(batch)))
+			s.batchesIn.Add(1)
+			s.latNanos.Add(uint64(elapsed.Nanoseconds()))
+			for {
+				prev := s.latMax.Load()
+				if uint64(elapsed.Nanoseconds()) <= prev || s.latMax.CompareAndSwap(prev, uint64(elapsed.Nanoseconds())) {
+					break
+				}
+			}
+			if err := s.send(func(w *wire.Writer) error { return w.WriteCredit(1) }); err != nil {
+				s.srv.logf("session %d: writing credit: %v", s.id, err)
+				return false
+			}
+		case wire.FrameClose:
+			return true
+		case wire.FrameError:
+			s.srv.logf("session %d: client error: %s", s.id, wire.DecodeError(f.Payload))
+			return false
+		default:
+			s.fail(fmt.Sprintf("unexpected %v frame", f.Type))
+			s.srv.logf("session %d: unexpected %v frame", s.id, f.Type)
+			return false
+		}
+	}
+}
+
+// pumpResults drains the engine's result channel into Results frames,
+// coalescing ready results up to maxResultsPerFrame per write. On a write
+// failure it keeps draining (discarding) so engine Close can complete.
+func (s *session) pumpResults() {
+	const maxResultsPerFrame = 1024
+	results := s.eng.Results()
+	writeOK := true
+	batch := make([]stream.Result, 0, maxResultsPerFrame)
+	for r := range results {
+		batch = append(batch[:0], r)
+		// Coalesce whatever else is immediately available.
+	coalesce:
+		for len(batch) < maxResultsPerFrame {
+			select {
+			case r2, ok := <-results:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, r2)
+			default:
+				break coalesce
+			}
+		}
+		s.resultsOut.Add(uint64(len(batch)))
+		if writeOK {
+			if err := s.send(func(w *wire.Writer) error { return w.WriteResults(batch) }); err != nil {
+				s.srv.logf("session %d: writing results: %v", s.id, err)
+				writeOK = false
+			}
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// Frame is one decoded-but-unparsed frame: the type plus the raw payload.
+// Payload aliases the Reader's scratch buffer and is valid only until the
+// next ReadFrame call; Decode* before reading again.
+type Frame struct {
+	Type    FrameType
+	Payload []byte
+}
+
+// Writer encodes frames onto an io.Writer. It is not safe for concurrent
+// use; callers that share one connection between goroutines must serialize
+// writes themselves.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte // payload scratch, reused across frames
+}
+
+// NewWriter wraps w in a frame encoder.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// writeFrame emits one frame and flushes, so every frame is immediately
+// visible to the peer (batching happens at the payload level, not by
+// holding frames back).
+func (w *Writer) writeFrame(t FrameType, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("wire: payload %d exceeds limit %d", len(payload), MaxPayload)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{byte(t)})
+	crc.Write(payload)
+	var head [1 + binary.MaxVarintLen64]byte
+	head[0] = byte(t)
+	n := binary.PutUvarint(head[1:], uint64(len(payload)))
+	if _, err := w.bw.Write(head[:1+n]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.bw.Write(sum[:]); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+// WriteOpen emits an Open frame.
+func (w *Writer) WriteOpen(cfg OpenConfig) error {
+	b := w.buf[:0]
+	b = appendUvarint(b, ProtocolVersion)
+	b = append(b, byte(cfg.Engine))
+	b = appendUvarint(b, uint64(cfg.Cores))
+	b = appendUvarint(b, uint64(cfg.Window))
+	var flags byte
+	if cfg.Ordered {
+		flags |= 1
+	}
+	b = append(b, flags)
+	w.buf = b
+	return w.writeFrame(FrameOpen, b)
+}
+
+// WriteOpenAck emits an OpenAck frame.
+func (w *Writer) WriteOpenAck(ack OpenAck) error {
+	b := w.buf[:0]
+	b = appendUvarint(b, uint64(ack.Credits))
+	b = appendUvarint(b, ack.Session)
+	w.buf = b
+	return w.writeFrame(FrameOpenAck, b)
+}
+
+// WriteBatch emits a Batch frame: the batch sequence number, a uvarint
+// tuple count, then the side-tagged wire words. Seq and Tag of the tuples
+// are not carried: the server reassigns arrival sequence numbers in wire
+// order, which equals the client's push order.
+func (w *Writer) WriteBatch(seq uint64, inputs []core.Input) error {
+	b := w.buf[:0]
+	b = appendUvarint(b, seq)
+	b = appendUvarint(b, uint64(len(inputs)))
+	for i := range inputs {
+		b = append(b, byte(inputs[i].Side))
+		b = appendU32(b, inputs[i].Tuple.Key)
+		b = appendU32(b, inputs[i].Tuple.Val)
+	}
+	w.buf = b
+	return w.writeFrame(FrameBatch, b)
+}
+
+// WriteResults emits a Results frame. Sequence numbers ride along so the
+// client can verify exactly-once pairing.
+func (w *Writer) WriteResults(results []stream.Result) error {
+	b := w.buf[:0]
+	b = appendUvarint(b, uint64(len(results)))
+	for i := range results {
+		r := &results[i]
+		b = appendU32(b, r.R.Key)
+		b = appendU32(b, r.R.Val)
+		b = appendUvarint(b, r.R.Seq)
+		b = appendU32(b, r.S.Key)
+		b = appendU32(b, r.S.Val)
+		b = appendUvarint(b, r.S.Seq)
+	}
+	w.buf = b
+	return w.writeFrame(FrameResults, b)
+}
+
+// WriteCredit returns n batch credits to the client.
+func (w *Writer) WriteCredit(n int) error {
+	b := appendUvarint(w.buf[:0], uint64(n))
+	w.buf = b
+	return w.writeFrame(FrameCredit, b)
+}
+
+// WriteClose emits a Close (drain request) frame.
+func (w *Writer) WriteClose() error {
+	return w.writeFrame(FrameClose, nil)
+}
+
+// WriteClosed emits a Closed frame with the final session statistics.
+func (w *Writer) WriteClosed(st Stats) error {
+	b := w.buf[:0]
+	b = appendUvarint(b, st.TuplesIn)
+	b = appendUvarint(b, st.BatchesIn)
+	b = appendUvarint(b, st.ResultsOut)
+	w.buf = b
+	return w.writeFrame(FrameClosed, b)
+}
+
+// WriteError emits an Error frame with a human-readable message.
+func (w *Writer) WriteError(msg string) error {
+	return w.writeFrame(FrameError, []byte(msg))
+}
+
+// Reader decodes frames from an io.Reader. Not safe for concurrent use.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte // payload scratch, reused across frames
+}
+
+// NewReader wraps r in a frame decoder.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// ReadFrame reads and CRC-validates the next frame. The returned payload
+// aliases an internal buffer valid until the next call.
+func (r *Reader) ReadFrame() (Frame, error) {
+	t, err := r.br.ReadByte()
+	if err != nil {
+		return Frame{}, err
+	}
+	size, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Frame{}, fmt.Errorf("wire: reading frame length: %w", err)
+	}
+	if size > MaxPayload {
+		return Frame{}, fmt.Errorf("wire: frame payload %d exceeds limit %d", size, MaxPayload)
+	}
+	if cap(r.buf) < int(size) {
+		r.buf = make([]byte, size)
+	}
+	payload := r.buf[:size]
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r.br, sum[:]); err != nil {
+		return Frame{}, fmt.Errorf("wire: reading frame checksum: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{t})
+	crc.Write(payload)
+	if got, want := crc.Sum32(), binary.BigEndian.Uint32(sum[:]); got != want {
+		return Frame{}, fmt.Errorf("wire: checksum mismatch on %v frame: computed %08x, carried %08x", FrameType(t), got, want)
+	}
+	return Frame{Type: FrameType(t), Payload: payload}, nil
+}
+
+// cursor is a tiny decode helper over a payload slice.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.err = fmt.Errorf("wire: truncated uvarint at offset %d", c.off)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+4 > len(c.b) {
+		c.err = fmt.Errorf("wire: truncated u32 at offset %d", c.off)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) byte() byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off >= len(c.b) {
+		c.err = fmt.Errorf("wire: truncated byte at offset %d", c.off)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("wire: %d trailing bytes after payload", len(c.b)-c.off)
+	}
+	return nil
+}
+
+// DecodeOpen parses an Open payload.
+func DecodeOpen(payload []byte) (OpenConfig, error) {
+	c := cursor{b: payload}
+	version := c.uvarint()
+	cfg := OpenConfig{}
+	cfg.Engine = EngineKind(c.byte())
+	cfg.Cores = int(c.uvarint())
+	cfg.Window = int(c.uvarint())
+	flags := c.byte()
+	cfg.Ordered = flags&1 != 0
+	if err := c.finish(); err != nil {
+		return OpenConfig{}, err
+	}
+	if version != ProtocolVersion {
+		return OpenConfig{}, fmt.Errorf("wire: protocol version %d not supported (want %d)", version, ProtocolVersion)
+	}
+	if err := cfg.Validate(); err != nil {
+		return OpenConfig{}, err
+	}
+	return cfg, nil
+}
+
+// DecodeOpenAck parses an OpenAck payload.
+func DecodeOpenAck(payload []byte) (OpenAck, error) {
+	c := cursor{b: payload}
+	ack := OpenAck{Credits: int(c.uvarint()), Session: c.uvarint()}
+	if err := c.finish(); err != nil {
+		return OpenAck{}, err
+	}
+	if ack.Credits <= 0 {
+		return OpenAck{}, fmt.Errorf("wire: non-positive credit window %d", ack.Credits)
+	}
+	return ack, nil
+}
+
+// DecodeBatch parses a Batch payload into a fresh input slice. maxTuples
+// bounds the accepted batch size (0 means unbounded up to MaxPayload).
+func DecodeBatch(payload []byte, maxTuples int) (seq uint64, inputs []core.Input, err error) {
+	c := cursor{b: payload}
+	seq = c.uvarint()
+	n := c.uvarint()
+	if c.err == nil && maxTuples > 0 && n > uint64(maxTuples) {
+		return 0, nil, fmt.Errorf("wire: batch of %d tuples exceeds limit %d", n, maxTuples)
+	}
+	const tupleWire = 9 // side byte + key + val
+	if c.err == nil && n*tupleWire > uint64(len(payload)) {
+		return 0, nil, fmt.Errorf("wire: batch count %d exceeds payload", n)
+	}
+	inputs = make([]core.Input, 0, n)
+	for i := uint64(0); i < n && c.err == nil; i++ {
+		side := stream.Side(c.byte())
+		key := c.u32()
+		val := c.u32()
+		if side != stream.SideR && side != stream.SideS {
+			return 0, nil, fmt.Errorf("wire: invalid tuple side %d in batch", side)
+		}
+		inputs = append(inputs, core.Input{Side: side, Tuple: stream.Tuple{Key: key, Val: val}})
+	}
+	if err := c.finish(); err != nil {
+		return 0, nil, err
+	}
+	return seq, inputs, nil
+}
+
+// DecodeResults parses a Results payload into a fresh result slice.
+func DecodeResults(payload []byte) ([]stream.Result, error) {
+	c := cursor{b: payload}
+	n := c.uvarint()
+	const resultWireMin = 18 // 4 u32s + 2 one-byte uvarints
+	if c.err == nil && n*resultWireMin > uint64(len(payload)) {
+		return nil, fmt.Errorf("wire: result count %d exceeds payload", n)
+	}
+	results := make([]stream.Result, 0, n)
+	for i := uint64(0); i < n && c.err == nil; i++ {
+		var r stream.Result
+		r.R.Key = c.u32()
+		r.R.Val = c.u32()
+		r.R.Seq = c.uvarint()
+		r.S.Key = c.u32()
+		r.S.Val = c.u32()
+		r.S.Seq = c.uvarint()
+		results = append(results, r)
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// DecodeCredit parses a Credit payload.
+func DecodeCredit(payload []byte) (int, error) {
+	c := cursor{b: payload}
+	n := c.uvarint()
+	if err := c.finish(); err != nil {
+		return 0, err
+	}
+	if n == 0 || n > 1<<20 {
+		return 0, fmt.Errorf("wire: credit grant %d out of range", n)
+	}
+	return int(n), nil
+}
+
+// DecodeClosed parses a Closed payload.
+func DecodeClosed(payload []byte) (Stats, error) {
+	c := cursor{b: payload}
+	st := Stats{TuplesIn: c.uvarint(), BatchesIn: c.uvarint(), ResultsOut: c.uvarint()}
+	if err := c.finish(); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// DecodeError parses an Error payload.
+func DecodeError(payload []byte) string {
+	return string(payload)
+}

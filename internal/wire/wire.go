@@ -1,0 +1,190 @@
+// Package wire defines the binary framing protocol spoken between the
+// network-attached stream-join service (internal/server, cmd/streamd) and
+// its clients. The paper's co-processor deployments (Section II, Fig. 4)
+// pay a data-path cost to move tuples between the host and the
+// accelerator; this protocol is the software analogue of that data path:
+// a compact, length-prefixed, CRC-validated framing of the 64-bit
+// stream.Tuple so that a join engine can live behind a TCP socket.
+//
+// Every frame has the layout
+//
+//	[type:1][payload length:uvarint][payload][crc32:4]
+//
+// where the CRC-32 (IEEE) covers the type byte and the payload, so both a
+// corrupted header and a corrupted body are detected. Batch frames carry a
+// uvarint tuple count followed by fixed-width side-tagged tuples (1-byte
+// side + 32-bit key + 32-bit value, the exact wire-visible width of the
+// paper's bus word). Result frames additionally carry the per-stream
+// arrival sequence numbers the server assigned, so clients can check the
+// exactly-once pairing invariant against the oracle.
+//
+// Flow control is credit-based: the server grants an initial window of
+// batch credits in the OpenAck frame and returns one credit per Batch
+// frame once that batch has been accepted by the engine. A client blocks
+// when its credits are exhausted, which propagates engine backpressure all
+// the way to the producer without unbounded buffering on either side.
+package wire
+
+import "fmt"
+
+// ProtocolVersion is carried in the Open frame; the server rejects
+// versions it does not speak.
+const ProtocolVersion = 1
+
+// MaxPayload bounds a frame payload so a corrupt or hostile length prefix
+// cannot cause an unbounded allocation.
+const MaxPayload = 1 << 22 // 4 MiB
+
+// FrameType identifies a frame.
+type FrameType uint8
+
+// The frame types of the protocol.
+const (
+	// FrameOpen (client → server) opens a session and configures its
+	// engine.
+	FrameOpen FrameType = iota + 1
+	// FrameOpenAck (server → client) accepts the session and grants the
+	// initial credit window.
+	FrameOpenAck
+	// FrameBatch (client → server) carries a batch of side-tagged tuples.
+	// Each Batch frame consumes one credit.
+	FrameBatch
+	// FrameResults (server → client) carries a batch of join results.
+	FrameResults
+	// FrameCredit (server → client) returns batch credits to the client.
+	FrameCredit
+	// FrameClose (client → server) requests a graceful drain: the server
+	// flushes all in-flight work, streams the remaining results, and
+	// answers with FrameClosed.
+	FrameClose
+	// FrameClosed (server → client) completes a graceful drain and
+	// carries the session's final statistics.
+	FrameClosed
+	// FrameError (either direction) reports a fatal session error.
+	FrameError
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameOpen:
+		return "open"
+	case FrameOpenAck:
+		return "open-ack"
+	case FrameBatch:
+		return "batch"
+	case FrameResults:
+		return "results"
+	case FrameCredit:
+		return "credit"
+	case FrameClose:
+		return "close"
+	case FrameClosed:
+		return "closed"
+	case FrameError:
+		return "error"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// EngineKind selects which join engine a session runs server-side.
+type EngineKind uint8
+
+// The engines a session can request.
+const (
+	// EngineSoftUni is the software SplitJoin (uni-flow) engine.
+	EngineSoftUni EngineKind = iota + 1
+	// EngineSoftBi is the software handshake-join (bi-flow) engine.
+	EngineSoftBi
+	// EngineSimUni is the cycle-level simulated uni-flow FPGA design,
+	// usable for small windows (the simulator processes one bus word per
+	// simulated cycle, so large windows are better served in software).
+	EngineSimUni
+)
+
+// String implements fmt.Stringer.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineSoftUni:
+		return "soft-uni"
+	case EngineSoftBi:
+		return "soft-bi"
+	case EngineSimUni:
+		return "sim-uni"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(k))
+	}
+}
+
+// ParseEngineKind maps a command-line name to an engine kind.
+func ParseEngineKind(name string) (EngineKind, error) {
+	switch name {
+	case "uni", "soft-uni":
+		return EngineSoftUni, nil
+	case "bi", "soft-bi":
+		return EngineSoftBi, nil
+	case "sim", "sim-uni":
+		return EngineSimUni, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown engine %q (want uni, bi, or sim)", name)
+	}
+}
+
+// simWindowLimit is the largest per-stream window the simulated engine
+// accepts over the wire; beyond this the cycle-level simulation is too slow
+// to serve a live socket.
+const simWindowLimit = 1 << 12
+
+// OpenConfig is the session configuration carried in the Open frame.
+type OpenConfig struct {
+	// Engine selects the join engine.
+	Engine EngineKind
+	// Cores is the number of join cores.
+	Cores int
+	// Window is the per-stream sliding-window size.
+	Window int
+	// Ordered requests SplitJoin's punctuated result ordering (software
+	// uni-flow only).
+	Ordered bool
+}
+
+// Validate bounds-checks the configuration.
+func (c OpenConfig) Validate() error {
+	switch c.Engine {
+	case EngineSoftUni, EngineSoftBi, EngineSimUni:
+	default:
+		return fmt.Errorf("wire: invalid engine kind %v", c.Engine)
+	}
+	if c.Cores <= 0 || c.Cores > 1024 {
+		return fmt.Errorf("wire: cores %d out of range [1,1024]", c.Cores)
+	}
+	if c.Window <= 0 || c.Window > 1<<26 {
+		return fmt.Errorf("wire: window %d out of range [1,2^26]", c.Window)
+	}
+	if c.Engine == EngineSimUni && c.Window > simWindowLimit {
+		return fmt.Errorf("wire: window %d too large for the simulated engine (max %d)", c.Window, simWindowLimit)
+	}
+	if c.Ordered && c.Engine != EngineSoftUni {
+		return fmt.Errorf("wire: ordered results require the soft-uni engine")
+	}
+	return nil
+}
+
+// OpenAck is the server's acceptance of a session.
+type OpenAck struct {
+	// Credits is the initial batch-credit window.
+	Credits int
+	// Session is the server-assigned session identifier.
+	Session uint64
+}
+
+// Stats are the session statistics carried in the Closed frame.
+type Stats struct {
+	// TuplesIn is how many tuples the server ingested.
+	TuplesIn uint64
+	// BatchesIn is how many Batch frames the server ingested.
+	BatchesIn uint64
+	// ResultsOut is how many join results the server emitted.
+	ResultsOut uint64
+}

@@ -1,0 +1,323 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+func randInputs(rng *rand.Rand, n int) []core.Input {
+	inputs := make([]core.Input, n)
+	for i := range inputs {
+		side := stream.SideR
+		if rng.Intn(2) == 1 {
+			side = stream.SideS
+		}
+		inputs[i] = core.Input{Side: side, Tuple: stream.Tuple{
+			Key: rng.Uint32(),
+			Val: rng.Uint32(),
+		}}
+	}
+	return inputs
+}
+
+func randResults(rng *rand.Rand, n int) []stream.Result {
+	results := make([]stream.Result, n)
+	for i := range results {
+		results[i] = stream.Result{
+			R: stream.Tuple{Key: rng.Uint32(), Val: rng.Uint32(), Seq: rng.Uint64() >> uint(rng.Intn(64))},
+			S: stream.Tuple{Key: rng.Uint32(), Val: rng.Uint32(), Seq: rng.Uint64() >> uint(rng.Intn(64))},
+		}
+	}
+	return results
+}
+
+// TestBatchRoundTrip is the encode/decode property test for batch frames:
+// random batches survive a round trip bit-exactly (modulo the Seq/Tag
+// metadata, which deliberately does not ride the wire).
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		inputs := randInputs(rng, rng.Intn(300))
+		seq := rng.Uint64() >> uint(rng.Intn(64))
+
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteBatch(seq, inputs); err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewReader(&buf).ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != FrameBatch {
+			t.Fatalf("frame type %v, want batch", f.Type)
+		}
+		gotSeq, got, err := DecodeBatch(f.Payload, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSeq != seq {
+			t.Fatalf("batch seq %d, want %d", gotSeq, seq)
+		}
+		if len(got) != len(inputs) {
+			t.Fatalf("decoded %d inputs, want %d", len(got), len(inputs))
+		}
+		for i := range got {
+			if got[i].Side != inputs[i].Side ||
+				got[i].Tuple.Key != inputs[i].Tuple.Key ||
+				got[i].Tuple.Val != inputs[i].Tuple.Val {
+				t.Fatalf("input %d: got %+v, want %+v", i, got[i], inputs[i])
+			}
+		}
+	}
+}
+
+// TestResultsRoundTrip checks that result frames preserve keys, values,
+// and both sequence numbers (needed for PairID verification client-side).
+func TestResultsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		results := randResults(rng, rng.Intn(200))
+
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteResults(results); err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewReader(&buf).ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != FrameResults {
+			t.Fatalf("frame type %v, want results", f.Type)
+		}
+		got, err := DecodeResults(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(results) {
+			t.Fatalf("decoded %d results, want %d", len(got), len(results))
+		}
+		for i := range got {
+			if got[i].PairID() != results[i].PairID() ||
+				got[i].R.Key != results[i].R.Key || got[i].R.Val != results[i].R.Val ||
+				got[i].S.Key != results[i].S.Key || got[i].S.Val != results[i].S.Val {
+				t.Fatalf("result %d: got %+v, want %+v", i, got[i], results[i])
+			}
+		}
+	}
+}
+
+func TestControlFrameRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	cfg := OpenConfig{Engine: EngineSoftUni, Cores: 8, Window: 1 << 14, Ordered: true}
+	if err := w.WriteOpen(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteOpenAck(OpenAck{Credits: 16, Session: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCredit(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteClose(); err != nil {
+		t.Fatal(err)
+	}
+	st := Stats{TuplesIn: 10000, BatchesIn: 40, ResultsOut: 123}
+	if err := w.WriteClosed(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteError("boom"); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	f, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCfg, err := DecodeOpen(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg != cfg {
+		t.Fatalf("open round trip: got %+v, want %+v", gotCfg, cfg)
+	}
+	f, _ = r.ReadFrame()
+	ack, err := DecodeOpenAck(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Credits != 16 || ack.Session != 42 {
+		t.Fatalf("open-ack round trip: got %+v", ack)
+	}
+	f, _ = r.ReadFrame()
+	n, err := DecodeCredit(f.Payload)
+	if err != nil || n != 3 {
+		t.Fatalf("credit round trip: n=%d err=%v", n, err)
+	}
+	f, _ = r.ReadFrame()
+	if f.Type != FrameClose || len(f.Payload) != 0 {
+		t.Fatalf("close frame: %+v", f)
+	}
+	f, _ = r.ReadFrame()
+	gotSt, err := DecodeClosed(f.Payload)
+	if err != nil || gotSt != st {
+		t.Fatalf("closed round trip: got %+v err=%v", gotSt, err)
+	}
+	f, _ = r.ReadFrame()
+	if f.Type != FrameError || DecodeError(f.Payload) != "boom" {
+		t.Fatalf("error frame: %+v", f)
+	}
+}
+
+// TestCorruptionDetected flips every byte position of an encoded frame in
+// turn and requires the reader to reject each corrupted copy (either by
+// CRC mismatch or by a framing error — never by silently decoding).
+func TestCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteBatch(9, randInputs(rng, 25)); err != nil {
+		t.Fatal(err)
+	}
+	original := buf.Bytes()
+	for pos := 0; pos < len(original); pos++ {
+		corrupted := append([]byte(nil), original...)
+		corrupted[pos] ^= 0x41
+		f, err := NewReader(bytes.NewReader(corrupted)).ReadFrame()
+		if err != nil {
+			continue
+		}
+		// A flipped byte that still frames must fail CRC... unless it
+		// framed differently and coincidentally passed; that cannot
+		// happen for a single bit-flip within one frame.
+		if f.Type == FrameBatch {
+			if _, _, derr := DecodeBatch(f.Payload, 0); derr == nil {
+				t.Fatalf("corruption at byte %d went undetected", pos)
+			}
+		}
+	}
+}
+
+// TestTruncationDetected cuts an encoded frame at every length and
+// requires a read error (typically io.ErrUnexpectedEOF) for each prefix.
+func TestTruncationDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteResults(randResults(rng, 17)); err != nil {
+		t.Fatal(err)
+	}
+	original := buf.Bytes()
+	for cut := 0; cut < len(original); cut++ {
+		if _, err := NewReader(bytes.NewReader(original[:cut])).ReadFrame(); err == nil {
+			t.Fatalf("truncation at byte %d went undetected", cut)
+		}
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	// A hand-built header claiming a payload beyond MaxPayload must be
+	// rejected before any allocation is attempted.
+	head := []byte{byte(FrameBatch), 0xFF, 0xFF, 0xFF, 0xFF, 0x7F} // ~2^34
+	_, err := NewReader(bytes.NewReader(head)).ReadFrame()
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized payload: err=%v", err)
+	}
+}
+
+func TestDecodeBatchLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteBatch(1, randInputs(rng, 50)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeBatch(f.Payload, 49); err == nil {
+		t.Fatal("batch over maxTuples accepted")
+	}
+	if _, _, err := DecodeBatch(f.Payload, 50); err != nil {
+		t.Fatalf("batch at maxTuples rejected: %v", err)
+	}
+}
+
+func TestOpenConfigValidate(t *testing.T) {
+	good := OpenConfig{Engine: EngineSoftUni, Cores: 4, Window: 1024}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []OpenConfig{
+		{Engine: 0, Cores: 4, Window: 1024},
+		{Engine: EngineSoftUni, Cores: 0, Window: 1024},
+		{Engine: EngineSoftUni, Cores: 4, Window: 0},
+		{Engine: EngineSimUni, Cores: 4, Window: 1 << 20},
+		{Engine: EngineSoftBi, Cores: 4, Window: 1024, Ordered: true},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestParseEngineKind(t *testing.T) {
+	for name, want := range map[string]EngineKind{
+		"uni": EngineSoftUni, "bi": EngineSoftBi, "sim": EngineSimUni,
+		"soft-uni": EngineSoftUni, "soft-bi": EngineSoftBi, "sim-uni": EngineSimUni,
+	} {
+		got, err := ParseEngineKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseEngineKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseEngineKind("gpu"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// TestReaderSequence drives a mixed frame sequence through one reader to
+// make sure scratch-buffer reuse between frames does not corrupt payloads.
+func TestReaderSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	batches := make([][]core.Input, 20)
+	for i := range batches {
+		batches[i] = randInputs(rng, 1+rng.Intn(100))
+		if err := w.WriteBatch(uint64(i), batches[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteCredit(1 + i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i := range batches {
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, got, err := DecodeBatch(f.Payload, 0)
+		if err != nil || seq != uint64(i) || len(got) != len(batches[i]) {
+			t.Fatalf("batch %d: seq=%d len=%d err=%v", i, seq, len(got), err)
+		}
+		f, err = r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := DecodeCredit(f.Payload); err != nil || n != 1+i {
+			t.Fatalf("credit %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package accelstream
+
+import (
+	"net"
+
+	"accelstream/internal/server"
+	"accelstream/internal/wire"
+)
+
+// This file is the public face of the network-attached stream-join
+// service (cmd/streamd): a TCP server that runs one join engine per
+// client session behind the compact binary protocol of internal/wire,
+// with credit-based backpressure, per-session metrics, and graceful
+// drain. See README.md, "Running as a service".
+
+// ServerConfig parameterizes the stream-join service.
+type ServerConfig = server.Config
+
+// Server is the network-attached stream-join service. Build with
+// NewServer, start with Serve/ListenAndServe, stop with Shutdown.
+type Server = server.Server
+
+// NewServer builds a stream-join server.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// SessionMetrics is a point-in-time snapshot of one server session.
+type SessionMetrics = server.SessionMetrics
+
+// SessionConfig selects and sizes the engine a client session runs.
+type SessionConfig = wire.OpenConfig
+
+// SessionEngine identifies which join engine a session runs server-side.
+type SessionEngine = wire.EngineKind
+
+// The engines a session can request.
+const (
+	// EngineSoftwareUniFlow is the software SplitJoin engine.
+	EngineSoftwareUniFlow = wire.EngineSoftUni
+	// EngineSoftwareBiFlow is the software handshake-join engine.
+	EngineSoftwareBiFlow = wire.EngineSoftBi
+	// EngineSimulatedUniFlow is the cycle-level simulated uni-flow FPGA
+	// design (small windows only).
+	EngineSimulatedUniFlow = wire.EngineSimUni
+)
+
+// ParseSessionEngine maps a command-line name (uni, bi, sim) to an engine.
+func ParseSessionEngine(name string) (SessionEngine, error) {
+	return wire.ParseEngineKind(name)
+}
+
+// Client is one session against a stream-join server: SendBatch pushes
+// side-tagged tuples (blocking while the server's credit window is
+// exhausted), Results streams back join results, and Close drains the
+// session and returns the server's final statistics.
+type Client = server.Client
+
+// SessionStats are the final statistics a graceful session close returns.
+type SessionStats = wire.Stats
+
+// Dial connects to a stream-join server (see Serve / cmd/streamd) and
+// opens a session with the given engine configuration.
+func Dial(addr string, cfg SessionConfig) (*Client, error) {
+	return server.Dial(addr, cfg)
+}
+
+// Serve listens on addr ("host:port"; ":0" picks a free port — see
+// Server.Addr) and serves stream-join sessions in a background goroutine
+// until Shutdown is called on the returned server. It is the programmatic
+// equivalent of running cmd/streamd.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Register(ln); err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	return srv, nil
+}
