@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race check
+.PHONY: all build vet fmt-check test test-race fuzz-short check
 
 all: build
 
@@ -24,8 +24,18 @@ test:
 	$(GO) test ./...
 
 # The race detector sweep focuses on the concurrent subsystems: the
-# network service (sessions, credits, drain) and the software engines.
+# network service (sessions, credits, drain), the shard router, and the
+# software engines.
 test-race:
-	$(GO) test -race ./internal/server/... ./internal/wire/... ./internal/softjoin/...
+	$(GO) test -race ./internal/server/... ./internal/shard/... ./internal/wire/... ./internal/softjoin/...
+
+# Short fuzzing pass over the wire-protocol decoders (10s per target),
+# seeded from the corruption-test corpus. CI-sized; run `go test -fuzz`
+# directly for longer campaigns.
+fuzz-short:
+	@for f in FuzzReadFrame FuzzDecodeBatch FuzzDecodeResults FuzzDecodeControl; do \
+		echo "fuzzing $$f"; \
+		$(GO) test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime 10s ./internal/wire/ || exit 1; \
+	done
 
 check: build vet fmt-check test

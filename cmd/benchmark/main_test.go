@@ -8,7 +8,7 @@ import (
 )
 
 func TestIsNamedExperiment(t *testing.T) {
-	for _, id := range []string{"power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat"} {
+	for _, id := range []string{"power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat", "shardscale"} {
 		if !isNamedExperiment(id) {
 			t.Errorf("isNamedExperiment(%q) = false", id)
 		}

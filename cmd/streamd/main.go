@@ -9,6 +9,7 @@
 //
 //	streamd -addr :7800
 //	streamd -addr :7800 -credits 16 -maxbatch 8192 -idle 2m -quiet
+//	streamd -addr :7800 -metrics :7801   # Prometheus text format on /metrics
 //
 // Stop with SIGINT/SIGTERM; the daemon drains active sessions for up to
 // -drain before force-closing them.
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +44,7 @@ func run() error {
 	idle := flag.Duration("idle", 2*time.Minute, "idle session timeout (negative disables)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
 	maxSessions := flag.Int("max-sessions", 0, "concurrent session cap (0: unlimited)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address at /metrics (empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
 	flag.Parse()
 
@@ -59,6 +63,19 @@ func run() error {
 		return err
 	}
 	logger.Printf("listening on %s", srv.Addr())
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		msrv := &http.Server{Handler: mux}
+		defer msrv.Close()
+		go msrv.Serve(mln)
+		logger.Printf("metrics on http://%s/metrics", mln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,148 @@
+// Command streamshard is the shard router daemon: it speaks the ordinary
+// streamd wire protocol on its front side, but serves each session by
+// fanning the work out over N backing streamd processes SplitJoin-style —
+// every batch is broadcast for probing, each tuple is stored by exactly
+// one shard's residue class, and the merged result stream equals the
+// single-engine oracle. Clients need no changes: a session opened against
+// streamshard looks exactly like one opened against streamd with an
+// N-times-larger machine behind it.
+//
+// Usage:
+//
+//	streamd -addr :7801 &
+//	streamd -addr :7802 &
+//	streamd -addr :7803 &
+//	streamshard -addr :7800 -shards localhost:7801,localhost:7802,localhost:7803
+//
+// Session Open frames select the per-shard engine parallelism (cores) and
+// the global window, which must divide evenly across the shards. Only the
+// software uni-flow engine can be sharded.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"accelstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "streamshard:", err)
+		os.Exit(1)
+	}
+}
+
+// routerEngine serves one front-side session from a shard router.
+type routerEngine struct{ r *accelstream.ShardRouter }
+
+func (e *routerEngine) Start() error { return nil }
+func (e *routerEngine) PushBatch(batch []accelstream.Input) error {
+	return e.r.SendBatch(batch)
+}
+func (e *routerEngine) Results() <-chan accelstream.Result { return e.r.Results() }
+func (e *routerEngine) Close() error {
+	_, err := e.r.Close()
+	return err
+}
+func (e *routerEngine) Backlog() int { return e.r.Backlog() }
+
+func run() error {
+	addr := flag.String("addr", ":7800", "listen address")
+	shards := flag.String("shards", "", "comma-separated backing streamd addresses (required; order fixes residue classes)")
+	credits := flag.Int("credits", 8, "per-session batch-credit window")
+	maxBatch := flag.Int("maxbatch", 8192, "maximum tuples per batch frame")
+	idle := flag.Duration("idle", 2*time.Minute, "idle session timeout (negative disables)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
+	queueDepth := flag.Int("queue", 4, "per-shard pending-batch queue depth")
+	redials := flag.Int("redials", 3, "redial attempts before a dropped shard is abandoned (negative disables redial)")
+	failFast := flag.Bool("failfast", false, "fail sessions when a shard is permanently lost instead of degrading")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address at /metrics (empty disables)")
+	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	flag.Parse()
+
+	addrs := strings.Split(*shards, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if *shards == "" || len(addrs) == 0 {
+		return fmt.Errorf("-shards is required (comma-separated streamd addresses)")
+	}
+
+	logger := log.New(os.Stderr, "streamshard: ", log.LstdFlags)
+	cfg := accelstream.ServerConfig{
+		InitialCredits: *credits,
+		MaxBatch:       *maxBatch,
+		IdleTimeout:    *idle,
+		NewEngine: func(oc accelstream.SessionConfig) (accelstream.SessionEngineImpl, error) {
+			if oc.Engine != accelstream.EngineSoftwareUniFlow {
+				return nil, fmt.Errorf("streamshard: only the software uni-flow engine can be sharded, got %v", oc.Engine)
+			}
+			if oc.ShardCount > 1 || oc.BaseSeqR != 0 || oc.BaseSeqS != 0 {
+				return nil, fmt.Errorf("streamshard: session is already sharded; chain routers by listing routers as shards instead")
+			}
+			scfg := accelstream.ShardConfig{
+				Addrs:      addrs,
+				Cores:      oc.Cores,
+				Window:     oc.Window,
+				QueueDepth: *queueDepth,
+				Redial:     accelstream.ShardRedialPolicy{Attempts: *redials},
+				FailFast:   *failFast,
+			}
+			if !*quiet {
+				scfg.Logf = logger.Printf
+			}
+			r, err := accelstream.DialSharded(scfg)
+			if err != nil {
+				return nil, err
+			}
+			return &routerEngine{r}, nil
+		},
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv, err := accelstream.Serve(*addr, cfg)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s, routing over %d shards: %s", srv.Addr(), len(addrs), strings.Join(addrs, ", "))
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		msrv := &http.Server{Handler: mux}
+		defer msrv.Close()
+		go msrv.Serve(mln)
+		logger.Printf("metrics on http://%s/metrics", mln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	logger.Printf("received %v, draining sessions (budget %v)", got, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain budget exhausted; sessions aborted: %v", err)
+	}
+	for _, m := range srv.Metrics() {
+		logger.Printf("session %d (%v): %d tuples in / %d batches, %d results out",
+			m.ID, m.Engine, m.TuplesIn, m.BatchesIn, m.ResultsOut)
+	}
+	logger.Printf("bye")
+	return nil
+}

@@ -50,13 +50,14 @@ var experimentRunners = map[string]func(experiments.Options) ([]ExperimentResult
 			{ID: micros.ID, Text: micros.Render(), CSV: micros.CSV()},
 		}, nil
 	},
-	"fig16":   figureRunner(experiments.Fig16),
-	"fig17":   figureRunner(experiments.Fig17),
-	"power":   figureRunner(experiments.PowerTable),
-	"fanout":  figureRunner(experiments.FanoutAblation),
-	"loadlat": figureRunner(experiments.LoadLatency),
-	"llhs":    figureRunner(experiments.LatencyByArchitecture),
-	"netlat":  figureRunner(experiments.NetLatency),
+	"fig16":      figureRunner(experiments.Fig16),
+	"fig17":      figureRunner(experiments.Fig17),
+	"power":      figureRunner(experiments.PowerTable),
+	"fanout":     figureRunner(experiments.FanoutAblation),
+	"loadlat":    figureRunner(experiments.LoadLatency),
+	"llhs":       figureRunner(experiments.LatencyByArchitecture),
+	"netlat":     figureRunner(experiments.NetLatency),
+	"shardscale": figureRunner(experiments.ShardScale),
 	"fig6": func(experiments.Options) ([]ExperimentResult, error) {
 		text, err := experiments.Fig6Table()
 		if err != nil {

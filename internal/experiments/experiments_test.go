@@ -355,3 +355,39 @@ func TestLatencyByArchitectureShape(t *testing.T) {
 		t.Errorf("uni-flow completion (%v cycles) should beat the low-latency chain (%v)", uniCycles, llhsCycles)
 	}
 }
+
+// TestShardScaleShape: quick-mode sharded-deployment sweep — the
+// cluster-wide processed rate must not decrease as shards are added (every
+// shard probes the full broadcast stream against its residue-class slice),
+// and aggregate = N × ingest by construction.
+func TestShardScaleShape(t *testing.T) {
+	fig, err := ShardScale(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, ok := fig.SeriesByLabel("aggregate processed (sum over shards)")
+	if !ok {
+		t.Fatal("missing aggregate series")
+	}
+	ing, ok := fig.SeriesByLabel("router ingest (input rate)")
+	if !ok {
+		t.Fatal("missing ingest series")
+	}
+	prev := 0.0
+	for _, p := range agg.Points {
+		if p.Y <= 0 {
+			t.Fatalf("non-positive throughput at %v shards", p.X)
+		}
+		if p.Y < prev {
+			t.Errorf("aggregate throughput decreased at %v shards: %v < %v", p.X, p.Y, prev)
+		}
+		prev = p.Y
+		iv, ok := ing.ValueAt(p.X)
+		if !ok {
+			t.Fatalf("no ingest point at %v shards", p.X)
+		}
+		if want := iv * p.X; math.Abs(p.Y-want)/want > 1e-9 {
+			t.Errorf("aggregate at %v shards is %v, want N×ingest = %v", p.X, p.Y, want)
+		}
+	}
+}

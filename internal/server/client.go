@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -10,6 +11,13 @@ import (
 	"accelstream/internal/stream"
 	"accelstream/internal/wire"
 )
+
+// ErrConnectionLost reports that the session's connection failed before
+// the server's Closed frame arrived: results already delivered are valid,
+// but in-flight batches and undelivered results are gone. Surfaced
+// (wrapped) by SendBatch, Err, and Close; test with errors.Is. The shard
+// router keys its redial logic off this error.
+var ErrConnectionLost = errors.New("server: connection lost")
 
 // Client is one session against a network-attached stream-join server.
 // SendBatch may be called from one producer goroutine while another
@@ -136,6 +144,7 @@ func (c *Client) SendBatch(batch []core.Input) error {
 	err := c.w.WriteBatch(c.batchSeq, batch)
 	c.wmu.Unlock()
 	if err != nil {
+		err = fmt.Errorf("%w: %v", ErrConnectionLost, err)
 		c.setErr(err)
 		return err
 	}
@@ -160,7 +169,7 @@ func (c *Client) Close() (wire.Stats, error) {
 		err := c.w.WriteClose()
 		c.wmu.Unlock()
 		if err != nil {
-			c.setErr(err)
+			c.setErr(fmt.Errorf("%w: %v", ErrConnectionLost, err))
 			c.conn.Close()
 		}
 	}
@@ -191,7 +200,7 @@ func (c *Client) readLoop(r *wire.Reader) {
 	for {
 		f, err := r.ReadFrame()
 		if err != nil {
-			c.setErr(fmt.Errorf("server: connection lost: %w", err))
+			c.setErr(fmt.Errorf("%w: %v", ErrConnectionLost, err))
 			return
 		}
 		switch f.Type {

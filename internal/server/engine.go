@@ -10,13 +10,15 @@ import (
 	"accelstream/internal/wire"
 )
 
-// engine is the server-side abstraction over the join engines a session
+// Engine is the server-side abstraction over the join engines a session
 // can run: the software uni-flow (SplitJoin) and bi-flow (handshake join)
 // engines, and the cycle-level simulated uni-flow design for small
 // windows. PushBatch assigns arrival sequence numbers in wire order and
 // blocks under engine backpressure; Results is closed after Close once all
-// in-flight work has drained.
-type engine interface {
+// in-flight work has drained. Config.NewEngine lets an embedder substitute
+// its own implementation (the shard router daemon serves a whole cluster
+// behind this interface).
+type Engine interface {
 	Start() error
 	PushBatch(batch []core.Input) error
 	Results() <-chan stream.Result
@@ -25,7 +27,7 @@ type engine interface {
 }
 
 // buildEngine instantiates the engine a session requested.
-func buildEngine(cfg wire.OpenConfig) (engine, error) {
+func buildEngine(cfg wire.OpenConfig) (Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,6 +37,10 @@ func buildEngine(cfg wire.OpenConfig) (engine, error) {
 			NumCores:       cfg.Cores,
 			WindowSize:     cfg.Window,
 			OrderedResults: cfg.Ordered,
+			ShardCount:     cfg.ShardCount,
+			ShardIndex:     cfg.ShardIndex,
+			BaseSeqR:       cfg.BaseSeqR,
+			BaseSeqS:       cfg.BaseSeqS,
 		})
 		if err != nil {
 			return nil, err

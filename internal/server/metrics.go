@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// ProcessStats is a point-in-time snapshot of server-wide gauges, the
+// process-level complement of the per-session Metrics slice.
+type ProcessStats struct {
+	// SessionsActive is the number of live sessions.
+	SessionsActive int
+	// SessionsTotal is the number of sessions ever opened.
+	SessionsTotal uint64
+	// CreditsOutstanding is the number of batch credits currently
+	// withheld from clients: batches accepted off the wire whose credit
+	// has not yet been returned. A persistently high value means the
+	// engines (or the result paths back to clients) are saturated.
+	CreditsOutstanding int64
+}
+
+// ProcessStats snapshots the server-wide gauges.
+func (s *Server) ProcessStats() ProcessStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ProcessStats{
+		SessionsActive:     len(s.sessions),
+		SessionsTotal:      s.nextID,
+		CreditsOutstanding: s.creditsHeld.Load(),
+	}
+}
+
+// MetricsHandler returns an http.Handler serving the server's counters in
+// the Prometheus text exposition format (hand-rolled; the repository takes
+// no dependencies). Process-wide gauges are unlabelled; per-session
+// counters carry session and engine labels. Mount it on /metrics:
+//
+//	http.Handle("/metrics", srv.MetricsHandler())
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		writeProcessMetrics(&b, s.ProcessStats())
+		writeSessionMetrics(&b, s.Metrics())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+}
+
+func writeProcessMetrics(b *strings.Builder, ps ProcessStats) {
+	gauge := func(name, help string, value any) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+	}
+	gauge("streamd_sessions_active", "Live client sessions.", ps.SessionsActive)
+	fmt.Fprintf(b, "# HELP streamd_sessions_total Sessions ever opened.\n# TYPE streamd_sessions_total counter\nstreamd_sessions_total %d\n", ps.SessionsTotal)
+	gauge("streamd_credits_outstanding", "Batch credits currently withheld from clients (in-flight batches).", ps.CreditsOutstanding)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("streamd_goroutines", "Goroutines in the process.", runtime.NumGoroutine())
+	gauge("streamd_heap_alloc_bytes", "Heap bytes allocated and in use.", ms.HeapAlloc)
+}
+
+func writeSessionMetrics(b *strings.Builder, sessions []SessionMetrics) {
+	counter := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	label := func(m SessionMetrics) string {
+		return fmt.Sprintf(`{session="%d",engine="%s"}`, m.ID, m.Engine)
+	}
+	// Keep output deterministic for scrapers and tests.
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
+	counter("streamd_session_tuples_in_total", "Tuples ingested per session.")
+	for _, m := range sessions {
+		fmt.Fprintf(b, "streamd_session_tuples_in_total%s %d\n", label(m), m.TuplesIn)
+	}
+	counter("streamd_session_batches_in_total", "Batch frames ingested per session.")
+	for _, m := range sessions {
+		fmt.Fprintf(b, "streamd_session_batches_in_total%s %d\n", label(m), m.BatchesIn)
+	}
+	counter("streamd_session_results_out_total", "Join results streamed back per session.")
+	for _, m := range sessions {
+		fmt.Fprintf(b, "streamd_session_results_out_total%s %d\n", label(m), m.ResultsOut)
+	}
+	fmt.Fprint(b, "# HELP streamd_session_open Whether the session is live (1) or closed (0).\n# TYPE streamd_session_open gauge\n")
+	for _, m := range sessions {
+		open := 0
+		if m.Open {
+			open = 1
+		}
+		fmt.Fprintf(b, "streamd_session_open%s %d\n", label(m), open)
+	}
+	fmt.Fprint(b, "# HELP streamd_session_backlog Undelivered engine results queued per live session.\n# TYPE streamd_session_backlog gauge\n")
+	for _, m := range sessions {
+		fmt.Fprintf(b, "streamd_session_backlog%s %d\n", label(m), m.Backlog)
+	}
+}

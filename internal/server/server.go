@@ -19,7 +19,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"accelstream/internal/wire"
 )
 
 // Config parameterizes the server.
@@ -40,6 +43,12 @@ type Config struct {
 	MaxSessions int
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
+	// NewEngine, when set, replaces the built-in engine constructors: the
+	// session's decoded-and-validated Open config is passed through and
+	// the returned Engine serves the session. The shard router daemon
+	// (cmd/streamshard) uses this to put a whole shard cluster behind one
+	// ordinary streamd session.
+	NewEngine func(cfg wire.OpenConfig) (Engine, error)
 }
 
 func (c *Config) applyDefaults() {
@@ -78,6 +87,11 @@ type Server struct {
 	history  []SessionMetrics // closed sessions, most recent last
 	nextID   uint64
 	closed   bool
+
+	// creditsHeld counts batch credits currently withheld from clients
+	// (batches accepted off the wire whose credit has not yet been
+	// returned); it is the server-wide backpressure gauge.
+	creditsHeld atomic.Int64
 
 	wg sync.WaitGroup
 }

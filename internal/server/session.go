@@ -46,7 +46,7 @@ type session struct {
 	w   *wire.Writer
 	r   *wire.Reader
 
-	eng    engine
+	eng    Engine
 	engCfg wire.OpenConfig
 	opened atomic.Bool
 	live   atomic.Bool
@@ -181,7 +181,16 @@ func (s *session) handshake() error {
 		s.fail(err.Error())
 		return err
 	}
-	eng, err := buildEngine(cfg)
+	build := buildEngine
+	if s.srv.cfg.NewEngine != nil {
+		build = func(cfg wire.OpenConfig) (Engine, error) {
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			return s.srv.cfg.NewEngine(cfg)
+		}
+	}
+	eng, err := build(cfg)
 	if err != nil {
 		s.fail(err.Error())
 		return err
@@ -231,8 +240,11 @@ func (s *session) readLoop() bool {
 			// PushBatch blocks while the engine (or the result path
 			// back to this client) is saturated; the credit for this
 			// batch is withheld for exactly that long, which is the
-			// backpressure signal the client observes.
+			// backpressure signal the client observes. The withheld
+			// interval is visible process-wide as credits_outstanding.
+			s.srv.creditsHeld.Add(1)
 			if err := s.eng.PushBatch(batch); err != nil {
+				s.srv.creditsHeld.Add(-1)
 				s.fail(err.Error())
 				s.srv.logf("session %d: engine push: %v", s.id, err)
 				return false
@@ -247,7 +259,9 @@ func (s *session) readLoop() bool {
 					break
 				}
 			}
-			if err := s.send(func(w *wire.Writer) error { return w.WriteCredit(1) }); err != nil {
+			err = s.send(func(w *wire.Writer) error { return w.WriteCredit(1) })
+			s.srv.creditsHeld.Add(-1)
+			if err != nil {
 				s.srv.logf("session %d: writing credit: %v", s.id, err)
 				return false
 			}

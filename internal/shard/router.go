@@ -1,0 +1,348 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelstream/internal/core"
+	"accelstream/internal/server"
+	"accelstream/internal/stream"
+	"accelstream/internal/wire"
+)
+
+// Router is one logical join session fanned out over N shard endpoints.
+// SendBatch broadcasts every batch to all shards (the probe path); each
+// shard's engine stores only its residue class (the store path), so the
+// merged result stream is the disjoint union of the shards' outputs and
+// matches the single-engine oracle without deduplication.
+//
+// SendBatch is single-producer; Results must be drained concurrently
+// until the channel closes (after Close), exactly like server.Client.
+type Router struct {
+	cfg    Config
+	shards []*shardConn
+	merged chan stream.Result
+
+	// seqR/seqS are the global per-side arrival counters: every batch is
+	// enqueued with the counter values at its front, which become the
+	// BaseSeq offsets if a shard session must be re-opened at that batch.
+	seqR, seqS uint64 // single-producer, touched only by SendBatch
+
+	tuplesIn   atomic.Uint64
+	resultsOut atomic.Uint64
+
+	sendWG  sync.WaitGroup
+	drainWG sync.WaitGroup
+
+	mu      sync.Mutex
+	failErr error
+	closed  bool
+}
+
+// shardConn is one shard endpoint: a FIFO batch queue consumed by a
+// dedicated sender goroutine that owns the client (and its redials).
+type shardConn struct {
+	r     *Router
+	index int
+	addr  string
+
+	queue  chan shardBatch
+	client *server.Client // owned by the sender goroutine after Dial
+
+	up      atomic.Bool
+	down    atomic.Bool
+	redials atomic.Uint64
+	dropped atomic.Uint64
+	results atomic.Uint64
+
+	closeErr error // written by the sender, read after sendWG.Wait
+}
+
+// shardBatch is one broadcast unit: the shared tuple slice plus the
+// global arrival counters at its front (the resume point).
+type shardBatch struct {
+	inputs []core.Input
+	baseR  uint64
+	baseS  uint64
+}
+
+// Dial connects to every shard endpoint and starts the router. All
+// shards must connect for Dial to succeed; fault tolerance begins after
+// the session is up.
+func Dial(cfg Config) (*Router, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{cfg: cfg, merged: make(chan stream.Result, 4096)}
+	for i, addr := range cfg.Addrs {
+		sc := &shardConn{
+			r:     r,
+			index: i,
+			addr:  addr,
+			queue: make(chan shardBatch, cfg.QueueDepth),
+		}
+		c, err := server.Dial(addr, sc.openConfig(0, 0))
+		if err != nil {
+			for _, prev := range r.shards {
+				prev.client.Close()
+			}
+			return nil, fmt.Errorf("shard: dialing shard %d (%s): %w", i, addr, err)
+		}
+		sc.client = c
+		sc.up.Store(true)
+		r.shards = append(r.shards, sc)
+	}
+	for _, sc := range r.shards {
+		r.spawnDrain(sc, sc.client)
+		r.sendWG.Add(1)
+		go func(sc *shardConn) {
+			defer r.sendWG.Done()
+			sc.run()
+		}(sc)
+	}
+	return r, nil
+}
+
+// openConfig is the shard's session config: its slice of the global
+// window and its residue class, with per-side arrival offsets for resume.
+func (sc *shardConn) openConfig(baseR, baseS uint64) wire.OpenConfig {
+	n := len(sc.r.cfg.Addrs)
+	return wire.OpenConfig{
+		Engine:     wire.EngineSoftUni,
+		Cores:      sc.r.cfg.Cores,
+		Window:     sc.r.cfg.Window / n,
+		ShardCount: n,
+		ShardIndex: sc.index,
+		BaseSeqR:   baseR,
+		BaseSeqS:   baseS,
+	}
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// spawnDrain merges one client session's results into the router stream.
+// Each (re)dialed client gets its own drain goroutine; it exits when the
+// client's result channel closes.
+func (r *Router) spawnDrain(sc *shardConn, c *server.Client) {
+	r.drainWG.Add(1)
+	go func() {
+		defer r.drainWG.Done()
+		for res := range c.Results() {
+			sc.results.Add(1)
+			r.resultsOut.Add(1)
+			r.merged <- res
+		}
+	}()
+}
+
+// SendBatch broadcasts one batch of side-tagged tuples to every live
+// shard. It blocks while the slowest live shard's queue is full (engine
+// backpressure propagated through the per-shard credit windows). The
+// caller may reuse the slice once SendBatch returns.
+func (r *Router) SendBatch(batch []core.Input) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	closed, failErr := r.closed, r.failErr
+	r.mu.Unlock()
+	if closed {
+		return fmt.Errorf("shard: router closed")
+	}
+	if failErr != nil {
+		return failErr
+	}
+	// One shared copy serves every shard: senders only read it, and the
+	// servers stamp sequence numbers on their own decoded copies.
+	cp := make([]core.Input, len(batch))
+	copy(cp, batch)
+	b := shardBatch{inputs: cp, baseR: r.seqR, baseS: r.seqS}
+	for i := range cp {
+		if cp[i].Side == stream.SideR {
+			r.seqR++
+		} else {
+			r.seqS++
+		}
+	}
+	for _, sc := range r.shards {
+		if sc.down.Load() {
+			sc.dropped.Add(1)
+			continue
+		}
+		sc.queue <- b
+	}
+	r.tuplesIn.Add(uint64(len(cp)))
+	return nil
+}
+
+// run is the shard's sender loop: FIFO over the queue, redialing a
+// dropped session at the next batch boundary.
+func (sc *shardConn) run() {
+	for b := range sc.queue {
+		if sc.down.Load() {
+			sc.dropped.Add(1)
+			continue
+		}
+		if sc.client == nil && !sc.redial(b.baseR, b.baseS) {
+			sc.dropped.Add(1)
+			continue
+		}
+		if err := sc.client.SendBatch(b.inputs); err != nil {
+			// The batch is lost for this shard only: the dead session's
+			// window slice is gone, and this batch was neither stored nor
+			// probed here. Every match that loses has its stored tuple in
+			// this shard's residue class — the other shards' slices are
+			// intact and still probed by every later arrival. The next
+			// batch redials with its own arrival offsets, re-aligning the
+			// residue class from that point on.
+			sc.r.logf("shard %d (%s): send failed, dropping session: %v", sc.index, sc.addr, err)
+			sc.teardown(false)
+			sc.dropped.Add(1)
+		}
+	}
+	sc.teardown(true)
+}
+
+// teardown closes the current client session, if any. Graceful teardown
+// errors are kept for Close; a drop-path teardown expects the connection
+// to be dead and ignores the close error.
+func (sc *shardConn) teardown(graceful bool) {
+	if sc.client == nil {
+		return
+	}
+	_, err := sc.client.Close()
+	if graceful && err != nil && sc.closeErr == nil {
+		sc.closeErr = err
+	}
+	sc.client = nil
+	sc.up.Store(false)
+}
+
+// redial re-opens the shard session with the given arrival offsets,
+// backing off between attempts; exhausting the policy marks the shard
+// permanently down.
+func (sc *shardConn) redial(baseR, baseS uint64) bool {
+	pol := sc.r.cfg.Redial
+	if pol.Attempts < 0 {
+		sc.markDown()
+		return false
+	}
+	delay := pol.BaseDelay
+	for attempt := 1; attempt <= pol.Attempts; attempt++ {
+		c, err := server.Dial(sc.addr, sc.openConfig(baseR, baseS))
+		if err == nil {
+			sc.client = c
+			sc.up.Store(true)
+			sc.redials.Add(1)
+			sc.r.spawnDrain(sc, c)
+			sc.r.logf("shard %d (%s): reconnected on attempt %d, resuming at R=%d S=%d",
+				sc.index, sc.addr, attempt, baseR, baseS)
+			return true
+		}
+		sc.r.logf("shard %d (%s): redial attempt %d/%d failed: %v",
+			sc.index, sc.addr, attempt, pol.Attempts, err)
+		if attempt < pol.Attempts {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > pol.MaxDelay {
+				delay = pol.MaxDelay
+			}
+		}
+	}
+	sc.markDown()
+	return false
+}
+
+// markDown records permanent shard loss. Under FailFast the router
+// refuses further batches; otherwise it degrades to the survivors.
+func (sc *shardConn) markDown() {
+	sc.down.Store(true)
+	sc.r.logf("shard %d (%s): permanently down; its window slice is lost", sc.index, sc.addr)
+	if sc.r.cfg.FailFast {
+		sc.r.mu.Lock()
+		if sc.r.failErr == nil {
+			sc.r.failErr = fmt.Errorf("shard: shard %d (%s) permanently down", sc.index, sc.addr)
+		}
+		sc.r.mu.Unlock()
+	}
+}
+
+// Results returns the merged result stream. It closes after Close has
+// drained every shard.
+func (r *Router) Results() <-chan stream.Result { return r.merged }
+
+// Backlog reports queued-but-undelivered work: merged results not yet
+// consumed plus broadcast batches not yet sent.
+func (r *Router) Backlog() int {
+	n := len(r.merged)
+	for _, sc := range r.shards {
+		n += len(sc.queue)
+	}
+	return n
+}
+
+// Shards snapshots every shard connection's state.
+func (r *Router) Shards() []State {
+	out := make([]State, len(r.shards))
+	for i, sc := range r.shards {
+		out[i] = State{
+			Index:          sc.index,
+			Addr:           sc.addr,
+			Up:             sc.up.Load(),
+			Down:           sc.down.Load(),
+			Redials:        sc.redials.Load(),
+			BatchesDropped: sc.dropped.Load(),
+			Results:        sc.results.Load(),
+		}
+	}
+	return out
+}
+
+// Close drains the session: queued batches are flushed to their shards,
+// every shard session is closed gracefully, and the merged channel is
+// closed once the last in-flight result has been delivered. Results must
+// be consumed concurrently or the drain cannot complete.
+func (r *Router) Close() (Stats, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return r.stats(), nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	for _, sc := range r.shards {
+		close(sc.queue)
+	}
+	r.sendWG.Wait()
+	r.drainWG.Wait()
+	close(r.merged)
+	var err error
+	for _, sc := range r.shards {
+		if sc.closeErr != nil {
+			err = fmt.Errorf("shard: shard %d (%s): close: %w", sc.index, sc.addr, sc.closeErr)
+			break
+		}
+	}
+	return r.stats(), err
+}
+
+func (r *Router) stats() Stats {
+	st := Stats{
+		TuplesIn:   r.tuplesIn.Load(),
+		ResultsOut: r.resultsOut.Load(),
+	}
+	for _, sc := range r.shards {
+		if sc.down.Load() {
+			st.ShardsDown++
+		}
+		st.BatchesDropped += sc.dropped.Load()
+	}
+	return st
+}

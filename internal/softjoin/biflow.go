@@ -64,6 +64,9 @@ func NewBiFlow(cfg Config) (*BiFlow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.sharded() || cfg.BaseSeqR != 0 || cfg.BaseSeqS != 0 {
+		return nil, fmt.Errorf("softjoin: sharded storage and sequence offsets require the uni-flow engine")
+	}
 	e := &BiFlow{
 		cfg:       cfg,
 		subWindow: cfg.subWindowSize(),

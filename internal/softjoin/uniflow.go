@@ -43,6 +43,22 @@ type Config struct {
 	// gated by the slowest core's progress. The default (relaxed) mode
 	// forwards results as soon as any core produces them.
 	OrderedResults bool
+	// ShardCount and ShardIndex place this engine in a sharded SplitJoin
+	// deployment (uni-flow only): every tuple still probes this engine's
+	// windows, but only tuples whose per-side arrival index is
+	// ≡ ShardIndex (mod ShardCount) are stored, spread round-robin over
+	// the engine's cores. With the streams broadcast to ShardCount such
+	// engines (one per residue class, each holding global-window/ShardCount
+	// tuples per side), the union of their results equals an unsharded
+	// join over the global window. ShardCount 0 or 1 means unsharded.
+	ShardCount int
+	ShardIndex int
+	// BaseSeqR and BaseSeqS start the per-side arrival counters (sequence
+	// numbers and store turns) at an offset; a shard router uses this to
+	// resume the global arrival count when it re-opens a failed shard's
+	// session mid-stream.
+	BaseSeqR uint64
+	BaseSeqS uint64
 }
 
 func (cfg *Config) applyDefaults() {
@@ -54,6 +70,9 @@ func (cfg *Config) applyDefaults() {
 	}
 	if cfg.Condition == (stream.JoinCondition{}) {
 		cfg.Condition = stream.EquiJoinOnKey()
+	}
+	if cfg.ShardCount == 0 {
+		cfg.ShardCount = 1
 	}
 }
 
@@ -68,8 +87,20 @@ func (cfg Config) Validate() error {
 	if cfg.BatchSize < 0 || cfg.ChannelDepth < 0 {
 		return fmt.Errorf("softjoin: BatchSize and ChannelDepth must be non-negative")
 	}
+	if cfg.ShardCount < 0 {
+		return fmt.Errorf("softjoin: ShardCount must be non-negative, got %d", cfg.ShardCount)
+	}
+	if cfg.ShardCount > 1 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
+		return fmt.Errorf("softjoin: ShardIndex %d out of range [0,%d)", cfg.ShardIndex, cfg.ShardCount)
+	}
+	if cfg.ShardCount <= 1 && cfg.ShardIndex != 0 {
+		return fmt.Errorf("softjoin: ShardIndex %d without a ShardCount", cfg.ShardIndex)
+	}
 	return cfg.Condition.Validate()
 }
+
+// sharded reports whether the configuration assigns a shard role.
+func (cfg Config) sharded() bool { return cfg.ShardCount > 1 }
 
 // subWindowSize is the per-core sub-window. Unlike the hardware designs
 // (whose BRAMs are provisioned in equal sub-windows), the software engine
@@ -105,6 +136,7 @@ type UniFlow struct {
 // softCore is one join-core goroutine's state.
 type softCore struct {
 	part    core.Partition
+	shard   core.Partition // deployment-level residue class (unsharded: 1/0)
 	cond    stream.JoinCondition
 	in      chan []core.Input
 	out     chan taggedResult
@@ -129,14 +161,18 @@ func NewUniFlow(cfg Config) (*UniFlow, error) {
 		in:        make(chan []core.Input, cfg.ChannelDepth),
 		results:   make(chan stream.Result, cfg.ChannelDepth*cfg.BatchSize+1),
 	}
+	e.seqR, e.seqS = cfg.BaseSeqR, cfg.BaseSeqS
 	for i := 0; i < cfg.NumCores; i++ {
 		e.cores = append(e.cores, &softCore{
 			part:    core.Partition{NumCores: cfg.NumCores, Position: i},
+			shard:   core.Partition{NumCores: cfg.ShardCount, Position: cfg.ShardIndex},
 			cond:    cfg.Condition,
 			in:      make(chan []core.Input, cfg.ChannelDepth),
 			out:     make(chan taggedResult, cfg.ChannelDepth*cfg.BatchSize+1),
 			windowR: stream.NewSlidingWindow(cfg.subWindowSize()),
 			windowS: stream.NewSlidingWindow(cfg.subWindowSize()),
+			countR:  cfg.BaseSeqR,
+			countS:  cfg.BaseSeqS,
 		})
 	}
 	return e, nil
@@ -148,6 +184,9 @@ func NewUniFlow(cfg Config) (*UniFlow, error) {
 func (e *UniFlow) Preload(r, s []stream.Tuple) error {
 	if e.started {
 		return fmt.Errorf("softjoin: Preload must precede Start")
+	}
+	if e.cfg.sharded() || e.cfg.BaseSeqR != 0 || e.cfg.BaseSeqS != 0 {
+		return fmt.Errorf("softjoin: Preload is unavailable on a sharded or offset engine")
 	}
 	n := e.cfg.NumCores
 	fill := func(side stream.Side, tuples []stream.Tuple) {
@@ -281,9 +320,14 @@ func (e *UniFlow) Start() error {
 }
 
 // run is the join-core loop: for every tuple in every batch, probe the
-// opposite sub-window and store on this core's round-robin turn.
+// opposite sub-window and store on this core's round-robin turn. The
+// store turn is two-level: the deployment-level shard partition picks the
+// residue class this engine stores at all, and the engine-level partition
+// round-robins the stored subsequence over the cores (for the unsharded
+// 1-of-1 shard both collapse to the original per-core turn).
 func (c *softCore) run() {
 	defer close(c.out)
+	shardN := uint64(c.shard.NumCores)
 	for batch := range c.in {
 		for i := range batch {
 			in := &batch[i]
@@ -291,14 +335,14 @@ func (c *softCore) run() {
 			switch in.Side {
 			case stream.SideR:
 				c.probe(t, stream.SideR, c.windowS)
-				if c.part.StoreTurn(c.countR) {
+				if c.shard.StoreTurn(c.countR) && c.part.StoreTurn(c.countR/shardN) {
 					c.windowR.Insert(t)
 					c.storedR.Add(1)
 				}
 				c.countR++
 			case stream.SideS:
 				c.probe(t, stream.SideS, c.windowR)
-				if c.part.StoreTurn(c.countS) {
+				if c.shard.StoreTurn(c.countS) && c.part.StoreTurn(c.countS/shardN) {
 					c.windowS.Insert(t)
 					c.storedS.Add(1)
 				}
@@ -314,8 +358,9 @@ func (c *softCore) run() {
 func (c *softCore) probe(t stream.Tuple, side stream.Side, win *stream.SlidingWindow) {
 	cond := c.cond
 	idx := c.processed.Load() // global arrival index of this tuple
+	var scanned uint64
 	win.Scan(func(stored stream.Tuple) bool {
-		c.compared.Add(1)
+		scanned++
 		if cond.Match(t, stored) {
 			if side == stream.SideR {
 				c.out <- taggedResult{res: stream.Result{R: t, S: stored}, idx: idx}
@@ -325,6 +370,9 @@ func (c *softCore) probe(t stream.Tuple, side stream.Side, win *stream.SlidingWi
 		}
 		return true
 	})
+	// One atomic add per probe, not per comparison: the window scan is
+	// the hot loop and a per-element atomic would dominate it.
+	c.compared.Add(scanned)
 }
 
 // Push submits one tuple. It assigns the per-stream sequence number and

@@ -67,7 +67,9 @@ func appendU32(b []byte, v uint32) []byte {
 	return binary.BigEndian.AppendUint32(b, v)
 }
 
-// WriteOpen emits an Open frame.
+// WriteOpen emits an Open frame. The shard-role fields ride as a tail
+// after the original fixed fields, so a PR-1 Open frame (no tail) still
+// decodes — as an unsharded session — on a current server.
 func (w *Writer) WriteOpen(cfg OpenConfig) error {
 	b := w.buf[:0]
 	b = appendUvarint(b, ProtocolVersion)
@@ -79,6 +81,10 @@ func (w *Writer) WriteOpen(cfg OpenConfig) error {
 		flags |= 1
 	}
 	b = append(b, flags)
+	b = appendUvarint(b, uint64(cfg.ShardCount))
+	b = appendUvarint(b, uint64(cfg.ShardIndex))
+	b = appendUvarint(b, cfg.BaseSeqR)
+	b = appendUvarint(b, cfg.BaseSeqS)
 	w.buf = b
 	return w.writeFrame(FrameOpen, b)
 }
@@ -245,6 +251,10 @@ func (c *cursor) byte() byte {
 	return v
 }
 
+func (c *cursor) remaining() int {
+	return len(c.b) - c.off
+}
+
 func (c *cursor) finish() error {
 	if c.err != nil {
 		return c.err
@@ -255,7 +265,9 @@ func (c *cursor) finish() error {
 	return nil
 }
 
-// DecodeOpen parses an Open payload.
+// DecodeOpen parses an Open payload. The shard-role tail is optional:
+// a frame that ends after the flags byte decodes as an unsharded session
+// (all tail fields zero), keeping PR-1 clients compatible.
 func DecodeOpen(payload []byte) (OpenConfig, error) {
 	c := cursor{b: payload}
 	version := c.uvarint()
@@ -265,6 +277,12 @@ func DecodeOpen(payload []byte) (OpenConfig, error) {
 	cfg.Window = int(c.uvarint())
 	flags := c.byte()
 	cfg.Ordered = flags&1 != 0
+	if c.err == nil && c.remaining() > 0 {
+		cfg.ShardCount = int(c.uvarint())
+		cfg.ShardIndex = int(c.uvarint())
+		cfg.BaseSeqR = c.uvarint()
+		cfg.BaseSeqS = c.uvarint()
+	}
 	if err := c.finish(); err != nil {
 		return OpenConfig{}, err
 	}

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The fuzz targets below harden the frame decoders against arbitrary
+// bytes: whatever arrives, a decoder must either return an error or a
+// value that survives a re-encode/re-decode round trip — never panic,
+// never over-allocate past MaxPayload. Seed corpora come from the same
+// deterministic generators as the corruption/truncation property tests
+// (seeds 3 and 5), plus single-byte-flipped variants of each, so the
+// fuzzer starts exactly where those tests probe.
+
+// corpusFrames returns encoded frames (full wire form) used as seeds.
+func corpusFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	var frames [][]byte
+	add := func(write func(*Writer) error) {
+		var buf bytes.Buffer
+		if err := write(NewWriter(&buf)); err != nil {
+			tb.Fatal(err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	rng := rand.New(rand.NewSource(3))
+	add(func(w *Writer) error { return w.WriteBatch(9, randInputs(rng, 25)) })
+	rng = rand.New(rand.NewSource(5))
+	add(func(w *Writer) error { return w.WriteResults(randResults(rng, 17)) })
+	add(func(w *Writer) error {
+		return w.WriteOpen(OpenConfig{Engine: EngineSoftUni, Cores: 8, Window: 1 << 14, ShardCount: 4, ShardIndex: 2, BaseSeqR: 99, BaseSeqS: 7})
+	})
+	add(func(w *Writer) error { return w.WriteOpenAck(OpenAck{Credits: 16, Session: 42}) })
+	add(func(w *Writer) error { return w.WriteCredit(3) })
+	add(func(w *Writer) error { return w.WriteClosed(Stats{TuplesIn: 10000, BatchesIn: 40, ResultsOut: 123}) })
+	return frames
+}
+
+// payloadOf strips the frame header and CRC, yielding the raw payload a
+// Decode* function sees after ReadFrame validation.
+func payloadOf(tb testing.TB, frame []byte) []byte {
+	f, err := NewReader(bytes.NewReader(frame)).ReadFrame()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return append([]byte(nil), f.Payload...)
+}
+
+// seedWithFlips adds data plus every 16th single-byte-flipped variant
+// (the corruption-test mutation, thinned to keep the corpus small).
+func seedWithFlips(f *testing.F, data []byte) {
+	f.Add(data)
+	for pos := 0; pos < len(data); pos += 16 {
+		flipped := append([]byte(nil), data...)
+		flipped[pos] ^= 0x41
+		f.Add(flipped)
+	}
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader: every
+// frame it accepts must have passed CRC validation and respect the
+// payload bound.
+func FuzzReadFrame(f *testing.F) {
+	for _, frame := range corpusFrames(f) {
+		seedWithFlips(f, frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			frame, err := r.ReadFrame()
+			if err != nil {
+				return
+			}
+			if len(frame.Payload) > MaxPayload {
+				t.Fatalf("accepted payload of %d bytes beyond MaxPayload", len(frame.Payload))
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatch fuzzes the batch payload decoder; any accepted decode
+// must re-encode to a payload that decodes identically.
+func FuzzDecodeBatch(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteBatch(9, randInputs(rng, 25)); err != nil {
+		f.Fatal(err)
+	}
+	seedWithFlips(f, payloadOf(f, buf.Bytes()))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		seq, inputs, err := DecodeBatch(payload, 1<<16)
+		if err != nil {
+			return
+		}
+		var rt bytes.Buffer
+		w := NewWriter(&rt)
+		if err := w.WriteBatch(seq, inputs); err != nil {
+			t.Fatalf("re-encode of accepted batch failed: %v", err)
+		}
+		frame, err := NewReader(&rt).ReadFrame()
+		if err != nil {
+			t.Fatalf("re-read of accepted batch failed: %v", err)
+		}
+		seq2, inputs2, err := DecodeBatch(frame.Payload, 0)
+		if err != nil || seq2 != seq || len(inputs2) != len(inputs) {
+			t.Fatalf("batch round trip diverged: seq %d→%d, %d→%d tuples, err=%v",
+				seq, seq2, len(inputs), len(inputs2), err)
+		}
+	})
+}
+
+// FuzzDecodeResults fuzzes the result payload decoder with the same
+// accepted-implies-round-trips property.
+func FuzzDecodeResults(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteResults(randResults(rng, 17)); err != nil {
+		f.Fatal(err)
+	}
+	seedWithFlips(f, payloadOf(f, buf.Bytes()))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		results, err := DecodeResults(payload)
+		if err != nil {
+			return
+		}
+		var rt bytes.Buffer
+		if err := NewWriter(&rt).WriteResults(results); err != nil {
+			t.Fatalf("re-encode of accepted results failed: %v", err)
+		}
+		frame, err := NewReader(&rt).ReadFrame()
+		if err != nil {
+			t.Fatalf("re-read of accepted results failed: %v", err)
+		}
+		results2, err := DecodeResults(frame.Payload)
+		if err != nil || len(results2) != len(results) {
+			t.Fatalf("results round trip diverged: %d→%d, err=%v", len(results), len(results2), err)
+		}
+		for i := range results2 {
+			if results2[i].PairID() != results[i].PairID() {
+				t.Fatalf("result %d pair id changed across round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeControl fuzzes every control-payload decoder (open,
+// open-ack, credit, closed): accepted opens must validate, and accepted
+// values must survive a round trip.
+func FuzzDecodeControl(f *testing.F) {
+	for _, frame := range corpusFrames(f)[2:] { // open, open-ack, credit, closed
+		seedWithFlips(f, payloadOf(f, frame))
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if cfg, err := DecodeOpen(payload); err == nil {
+			if verr := cfg.Validate(); verr != nil {
+				t.Fatalf("DecodeOpen accepted invalid config %+v: %v", cfg, verr)
+			}
+			var rt bytes.Buffer
+			if err := NewWriter(&rt).WriteOpen(cfg); err != nil {
+				t.Fatalf("re-encode of accepted open failed: %v", err)
+			}
+			frame, err := NewReader(&rt).ReadFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg2, err := DecodeOpen(frame.Payload); err != nil || cfg2 != cfg {
+				t.Fatalf("open round trip diverged: %+v vs %+v, err=%v", cfg, cfg2, err)
+			}
+		}
+		if ack, err := DecodeOpenAck(payload); err == nil && ack.Credits <= 0 {
+			t.Fatalf("DecodeOpenAck accepted non-positive credits: %+v", ack)
+		}
+		if n, err := DecodeCredit(payload); err == nil && (n <= 0 || n > 1<<20) {
+			t.Fatalf("DecodeCredit accepted out-of-range grant %d", n)
+		}
+		DecodeClosed(payload)
+	})
+}

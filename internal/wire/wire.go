@@ -142,11 +142,33 @@ type OpenConfig struct {
 	Engine EngineKind
 	// Cores is the number of join cores.
 	Cores int
-	// Window is the per-stream sliding-window size.
+	// Window is the per-stream sliding-window size of this engine. In a
+	// sharded deployment this is the shard's slice (global window divided
+	// by ShardCount), not the global window.
 	Window int
 	// Ordered requests SplitJoin's punctuated result ordering (software
-	// uni-flow only).
+	// uni-flow only, unsharded only: a shard router merges the relaxed
+	// per-shard streams).
 	Ordered bool
+	// ShardCount and ShardIndex assign the session a shard role in a
+	// SplitJoin-style distributed deployment: the engine still probes
+	// every tuple against its windows, but stores only tuples whose
+	// per-side arrival index is ≡ ShardIndex (mod ShardCount). A router
+	// that broadcasts the streams to ShardCount such sessions (one per
+	// residue class) thus keeps the shard window slices disjoint while
+	// every arrival probes the full distributed window — the software
+	// form of SplitJoin's distribution tree. ShardCount 0 or 1 means
+	// unsharded. Sharded storage requires the soft-uni engine.
+	ShardCount int
+	ShardIndex int
+	// BaseSeqR and BaseSeqS start the engine's per-side arrival counters
+	// (and thus result sequence numbers and the residue-class store turn)
+	// at an offset instead of zero. A shard router uses this to re-open a
+	// session mid-stream after a shard failure: the replacement session
+	// resumes the global arrival count so its residue class stays aligned,
+	// while its (empty) window slice is the only state lost.
+	BaseSeqR uint64
+	BaseSeqS uint64
 }
 
 // Validate bounds-checks the configuration.
@@ -167,6 +189,25 @@ func (c OpenConfig) Validate() error {
 	}
 	if c.Ordered && c.Engine != EngineSoftUni {
 		return fmt.Errorf("wire: ordered results require the soft-uni engine")
+	}
+	if c.ShardCount < 0 || c.ShardCount > 1024 {
+		return fmt.Errorf("wire: shard count %d out of range [0,1024]", c.ShardCount)
+	}
+	if c.ShardCount > 1 {
+		if c.Engine != EngineSoftUni {
+			return fmt.Errorf("wire: sharded storage requires the soft-uni engine, got %v", c.Engine)
+		}
+		if c.ShardIndex < 0 || c.ShardIndex >= c.ShardCount {
+			return fmt.Errorf("wire: shard index %d out of range [0,%d)", c.ShardIndex, c.ShardCount)
+		}
+		if c.Ordered {
+			return fmt.Errorf("wire: ordered results are unavailable on a sharded session")
+		}
+	} else if c.ShardIndex != 0 {
+		return fmt.Errorf("wire: shard index %d without a shard count", c.ShardIndex)
+	}
+	if (c.BaseSeqR != 0 || c.BaseSeqS != 0) && c.Engine != EngineSoftUni {
+		return fmt.Errorf("wire: base sequence offsets require the soft-uni engine")
 	}
 	return nil
 }

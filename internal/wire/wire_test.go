@@ -250,9 +250,16 @@ func TestDecodeBatchLimits(t *testing.T) {
 }
 
 func TestOpenConfigValidate(t *testing.T) {
-	good := OpenConfig{Engine: EngineSoftUni, Cores: 4, Window: 1024}
-	if err := good.Validate(); err != nil {
-		t.Fatal(err)
+	good := []OpenConfig{
+		{Engine: EngineSoftUni, Cores: 4, Window: 1024},
+		{Engine: EngineSoftUni, Cores: 4, Window: 1024, ShardCount: 4, ShardIndex: 3},
+		{Engine: EngineSoftUni, Cores: 4, Window: 1024, ShardCount: 2, BaseSeqR: 77, BaseSeqS: 12},
+		{Engine: EngineSoftUni, Cores: 1, Window: 16, BaseSeqR: 5},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
 	}
 	bad := []OpenConfig{
 		{Engine: 0, Cores: 4, Window: 1024},
@@ -260,11 +267,69 @@ func TestOpenConfigValidate(t *testing.T) {
 		{Engine: EngineSoftUni, Cores: 4, Window: 0},
 		{Engine: EngineSimUni, Cores: 4, Window: 1 << 20},
 		{Engine: EngineSoftBi, Cores: 4, Window: 1024, Ordered: true},
+		{Engine: EngineSoftBi, Cores: 4, Window: 1024, ShardCount: 2},
+		{Engine: EngineSimUni, Cores: 4, Window: 64, ShardCount: 2},
+		{Engine: EngineSoftUni, Cores: 4, Window: 1024, ShardCount: 4, ShardIndex: 4},
+		{Engine: EngineSoftUni, Cores: 4, Window: 1024, ShardCount: 4, ShardIndex: -1},
+		{Engine: EngineSoftUni, Cores: 4, Window: 1024, ShardCount: -1},
+		{Engine: EngineSoftUni, Cores: 4, Window: 1024, ShardCount: 2048, ShardIndex: 1},
+		{Engine: EngineSoftUni, Cores: 4, Window: 1024, ShardIndex: 2},
+		{Engine: EngineSoftUni, Cores: 4, Window: 1024, ShardCount: 4, ShardIndex: 1, Ordered: true},
+		{Engine: EngineSoftBi, Cores: 4, Window: 1024, BaseSeqR: 9},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("bad config %d accepted: %+v", i, cfg)
 		}
+	}
+}
+
+// TestOpenShardRoundTrip covers the shard-role tail of the Open frame.
+func TestOpenShardRoundTrip(t *testing.T) {
+	cfgs := []OpenConfig{
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, ShardCount: 8, ShardIndex: 5},
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, ShardCount: 3, ShardIndex: 0, BaseSeqR: 1 << 40, BaseSeqS: 123456},
+		{Engine: EngineSoftBi, Cores: 2, Window: 512},
+	}
+	for _, cfg := range cfgs {
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewReader(&buf).ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeOpen(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cfg {
+			t.Errorf("shard open round trip: got %+v, want %+v", got, cfg)
+		}
+	}
+}
+
+// TestDecodeOpenLegacyTail: an Open payload without the shard tail (the
+// PR-1 frame layout) must still decode, as an unsharded session.
+func TestDecodeOpenLegacyTail(t *testing.T) {
+	b := appendUvarint(nil, ProtocolVersion)
+	b = append(b, byte(EngineSoftUni))
+	b = appendUvarint(b, 4)   // cores
+	b = appendUvarint(b, 256) // window
+	b = append(b, byte(1))    // flags: ordered
+	cfg, err := DecodeOpen(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := OpenConfig{Engine: EngineSoftUni, Cores: 4, Window: 256, Ordered: true}
+	if cfg != want {
+		t.Errorf("legacy open decoded as %+v, want %+v", cfg, want)
+	}
+	// A partial tail (shard count without the rest) is a framing error,
+	// not a silent default.
+	if _, err := DecodeOpen(appendUvarint(b, 3)); err == nil {
+		t.Error("partial shard tail accepted")
 	}
 }
 

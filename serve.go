@@ -26,6 +26,11 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 // SessionMetrics is a point-in-time snapshot of one server session.
 type SessionMetrics = server.SessionMetrics
 
+// SessionEngineImpl is the server-side engine abstraction a session runs;
+// supply ServerConfig.NewEngine to put a custom implementation (such as a
+// shard router — see cmd/streamshard) behind an ordinary session.
+type SessionEngineImpl = server.Engine
+
 // SessionConfig selects and sizes the engine a client session runs.
 type SessionConfig = wire.OpenConfig
 

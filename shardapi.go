@@ -1,0 +1,35 @@
+package accelstream
+
+import (
+	"accelstream/internal/shard"
+)
+
+// This file is the public face of the sharded deployment (internal/shard
+// and cmd/streamshard): one logical join session fanned out over N
+// streamd processes, SplitJoin-style — every batch is broadcast for
+// probing, each tuple is stored by exactly one shard's residue class, and
+// the merged result stream equals the single-engine oracle with no
+// deduplication. See README.md, "Running sharded".
+
+// ShardConfig parameterizes a shard router session.
+type ShardConfig = shard.Config
+
+// ShardRedialPolicy bounds reconnection of a dropped shard session.
+type ShardRedialPolicy = shard.RedialPolicy
+
+// ShardRouter is one logical join session over N shard endpoints:
+// SendBatch broadcasts batches, Results streams the merged output, and
+// Close drains every shard.
+type ShardRouter = shard.Router
+
+// ShardState is a point-in-time snapshot of one shard connection.
+type ShardState = shard.State
+
+// ShardStats are the router's aggregate totals, returned by Close.
+type ShardStats = shard.Stats
+
+// DialSharded connects to every configured streamd endpoint and returns
+// the router fronting them as one logical join session.
+func DialSharded(cfg ShardConfig) (*ShardRouter, error) {
+	return shard.Dial(cfg)
+}
