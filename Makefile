@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race fuzz-short check
+.PHONY: all build vet fmt-check test test-race fuzz-short bench bench-smoke check
 
 all: build
 
@@ -37,5 +37,17 @@ fuzz-short:
 		echo "fuzzing $$f"; \
 		$(GO) test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime 10s ./internal/wire/ || exit 1; \
 	done
+
+# Hot-path microbenchmarks (allocations reported), then the end-to-end
+# software figure; the JSON rows land in BENCH_software.json alongside
+# the frozen pre-optimization baseline rows already committed there.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/wire/ ./internal/softjoin/
+	$(GO) run ./cmd/benchmark -fig software -json
+
+# One-iteration pass over every benchmark: catches bit-rot in bench code
+# without paying measurement time. CI runs this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/wire/ ./internal/softjoin/
 
 check: build vet fmt-check test

@@ -154,9 +154,9 @@ func BenchmarkFig14d(b *testing.B) {
 				b.Fatal(err)
 			}
 			const batch = 256
+			batchBuf := make([]core.Input, batch) // reused: PushBatch copies
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				batchBuf := make([]core.Input, batch)
 				for j := range batchBuf {
 					batchBuf[j] = next()
 				}

@@ -9,7 +9,8 @@
 //
 //	streamd -addr :7800
 //	streamd -addr :7800 -credits 16 -maxbatch 8192 -idle 2m -quiet
-//	streamd -addr :7800 -metrics :7801   # Prometheus text format on /metrics
+//	streamd -addr :7800 -metrics :7801        # Prometheus text format on /metrics
+//	streamd -addr :7800 -metrics :7801 -pprof # plus net/http/pprof under /debug/pprof/
 //
 // Stop with SIGINT/SIGTERM; the daemon drains active sessions for up to
 // -drain before force-closing them.
@@ -22,6 +23,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +31,18 @@ import (
 
 	"accelstream"
 )
+
+// registerPprof mounts the net/http/pprof handlers on a mux, mirroring
+// what importing the package does to http.DefaultServeMux. The metrics
+// listeners use their own mux, so the handlers are mounted explicitly —
+// and only when -pprof asks for them.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -45,8 +59,13 @@ func run() error {
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
 	maxSessions := flag.Int("max-sessions", 0, "concurrent session cap (0: unlimited)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address at /metrics (empty disables)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
 	flag.Parse()
+
+	if *pprofOn && *metricsAddr == "" {
+		return fmt.Errorf("-pprof requires -metrics (pprof is served on the metrics listener)")
+	}
 
 	logger := log.New(os.Stderr, "streamd: ", log.LstdFlags)
 	cfg := accelstream.ServerConfig{
@@ -71,6 +90,10 @@ func run() error {
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.MetricsHandler())
+		if *pprofOn {
+			registerPprof(mux)
+			logger.Printf("pprof on http://%s/debug/pprof/", mln.Addr())
+		}
 		msrv := &http.Server{Handler: mux}
 		defer msrv.Close()
 		go msrv.Serve(mln)

@@ -26,6 +26,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +35,17 @@ import (
 
 	"accelstream"
 )
+
+// registerPprof mounts the net/http/pprof handlers on the metrics mux,
+// gated behind -pprof instead of the package's DefaultServeMux side
+// effect.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -67,8 +79,13 @@ func run() error {
 	redials := flag.Int("redials", 3, "redial attempts before a dropped shard is abandoned (negative disables redial)")
 	failFast := flag.Bool("failfast", false, "fail sessions when a shard is permanently lost instead of degrading")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address at /metrics (empty disables)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
 	flag.Parse()
+
+	if *pprofOn && *metricsAddr == "" {
+		return fmt.Errorf("-pprof requires -metrics (pprof is served on the metrics listener)")
+	}
 
 	addrs := strings.Split(*shards, ",")
 	for i := range addrs {
@@ -124,6 +141,10 @@ func run() error {
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.MetricsHandler())
+		if *pprofOn {
+			registerPprof(mux)
+			logger.Printf("pprof on http://%s/debug/pprof/", mln.Addr())
+		}
 		msrv := &http.Server{Handler: mux}
 		defer msrv.Close()
 		go msrv.Serve(mln)

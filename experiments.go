@@ -50,7 +50,17 @@ var experimentRunners = map[string]func(experiments.Options) ([]ExperimentResult
 			{ID: micros.ID, Text: micros.Render(), CSV: micros.CSV()},
 		}, nil
 	},
-	"fig16":      figureRunner(experiments.Fig16),
+	"fig16": figureRunner(experiments.Fig16),
+	"software": func(opt experiments.Options) ([]ExperimentResult, error) {
+		sel, micro, err := experiments.SoftwareBaseline(opt)
+		if err != nil {
+			return nil, err
+		}
+		return []ExperimentResult{
+			{ID: sel.ID, Text: sel.Render(), CSV: sel.CSV()},
+			{ID: micro.ID, Text: micro.Render(), CSV: micro.CSV()},
+		}, nil
+	},
 	"fig17":      figureRunner(experiments.Fig17),
 	"power":      figureRunner(experiments.PowerTable),
 	"fanout":     figureRunner(experiments.FanoutAblation),

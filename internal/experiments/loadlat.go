@@ -61,8 +61,8 @@ func swPacedLatency(cores, window int, rate float64, probes int, opt Options) (t
 		return 0, err
 	}
 	const burst = 64
+	batch := make([]core.Input, burst) // reused: PushBatch copies
 	for i := 0; i < probes; i++ {
-		batch := make([]core.Input, burst)
 		for j := range batch {
 			batch[j] = next()
 		}

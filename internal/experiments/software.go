@@ -42,12 +42,13 @@ func swThroughput(cores, window int, measureTuples int, opt Options) (float64, e
 		return 0, err
 	}
 	const batchSize = 256
-	makeBatch := func() []core.Input {
-		b := make([]core.Input, batchSize)
-		for i := range b {
-			b[i] = next()
+	// One reusable batch buffer: PushBatch copies, so the buffer can be
+	// refilled as soon as it returns.
+	batch := make([]core.Input, batchSize)
+	fill := func() {
+		for i := range batch {
+			batch[i] = next()
 		}
-		return b
 	}
 	// Warm the pipeline before timing.
 	warmBatches := measureTuples / batchSize / 10
@@ -55,12 +56,14 @@ func swThroughput(cores, window int, measureTuples int, opt Options) (float64, e
 		warmBatches = 2
 	}
 	for i := 0; i < warmBatches; i++ {
-		e.PushBatch(makeBatch())
+		fill()
+		e.PushBatch(batch)
 	}
 	start := time.Now()
 	pushed := 0
 	for pushed < measureTuples {
-		e.PushBatch(makeBatch())
+		fill()
+		e.PushBatch(batch)
 		pushed += batchSize
 	}
 	// Wait until the pipeline has fully processed the pushed load so the
@@ -170,8 +173,8 @@ func swLoadedLatency(cores, window, probes int, opt Options) (time.Duration, err
 	if opt.Quick {
 		burst = 64
 	}
+	batch := make([]core.Input, burst) // reused: PushBatch copies
 	for i := 0; i < probes; i++ {
-		batch := make([]core.Input, burst)
 		for j := range batch {
 			batch[j] = next()
 		}

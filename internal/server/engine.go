@@ -14,7 +14,10 @@ import (
 // can run: the software uni-flow (SplitJoin) and bi-flow (handshake join)
 // engines, and the cycle-level simulated uni-flow design for small
 // windows. PushBatch assigns arrival sequence numbers in wire order and
-// blocks under engine backpressure; Results is closed after Close once all
+// blocks under engine backpressure; it must NOT retain the batch slice
+// after returning — the session decodes every frame into one persistent
+// buffer and reuses it immediately (copy the batch if the implementation
+// needs it beyond the call). Results is closed after Close once all
 // in-flight work has drained. Config.NewEngine lets an embedder substitute
 // its own implementation (the shard router daemon serves a whole cluster
 // behind this interface).

@@ -83,6 +83,16 @@ func writeSessionMetrics(b *strings.Builder, sessions []SessionMetrics) {
 	for _, m := range sessions {
 		fmt.Fprintf(b, "streamd_session_results_out_total%s %d\n", label(m), m.ResultsOut)
 	}
+	// Histogram-style sum/count pair: sum/count = mean results coalesced
+	// per Results frame, the emit-path batching the slab pipeline feeds.
+	counter("streamd_session_result_frame_tuples_sum", "Join results carried in Results frames per session (pairs with _count for mean frame size).")
+	for _, m := range sessions {
+		fmt.Fprintf(b, "streamd_session_result_frame_tuples_sum%s %d\n", label(m), m.ResultsOut)
+	}
+	counter("streamd_session_result_frame_tuples_count", "Results frames written per session.")
+	for _, m := range sessions {
+		fmt.Fprintf(b, "streamd_session_result_frame_tuples_count%s %d\n", label(m), m.ResultFrames)
+	}
 	fmt.Fprint(b, "# HELP streamd_session_open Whether the session is live (1) or closed (0).\n# TYPE streamd_session_open gauge\n")
 	for _, m := range sessions {
 		open := 0

@@ -88,6 +88,10 @@ func TestMetricsHandler(t *testing.T) {
 	for _, want := range []string{
 		"streamd_sessions_active 0",
 		`streamd_session_open{session="1",engine="soft-uni"} 0`,
+		// Frame-size histogram pair: sum/count = mean results per frame.
+		"# TYPE streamd_session_result_frame_tuples_sum counter",
+		`streamd_session_result_frame_tuples_sum{session="1",engine="soft-uni"} `,
+		`streamd_session_result_frame_tuples_count{session="1",engine="soft-uni"} `,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("post-close metrics output missing %q\n--- body ---\n%s", want, body)

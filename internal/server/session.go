@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelstream/internal/core"
 	"accelstream/internal/stream"
 	"accelstream/internal/wire"
 )
@@ -26,6 +27,10 @@ type SessionMetrics struct {
 	BatchesIn uint64
 	// ResultsOut counts join results (matches) streamed back.
 	ResultsOut uint64
+	// ResultFrames counts Results frames written; with ResultsOut it
+	// forms a histogram-style sum/count pair whose ratio is the mean
+	// coalesced frame size.
+	ResultFrames uint64
 	// Backlog is the engine's undelivered-result queue depth.
 	Backlog int
 	// AvgBatchLatency / MaxBatchLatency measure frame-decode to
@@ -51,11 +56,12 @@ type session struct {
 	opened atomic.Bool
 	live   atomic.Bool
 
-	tuplesIn   atomic.Uint64
-	batchesIn  atomic.Uint64
-	resultsOut atomic.Uint64
-	latNanos   atomic.Uint64
-	latMax     atomic.Uint64
+	tuplesIn     atomic.Uint64
+	batchesIn    atomic.Uint64
+	resultsOut   atomic.Uint64
+	resultFrames atomic.Uint64
+	latNanos     atomic.Uint64
+	latMax       atomic.Uint64
 }
 
 func newSession(srv *Server, id uint64, conn net.Conn) *session {
@@ -91,6 +97,7 @@ func (s *session) metrics() SessionMetrics {
 		TuplesIn:        s.tuplesIn.Load(),
 		BatchesIn:       s.batchesIn.Load(),
 		ResultsOut:      s.resultsOut.Load(),
+		ResultFrames:    s.resultFrames.Load(),
 		MaxBatchLatency: time.Duration(s.latMax.Load()),
 		Open:            s.live.Load(),
 	}
@@ -210,6 +217,10 @@ func (s *session) handshake() error {
 // readLoop ingests frames until Close (graceful, returns true) or a
 // connection/protocol error (returns false).
 func (s *session) readLoop() bool {
+	// One decode buffer for the session's whole life: DecodeBatchInto
+	// reuses its storage, and the Engine contract says PushBatch does not
+	// retain the slice, so steady-state frame decoding never allocates.
+	var decodeBuf []core.Input
 	for {
 		if s.srv.cfg.IdleTimeout > 0 {
 			s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.IdleTimeout))
@@ -231,7 +242,8 @@ func (s *session) readLoop() bool {
 		switch f.Type {
 		case wire.FrameBatch:
 			start := time.Now()
-			_, batch, err := wire.DecodeBatch(f.Payload, s.srv.cfg.MaxBatch)
+			_, batch, err := wire.DecodeBatchInto(f.Payload, s.srv.cfg.MaxBatch, decodeBuf)
+			decodeBuf = batch
 			if err != nil {
 				s.fail(err.Error())
 				s.srv.logf("session %d: bad batch: %v", s.id, err)
@@ -278,16 +290,28 @@ func (s *session) readLoop() bool {
 	}
 }
 
+const maxResultsPerFrame = 1024
+
+// resultFramePool shares coalescing buffers across every session, so an
+// idle session does not pin a full frame's worth of results and a busy one
+// recycles a warm buffer per frame.
+var resultFramePool = sync.Pool{
+	New: func() any {
+		s := make([]stream.Result, 0, maxResultsPerFrame)
+		return &s
+	},
+}
+
 // pumpResults drains the engine's result channel into Results frames,
-// coalescing ready results up to maxResultsPerFrame per write. On a write
-// failure it keeps draining (discarding) so engine Close can complete.
+// coalescing ready results up to maxResultsPerFrame per write into a
+// pooled buffer. On a write failure it keeps draining (discarding) so
+// engine Close can complete.
 func (s *session) pumpResults() {
-	const maxResultsPerFrame = 1024
 	results := s.eng.Results()
 	writeOK := true
-	batch := make([]stream.Result, 0, maxResultsPerFrame)
 	for r := range results {
-		batch = append(batch[:0], r)
+		bufp := resultFramePool.Get().(*[]stream.Result)
+		batch := append((*bufp)[:0], r)
 		// Coalesce whatever else is immediately available.
 	coalesce:
 		for len(batch) < maxResultsPerFrame {
@@ -302,11 +326,14 @@ func (s *session) pumpResults() {
 			}
 		}
 		s.resultsOut.Add(uint64(len(batch)))
+		s.resultFrames.Add(1)
 		if writeOK {
 			if err := s.send(func(w *wire.Writer) error { return w.WriteResults(batch) }); err != nil {
 				s.srv.logf("session %d: writing results: %v", s.id, err)
 				writeOK = false
 			}
 		}
+		*bufp = batch[:0]
+		resultFramePool.Put(bufp)
 	}
 }

@@ -33,6 +33,12 @@ type Router struct {
 	tuplesIn   atomic.Uint64
 	resultsOut atomic.Uint64
 
+	// batchPool recycles broadcast batches once the last shard sender has
+	// released them; live is SendBatch's scratch list of up shards
+	// (single-producer, like seqR/seqS).
+	batchPool sync.Pool
+	live      []*shardConn
+
 	sendWG  sync.WaitGroup
 	drainWG sync.WaitGroup
 
@@ -48,7 +54,7 @@ type shardConn struct {
 	index int
 	addr  string
 
-	queue  chan shardBatch
+	queue  chan *shardBatch
 	client *server.Client // owned by the sender goroutine after Dial
 
 	up      atomic.Bool
@@ -61,11 +67,30 @@ type shardConn struct {
 }
 
 // shardBatch is one broadcast unit: the shared tuple slice plus the
-// global arrival counters at its front (the resume point).
+// global arrival counters at its front (the resume point). refs counts
+// the shard senders still holding it; the last to release recycles the
+// batch into the router's pool, so the steady-state broadcast path reuses
+// one copy buffer per in-flight batch instead of allocating per send.
 type shardBatch struct {
 	inputs []core.Input
 	baseR  uint64
 	baseS  uint64
+	refs   atomic.Int32
+}
+
+func (r *Router) getBatch() *shardBatch {
+	if b, ok := r.batchPool.Get().(*shardBatch); ok {
+		b.inputs = b.inputs[:0]
+		return b
+	}
+	return new(shardBatch)
+}
+
+// release drops one sender's reference; the last one recycles the batch.
+func (b *shardBatch) release(r *Router) {
+	if b.refs.Add(-1) == 0 {
+		r.batchPool.Put(b)
+	}
 }
 
 // Dial connects to every shard endpoint and starts the router. All
@@ -82,7 +107,7 @@ func Dial(cfg Config) (*Router, error) {
 			r:     r,
 			index: i,
 			addr:  addr,
-			queue: make(chan shardBatch, cfg.QueueDepth),
+			queue: make(chan *shardBatch, cfg.QueueDepth),
 		}
 		c, err := server.Dial(addr, sc.openConfig(0, 0))
 		if err != nil {
@@ -159,26 +184,38 @@ func (r *Router) SendBatch(batch []core.Input) error {
 	if failErr != nil {
 		return failErr
 	}
-	// One shared copy serves every shard: senders only read it, and the
-	// servers stamp sequence numbers on their own decoded copies.
-	cp := make([]core.Input, len(batch))
-	copy(cp, batch)
-	b := shardBatch{inputs: cp, baseR: r.seqR, baseS: r.seqS}
-	for i := range cp {
-		if cp[i].Side == stream.SideR {
+	// One shared pooled copy serves every shard: senders only read it, and
+	// the servers stamp sequence numbers on their own decoded copies.
+	b := r.getBatch()
+	b.inputs = append(b.inputs, batch...)
+	b.baseR, b.baseS = r.seqR, r.seqS
+	for i := range b.inputs {
+		if b.inputs[i].Side == stream.SideR {
 			r.seqR++
 		} else {
 			r.seqS++
 		}
 	}
+	// Pick the recipients first so the reference count is final before the
+	// first sender can possibly release the batch.
+	live := r.live[:0]
 	for _, sc := range r.shards {
 		if sc.down.Load() {
 			sc.dropped.Add(1)
 			continue
 		}
+		live = append(live, sc)
+	}
+	r.live = live
+	r.tuplesIn.Add(uint64(len(b.inputs)))
+	if len(live) == 0 {
+		r.batchPool.Put(b)
+		return nil
+	}
+	b.refs.Store(int32(len(live)))
+	for _, sc := range live {
 		sc.queue <- b
 	}
-	r.tuplesIn.Add(uint64(len(cp)))
 	return nil
 }
 
@@ -188,13 +225,17 @@ func (sc *shardConn) run() {
 	for b := range sc.queue {
 		if sc.down.Load() {
 			sc.dropped.Add(1)
+			b.release(sc.r)
 			continue
 		}
 		if sc.client == nil && !sc.redial(b.baseR, b.baseS) {
 			sc.dropped.Add(1)
+			b.release(sc.r)
 			continue
 		}
-		if err := sc.client.SendBatch(b.inputs); err != nil {
+		err := sc.client.SendBatch(b.inputs)
+		b.release(sc.r) // SendBatch serializes in-call; the slice is free
+		if err != nil {
 			// The batch is lost for this shard only: the dead session's
 			// window slice is gone, and this batch was neither stored nor
 			// probed here. Every match that loses has its stored tuple in

@@ -1,0 +1,129 @@
+package softjoin
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// benchCore builds one warm softCore whose opposite window is full, with
+// roughly one match per `selInv` stored tuples for probe key 7.
+func benchCore(window, selInv int, equiFast bool) *softCore {
+	c := &softCore{
+		part:    core.Partition{NumCores: 1, Position: 0},
+		shard:   core.Partition{NumCores: 1, Position: 0},
+		cond:    stream.EquiJoinOnKey(),
+		equiKey: equiFast,
+		windowR: stream.NewSlidingWindow(window),
+		windowS: stream.NewSlidingWindow(window),
+	}
+	for i := 0; i < window; i++ {
+		c.windowS.Insert(stream.Tuple{Key: uint32(7 + (i%selInv)*1000), Val: uint32(i)})
+	}
+	return c
+}
+
+// BenchmarkProbe compares the equi-join fast path (direct ring-segment
+// scan) against the generic closure-based Scan path on the same window
+// contents and selectivity.
+func BenchmarkProbe(b *testing.B) {
+	for _, window := range []int{1 << 10, 1 << 13} {
+		for _, mode := range []struct {
+			name string
+			fast bool
+		}{{"equi-fast", true}, {"generic-scan", false}} {
+			b.Run(fmt.Sprintf("W=%d/%s", window, mode.name), func(b *testing.B) {
+				c := benchCore(window, 256, mode.fast)
+				probe := stream.Tuple{Key: 7}
+				slab := getSlab()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					slab.items = slab.items[:0]
+					c.probe(probe, stream.SideR, c.windowS, uint64(i), slab)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(window), "comparisons/op")
+				putSlab(slab)
+			})
+		}
+	}
+}
+
+// TestProbeAllocFree pins the emit-path acceptance criterion: a probe into
+// a warm slab — matches included — performs zero heap allocations.
+func TestProbeAllocFree(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"equi-fast", true}, {"generic-scan", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			c := benchCore(1<<10, 64, mode.fast)
+			probe := stream.Tuple{Key: 7}
+			slab := getSlab()
+			// Warm the slab to its steady-state capacity.
+			c.probe(probe, stream.SideR, c.windowS, 0, slab)
+			allocs := testing.AllocsPerRun(100, func() {
+				slab.items = slab.items[:0]
+				c.probe(probe, stream.SideR, c.windowS, 1, slab)
+			})
+			putSlab(slab)
+			if allocs != 0 {
+				t.Fatalf("probe into warm slab: %v allocs/probe, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkUniFlowPush is the whole-pipeline hand-off benchmark: pooled
+// input batches in, slab emission out, at a selectivity where the emit
+// path carries real traffic.
+func BenchmarkUniFlowPush(b *testing.B) {
+	for _, ordered := range []bool{false, true} {
+		name := "relaxed"
+		if ordered {
+			name = "ordered"
+		}
+		b.Run(name, func(b *testing.B) {
+			const window = 1 << 12
+			e, err := NewUniFlow(Config{NumCores: 4, WindowSize: window, OrderedResults: ordered})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Start(); err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range e.Results() {
+				}
+			}()
+			const batchSize = 256
+			batch := make([]core.Input, batchSize) // reused: PushBatch copies
+			for i := range batch {
+				side := stream.SideR
+				if i%2 == 1 {
+					side = stream.SideS
+				}
+				// Key domain 4096 over a 4096 window: ~1 match per probe.
+				batch[i] = core.Input{Side: side, Tuple: stream.Tuple{Key: uint32(i * 37 % 4096)}}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.PushBatch(batch)
+			}
+			if err := e.Close(); err != nil {
+				b.Fatal(err)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}

@@ -42,11 +42,11 @@ type biSoftCore struct {
 	subWindow int
 	cond      stream.JoinCondition
 
-	inS  chan stream.Tuple // from the left
-	inR  chan stream.Tuple // from the right
-	outS chan stream.Tuple // to the right (nil at the right end: expiry)
-	outR chan stream.Tuple // to the left (nil at the left end: expiry)
-	out  chan stream.Result
+	inS  chan stream.Tuple     // from the left
+	inR  chan stream.Tuple     // from the right
+	outS chan stream.Tuple     // to the right (nil at the right end: expiry)
+	outR chan stream.Tuple     // to the left (nil at the left end: expiry)
+	out  chan *[]stream.Result // pooled per-tuple match vectors
 
 	segR *stream.SlidingWindow
 	segS *stream.SlidingWindow
@@ -83,7 +83,7 @@ func NewBiFlow(cfg Config) (*BiFlow, error) {
 			cond:      cfg.Condition,
 			inS:       make(chan stream.Tuple, depth),
 			inR:       make(chan stream.Tuple, depth),
-			out:       make(chan stream.Result, depth),
+			out:       make(chan *[]stream.Result, depth),
 			segR:      stream.NewSlidingWindow(e.subWindow + 1),
 			segS:      stream.NewSlidingWindow(e.subWindow + 1),
 		})
@@ -164,9 +164,12 @@ func (e *BiFlow) Start() error {
 		e.gatherWG.Add(1)
 		go func() {
 			defer e.gatherWG.Done()
-			for r := range c.out {
-				e.collected.Add(1)
-				e.results <- r
+			for vec := range c.out {
+				for i := range *vec {
+					e.results <- (*vec)[i]
+				}
+				e.collected.Add(uint64(len(*vec)))
+				putResultVec(vec)
 			}
 		}()
 	}
@@ -255,7 +258,9 @@ func (c *biSoftCore) run() {
 }
 
 // process entry-scans a tuple against the opposite segment, stores it, and
-// queues the displaced oldest tuple (if any) for forwarding.
+// queues the displaced oldest tuple (if any) for forwarding. Matches for
+// the tuple accumulate in a pooled vector handed to the gatherer with one
+// send — a tuple with no matches sends nothing at all.
 func (c *biSoftCore) process(t stream.Tuple, side stream.Side, pending []stream.Tuple) []stream.Tuple {
 	var own, other *stream.SlidingWindow
 	if side == stream.SideR {
@@ -263,17 +268,26 @@ func (c *biSoftCore) process(t stream.Tuple, side stream.Side, pending []stream.
 	} else {
 		own, other = c.segS, c.segR
 	}
+	var vec *[]stream.Result
+	var scanned uint64
 	other.Scan(func(stored stream.Tuple) bool {
-		c.compared.Add(1)
+		scanned++
 		if c.cond.Match(t, stored) {
+			if vec == nil {
+				vec = getResultVec()
+			}
 			if side == stream.SideR {
-				c.out <- stream.Result{R: t, S: stored}
+				*vec = append(*vec, stream.Result{R: t, S: stored})
 			} else {
-				c.out <- stream.Result{R: stored, S: t}
+				*vec = append(*vec, stream.Result{R: stored, S: t})
 			}
 		}
 		return true
 	})
+	c.compared.Add(scanned)
+	if vec != nil {
+		c.out <- vec
+	}
 	own.Insert(t)
 	if own.Len() > c.subWindow {
 		if oldest, ok := own.RemoveOldest(); ok {

@@ -1,0 +1,90 @@
+package softjoin
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+)
+
+// Hot-path pooling: the software engines' analogue of the FPGA designs'
+// zero-dynamic-allocation data path. Input batches and result vectors are
+// recycled through sync.Pools so the steady-state ingest→probe→emit
+// pipeline performs no heap allocation and one channel hand-off per batch
+// (not per tuple or per match) — the software stand-in for the hardware's
+// wide result bus (Figs. 10–13).
+
+// maxPooledItems bounds the capacity a recycled slab/batch/vector may
+// retain. A pathological high-selectivity batch can grow a slab to
+// megabytes; dropping oversized backing arrays keeps the pools from
+// pinning that memory forever.
+const maxPooledItems = 1 << 15
+
+// inputBatch is one distribution batch shared read-only by every join
+// core. refs counts the cores still processing it; the last core to
+// finish returns it to the pool.
+type inputBatch struct {
+	refs  atomic.Int32
+	items []core.Input
+}
+
+var inputBatchPool = sync.Pool{New: func() any { return new(inputBatch) }}
+
+func getInputBatch() *inputBatch {
+	b := inputBatchPool.Get().(*inputBatch)
+	b.items = b.items[:0]
+	return b
+}
+
+// release drops one core's reference; the last reference recycles the
+// batch. The atomic decrement is the synchronization point that makes the
+// reuse race-free.
+func (b *inputBatch) release() {
+	if b.refs.Add(-1) == 0 {
+		if cap(b.items) <= maxPooledItems {
+			inputBatchPool.Put(b)
+		}
+	}
+}
+
+// resultSlab is one core's result vector for one input batch: every match
+// the batch produced on that core, tagged with arrival indices, plus the
+// punctuation (the core's processed watermark) riding in the header. The
+// core hands the whole slab to the gatherer with a single channel send.
+type resultSlab struct {
+	core      int
+	processed uint64
+	items     []taggedResult
+}
+
+var slabPool = sync.Pool{New: func() any { return new(resultSlab) }}
+
+func getSlab() *resultSlab {
+	s := slabPool.Get().(*resultSlab)
+	s.items = s.items[:0]
+	return s
+}
+
+func putSlab(s *resultSlab) {
+	if cap(s.items) <= maxPooledItems {
+		slabPool.Put(s)
+	}
+}
+
+// resultVec is the BiFlow per-tuple match vector (the handshake chain has
+// no batching or ordering, so a bare slice suffices). Pooled via pointer
+// so Put does not allocate a slice-header box.
+var resultVecPool = sync.Pool{New: func() any { return new([]stream.Result) }}
+
+func getResultVec() *[]stream.Result {
+	v := resultVecPool.Get().(*[]stream.Result)
+	*v = (*v)[:0]
+	return v
+}
+
+func putResultVec(v *[]stream.Result) {
+	if cap(*v) <= maxPooledItems {
+		resultVecPool.Put(v)
+	}
+}

@@ -13,19 +13,16 @@ import (
 // order: results are released sorted by the arrival index of the tuple that
 // produced them, gated by the slowest core's progress watermark.
 
-// taggedResult is either a result annotated with the global arrival index
-// of the probing tuple, or a punctuation: a marker a core emits after each
-// batch carrying its processed count. Because channels preserve per-core
-// FIFO order, receiving a punctuation guarantees every result that core
-// produced for earlier arrivals has already been received — the property
-// that makes the ordered release safe.
+// taggedResult is a result annotated with the global arrival index of the
+// probing tuple. Cores accumulate tagged results into per-batch slabs
+// (resultSlab) whose header carries the punctuation: the core's processed
+// watermark after the batch. Because channels preserve per-core FIFO
+// order, receiving a slab guarantees every result that core produced for
+// earlier arrivals has already been received — the property that makes
+// the ordered release safe.
 type taggedResult struct {
-	res  stream.Result
-	idx  uint64
-	core int
-
-	punct     bool
-	processed uint64
+	res stream.Result
+	idx uint64
 }
 
 // resultHeap is a min-heap of tagged results by arrival index.

@@ -117,8 +117,8 @@ type UniFlow struct {
 	cfg       Config
 	subWindow int
 
-	in      chan []core.Input
-	batch   []core.Input
+	in      chan *inputBatch
+	pending *inputBatch
 	cores   []*softCore
 	results chan stream.Result
 
@@ -138,8 +138,10 @@ type softCore struct {
 	part    core.Partition
 	shard   core.Partition // deployment-level residue class (unsharded: 1/0)
 	cond    stream.JoinCondition
-	in      chan []core.Input
-	out     chan taggedResult
+	equiKey bool // Condition is the equi-join on key: probe takes the fast path
+	ordered bool // ordered mode needs a slab (punctuation) per batch, even empty
+	in      chan *inputBatch
+	out     chan *resultSlab
 	windowR *stream.SlidingWindow
 	windowS *stream.SlidingWindow
 
@@ -158,7 +160,7 @@ func NewUniFlow(cfg Config) (*UniFlow, error) {
 	e := &UniFlow{
 		cfg:       cfg,
 		subWindow: cfg.subWindowSize(),
-		in:        make(chan []core.Input, cfg.ChannelDepth),
+		in:        make(chan *inputBatch, cfg.ChannelDepth),
 		results:   make(chan stream.Result, cfg.ChannelDepth*cfg.BatchSize+1),
 	}
 	e.seqR, e.seqS = cfg.BaseSeqR, cfg.BaseSeqS
@@ -167,8 +169,11 @@ func NewUniFlow(cfg Config) (*UniFlow, error) {
 			part:    core.Partition{NumCores: cfg.NumCores, Position: i},
 			shard:   core.Partition{NumCores: cfg.ShardCount, Position: cfg.ShardIndex},
 			cond:    cfg.Condition,
-			in:      make(chan []core.Input, cfg.ChannelDepth),
-			out:     make(chan taggedResult, cfg.ChannelDepth*cfg.BatchSize+1),
+			equiKey: cfg.Condition == stream.EquiJoinOnKey(),
+			ordered: cfg.OrderedResults,
+			in:      make(chan *inputBatch, cfg.ChannelDepth),
+			// One slab per in-flight batch: depth mirrors the input side.
+			out:     make(chan *resultSlab, cfg.ChannelDepth+1),
 			windowR: stream.NewSlidingWindow(cfg.subWindowSize()),
 			windowS: stream.NewSlidingWindow(cfg.subWindowSize()),
 			countR:  cfg.BaseSeqR,
@@ -232,13 +237,16 @@ func (e *UniFlow) Start() error {
 		}()
 	}
 
-	// Distributor: broadcast each batch to every core.
+	// Distributor: broadcast each pooled batch to every core. The cores
+	// share the batch read-only; the reference count lets the last one to
+	// finish recycle it.
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
-		for batch := range e.in {
+		for b := range e.in {
+			b.refs.Store(int32(len(e.cores)))
 			for _, c := range e.cores {
-				c.in <- batch
+				c.in <- b
 			}
 		}
 		for _, c := range e.cores {
@@ -246,21 +254,22 @@ func (e *UniFlow) Start() error {
 		}
 	}()
 
-	// Result gathering. Relaxed mode: one goroutine per core feeding the
-	// shared output directly. Ordered mode: the per-core goroutines feed a
-	// merged channel drained by a single reordering goroutine.
+	// Result gathering. Relaxed mode: one goroutine per core copying each
+	// slab into the shared output and recycling it. Ordered mode: the
+	// per-core goroutines feed a merged channel drained by a single
+	// reordering goroutine.
 	if !e.cfg.OrderedResults {
 		for _, c := range e.cores {
 			c := c
 			e.gatherWG.Add(1)
 			go func() {
 				defer e.gatherWG.Done()
-				for tr := range c.out {
-					if tr.punct {
-						continue
+				for slab := range c.out {
+					for i := range slab.items {
+						e.results <- slab.items[i].res
 					}
-					e.collected.Add(1)
-					e.results <- tr.res
+					e.collected.Add(uint64(len(slab.items)))
+					putSlab(slab)
 				}
 			}()
 		}
@@ -273,14 +282,14 @@ func (e *UniFlow) Start() error {
 		return nil
 	}
 
-	merged := make(chan taggedResult, len(e.cores))
+	merged := make(chan *resultSlab, len(e.cores))
 	for _, c := range e.cores {
 		c := c
 		e.gatherWG.Add(1)
 		go func() {
 			defer e.gatherWG.Done()
-			for tr := range c.out {
-				merged <- tr
+			for slab := range c.out {
+				merged <- slab
 			}
 		}()
 	}
@@ -300,19 +309,21 @@ func (e *UniFlow) Start() error {
 			e.collected.Add(1)
 			e.results <- r
 		}
-		for tr := range merged {
-			if tr.punct {
-				watermarks[tr.core] = tr.processed
-				low := watermarks[0]
-				for _, w := range watermarks[1:] {
-					if w < low {
-						low = w
-					}
-				}
-				rb.release(low, emit)
-				continue
+		for slab := range merged {
+			for i := range slab.items {
+				rb.add(slab.items[i])
 			}
-			rb.add(tr)
+			// The slab header is the punctuation: everything this core
+			// produced for arrivals below its watermark is now buffered.
+			watermarks[slab.core] = slab.processed
+			putSlab(slab)
+			low := watermarks[0]
+			for _, w := range watermarks[1:] {
+				if w < low {
+					low = w
+				}
+			}
+			rb.release(low, emit)
 		}
 		rb.flush(emit)
 	}()
@@ -328,50 +339,101 @@ func (e *UniFlow) Start() error {
 func (c *softCore) run() {
 	defer close(c.out)
 	shardN := uint64(c.shard.NumCores)
-	for batch := range c.in {
+	slab := getSlab()
+	for b := range c.in {
+		batch := b.items
+		// Single-writer counter: keep a local copy across the batch and
+		// store once at the end, so the probe loop pays no atomics.
+		proc := c.processed.Load()
 		for i := range batch {
 			in := &batch[i]
 			t := in.Tuple
 			switch in.Side {
 			case stream.SideR:
-				c.probe(t, stream.SideR, c.windowS)
+				c.probe(t, stream.SideR, c.windowS, proc, slab)
 				if c.shard.StoreTurn(c.countR) && c.part.StoreTurn(c.countR/shardN) {
 					c.windowR.Insert(t)
 					c.storedR.Add(1)
 				}
 				c.countR++
 			case stream.SideS:
-				c.probe(t, stream.SideS, c.windowR)
+				c.probe(t, stream.SideS, c.windowR, proc, slab)
 				if c.shard.StoreTurn(c.countS) && c.part.StoreTurn(c.countS/shardN) {
 					c.windowS.Insert(t)
 					c.storedS.Add(1)
 				}
 				c.countS++
 			}
-			c.processed.Add(1)
+			proc++
 		}
-		// Punctuate: everything up to this arrival count has been emitted.
-		c.out <- taggedResult{punct: true, core: c.part.Position, processed: c.processed.Load()}
+		c.processed.Store(proc)
+		b.release()
+		// Hand the batch's whole result vector over with a single send;
+		// the punctuation (processed watermark) rides in the slab header.
+		// Relaxed mode has no watermarks, so empty slabs stay here and are
+		// reused for the next batch.
+		if c.ordered || len(slab.items) > 0 {
+			slab.core = c.part.Position
+			slab.processed = proc
+			c.out <- slab
+			slab = getSlab()
+		}
 	}
+	putSlab(slab)
 }
 
-func (c *softCore) probe(t stream.Tuple, side stream.Side, win *stream.SlidingWindow) {
+// probe scans the opposite sub-window for matches with t (arrival index
+// idx), appending them to the batch's result slab. The equi-join-on-key
+// condition takes a fast path over the ring's backing segments — a
+// branch-predictable compare loop with no per-element closure call, the
+// software analogue of the hardware comparator sweep. Both paths count
+// every scanned tuple toward Comparisons(), with one atomic add per probe
+// (a per-element atomic would dominate the hot loop).
+func (c *softCore) probe(t stream.Tuple, side stream.Side, win *stream.SlidingWindow, idx uint64, slab *resultSlab) {
+	if c.equiKey {
+		key := t.Key
+		older, newer := win.Segments()
+		items := slab.items
+		if side == stream.SideR {
+			for i := range older {
+				if older[i].Key == key {
+					items = append(items, taggedResult{res: stream.Result{R: t, S: older[i]}, idx: idx})
+				}
+			}
+			for i := range newer {
+				if newer[i].Key == key {
+					items = append(items, taggedResult{res: stream.Result{R: t, S: newer[i]}, idx: idx})
+				}
+			}
+		} else {
+			for i := range older {
+				if older[i].Key == key {
+					items = append(items, taggedResult{res: stream.Result{R: older[i], S: t}, idx: idx})
+				}
+			}
+			for i := range newer {
+				if newer[i].Key == key {
+					items = append(items, taggedResult{res: stream.Result{R: newer[i], S: t}, idx: idx})
+				}
+			}
+		}
+		slab.items = items
+		c.compared.Add(uint64(len(older) + len(newer)))
+		return
+	}
 	cond := c.cond
-	idx := c.processed.Load() // global arrival index of this tuple
 	var scanned uint64
 	win.Scan(func(stored stream.Tuple) bool {
 		scanned++
 		if cond.Match(t, stored) {
 			if side == stream.SideR {
-				c.out <- taggedResult{res: stream.Result{R: t, S: stored}, idx: idx}
+				slab.items = append(slab.items, taggedResult{res: stream.Result{R: t, S: stored}, idx: idx})
 			} else {
-				c.out <- taggedResult{res: stream.Result{R: stored, S: t}, idx: idx}
+				slab.items = append(slab.items, taggedResult{res: stream.Result{R: stored, S: t}, idx: idx})
 			}
 		}
 		return true
 	})
-	// One atomic add per probe, not per comparison: the window scan is
-	// the hot loop and a per-element atomic would dominate it.
 	c.compared.Add(scanned)
 }
 
@@ -385,36 +447,47 @@ func (e *UniFlow) Push(side stream.Side, t stream.Tuple) {
 		t.Seq = e.seqS
 		e.seqS++
 	}
-	e.batch = append(e.batch, core.Input{Side: side, Tuple: t})
-	if len(e.batch) >= e.cfg.BatchSize {
+	if e.pending == nil {
+		e.pending = getInputBatch()
+	}
+	e.pending.items = append(e.pending.items, core.Input{Side: side, Tuple: t})
+	if len(e.pending.items) >= e.cfg.BatchSize {
 		e.flushBatch()
 	}
 }
 
-// PushBatch submits a prepared batch directly, assigning sequence numbers
-// in place.
+// PushBatch submits a prepared batch. The engine copies the batch into a
+// pooled distribution buffer and assigns sequence numbers on its copy, so
+// the caller may reuse (or refill) the slice as soon as PushBatch returns
+// — the property session.readLoop relies on to decode every frame into
+// one persistent buffer.
 func (e *UniFlow) PushBatch(batch []core.Input) {
+	if len(batch) == 0 {
+		return
+	}
 	e.flushBatch()
-	for i := range batch {
-		if batch[i].Side == stream.SideR {
-			batch[i].Tuple.Seq = e.seqR
+	b := getInputBatch()
+	b.items = append(b.items, batch...)
+	for i := range b.items {
+		if b.items[i].Side == stream.SideR {
+			b.items[i].Tuple.Seq = e.seqR
 			e.seqR++
 		} else {
-			batch[i].Tuple.Seq = e.seqS
+			b.items[i].Tuple.Seq = e.seqS
 			e.seqS++
 		}
 	}
-	e.injected.Add(uint64(len(batch)))
-	e.in <- batch
+	e.injected.Add(uint64(len(b.items)))
+	e.in <- b
 }
 
 func (e *UniFlow) flushBatch() {
-	if len(e.batch) == 0 {
+	if e.pending == nil || len(e.pending.items) == 0 {
 		return
 	}
-	b := e.batch
-	e.batch = make([]core.Input, 0, e.cfg.BatchSize)
-	e.injected.Add(uint64(len(b)))
+	b := e.pending
+	e.pending = nil
+	e.injected.Add(uint64(len(b.items)))
 	e.in <- b
 }
 

@@ -79,6 +79,21 @@ func (w *SlidingWindow) Scan(fn func(Tuple) bool) {
 	}
 }
 
+// Segments returns the resident tuples as up to two contiguous views of
+// the backing ring, in arrival order: older runs from the oldest tuple to
+// the end of the ring, newer holds the wrapped-around tail (nil when the
+// contents are contiguous). The views alias the window's storage — treat
+// them as read-only, valid only until the next Insert, RemoveOldest, or
+// Reset. Hot probe loops scan them directly, the software analogue of the
+// Processing Core's straight BRAM sweep, without Scan's per-element
+// closure call.
+func (w *SlidingWindow) Segments() (older, newer []Tuple) {
+	if w.head+w.count <= len(w.buf) {
+		return w.buf[w.head : w.head+w.count], nil
+	}
+	return w.buf[w.head:], w.buf[:w.head+w.count-len(w.buf)]
+}
+
 // Snapshot returns the resident tuples in arrival order as a fresh slice.
 func (w *SlidingWindow) Snapshot() []Tuple {
 	out := make([]Tuple, 0, w.count)

@@ -235,3 +235,34 @@ func TestSlidingWindowSnapshotMatchesScan(t *testing.T) {
 		return true
 	})
 }
+
+// TestSlidingWindowSegmentsMatchScan: the zero-copy ring views must cover
+// exactly the resident tuples in arrival order at every fill level and
+// head position, including wrap-around and interleaved removals.
+func TestSlidingWindowSegmentsMatchScan(t *testing.T) {
+	w := NewSlidingWindow(5)
+	check := func(step int) {
+		older, newer := w.Segments()
+		if len(older)+len(newer) != w.Len() {
+			t.Fatalf("step %d: segments cover %d tuples, window holds %d", step, len(older)+len(newer), w.Len())
+		}
+		joined := append(append([]Tuple(nil), older...), newer...)
+		i := 0
+		w.Scan(func(tu Tuple) bool {
+			if joined[i] != tu {
+				t.Errorf("step %d: segments[%d] = %v, scan saw %v", step, i, joined[i], tu)
+			}
+			i++
+			return true
+		})
+	}
+	check(-1) // empty window: both views empty
+	for i := 0; i < 17; i++ {
+		w.Insert(Tuple{Seq: uint64(i)})
+		check(i)
+		if i%3 == 2 {
+			w.RemoveOldest()
+			check(i)
+		}
+	}
+}

@@ -25,6 +25,12 @@ type Frame struct {
 type Writer struct {
 	bw  *bufio.Writer
 	buf []byte // payload scratch, reused across frames
+
+	// head/sum live on the Writer (not the stack) because they are passed
+	// through the io.Writer interface, which would otherwise force a heap
+	// escape — and an allocation — on every frame.
+	head [1 + binary.MaxVarintLen64]byte
+	sum  [4]byte
 }
 
 // NewWriter wraps w in a frame encoder.
@@ -39,24 +45,43 @@ func (w *Writer) writeFrame(t FrameType, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("wire: payload %d exceeds limit %d", len(payload), MaxPayload)
 	}
-	crc := crc32.NewIEEE()
-	crc.Write([]byte{byte(t)})
-	crc.Write(payload)
-	var head [1 + binary.MaxVarintLen64]byte
-	head[0] = byte(t)
-	n := binary.PutUvarint(head[1:], uint64(len(payload)))
-	if _, err := w.bw.Write(head[:1+n]); err != nil {
+	w.head[0] = byte(t)
+	// Update-chaining computes the same IEEE CRC as a crc32.NewIEEE()
+	// digest without allocating one per frame.
+	crc := crc32.Update(0, crc32.IEEETable, w.head[:1])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	n := binary.PutUvarint(w.head[1:], uint64(len(payload)))
+	if _, err := w.bw.Write(w.head[:1+n]); err != nil {
 		return err
 	}
 	if _, err := w.bw.Write(payload); err != nil {
 		return err
 	}
-	var sum [4]byte
-	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
-	if _, err := w.bw.Write(sum[:]); err != nil {
+	binary.BigEndian.PutUint32(w.sum[:], crc)
+	if _, err := w.bw.Write(w.sum[:]); err != nil {
 		return err
 	}
 	return w.bw.Flush()
+}
+
+// Wire widths of the hot-path elements: a batch tuple is a side byte plus
+// key and val; a result is at least four u32s plus two one-byte uvarints
+// and at most four u32s plus two maximal uvarints. The Max widths size the
+// writer scratch so hot frames never re-grow it mid-append.
+const (
+	tupleWire     = 9
+	resultWireMin = 18
+	resultWireMax = 16 + 2*binary.MaxVarintLen64
+)
+
+// scratch returns the writer's payload scratch with at least the given
+// capacity, growing it at most once per frame (and then keeping the larger
+// backing array for every later frame).
+func (w *Writer) scratch(n int) []byte {
+	if cap(w.buf) < n {
+		w.buf = make([]byte, 0, n)
+	}
+	return w.buf[:0]
 }
 
 func appendUvarint(b []byte, v uint64) []byte {
@@ -103,7 +128,7 @@ func (w *Writer) WriteOpenAck(ack OpenAck) error {
 // are not carried: the server reassigns arrival sequence numbers in wire
 // order, which equals the client's push order.
 func (w *Writer) WriteBatch(seq uint64, inputs []core.Input) error {
-	b := w.buf[:0]
+	b := w.scratch(2*binary.MaxVarintLen64 + len(inputs)*tupleWire)
 	b = appendUvarint(b, seq)
 	b = appendUvarint(b, uint64(len(inputs)))
 	for i := range inputs {
@@ -118,7 +143,7 @@ func (w *Writer) WriteBatch(seq uint64, inputs []core.Input) error {
 // WriteResults emits a Results frame. Sequence numbers ride along so the
 // client can verify exactly-once pairing.
 func (w *Writer) WriteResults(results []stream.Result) error {
-	b := w.buf[:0]
+	b := w.scratch(binary.MaxVarintLen64 + len(results)*resultWireMax)
 	b = appendUvarint(b, uint64(len(results)))
 	for i := range results {
 		r := &results[i]
@@ -196,10 +221,10 @@ func (r *Reader) ReadFrame() (Frame, error) {
 	if _, err := io.ReadFull(r.br, sum[:]); err != nil {
 		return Frame{}, fmt.Errorf("wire: reading frame checksum: %w", err)
 	}
-	crc := crc32.NewIEEE()
-	crc.Write([]byte{t})
-	crc.Write(payload)
-	if got, want := crc.Sum32(), binary.BigEndian.Uint32(sum[:]); got != want {
+	tb := [1]byte{t}
+	crc := crc32.Update(0, crc32.IEEETable, tb[:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if got, want := crc, binary.BigEndian.Uint32(sum[:]); got != want {
 		return Frame{}, fmt.Errorf("wire: checksum mismatch on %v frame: computed %08x, carried %08x", FrameType(t), got, want)
 	}
 	return Frame{Type: FrameType(t), Payload: payload}, nil
@@ -311,17 +336,30 @@ func DecodeOpenAck(payload []byte) (OpenAck, error) {
 // DecodeBatch parses a Batch payload into a fresh input slice. maxTuples
 // bounds the accepted batch size (0 means unbounded up to MaxPayload).
 func DecodeBatch(payload []byte, maxTuples int) (seq uint64, inputs []core.Input, err error) {
+	return DecodeBatchInto(payload, maxTuples, nil)
+}
+
+// DecodeBatchInto parses a Batch payload into dst's backing storage,
+// growing it only when the batch exceeds dst's capacity. A caller that
+// hands the returned slice back on the next call (as session.readLoop
+// does, once the engine has copied the batch) decodes every steady-state
+// frame with zero allocations. dst may be nil; its contents are
+// overwritten. maxTuples bounds the accepted batch size (0 means
+// unbounded up to MaxPayload).
+func DecodeBatchInto(payload []byte, maxTuples int, dst []core.Input) (seq uint64, inputs []core.Input, err error) {
 	c := cursor{b: payload}
 	seq = c.uvarint()
 	n := c.uvarint()
 	if c.err == nil && maxTuples > 0 && n > uint64(maxTuples) {
 		return 0, nil, fmt.Errorf("wire: batch of %d tuples exceeds limit %d", n, maxTuples)
 	}
-	const tupleWire = 9 // side byte + key + val
 	if c.err == nil && n*tupleWire > uint64(len(payload)) {
 		return 0, nil, fmt.Errorf("wire: batch count %d exceeds payload", n)
 	}
-	inputs = make([]core.Input, 0, n)
+	inputs = dst[:0]
+	if uint64(cap(inputs)) < n {
+		inputs = make([]core.Input, 0, n)
+	}
 	for i := uint64(0); i < n && c.err == nil; i++ {
 		side := stream.Side(c.byte())
 		key := c.u32()
@@ -341,7 +379,6 @@ func DecodeBatch(payload []byte, maxTuples int) (seq uint64, inputs []core.Input
 func DecodeResults(payload []byte) ([]stream.Result, error) {
 	c := cursor{b: payload}
 	n := c.uvarint()
-	const resultWireMin = 18 // 4 u32s + 2 one-byte uvarints
 	if c.err == nil && n*resultWireMin > uint64(len(payload)) {
 		return nil, fmt.Errorf("wire: result count %d exceeds payload", n)
 	}
