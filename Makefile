@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race fuzz-short bench bench-smoke check
+.PHONY: all build vet fmt-check test test-race test-tls fuzz-short bench bench-smoke check
 
 all: build
 
@@ -28,6 +28,13 @@ test:
 # software engines.
 test-race:
 	$(GO) test -race ./internal/server/... ./internal/shard/... ./internal/wire/... ./internal/softjoin/...
+
+# The secured-wire suite: TLS round trips, auth-token rejection, TLS/
+# plaintext mismatch handling, and the secured shard redial — across the
+# server, the shard router, and the facade options API. In-test
+# self-signed certificates; no fixtures or network beyond loopback.
+test-tls:
+	$(GO) test -run 'TLS|Auth|Secure' -v . ./internal/server/ ./internal/shard/
 
 # Short fuzzing pass over the wire-protocol decoders (10s per target),
 # seeded from the corruption-test corpus. CI-sized; run `go test -fuzz`

@@ -11,6 +11,14 @@
 //	streamd -addr :7800 -credits 16 -maxbatch 8192 -idle 2m -quiet
 //	streamd -addr :7800 -metrics :7801        # Prometheus text format on /metrics
 //	streamd -addr :7800 -metrics :7801 -pprof # plus net/http/pprof under /debug/pprof/
+//	streamd -addr :7800 -tls-cert cert.pem -tls-key key.pem -auth-token s3cret
+//
+// With -tls-cert/-tls-key the daemon serves sessions over TLS; with
+// -auth-token every session's Open frame must carry the same token
+// (checked in constant time). Rejections — plaintext clients against the
+// TLS listener, bad or missing tokens — fail fast and are counted under
+// sessions_rejected_total on /metrics. See README.md, "Securing the
+// service".
 //
 // Stop with SIGINT/SIGTERM; the daemon drains active sessions for up to
 // -drain before force-closing them.
@@ -60,11 +68,17 @@ func run() error {
 	maxSessions := flag.Int("max-sessions", 0, "concurrent session cap (0: unlimited)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address at /metrics (empty disables)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
+	tlsCert := flag.String("tls-cert", "", "serve sessions over TLS with this PEM certificate (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
+	authToken := flag.String("auth-token", "", "require this session auth token in every Open frame")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
 	flag.Parse()
 
 	if *pprofOn && *metricsAddr == "" {
 		return fmt.Errorf("-pprof requires -metrics (pprof is served on the metrics listener)")
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return fmt.Errorf("-tls-cert and -tls-key must be given together")
 	}
 
 	logger := log.New(os.Stderr, "streamd: ", log.LstdFlags)
@@ -77,11 +91,25 @@ func run() error {
 	if !*quiet {
 		cfg.Logf = logger.Printf
 	}
-	srv, err := accelstream.Serve(*addr, cfg)
+	var opts []accelstream.ServeOption
+	if *tlsCert != "" {
+		opts = append(opts, accelstream.WithServeTLSFiles(*tlsCert, *tlsKey))
+	}
+	if *authToken != "" {
+		opts = append(opts, accelstream.WithServeAuthToken(*authToken))
+		if *tlsCert == "" {
+			logger.Printf("warning: -auth-token without TLS sends the token in the clear")
+		}
+	}
+	srv, err := accelstream.Serve(*addr, cfg, opts...)
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s", srv.Addr())
+	mode := "plaintext"
+	if *tlsCert != "" {
+		mode = "TLS"
+	}
+	logger.Printf("listening on %s (%s, auth %v)", srv.Addr(), mode, *authToken != "")
 
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)

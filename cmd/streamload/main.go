@@ -11,9 +11,16 @@
 //	streamload -addr localhost:7800 -engine uni -cores 8 -window 65536 -tuples 1000000
 //	streamload -addr localhost:7800 -rate 200000 -dist zipf
 //	streamload -addr localhost:7800 -engine uni -window 256 -tuples 20000 -verify
+//	streamload -addr localhost:7800 -tls -tls-ca cert.pem -auth-token s3cret
+//
+// Against a secured streamd, -tls (with -tls-ca pointing at the server's
+// certificate, or -tls-skip-verify for testing) encrypts the session and
+// -auth-token authenticates it; -tls-cert/-tls-key add a client
+// certificate for mutual TLS.
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"os"
@@ -58,6 +65,14 @@ func run() error {
 	seed := flag.Int64("seed", 42, "workload seed")
 	ordered := flag.Bool("ordered", false, "request punctuated result ordering (uni engine)")
 	verify := flag.Bool("verify", false, "check results against the oracle (buffers all inputs+results; small runs only)")
+	useTLS := flag.Bool("tls", false, "dial the server over TLS")
+	tlsCA := flag.String("tls-ca", "", "PEM CA bundle that signs the server certificate (implies -tls)")
+	tlsServerName := flag.String("tls-servername", "", "hostname to verify on the server certificate (when dialing by IP)")
+	tlsSkipVerify := flag.Bool("tls-skip-verify", false, "dial over TLS without verifying the server certificate (testing only)")
+	tlsCert := flag.String("tls-cert", "", "PEM client certificate for mutual TLS (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
+	authToken := flag.String("auth-token", "", "session auth token sent in the Open frame")
+	dialTimeout := flag.Duration("dial-timeout", 0, "connect + handshake deadline (0: client default)")
 	flag.Parse()
 
 	engine, err := accelstream.ParseSessionEngine(*engineName)
@@ -76,12 +91,36 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var opts []accelstream.DialOption
+	if *useTLS || *tlsCA != "" || *tlsSkipVerify || *tlsCert != "" {
+		if (*tlsCert == "") != (*tlsKey == "") {
+			return fmt.Errorf("-tls-cert and -tls-key must be given together")
+		}
+		tlsCfg, err := accelstream.LoadClientTLS(*tlsCA, *tlsServerName, *tlsSkipVerify)
+		if err != nil {
+			return err
+		}
+		if *tlsCert != "" {
+			pair, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+			if err != nil {
+				return fmt.Errorf("loading client key pair: %w", err)
+			}
+			tlsCfg.Certificates = []tls.Certificate{pair}
+		}
+		opts = append(opts, accelstream.WithTLS(tlsCfg))
+	}
+	if *authToken != "" {
+		opts = append(opts, accelstream.WithAuthToken(*authToken))
+	}
+	if *dialTimeout > 0 {
+		opts = append(opts, accelstream.WithDialTimeout(*dialTimeout))
+	}
 	c, err := accelstream.Dial(*addr, accelstream.SessionConfig{
 		Engine:  engine,
 		Cores:   *cores,
 		Window:  *window,
 		Ordered: *ordered,
-	})
+	}, opts...)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,12 @@
 // Session Open frames select the per-shard engine parallelism (cores) and
 // the global window, which must divide evenly across the shards. Only the
 // software uni-flow engine can be sharded.
+//
+// Both sides of the router can be secured independently: the front
+// listener with -tls-cert/-tls-key/-auth-token (like streamd), and the
+// back-side shard dials with -shard-tls/-shard-tls-ca/-shard-auth-token —
+// redials after a shard drop reuse the same TLS and token, so a secured
+// shard set survives connection loss.
 package main
 
 import (
@@ -80,11 +86,22 @@ func run() error {
 	failFast := flag.Bool("failfast", false, "fail sessions when a shard is permanently lost instead of degrading")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address at /metrics (empty disables)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
+	tlsCert := flag.String("tls-cert", "", "serve front-side sessions over TLS with this PEM certificate (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
+	authToken := flag.String("auth-token", "", "require this session auth token on front-side sessions")
+	shardTLS := flag.Bool("shard-tls", false, "dial backing shards over TLS")
+	shardTLSCA := flag.String("shard-tls-ca", "", "PEM CA bundle that signs the shards' certificates (implies -shard-tls)")
+	shardTLSServerName := flag.String("shard-tls-servername", "", "hostname to verify on shard certificates (when dialing by IP)")
+	shardTLSSkipVerify := flag.Bool("shard-tls-skip-verify", false, "dial shards over TLS without verifying their certificates (testing only)")
+	shardAuthToken := flag.String("shard-auth-token", "", "session auth token presented to the backing shards")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
 	flag.Parse()
 
 	if *pprofOn && *metricsAddr == "" {
 		return fmt.Errorf("-pprof requires -metrics (pprof is served on the metrics listener)")
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return fmt.Errorf("-tls-cert and -tls-key must be given together")
 	}
 
 	addrs := strings.Split(*shards, ",")
@@ -96,6 +113,19 @@ func run() error {
 	}
 
 	logger := log.New(os.Stderr, "streamshard: ", log.LstdFlags)
+
+	var shardDialOpts []accelstream.DialOption
+	if *shardTLS || *shardTLSCA != "" || *shardTLSSkipVerify {
+		tlsCfg, err := accelstream.LoadClientTLS(*shardTLSCA, *shardTLSServerName, *shardTLSSkipVerify)
+		if err != nil {
+			return err
+		}
+		shardDialOpts = append(shardDialOpts, accelstream.WithTLS(tlsCfg))
+	}
+	if *shardAuthToken != "" {
+		shardDialOpts = append(shardDialOpts, accelstream.WithAuthToken(*shardAuthToken))
+	}
+
 	cfg := accelstream.ServerConfig{
 		InitialCredits: *credits,
 		MaxBatch:       *maxBatch,
@@ -118,7 +148,7 @@ func run() error {
 			if !*quiet {
 				scfg.Logf = logger.Printf
 			}
-			r, err := accelstream.DialSharded(scfg)
+			r, err := accelstream.DialSharded(scfg, shardDialOpts...)
 			if err != nil {
 				return nil, err
 			}
@@ -128,11 +158,26 @@ func run() error {
 	if !*quiet {
 		cfg.Logf = logger.Printf
 	}
-	srv, err := accelstream.Serve(*addr, cfg)
+	var opts []accelstream.ServeOption
+	if *tlsCert != "" {
+		opts = append(opts, accelstream.WithServeTLSFiles(*tlsCert, *tlsKey))
+	}
+	if *authToken != "" {
+		opts = append(opts, accelstream.WithServeAuthToken(*authToken))
+		if *tlsCert == "" {
+			logger.Printf("warning: -auth-token without TLS sends the token in the clear")
+		}
+	}
+	srv, err := accelstream.Serve(*addr, cfg, opts...)
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s, routing over %d shards: %s", srv.Addr(), len(addrs), strings.Join(addrs, ", "))
+	mode := "plaintext"
+	if *tlsCert != "" {
+		mode = "TLS"
+	}
+	logger.Printf("listening on %s (%s, auth %v), routing over %d shards: %s",
+		srv.Addr(), mode, *authToken != "", len(addrs), strings.Join(addrs, ", "))
 
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)

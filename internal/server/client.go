@@ -1,9 +1,11 @@
 package server
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,6 +20,12 @@ import (
 // (wrapped) by SendBatch, Err, and Close; test with errors.Is. The shard
 // router keys its redial logic off this error.
 var ErrConnectionLost = errors.New("server: connection lost")
+
+// ErrUnauthorized reports that the server rejected the session's auth
+// token (missing or mismatched) during the handshake. Returned (wrapped)
+// by Dial; test with errors.Is. There is no point retrying with the same
+// credentials, so the shard router does not redial through it.
+var ErrUnauthorized = errors.New("server: unauthorized")
 
 // Client is one session against a network-attached stream-join server.
 // SendBatch may be called from one producer goroutine while another
@@ -48,16 +56,56 @@ type Client struct {
 	rttCount uint64
 }
 
-// DialTimeout is the connection + handshake deadline used by Dial.
+// DialTimeout is the default connection + handshake deadline used by
+// Dial; override with DialOptions.Timeout.
 const DialTimeout = 10 * time.Second
 
+// DialOptions configures how a session is dialed, beyond the engine
+// configuration carried in the Open frame. The zero value dials plaintext
+// TCP with no token and the default timeout.
+type DialOptions struct {
+	// TLS, when set, dials the server over TLS with this configuration
+	// (the TLS handshake shares the connect timeout). Against a plaintext
+	// server the handshake fails fast instead of hanging.
+	TLS *tls.Config
+	// AuthToken, when non-empty, rides the Open frame for the server's
+	// session-auth check; a rejection surfaces as ErrUnauthorized.
+	AuthToken string
+	// Timeout bounds connecting plus the session handshake (TLS and Open
+	// frame both); 0 means DialTimeout. A black-holed endpoint therefore
+	// fails within the deadline instead of hanging indefinitely.
+	Timeout time.Duration
+}
+
 // Dial connects to a stream-join server and opens a session with the
-// given engine configuration.
+// given engine configuration, over plaintext TCP with default options.
 func Dial(addr string, cfg wire.OpenConfig) (*Client, error) {
+	return DialWith(addr, cfg, DialOptions{})
+}
+
+// DialWith connects to a stream-join server and opens a session with the
+// given engine configuration and dial options.
+func DialWith(addr string, cfg wire.OpenConfig, opts DialOptions) (*Client, error) {
+	if opts.AuthToken != "" {
+		cfg.AuthToken = opts.AuthToken
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = DialTimeout
+	}
+	dialer := &net.Dialer{Timeout: timeout}
+	var conn net.Conn
+	var err error
+	if opts.TLS != nil {
+		// tls.DialWithDialer runs the TLS handshake inside the dialer's
+		// timeout, so a plaintext or stalled server cannot wedge the dial.
+		conn, err = tls.DialWithDialer(dialer, "tcp", addr, opts.TLS)
+	} else {
+		conn, err = dialer.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +115,7 @@ func Dial(addr string, cfg wire.OpenConfig) (*Client, error) {
 		results:    make(chan stream.Result, 4096),
 		readerDone: make(chan struct{}),
 	}
-	conn.SetDeadline(time.Now().Add(DialTimeout))
+	conn.SetDeadline(time.Now().Add(timeout))
 	if err := c.w.WriteOpen(cfg); err != nil {
 		conn.Close()
 		return nil, err
@@ -83,6 +131,16 @@ func Dial(addr string, cfg wire.OpenConfig) (*Client, error) {
 	case wire.FrameError:
 		msg := wire.DecodeError(f.Payload)
 		conn.Close()
+		if wire.IsUnauthorized(msg) {
+			// ErrUnauthorized already says "unauthorized"; keep only the
+			// server's detail after the wire prefix.
+			detail := strings.TrimPrefix(msg, wire.UnauthorizedPrefix)
+			detail = strings.TrimPrefix(detail, ": ")
+			if detail == "" {
+				return nil, ErrUnauthorized
+			}
+			return nil, fmt.Errorf("%w: %s", ErrUnauthorized, detail)
+		}
 		return nil, fmt.Errorf("server: session rejected: %s", msg)
 	default:
 		conn.Close()

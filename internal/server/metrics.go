@@ -20,16 +20,23 @@ type ProcessStats struct {
 	// has not yet been returned. A persistently high value means the
 	// engines (or the result paths back to clients) are saturated.
 	CreditsOutstanding int64
+	// SessionsRejected counts sessions turned away before reaching an
+	// engine, keyed by reason: TLS handshake failures ("tls"), missing or
+	// wrong auth tokens ("no_token"/"bad_token"), handshake timeouts,
+	// malformed opens, capacity, and drain-time rejects.
+	SessionsRejected map[string]uint64
 }
 
 // ProcessStats snapshots the server-wide gauges.
 func (s *Server) ProcessStats() ProcessStats {
+	rejected := s.rejectCounts()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ProcessStats{
 		SessionsActive:     len(s.sessions),
 		SessionsTotal:      s.nextID,
 		CreditsOutstanding: s.creditsHeld.Load(),
+		SessionsRejected:   rejected,
 	}
 }
 
@@ -56,6 +63,15 @@ func writeProcessMetrics(b *strings.Builder, ps ProcessStats) {
 	gauge("streamd_sessions_active", "Live client sessions.", ps.SessionsActive)
 	fmt.Fprintf(b, "# HELP streamd_sessions_total Sessions ever opened.\n# TYPE streamd_sessions_total counter\nstreamd_sessions_total %d\n", ps.SessionsTotal)
 	gauge("streamd_credits_outstanding", "Batch credits currently withheld from clients (in-flight batches).", ps.CreditsOutstanding)
+	fmt.Fprint(b, "# HELP streamd_sessions_rejected_total Sessions turned away before reaching an engine, by reason.\n# TYPE streamd_sessions_rejected_total counter\n")
+	reasons := make([]string, 0, len(ps.SessionsRejected))
+	for reason := range ps.SessionsRejected {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Fprintf(b, "streamd_sessions_rejected_total{reason=%q} %d\n", reason, ps.SessionsRejected[reason])
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	gauge("streamd_goroutines", "Goroutines in the process.", runtime.NumGoroutine())

@@ -15,6 +15,7 @@ package server
 
 import (
 	"context"
+	"crypto/tls"
 	"fmt"
 	"net"
 	"sort"
@@ -36,11 +37,27 @@ type Config struct {
 	// IdleTimeout closes a session whose client sends nothing for this
 	// long. Defaults to 2 minutes; negative disables.
 	IdleTimeout time.Duration
-	// HandshakeTimeout bounds the wait for the Open frame. Defaults to
-	// 10 seconds.
+	// HandshakeTimeout bounds the wait for the Open frame (and, on a TLS
+	// listener, the TLS handshake that precedes it — both run under the
+	// same read deadline, so a stalled handshake can never wedge a session
+	// goroutine, let alone the accept loop). Defaults to 10 seconds.
 	HandshakeTimeout time.Duration
 	// MaxSessions caps concurrent sessions (0: unlimited).
 	MaxSessions int
+	// TLS, when set, serves sessions over TLS: ListenAndServe (and the
+	// root facade's Serve) wrap the TCP listener with it. A plaintext
+	// client against a TLS server fails its handshake fast and is counted
+	// under sessions_rejected_total{reason="tls"}. Callers that build
+	// their own listener and call Serve directly apply it themselves (see
+	// NewListener).
+	TLS *tls.Config
+	// AuthToken, when non-empty, requires every session's Open frame to
+	// carry the same token. The comparison is constant-time; mismatches
+	// are answered with an unauthorized Error frame (typed
+	// ErrUnauthorized client-side) and counted under
+	// sessions_rejected_total{reason="bad_token"|"no_token"}. Tokens are
+	// sent in the clear unless TLS is also enabled.
+	AuthToken string
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 	// NewEngine, when set, replaces the built-in engine constructors: the
@@ -93,7 +110,58 @@ type Server struct {
 	// returned); it is the server-wide backpressure gauge.
 	creditsHeld atomic.Int64
 
+	// rejects counts sessions turned away before reaching an engine,
+	// keyed by reason (see the reject* constants); it backs the
+	// sessions_rejected_total metric.
+	rejectMu sync.Mutex
+	rejects  map[string]uint64
+
 	wg sync.WaitGroup
+}
+
+// Reject reasons for the sessions_rejected_total metric. The set is fixed
+// and small to keep label cardinality bounded.
+const (
+	// rejectNoToken: auth required but the Open frame carried no token.
+	rejectNoToken = "no_token"
+	// rejectBadToken: the Open frame's token did not match.
+	rejectBadToken = "bad_token"
+	// rejectTLS: the TLS handshake failed (e.g. a plaintext client).
+	rejectTLS = "tls"
+	// rejectTimeout: the Open frame never arrived within HandshakeTimeout.
+	rejectTimeout = "timeout"
+	// rejectBadOpen: the Open frame was malformed or failed validation.
+	rejectBadOpen = "bad_open"
+	// rejectProtocol: the first frame was not an Open frame.
+	rejectProtocol = "protocol"
+	// rejectEngine: the engine could not be built or started.
+	rejectEngine = "engine"
+	// rejectCapacity / rejectDraining: turned away at accept time.
+	rejectCapacity = "capacity"
+	rejectDraining = "draining"
+	// rejectIO: the connection failed before the handshake finished.
+	rejectIO = "io"
+)
+
+// countReject records one turned-away session under the given reason.
+func (s *Server) countReject(reason string) {
+	s.rejectMu.Lock()
+	if s.rejects == nil {
+		s.rejects = make(map[string]uint64)
+	}
+	s.rejects[reason]++
+	s.rejectMu.Unlock()
+}
+
+// rejectCounts snapshots the reject counters.
+func (s *Server) rejectCounts() map[string]uint64 {
+	s.rejectMu.Lock()
+	defer s.rejectMu.Unlock()
+	out := make(map[string]uint64, len(s.rejects))
+	for k, v := range s.rejects {
+		out[k] = v
+	}
+	return out
 }
 
 // New builds a server. Call Serve or ListenAndServe to start it.
@@ -112,9 +180,24 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// ListenAndServe listens on addr ("host:port") and serves until Shutdown.
-func (s *Server) ListenAndServe(addr string) error {
+// NewListener opens a TCP listener on addr, wrapped for TLS when tlsCfg
+// is non-nil. It is the listener constructor ListenAndServe and the root
+// facade share, so both plaintext and TLS listeners are built one way.
+func NewListener(addr string, tlsCfg *tls.Config) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tlsCfg != nil {
+		ln = tls.NewListener(ln, tlsCfg)
+	}
+	return ln, nil
+}
+
+// ListenAndServe listens on addr ("host:port") — over TLS when Config.TLS
+// is set — and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := NewListener(addr, s.cfg.TLS)
 	if err != nil {
 		return err
 	}
@@ -158,6 +241,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		if s.closed || (s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions) {
 			full := !s.closed
 			s.mu.Unlock()
+			if full {
+				s.countReject(rejectCapacity)
+			} else {
+				s.countReject(rejectDraining)
+			}
 			rejectConn(conn, full)
 			continue
 		}

@@ -1,6 +1,9 @@
 package server
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -172,21 +175,57 @@ func (s *session) run() {
 		s.id, graceful, m.TuplesIn, m.BatchesIn, m.ResultsOut, m.AvgBatchLatency)
 }
 
-// handshake reads and validates the Open frame and starts the engine.
+// tokensMatch compares a presented auth token against the configured one
+// in constant time. Both sides are hashed first, so neither the compare
+// duration nor an early length check leaks anything about the secret.
+func tokensMatch(got, want string) bool {
+	gh := sha256.Sum256([]byte(got))
+	wh := sha256.Sum256([]byte(want))
+	return subtle.ConstantTimeCompare(gh[:], wh[:]) == 1
+}
+
+// handshake reads and validates the Open frame, authenticates the session
+// when the server requires a token, and starts the engine. Every failure
+// path classifies itself into the sessions_rejected_total reason set.
 func (s *session) handshake() error {
 	s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.HandshakeTimeout))
 	f, err := s.r.ReadFrame()
 	if err != nil {
+		// On a TLS listener the handshake runs lazily under this same
+		// read, so a plaintext or mis-configured client surfaces here
+		// with the TLS handshake incomplete.
+		switch {
+		case isTimeout(err):
+			s.srv.countReject(rejectTimeout)
+		case isIncompleteTLS(s.conn):
+			s.srv.countReject(rejectTLS)
+		default:
+			s.srv.countReject(rejectIO)
+		}
 		return err
 	}
 	if f.Type != wire.FrameOpen {
+		s.srv.countReject(rejectProtocol)
 		s.fail("expected open frame")
 		return fmt.Errorf("first frame is %v, want open", f.Type)
 	}
 	cfg, err := wire.DecodeOpen(f.Payload)
 	if err != nil {
+		s.srv.countReject(rejectBadOpen)
 		s.fail(err.Error())
 		return err
+	}
+	if want := s.srv.cfg.AuthToken; want != "" {
+		if cfg.AuthToken == "" {
+			s.srv.countReject(rejectNoToken)
+			s.fail(wire.UnauthorizedPrefix + ": auth token required")
+			return fmt.Errorf("session sent no auth token")
+		}
+		if !tokensMatch(cfg.AuthToken, want) {
+			s.srv.countReject(rejectBadToken)
+			s.fail(wire.UnauthorizedPrefix + ": bad auth token")
+			return fmt.Errorf("session sent a bad auth token")
+		}
 	}
 	build := buildEngine
 	if s.srv.cfg.NewEngine != nil {
@@ -199,10 +238,12 @@ func (s *session) handshake() error {
 	}
 	eng, err := build(cfg)
 	if err != nil {
+		s.srv.countReject(rejectEngine)
 		s.fail(err.Error())
 		return err
 	}
 	if err := eng.Start(); err != nil {
+		s.srv.countReject(rejectEngine)
 		s.fail(err.Error())
 		return err
 	}
@@ -288,6 +329,20 @@ func (s *session) readLoop() bool {
 			return false
 		}
 	}
+}
+
+// isIncompleteTLS reports whether conn is a TLS connection whose handshake
+// never completed — the signature of a plaintext (or TLS-misconfigured)
+// client hitting a TLS listener.
+func isIncompleteTLS(conn net.Conn) bool {
+	tc, ok := conn.(*tls.Conn)
+	return ok && !tc.ConnectionState().HandshakeComplete
+}
+
+// isTimeout reports whether err is a network timeout (deadline expiry).
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
 }
 
 const maxResultsPerFrame = 1024

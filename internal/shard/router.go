@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -109,7 +110,7 @@ func Dial(cfg Config) (*Router, error) {
 			addr:  addr,
 			queue: make(chan *shardBatch, cfg.QueueDepth),
 		}
-		c, err := server.Dial(addr, sc.openConfig(0, 0))
+		c, err := server.DialWith(addr, sc.openConfig(0, 0), r.dialOptions())
 		if err != nil {
 			for _, prev := range r.shards {
 				prev.client.Close()
@@ -143,6 +144,17 @@ func (sc *shardConn) openConfig(baseR, baseS uint64) wire.OpenConfig {
 		ShardIndex: sc.index,
 		BaseSeqR:   baseR,
 		BaseSeqS:   baseS,
+	}
+}
+
+// dialOptions is how every shard session — first dial and redial alike —
+// reaches its endpoint: same TLS configuration, same auth token, same
+// connect timeout.
+func (r *Router) dialOptions() server.DialOptions {
+	return server.DialOptions{
+		TLS:       r.cfg.TLS,
+		AuthToken: r.cfg.AuthToken,
+		Timeout:   r.cfg.DialTimeout,
 	}
 }
 
@@ -277,7 +289,7 @@ func (sc *shardConn) redial(baseR, baseS uint64) bool {
 	}
 	delay := pol.BaseDelay
 	for attempt := 1; attempt <= pol.Attempts; attempt++ {
-		c, err := server.Dial(sc.addr, sc.openConfig(baseR, baseS))
+		c, err := server.DialWith(sc.addr, sc.openConfig(baseR, baseS), sc.r.dialOptions())
 		if err == nil {
 			sc.client = c
 			sc.up.Store(true)
@@ -289,6 +301,11 @@ func (sc *shardConn) redial(baseR, baseS uint64) bool {
 		}
 		sc.r.logf("shard %d (%s): redial attempt %d/%d failed: %v",
 			sc.index, sc.addr, attempt, pol.Attempts, err)
+		if errors.Is(err, server.ErrUnauthorized) {
+			// The shard rejected our credentials; backing off and retrying
+			// with the same token cannot succeed.
+			break
+		}
 		if attempt < pol.Attempts {
 			time.Sleep(delay)
 			delay *= 2

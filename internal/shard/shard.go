@@ -26,6 +26,7 @@
 package shard
 
 import (
+	"crypto/tls"
 	"fmt"
 	"time"
 )
@@ -76,6 +77,16 @@ type Config struct {
 	QueueDepth int
 	// Redial bounds reconnection after a shard connection drops.
 	Redial RedialPolicy
+	// TLS, when set, dials every shard endpoint over TLS with this
+	// configuration — redials included, so a secured shard set survives
+	// drops without falling back to plaintext.
+	TLS *tls.Config
+	// AuthToken, when non-empty, authenticates every shard session (and
+	// every redial) against the shards' configured token.
+	AuthToken string
+	// DialTimeout bounds each shard connect + handshake (0: the client
+	// default). Redial backoff delays are on top of this.
+	DialTimeout time.Duration
 	// FailFast makes SendBatch return an error once any shard is
 	// permanently down, instead of degrading to the surviving shards.
 	FailFast bool

@@ -1,0 +1,56 @@
+// Package testcert generates throwaway self-signed TLS certificates for
+// loopback tests of the secured stream-join service. It is test support
+// code: nothing outside _test files should import it, and nothing it
+// produces is fit for real deployments (README.md has the cert-generation
+// one-liner for those).
+package testcert
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"net"
+	"time"
+)
+
+// New generates a fresh self-signed ECDSA P-256 certificate for
+// 127.0.0.1/::1/localhost and returns the matched pair of TLS
+// configurations: a server config serving the certificate and a client
+// config trusting exactly that certificate (no system roots).
+func New() (serverCfg, clientCfg *tls.Config, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "streamd-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		IPAddresses:           []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+		DNSNames:              []string{"localhost"},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	serverCfg = &tls.Config{
+		Certificates: []tls.Certificate{{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf}},
+	}
+	clientCfg = &tls.Config{RootCAs: pool}
+	return serverCfg, clientCfg, nil
+}

@@ -94,7 +94,10 @@ func appendU32(b []byte, v uint32) []byte {
 
 // WriteOpen emits an Open frame. The shard-role fields ride as a tail
 // after the original fixed fields, so a PR-1 Open frame (no tail) still
-// decodes — as an unsharded session — on a current server.
+// decodes — as an unsharded session — on a current server. The auth token
+// is a second optional tail after the shard fields, written only when
+// non-empty, so an unauthenticated Open stays byte-identical to the PR-2
+// encoding.
 func (w *Writer) WriteOpen(cfg OpenConfig) error {
 	b := w.buf[:0]
 	b = appendUvarint(b, ProtocolVersion)
@@ -110,6 +113,10 @@ func (w *Writer) WriteOpen(cfg OpenConfig) error {
 	b = appendUvarint(b, uint64(cfg.ShardIndex))
 	b = appendUvarint(b, cfg.BaseSeqR)
 	b = appendUvarint(b, cfg.BaseSeqS)
+	if cfg.AuthToken != "" {
+		b = appendUvarint(b, uint64(len(cfg.AuthToken)))
+		b = append(b, cfg.AuthToken...)
+	}
 	w.buf = b
 	return w.writeFrame(FrameOpen, b)
 }
@@ -276,6 +283,19 @@ func (c *cursor) byte() byte {
 	return v
 }
 
+func (c *cursor) bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.b) {
+		c.err = fmt.Errorf("wire: truncated %d-byte field at offset %d", n, c.off)
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
 func (c *cursor) remaining() int {
 	return len(c.b) - c.off
 }
@@ -290,9 +310,10 @@ func (c *cursor) finish() error {
 	return nil
 }
 
-// DecodeOpen parses an Open payload. The shard-role tail is optional:
-// a frame that ends after the flags byte decodes as an unsharded session
-// (all tail fields zero), keeping PR-1 clients compatible.
+// DecodeOpen parses an Open payload. The shard-role tail is optional: a
+// frame that ends after the flags byte decodes as an unsharded session
+// (all tail fields zero), keeping PR-1 clients compatible. The auth-token
+// tail after it is optional too; its absence decodes as an empty token.
 func DecodeOpen(payload []byte) (OpenConfig, error) {
 	c := cursor{b: payload}
 	version := c.uvarint()
@@ -307,6 +328,13 @@ func DecodeOpen(payload []byte) (OpenConfig, error) {
 		cfg.ShardIndex = int(c.uvarint())
 		cfg.BaseSeqR = c.uvarint()
 		cfg.BaseSeqS = c.uvarint()
+	}
+	if c.err == nil && c.remaining() > 0 {
+		n := c.uvarint()
+		if c.err == nil && n > MaxAuthToken {
+			return OpenConfig{}, fmt.Errorf("wire: auth token of %d bytes exceeds limit %d", n, MaxAuthToken)
+		}
+		cfg.AuthToken = string(c.bytes(int(n)))
 	}
 	if err := c.finish(); err != nil {
 		return OpenConfig{}, err

@@ -32,6 +32,18 @@ func corpusFrames(tb testing.TB) [][]byte {
 	add(func(w *Writer) error {
 		return w.WriteOpen(OpenConfig{Engine: EngineSoftUni, Cores: 8, Window: 1 << 14, ShardCount: 4, ShardIndex: 2, BaseSeqR: 99, BaseSeqS: 7})
 	})
+	// Auth-token tails: a short token and one at the length limit, so the
+	// fuzzer mutates both the token length prefix and its bytes.
+	add(func(w *Writer) error {
+		return w.WriteOpen(OpenConfig{Engine: EngineSoftUni, Cores: 2, Window: 256, AuthToken: "hunter2"})
+	})
+	add(func(w *Writer) error {
+		tok := make([]byte, MaxAuthToken)
+		for i := range tok {
+			tok[i] = byte(i)
+		}
+		return w.WriteOpen(OpenConfig{Engine: EngineSoftBi, Cores: 4, Window: 1 << 10, AuthToken: string(tok)})
+	})
 	add(func(w *Writer) error { return w.WriteOpenAck(OpenAck{Credits: 16, Session: 42}) })
 	add(func(w *Writer) error { return w.WriteCredit(3) })
 	add(func(w *Writer) error { return w.WriteClosed(Stats{TuplesIn: 10000, BatchesIn: 40, ResultsOut: 123}) })
@@ -149,7 +161,7 @@ func FuzzDecodeResults(f *testing.F) {
 // open-ack, credit, closed): accepted opens must validate, and accepted
 // values must survive a round trip.
 func FuzzDecodeControl(f *testing.F) {
-	for _, frame := range corpusFrames(f)[2:] { // open, open-ack, credit, closed
+	for _, frame := range corpusFrames(f)[2:] { // opens (incl. auth tails), open-ack, credit, closed
 		seedWithFlips(f, payloadOf(f, frame))
 	}
 	f.Fuzz(func(t *testing.T, payload []byte) {

@@ -25,7 +25,10 @@
 // the way to the producer without unbounded buffering on either side.
 package wire
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // ProtocolVersion is carried in the Open frame; the server rejects
 // versions it does not speak.
@@ -131,6 +134,21 @@ func ParseEngineKind(name string) (EngineKind, error) {
 	}
 }
 
+// MaxAuthToken bounds the session auth token carried in the Open frame.
+const MaxAuthToken = 512
+
+// UnauthorizedPrefix prefixes the Error-frame message a server sends when
+// session authentication fails. It is part of the protocol: clients map
+// messages carrying it to a typed unauthorized error instead of a generic
+// handshake failure.
+const UnauthorizedPrefix = "unauthorized"
+
+// IsUnauthorized reports whether an Error-frame message is a session-auth
+// rejection.
+func IsUnauthorized(msg string) bool {
+	return strings.HasPrefix(msg, UnauthorizedPrefix)
+}
+
 // simWindowLimit is the largest per-stream window the simulated engine
 // accepts over the wire; beyond this the cycle-level simulation is too slow
 // to serve a live socket.
@@ -169,6 +187,13 @@ type OpenConfig struct {
 	// while its (empty) window slice is the only state lost.
 	BaseSeqR uint64
 	BaseSeqS uint64
+	// AuthToken is the session authentication token, checked by the server
+	// against its configured token (constant-time) before the engine is
+	// built. Empty means no token; a server with authentication enabled
+	// rejects such sessions. It rides the Open frame as an optional tail,
+	// so token-less frames are byte-identical to the previous protocol
+	// revision.
+	AuthToken string
 }
 
 // Validate bounds-checks the configuration.
@@ -208,6 +233,9 @@ func (c OpenConfig) Validate() error {
 	}
 	if (c.BaseSeqR != 0 || c.BaseSeqS != 0) && c.Engine != EngineSoftUni {
 		return fmt.Errorf("wire: base sequence offsets require the soft-uni engine")
+	}
+	if len(c.AuthToken) > MaxAuthToken {
+		return fmt.Errorf("wire: auth token of %d bytes exceeds limit %d", len(c.AuthToken), MaxAuthToken)
 	}
 	return nil
 }

@@ -333,6 +333,86 @@ func TestDecodeOpenLegacyTail(t *testing.T) {
 	}
 }
 
+// TestOpenAuthTokenRoundTrip covers the auth-token tail of the Open
+// frame: tokens survive the round trip, a token-less Open stays
+// byte-identical to the PR-2 encoding, and oversized tokens are rejected
+// on both ends.
+func TestOpenAuthTokenRoundTrip(t *testing.T) {
+	cfgs := []OpenConfig{
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, AuthToken: "s3cret"},
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, ShardCount: 4, ShardIndex: 1, BaseSeqR: 9, AuthToken: strings.Repeat("k", MaxAuthToken)},
+		{Engine: EngineSoftBi, Cores: 2, Window: 512, AuthToken: "with\x00binary\xffbytes"},
+	}
+	for _, cfg := range cfgs {
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewReader(&buf).ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeOpen(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cfg {
+			t.Errorf("auth open round trip: got %+v, want %+v", got, cfg)
+		}
+	}
+
+	// Token-less frames carry no auth tail at all.
+	plain := OpenConfig{Engine: EngineSoftUni, Cores: 2, Window: 512}
+	var withTok, without bytes.Buffer
+	tok := plain
+	tok.AuthToken = "t"
+	if err := NewWriter(&withTok).WriteOpen(tok); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewWriter(&without).WriteOpen(plain); err != nil {
+		t.Fatal(err)
+	}
+	if withTok.Len() != without.Len()+2 { // uvarint len 1 + 1 token byte
+		t.Errorf("token tail sizing off: %d vs %d bytes", withTok.Len(), without.Len())
+	}
+
+	// Oversized tokens: Validate refuses to build them, and a hand-built
+	// payload claiming one is rejected before allocation.
+	big := plain
+	big.AuthToken = strings.Repeat("x", MaxAuthToken+1)
+	if err := big.Validate(); err == nil {
+		t.Error("Validate accepted oversized auth token")
+	}
+	b := appendUvarint(nil, ProtocolVersion)
+	b = append(b, byte(EngineSoftUni))
+	b = appendUvarint(b, 4)
+	b = appendUvarint(b, 256)
+	b = append(b, byte(0))
+	b = appendUvarint(b, 0) // shard tail
+	b = appendUvarint(b, 0)
+	b = appendUvarint(b, 0)
+	b = appendUvarint(b, 0)
+	okPrefix := append([]byte(nil), b...)
+	b = appendUvarint(b, MaxAuthToken+1)
+	if _, err := DecodeOpen(b); err == nil || !strings.Contains(err.Error(), "auth token") {
+		t.Errorf("oversized token length accepted: %v", err)
+	}
+	// A token length that overruns the payload is a framing error.
+	b2 := appendUvarint(okPrefix, 8) // claims 8 bytes, none follow
+	if _, err := DecodeOpen(b2); err == nil {
+		t.Error("truncated token tail accepted")
+	}
+}
+
+func TestIsUnauthorized(t *testing.T) {
+	if !IsUnauthorized(UnauthorizedPrefix + ": bad or missing auth token") {
+		t.Error("unauthorized message not recognized")
+	}
+	if IsUnauthorized("server draining") {
+		t.Error("unrelated message flagged unauthorized")
+	}
+}
+
 func TestParseEngineKind(t *testing.T) {
 	for name, want := range map[string]EngineKind{
 		"uni": EngineSoftUni, "bi": EngineSoftBi, "sim": EngineSimUni,

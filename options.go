@@ -1,0 +1,140 @@
+package accelstream
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"os"
+	"time"
+)
+
+// This file is the unified options surface of the network-attached
+// service: Dial, DialSharded, and Serve all take the same style of
+// functional options, so securing a deployment — TLS on the listener,
+// TLS on every dial and redial, a session auth token on both ends — is
+// the same few options everywhere instead of three divergent dial paths.
+// See README.md, "Securing the service".
+
+// DialOption configures Dial and DialSharded. The zero set dials
+// plaintext TCP with no auth token and the default timeout, exactly like
+// the option-less calls from earlier revisions.
+type DialOption func(*dialOptions)
+
+type dialOptions struct {
+	tls       *tls.Config
+	authToken string
+	timeout   time.Duration
+	redial    *ShardRedialPolicy
+}
+
+func (o dialOptions) apply(opts []DialOption) dialOptions {
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithTLS dials over TLS with the given client configuration. Build one
+// with LoadClientTLS, or supply your own (e.g. for mutual TLS). Against a
+// plaintext server the handshake fails fast with a clear error.
+func WithTLS(cfg *tls.Config) DialOption {
+	return func(o *dialOptions) { o.tls = cfg }
+}
+
+// WithAuthToken sends the session auth token in the Open frame. A server
+// that requires a different (or any) token rejects the session with
+// ErrUnauthorized.
+func WithAuthToken(token string) DialOption {
+	return func(o *dialOptions) { o.authToken = token }
+}
+
+// WithDialTimeout bounds each connect plus session handshake (TLS and
+// Open frame both). The default is 10 seconds; a black-holed endpoint
+// fails within the deadline instead of hanging.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(o *dialOptions) { o.timeout = d }
+}
+
+// WithRedialPolicy bounds reconnection of dropped shard sessions. It only
+// affects DialSharded (a plain Dial has no redial machinery) and
+// overrides ShardConfig.Redial when both are given.
+func WithRedialPolicy(p ShardRedialPolicy) DialOption {
+	return func(o *dialOptions) { o.redial = &p }
+}
+
+// ServeOption configures Serve. The zero set serves plaintext TCP with no
+// session authentication, exactly like the option-less calls from earlier
+// revisions.
+type ServeOption func(*serveOptions)
+
+type serveOptions struct {
+	tls       *tls.Config
+	tlsErr    error // deferred WithServeTLSFiles load failure
+	authToken string
+}
+
+func (o serveOptions) apply(opts []ServeOption) serveOptions {
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithServeTLS serves sessions over TLS with the given configuration
+// (it must carry at least one certificate).
+func WithServeTLS(cfg *tls.Config) ServeOption {
+	return func(o *serveOptions) { o.tls = cfg }
+}
+
+// WithServeTLSFiles serves sessions over TLS with the certificate/key
+// pair loaded from the given PEM files; a load failure surfaces as the
+// Serve error.
+func WithServeTLSFiles(certFile, keyFile string) ServeOption {
+	return func(o *serveOptions) {
+		cfg, err := LoadServerTLS(certFile, keyFile)
+		o.tls, o.tlsErr = cfg, err
+	}
+}
+
+// WithServeAuthToken requires every session's Open frame to carry this
+// token (compared in constant time). Rejections are typed ErrUnauthorized
+// client-side and counted under sessions_rejected_total. Combine with
+// WithServeTLS — without TLS the token crosses the wire in the clear.
+func WithServeAuthToken(token string) ServeOption {
+	return func(o *serveOptions) { o.authToken = token }
+}
+
+// LoadServerTLS builds a server TLS configuration from a PEM
+// certificate/key pair (self-signed is fine; see README.md for a
+// one-liner that generates one).
+func LoadServerTLS(certFile, keyFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("accelstream: loading TLS key pair: %w", err)
+	}
+	return &tls.Config{Certificates: []tls.Certificate{cert}}, nil
+}
+
+// LoadClientTLS builds a client TLS configuration. caFile, when
+// non-empty, replaces the system roots with the PEM certificates it
+// contains (point it at the server's self-signed certificate).
+// serverName, when non-empty, overrides the hostname checked against the
+// server certificate — needed when dialing by IP or through a tunnel.
+// skipVerify disables certificate verification entirely; the link is
+// still encrypted, but the server is unauthenticated, so it is for tests
+// and local development only.
+func LoadClientTLS(caFile, serverName string, skipVerify bool) (*tls.Config, error) {
+	cfg := &tls.Config{ServerName: serverName, InsecureSkipVerify: skipVerify}
+	if caFile != "" {
+		pem, err := os.ReadFile(caFile)
+		if err != nil {
+			return nil, fmt.Errorf("accelstream: reading CA file: %w", err)
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("accelstream: no certificates found in %s", caFile)
+		}
+		cfg.RootCAs = pool
+	}
+	return cfg, nil
+}

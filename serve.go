@@ -1,8 +1,6 @@
 package accelstream
 
 import (
-	"net"
-
 	"accelstream/internal/server"
 	"accelstream/internal/wire"
 )
@@ -62,22 +60,46 @@ type Client = server.Client
 // SessionStats are the final statistics a graceful session close returns.
 type SessionStats = wire.Stats
 
+// ErrUnauthorized reports that a server rejected the session's auth token
+// (missing or mismatched) during the Dial handshake; test with errors.Is.
+var ErrUnauthorized = server.ErrUnauthorized
+
 // Dial connects to a stream-join server (see Serve / cmd/streamd) and
-// opens a session with the given engine configuration.
-func Dial(addr string, cfg SessionConfig) (*Client, error) {
-	return server.Dial(addr, cfg)
+// opens a session with the given engine configuration. Options secure the
+// session (WithTLS, WithAuthToken) or tune the dial (WithDialTimeout);
+// with none, it dials plaintext TCP exactly as before, so existing call
+// sites need no changes.
+func Dial(addr string, cfg SessionConfig, opts ...DialOption) (*Client, error) {
+	o := dialOptions{}.apply(opts)
+	return server.DialWith(addr, cfg, server.DialOptions{
+		TLS:       o.tls,
+		AuthToken: o.authToken,
+		Timeout:   o.timeout,
+	})
 }
 
 // Serve listens on addr ("host:port"; ":0" picks a free port — see
 // Server.Addr) and serves stream-join sessions in a background goroutine
 // until Shutdown is called on the returned server. It is the programmatic
-// equivalent of running cmd/streamd.
-func Serve(addr string, cfg ServerConfig) (*Server, error) {
+// equivalent of running cmd/streamd. Options secure the service
+// (WithServeTLS / WithServeTLSFiles, WithServeAuthToken); with none, it
+// serves plaintext TCP exactly as before.
+func Serve(addr string, cfg ServerConfig, opts ...ServeOption) (*Server, error) {
+	o := serveOptions{}.apply(opts)
+	if o.tlsErr != nil {
+		return nil, o.tlsErr
+	}
+	if o.tls != nil {
+		cfg.TLS = o.tls
+	}
+	if o.authToken != "" {
+		cfg.AuthToken = o.authToken
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := server.NewListener(addr, cfg.TLS)
 	if err != nil {
 		return nil, err
 	}

@@ -29,7 +29,23 @@ type ShardState = shard.State
 type ShardStats = shard.Stats
 
 // DialSharded connects to every configured streamd endpoint and returns
-// the router fronting them as one logical join session.
-func DialSharded(cfg ShardConfig) (*ShardRouter, error) {
+// the router fronting them as one logical join session. It takes the same
+// DialOption set as Dial — TLS and auth apply to every shard session,
+// redials included — plus WithRedialPolicy; option-less calls behave
+// exactly as before.
+func DialSharded(cfg ShardConfig, opts ...DialOption) (*ShardRouter, error) {
+	o := dialOptions{}.apply(opts)
+	if o.tls != nil {
+		cfg.TLS = o.tls
+	}
+	if o.authToken != "" {
+		cfg.AuthToken = o.authToken
+	}
+	if o.timeout > 0 {
+		cfg.DialTimeout = o.timeout
+	}
+	if o.redial != nil {
+		cfg.Redial = *o.redial
+	}
 	return shard.Dial(cfg)
 }
