@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race test-tls fuzz-short bench bench-smoke check
+.PHONY: all build vet fmt-check test test-race test-tls test-elastic fuzz-short bench bench-smoke check
 
 all: build
 
@@ -35,6 +35,16 @@ test-race:
 # self-signed certificates; no fixtures or network beyond loopback.
 test-tls:
 	$(GO) test -run 'TLS|Auth|Secure' -v . ./internal/server/ ./internal/shard/
+
+# The elasticity suite: live shard-set rebalancing (grow, shrink, chained
+# resizes, abort/crash recovery), engine state export/import, the session
+# pool, and the streamshard admin endpoint — then the rebalance and pool
+# paths again under the race detector.
+test-elastic:
+	$(GO) test -run 'Rebalance|ImportExport|ExportState|Pool|Admin|Elastic' -v \
+		./internal/shard/ ./internal/softjoin/ ./internal/server/ ./internal/rebalance/... \
+		./cmd/streamshard/ ./internal/experiments/
+	$(GO) test -race -run 'Rebalance|Pool' ./internal/shard/ ./internal/server/
 
 # Short fuzzing pass over the wire-protocol decoders (10s per target),
 # seeded from the corruption-test corpus. CI-sized; run `go test -fuzz`

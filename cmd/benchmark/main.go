@@ -84,7 +84,7 @@ func run() error {
 
 func isNamedExperiment(id string) bool {
 	switch id {
-	case "power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat", "shardscale", "software":
+	case "power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat", "shardscale", "software", "elastic":
 		return true
 	default:
 		return false

@@ -10,6 +10,7 @@
 //
 //	streamload -addr localhost:7800 -engine uni -cores 8 -window 65536 -tuples 1000000
 //	streamload -addr localhost:7800 -rate 200000 -dist zipf
+//	streamload -addr localhost:7800 -conns 4 -tuples 4000000
 //	streamload -addr localhost:7800 -engine uni -window 256 -tuples 20000 -verify
 //	streamload -addr localhost:7800 -tls -tls-ca cert.pem -auth-token s3cret
 //
@@ -39,6 +40,17 @@ func main() {
 	}
 }
 
+// session abstracts what the loadgen needs from either a single
+// connection (accelstream.Client) or a striped pool of them
+// (accelstream.ClientPool, -conns > 1).
+type session interface {
+	SendBatch(batch []core.Input) error
+	Results() <-chan stream.Result
+	Close() (accelstream.SessionStats, error)
+	Credits() int
+	BatchRTT() (avg, max time.Duration, samples uint64)
+}
+
 func parseDist(name string) (workload.KeyDist, error) {
 	switch name {
 	case "uniform":
@@ -59,6 +71,7 @@ func run() error {
 	window := flag.Int("window", 1<<16, "per-stream window size")
 	tuples := flag.Int("tuples", 1<<20, "total tuples to replay")
 	batch := flag.Int("batch", 512, "tuples per batch frame")
+	conns := flag.Int("conns", 1, "independent sessions to stripe batches over (each runs its own engine)")
 	rate := flag.Float64("rate", 0, "offered load in tuples/s (0: saturate)")
 	distName := flag.String("dist", "uniform", "key distribution: uniform, zipf, or disjoint")
 	domain := flag.Int("domain", 0, "key domain size (0: generator default)")
@@ -85,6 +98,9 @@ func run() error {
 	}
 	if *batch <= 0 || *tuples <= 0 {
 		return fmt.Errorf("batch and tuples must be positive")
+	}
+	if *conns > 1 && *verify {
+		return fmt.Errorf("-verify requires -conns 1: pooled sessions join independently, so the single-engine oracle does not apply")
 	}
 
 	gen, err := workload.NewGenerator(workload.Spec{Seed: *seed, Dist: dist, KeyDomain: *domain})
@@ -115,17 +131,33 @@ func run() error {
 	if *dialTimeout > 0 {
 		opts = append(opts, accelstream.WithDialTimeout(*dialTimeout))
 	}
-	c, err := accelstream.Dial(*addr, accelstream.SessionConfig{
+	sessCfg := accelstream.SessionConfig{
 		Engine:  engine,
 		Cores:   *cores,
 		Window:  *window,
 		Ordered: *ordered,
-	}, opts...)
-	if err != nil {
-		return err
 	}
-	fmt.Printf("session open: %v engine, %d cores, window %d, credit window %d\n",
-		engine, *cores, *window, c.Credits())
+	var c session
+	var pool *accelstream.ClientPool
+	if *conns > 1 {
+		pool, err = accelstream.DialPool(*addr, *conns, sessCfg, opts...)
+		if err != nil {
+			return err
+		}
+		pool.SetLogf(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "streamload: "+format+"\n", args...)
+		})
+		c = pool
+		fmt.Printf("pool open: %d sessions, %v engine, %d cores, window %d each, %d credits total\n",
+			*conns, engine, *cores, *window, pool.Credits())
+	} else {
+		c, err = accelstream.Dial(*addr, sessCfg, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("session open: %v engine, %d cores, window %d, credit window %d\n",
+			engine, *cores, *window, c.Credits())
+	}
 
 	var pacer *workload.Pacer
 	if *rate > 0 {
@@ -182,7 +214,12 @@ func run() error {
 		fmt.Printf("batch round trip (send -> credit return, includes engine ingest): avg %v, max %v over %d batches\n", avg, max, n)
 	}
 	fmt.Printf("server stats: %d tuples in / %d batches, %d results out\n", st.TuplesIn, st.BatchesIn, st.ResultsOut)
-	if st.ResultsOut != received {
+	if pool != nil && (pool.Replacements() > 0 || pool.Down() > 0) {
+		// Sessions lost mid-run take their in-flight batches and counters
+		// with them, so the aggregate bookkeeping cannot balance.
+		fmt.Printf("pool degraded during the run: %d sessions replaced, %d down; stats cover surviving sessions only\n",
+			pool.Replacements(), pool.Down())
+	} else if st.ResultsOut != received {
 		return fmt.Errorf("server emitted %d results but client received %d", st.ResultsOut, received)
 	}
 	if *verify {

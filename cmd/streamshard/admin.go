@@ -1,0 +1,263 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"accelstream"
+)
+
+// routerRegistry tracks the live per-session shard routers and the
+// current shard set used for new sessions. It is what makes the daemon
+// elastic: the admin endpoint resizes the deployment by rebalancing
+// every live router onto the changed address list and updating the list
+// new sessions dial, under one lock so sessions opened mid-resize never
+// see a half-applied layout.
+type routerRegistry struct {
+	mu      sync.Mutex
+	addrs   []string
+	routers map[int64]*accelstream.ShardRouter
+	nextID  int64
+	logf    func(format string, args ...any)
+
+	// Rebalance counters of routers that already closed, so the metrics
+	// endpoint reports cumulative daemon totals rather than only the
+	// currently-live sessions.
+	retired struct {
+		completed, aborted, migrated uint64
+		nanos                        uint64
+	}
+}
+
+func newRouterRegistry(addrs []string, logf func(format string, args ...any)) *routerRegistry {
+	return &routerRegistry{
+		addrs:   append([]string(nil), addrs...),
+		routers: make(map[int64]*accelstream.ShardRouter),
+		logf:    logf,
+	}
+}
+
+// snapshotAddrs returns the shard set a new session should dial.
+func (g *routerRegistry) snapshotAddrs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.addrs...)
+}
+
+// add registers a live router and returns its registry id.
+func (g *routerRegistry) add(r *accelstream.ShardRouter) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextID++
+	g.routers[g.nextID] = r
+	return g.nextID
+}
+
+// remove unregisters a closing router, folding its rebalance counters
+// into the retired totals. It blocks while a resize is in flight, so a
+// session close never races a rebalance on the same router.
+func (g *routerRegistry) remove(id int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.routers[id]
+	if !ok {
+		return
+	}
+	completed, aborted, migrated, total := r.RebalanceMetrics()
+	g.retired.completed += completed
+	g.retired.aborted += aborted
+	g.retired.migrated += migrated
+	g.retired.nanos += uint64(total.Nanoseconds())
+	delete(g.routers, id)
+}
+
+// resize rebalances every live router onto newAddrs. The address list
+// for future sessions is updated only when every router made the
+// transition; on partial failure the failed routers have restored their
+// old layout themselves (Rebalance aborts in place) and the summary
+// says which sessions are where.
+func (g *routerRegistry) resize(newAddrs []string) (summary []string, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	failed := 0
+	for id, r := range g.routers {
+		rep, rerr := r.Rebalance(newAddrs)
+		if rerr != nil {
+			failed++
+			summary = append(summary, fmt.Sprintf("session %d: FAILED: %v (old layout kept, %d slices lost)",
+				id, rerr, rep.SlicesLost))
+			continue
+		}
+		summary = append(summary, fmt.Sprintf("session %d: %d -> %d shards, %d window tuples migrated in %v",
+			id, rep.OldShards, rep.NewShards, rep.TuplesMigrated, rep.Duration))
+	}
+	if failed > 0 {
+		return summary, fmt.Errorf("%d of %d sessions failed to rebalance; shard set unchanged (%s)",
+			failed, len(g.routers), strings.Join(g.addrs, ","))
+	}
+	g.addrs = append([]string(nil), newAddrs...)
+	summary = append(summary, fmt.Sprintf("shard set now: %s", strings.Join(g.addrs, ",")))
+	return summary, nil
+}
+
+// registerAdmin mounts the operator endpoints on the metrics mux:
+//
+//	GET  /admin/shards                     current shard set
+//	POST /admin/add-shard?addr=host:port   grow: rebalance live sessions onto the set + addr
+//	POST /admin/remove-shard?addr=host:port shrink: rebalance live sessions onto the set - addr
+//
+// Growth and shrink go through ShardRouter.Rebalance, so every live
+// session's window state is re-sliced onto the new layout with results
+// staying oracle-equal; each session's global window must divide evenly
+// by the new shard count or that session's resize is refused.
+func (g *routerRegistry) registerAdmin(mux *http.ServeMux) {
+	mux.HandleFunc("/admin/shards", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		g.mu.Lock()
+		addrs := strings.Join(g.addrs, "\n")
+		g.mu.Unlock()
+		fmt.Fprintln(w, addrs)
+	})
+	mux.HandleFunc("/admin/add-shard", func(w http.ResponseWriter, r *http.Request) {
+		g.handleResize(w, r, true)
+	})
+	mux.HandleFunc("/admin/remove-shard", func(w http.ResponseWriter, r *http.Request) {
+		g.handleResize(w, r, false)
+	})
+}
+
+func (g *routerRegistry) handleResize(w http.ResponseWriter, r *http.Request, grow bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	addr := strings.TrimSpace(r.FormValue("addr"))
+	if addr == "" {
+		http.Error(w, "missing addr parameter (host:port of the shard)", http.StatusBadRequest)
+		return
+	}
+	current := g.snapshotAddrs()
+	var target []string
+	if grow {
+		for _, a := range current {
+			if a == addr {
+				http.Error(w, fmt.Sprintf("shard %s already in the set", addr), http.StatusConflict)
+				return
+			}
+		}
+		target = append(append([]string(nil), current...), addr)
+	} else {
+		for _, a := range current {
+			if a != addr {
+				target = append(target, a)
+			}
+		}
+		if len(target) == len(current) {
+			http.Error(w, fmt.Sprintf("shard %s not in the set", addr), http.StatusNotFound)
+			return
+		}
+		if len(target) == 0 {
+			http.Error(w, "refusing to remove the last shard", http.StatusConflict)
+			return
+		}
+	}
+	op := "add"
+	if !grow {
+		op = "remove"
+	}
+	g.logf("admin: %s-shard %s: resizing to %d shards (%s)", op, addr, len(target), strings.Join(target, ","))
+	summary, err := g.resize(target)
+	for _, line := range summary {
+		g.logf("admin: %s", line)
+	}
+	if err != nil {
+		g.logf("admin: %s-shard %s failed: %v", op, addr, err)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, err)
+	}
+	for _, line := range summary {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// writeMetrics appends the router-layer metrics to the streamd server
+// families: per-shard labeled gauges/counters for every live session's
+// router, plus cumulative rebalance totals (live + retired sessions), in
+// the Prometheus text exposition format.
+func (g *routerRegistry) writeMetrics(b *strings.Builder) {
+	g.mu.Lock()
+	type row struct {
+		session int64
+		st      accelstream.ShardState
+	}
+	var rows []row
+	completed, aborted, migrated := g.retired.completed, g.retired.aborted, g.retired.migrated
+	nanos := g.retired.nanos
+	for id, r := range g.routers {
+		for _, st := range r.Shards() {
+			rows = append(rows, row{id, st})
+		}
+		c, a, m, d := r.RebalanceMetrics()
+		completed += c
+		aborted += a
+		migrated += m
+		nanos += uint64(d.Nanoseconds())
+	}
+	shardCount := len(g.addrs)
+	g.mu.Unlock()
+	// Keep output deterministic for scrapers and tests.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].session != rows[j].session {
+			return rows[i].session < rows[j].session
+		}
+		return rows[i].st.Index < rows[j].st.Index
+	})
+
+	label := func(r row) string {
+		return fmt.Sprintf(`{session="%d",shard="%d",addr=%q}`, r.session, r.st.Index, r.st.Addr)
+	}
+	family := func(name, kind, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+	}
+	family("streamshard_shards", "gauge", "Shards in the current deployment layout.")
+	fmt.Fprintf(b, "streamshard_shards %d\n", shardCount)
+	family("streamshard_shard_up", "gauge", "Whether the shard's session is live, per session and shard.")
+	for _, r := range rows {
+		up := 0
+		if r.st.Up {
+			up = 1
+		}
+		fmt.Fprintf(b, "streamshard_shard_up%s %d\n", label(r), up)
+	}
+	family("streamshard_shard_redials_total", "counter", "Successful reconnections, per session and shard.")
+	for _, r := range rows {
+		fmt.Fprintf(b, "streamshard_shard_redials_total%s %d\n", label(r), r.st.Redials)
+	}
+	family("streamshard_shard_batches_dropped_total", "counter", "Broadcast batches the shard never processed, per session and shard.")
+	for _, r := range rows {
+		fmt.Fprintf(b, "streamshard_shard_batches_dropped_total%s %d\n", label(r), r.st.BatchesDropped)
+	}
+	family("streamshard_shard_results_total", "counter", "Results merged from the shard, per session and shard.")
+	for _, r := range rows {
+		fmt.Fprintf(b, "streamshard_shard_results_total%s %d\n", label(r), r.st.Results)
+	}
+	family("streamshard_shard_credits_outstanding", "gauge", "Batch credits the shard's session holds server-side (per-shard backpressure).")
+	for _, r := range rows {
+		fmt.Fprintf(b, "streamshard_shard_credits_outstanding%s %d\n", label(r), r.st.CreditsOutstanding)
+	}
+	family("streamshard_rebalance_total", "counter", "Completed shard-set rebalances across all sessions.")
+	fmt.Fprintf(b, "streamshard_rebalance_total %d\n", completed)
+	family("streamshard_rebalance_aborts_total", "counter", "Aborted shard-set rebalances (old layout restored).")
+	fmt.Fprintf(b, "streamshard_rebalance_aborts_total %d\n", aborted)
+	family("streamshard_rebalance_tuples_migrated_total", "counter", "Window tuples re-sliced across rebalances.")
+	fmt.Fprintf(b, "streamshard_rebalance_tuples_migrated_total %d\n", migrated)
+	family("streamshard_rebalance_duration_seconds", "counter", "Total wall time spent rebalancing, pause to resume.")
+	fmt.Fprintf(b, "streamshard_rebalance_duration_seconds %v\n", time.Duration(nanos).Seconds())
+}

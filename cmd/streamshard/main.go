@@ -18,6 +18,16 @@
 // the global window, which must divide evenly across the shards. Only the
 // software uni-flow engine can be sharded.
 //
+// A running deployment can be resized without restarting anything: with
+// -metrics set, the metrics listener also serves an admin endpoint that
+// grows or shrinks the shard set live, rebalancing every open session's
+// window state onto the new layout (results stay oracle-equal through
+// the transition):
+//
+//	curl -X POST 'http://localhost:9100/admin/add-shard?addr=localhost:7804'
+//	curl -X POST 'http://localhost:9100/admin/remove-shard?addr=localhost:7802'
+//	curl http://localhost:9100/admin/shards
+//
 // Both sides of the router can be secured independently: the front
 // listener with -tls-cert/-tls-key/-auth-token (like streamd), and the
 // back-side shard dials with -shard-tls/-shard-tls-ca/-shard-auth-token —
@@ -60,8 +70,14 @@ func main() {
 	}
 }
 
-// routerEngine serves one front-side session from a shard router.
-type routerEngine struct{ r *accelstream.ShardRouter }
+// routerEngine serves one front-side session from a shard router,
+// registered with the daemon's registry so the admin endpoint can
+// rebalance it live.
+type routerEngine struct {
+	r   *accelstream.ShardRouter
+	reg *routerRegistry
+	id  int64
+}
 
 func (e *routerEngine) Start() error { return nil }
 func (e *routerEngine) PushBatch(batch []accelstream.Input) error {
@@ -69,6 +85,9 @@ func (e *routerEngine) PushBatch(batch []accelstream.Input) error {
 }
 func (e *routerEngine) Results() <-chan accelstream.Result { return e.r.Results() }
 func (e *routerEngine) Close() error {
+	// Unregister first: remove blocks while a resize holds the registry,
+	// so the router is never closed under a rebalance in flight.
+	e.reg.remove(e.id)
 	_, err := e.r.Close()
 	return err
 }
@@ -126,6 +145,7 @@ func run() error {
 		shardDialOpts = append(shardDialOpts, accelstream.WithAuthToken(*shardAuthToken))
 	}
 
+	reg := newRouterRegistry(addrs, logger.Printf)
 	cfg := accelstream.ServerConfig{
 		InitialCredits: *credits,
 		MaxBatch:       *maxBatch,
@@ -138,7 +158,7 @@ func run() error {
 				return nil, fmt.Errorf("streamshard: session is already sharded; chain routers by listing routers as shards instead")
 			}
 			scfg := accelstream.ShardConfig{
-				Addrs:      addrs,
+				Addrs:      reg.snapshotAddrs(),
 				Cores:      oc.Cores,
 				Window:     oc.Window,
 				QueueDepth: *queueDepth,
@@ -152,7 +172,7 @@ func run() error {
 			if err != nil {
 				return nil, err
 			}
-			return &routerEngine{r}, nil
+			return &routerEngine{r: r, reg: reg, id: reg.add(r)}, nil
 		},
 	}
 	if !*quiet {
@@ -185,7 +205,14 @@ func run() error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", srv.MetricsHandler())
+		serverMetrics := srv.MetricsHandler()
+		mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			serverMetrics.ServeHTTP(w, r)
+			var b strings.Builder
+			reg.writeMetrics(&b)
+			fmt.Fprint(w, b.String())
+		}))
+		reg.registerAdmin(mux)
 		if *pprofOn {
 			registerPprof(mux)
 			logger.Printf("pprof on http://%s/debug/pprof/", mln.Addr())
@@ -193,7 +220,7 @@ func run() error {
 		msrv := &http.Server{Handler: mux}
 		defer msrv.Close()
 		go msrv.Serve(mln)
-		logger.Printf("metrics on http://%s/metrics", mln.Addr())
+		logger.Printf("metrics on http://%s/metrics, admin on http://%s/admin/{shards,add-shard,remove-shard}", mln.Addr(), mln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -68,6 +68,7 @@ var experimentRunners = map[string]func(experiments.Options) ([]ExperimentResult
 	"llhs":       figureRunner(experiments.LatencyByArchitecture),
 	"netlat":     figureRunner(experiments.NetLatency),
 	"shardscale": figureRunner(experiments.ShardScale),
+	"elastic":    figureRunner(experiments.Elastic),
 	"fig6": func(experiments.Options) ([]ExperimentResult, error) {
 		text, err := experiments.Fig6Table()
 		if err != nil {

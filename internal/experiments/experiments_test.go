@@ -391,3 +391,43 @@ func TestShardScaleShape(t *testing.T) {
 		}
 	}
 }
+
+// TestElasticShape: quick-mode live-resize run — every layout must report
+// a positive steady rate, both transitions must complete with state
+// actually migrated, and the pause must be a measurable non-negative
+// cost.
+func TestElasticShape(t *testing.T) {
+	fig, err := Elastic(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady, ok := fig.SeriesByLabel("steady ingest (tuples/s)")
+	if !ok {
+		t.Fatal("missing steady series")
+	}
+	for _, n := range []float64{2, 4, 8} {
+		v, ok := steady.ValueAt(n)
+		if !ok || v <= 0 {
+			t.Errorf("no positive steady rate at %v shards (got %v)", n, v)
+		}
+	}
+	migrated, ok := fig.SeriesByLabel("window tuples migrated")
+	if !ok {
+		t.Fatal("missing migrated series")
+	}
+	for _, n := range []float64{4, 8} {
+		v, ok := migrated.ValueAt(n)
+		if !ok || v <= 0 {
+			t.Errorf("transition to %v shards migrated %v tuples, want > 0", n, v)
+		}
+	}
+	pause, ok := fig.SeriesByLabel("rebalance pause (ms)")
+	if !ok {
+		t.Fatal("missing pause series")
+	}
+	for _, n := range []float64{4, 8} {
+		if v, ok := pause.ValueAt(n); !ok || v < 0 {
+			t.Errorf("no pause measurement at %v shards (got %v)", n, v)
+		}
+	}
+}

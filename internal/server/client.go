@@ -47,6 +47,15 @@ type Client struct {
 	closeSent bool
 	batchSeq  uint64
 
+	// Rebalance state-transfer plumbing: the base arrival counters this
+	// session was opened with, the accumulated export payload, and a
+	// one-slot channel delivering the server's RebalanceCommit echo.
+	baseSeqR, baseSeqS uint64
+	exportTuples       []core.Input
+	exportInfo         wire.RebalanceInfo
+	exportCommit       bool
+	commitCh           chan wire.RebalanceInfo
+
 	// Credit round-trip instrumentation: send times are queued FIFO and
 	// matched to returning credits (the server acks batches in order).
 	rttMu    sync.Mutex
@@ -114,6 +123,9 @@ func DialWith(addr string, cfg wire.OpenConfig, opts DialOptions) (*Client, erro
 		w:          wire.NewWriter(conn),
 		results:    make(chan stream.Result, 4096),
 		readerDone: make(chan struct{}),
+		baseSeqR:   cfg.BaseSeqR,
+		baseSeqS:   cfg.BaseSeqS,
+		commitCh:   make(chan wire.RebalanceInfo, 1),
 	}
 	conn.SetDeadline(time.Now().Add(timeout))
 	if err := c.w.WriteOpen(cfg); err != nil {
@@ -162,6 +174,16 @@ func DialWith(addr string, cfg wire.OpenConfig, opts DialOptions) (*Client, erro
 
 // Credits returns the credit-window capacity granted by the server.
 func (c *Client) Credits() int { return cap(c.credits) }
+
+// CreditsOutstanding returns how many batch credits are currently held by
+// the server (batches sent but not yet acknowledged) — the per-session
+// backpressure signal the shard router exports per shard.
+func (c *Client) CreditsOutstanding() int {
+	if c.credits == nil {
+		return 0
+	}
+	return cap(c.credits) - len(c.credits)
+}
 
 // Err returns the first fatal session error, if any.
 func (c *Client) Err() error {
@@ -238,6 +260,97 @@ func (c *Client) Close() (wire.Stats, error) {
 	return c.stats, c.err
 }
 
+// ImportState installs sliding-window state into the freshly opened
+// session, before any batch has been sent: the tuples are streamed as
+// StateChunk frames, closed with a RebalanceCommit carrying the per-side
+// counts and this session's base arrival counters, and the call blocks
+// until the server echoes the commit confirming the state is installed.
+// Tuples must be in ascending per-side sequence order within this
+// session's residue class (the form Client.ExportState emits, sliced).
+func (c *Client) ImportState(tuples []core.Input) error {
+	info := wire.RebalanceInfo{SeqR: c.baseSeqR, SeqS: c.baseSeqS}
+	for i := range tuples {
+		if tuples[i].Side == stream.SideR {
+			info.TuplesR++
+		} else {
+			info.TuplesS++
+		}
+	}
+	c.wmu.Lock()
+	var err error
+	for rest := tuples; len(rest) > 0 && err == nil; {
+		n := len(rest)
+		if n > wire.MaxStateChunk {
+			n = wire.MaxStateChunk
+		}
+		err = c.w.WriteStateChunk(rest[:n])
+		rest = rest[n:]
+	}
+	if err == nil {
+		err = c.w.WriteRebalanceCommit(info)
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("%w: %v", ErrConnectionLost, err)
+		c.setErr(err)
+		return err
+	}
+	select {
+	case echo := <-c.commitCh:
+		if echo != info {
+			return fmt.Errorf("server: state import mismatch: sent %+v, server installed %+v", info, echo)
+		}
+		return nil
+	case <-c.readerDone:
+		if err := c.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("server: session closed during state import")
+	}
+}
+
+// ExportState terminally drains the session and takes over its window
+// state: it sends the RebalancePrepare frame, after which the server
+// flushes all in-flight work (Results must be consumed concurrently,
+// exactly as with Close), streams its resident window as StateChunk
+// frames, and confirms with a RebalanceCommit and the final Closed frame.
+// The returned tuples are side-tagged with arrival sequence numbers, in
+// ascending per-side order; the RebalanceInfo carries the per-side counts
+// and the arrival counters at the punctuation boundary. Peers predating
+// the rebalance protocol answer with an Error frame, surfaced here as an
+// error — the caller treats that as "rebalance unsupported" and aborts.
+func (c *Client) ExportState() ([]core.Input, wire.RebalanceInfo, error) {
+	c.mu.Lock()
+	alreadySent := c.closeSent
+	c.closeSent = true
+	c.mu.Unlock()
+	if alreadySent {
+		return nil, wire.RebalanceInfo{}, fmt.Errorf("server: session already closing")
+	}
+	c.wmu.Lock()
+	err := c.w.WriteRebalancePrepare()
+	c.wmu.Unlock()
+	if err != nil {
+		c.setErr(fmt.Errorf("%w: %v", ErrConnectionLost, err))
+		c.conn.Close()
+	}
+	<-c.readerDone
+	c.conn.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, wire.RebalanceInfo{}, c.err
+	}
+	if !c.exportCommit {
+		return nil, wire.RebalanceInfo{}, fmt.Errorf("%w: export ended without a rebalance commit", ErrConnectionLost)
+	}
+	if got := uint64(len(c.exportTuples)); got != c.exportInfo.TuplesR+c.exportInfo.TuplesS {
+		return nil, wire.RebalanceInfo{}, fmt.Errorf("server: export announced %d tuples, carried %d",
+			c.exportInfo.TuplesR+c.exportInfo.TuplesS, got)
+	}
+	return c.exportTuples, c.exportInfo, nil
+}
+
 // BatchRTT reports the observed credit round-trip time — send of a Batch
 // frame to return of its credit, which includes network transit and the
 // engine's ingest time — as (average, max, samples).
@@ -294,6 +407,29 @@ func (c *Client) readLoop(r *wire.Reader) {
 				case c.credits <- struct{}{}:
 				default:
 				}
+			}
+		case wire.FrameStateChunk:
+			tuples, err := wire.DecodeStateChunk(f.Payload)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			c.mu.Lock()
+			c.exportTuples = append(c.exportTuples, tuples...)
+			c.mu.Unlock()
+		case wire.FrameRebalanceCommit:
+			info, err := wire.DecodeRebalanceCommit(f.Payload)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			c.mu.Lock()
+			c.exportInfo = info
+			c.exportCommit = true
+			c.mu.Unlock()
+			select {
+			case c.commitCh <- info:
+			default:
 			}
 		case wire.FrameClosed:
 			st, err := wire.DecodeClosed(f.Payload)

@@ -29,6 +29,25 @@ type Engine interface {
 	Backlog() int
 }
 
+// StateExporter is the optional engine capability behind the rebalance
+// export path: ExportState snapshots the resident window state (after
+// Close has drained the engine) as side-tagged tuples with their arrival
+// sequence numbers, and Seqs reports the per-side arrival counters at that
+// punctuation boundary. A session answers FrameRebalancePrepare only when
+// its engine implements this.
+type StateExporter interface {
+	ExportState() ([]core.Input, error)
+	Seqs() (seqR, seqS uint64)
+}
+
+// StateImporter is the optional engine capability behind the rebalance
+// import path: ImportState installs a window-state slice into a freshly
+// opened engine before its first batch. A session accepts FrameStateChunk
+// only when its engine implements this.
+type StateImporter interface {
+	ImportState(tuples []core.Input) error
+}
+
 // buildEngine instantiates the engine a session requested.
 func buildEngine(cfg wire.OpenConfig) (Engine, error) {
 	if err := cfg.Validate(); err != nil {

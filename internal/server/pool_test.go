@@ -1,0 +1,304 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"accelstream/internal/core"
+	"accelstream/internal/stream"
+	"accelstream/internal/wire"
+)
+
+// poolOpenConfig is a small uni-flow session configuration for pool
+// tests: self-contained batches (R then S on a fresh key) join entirely
+// within whichever session the batch lands on.
+func poolOpenConfig() wire.OpenConfig {
+	return wire.OpenConfig{Engine: wire.EngineSoftUni, Cores: 2, Window: 1 << 10}
+}
+
+// selfJoiningBatch builds a batch whose only match is internal: one R
+// and one S tuple on a key unique to the batch, so each batch yields
+// exactly one result regardless of which pool session it is striped to.
+func selfJoiningBatch(key uint32) []core.Input {
+	return []core.Input{
+		{Side: stream.SideR, Tuple: stream.Tuple{Key: key, Val: key}},
+		{Side: stream.SideS, Tuple: stream.Tuple{Key: key, Val: key + 1}},
+	}
+}
+
+// TestPoolStripesAndMerges drives batches through a 3-wide pool and
+// checks the merged stream carries every batch's join and the summed
+// close stats account for all input.
+func TestPoolStripesAndMerges(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	const conns, batches = 3, 90
+	p, err := DialPool(addr, conns, poolOpenConfig(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Conns(); got != conns {
+		t.Fatalf("pool width %d, want %d", got, conns)
+	}
+	if p.Credits() == 0 {
+		t.Fatal("pool reports no credits")
+	}
+	var results []stream.Result
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range p.Results() {
+			results = append(results, r)
+		}
+	}()
+	for i := 0; i < batches; i++ {
+		if err := p.SendBatch(selfJoiningBatch(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if st.TuplesIn != 2*batches || st.BatchesIn != batches {
+		t.Errorf("summed stats %+v, want %d tuples over %d batches", st, 2*batches, batches)
+	}
+	if len(results) != batches {
+		t.Fatalf("merged %d results, want one per batch (%d)", len(results), batches)
+	}
+	seen := make(map[uint32]bool)
+	for _, r := range results {
+		if seen[r.R.Key] {
+			t.Fatalf("key %d joined twice", r.R.Key)
+		}
+		seen[r.R.Key] = true
+	}
+	if avg, _, n := p.BatchRTT(); n != batches || avg <= 0 {
+		t.Errorf("pool RTT: avg %v over %d samples, want %d positive samples", avg, n, batches)
+	}
+	if p.Replacements() != 0 || p.Down() != 0 {
+		t.Errorf("healthy run reports %d replacements, %d down", p.Replacements(), p.Down())
+	}
+}
+
+// cuttableProxy forwards TCP connections to backend and lets the test
+// sever individual ones.
+type cuttableProxy struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn // paired: client-side, backend-side, client-side, ...
+}
+
+func startCuttableProxy(t *testing.T, backend string) *cuttableProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &cuttableProxy{ln: ln}
+	go func() {
+		for {
+			client, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			server, err := net.Dial("tcp", backend)
+			if err != nil {
+				client.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, client, server)
+			p.mu.Unlock()
+			go func() { io.Copy(server, client); server.Close() }()
+			go func() { io.Copy(client, server); client.Close() }()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		p.mu.Lock()
+		for _, c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+	})
+	return p
+}
+
+func (p *cuttableProxy) addr() string { return p.ln.Addr().String() }
+
+// cut severs proxied session i (0-based, in accept order).
+func (p *cuttableProxy) cut(i int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conns[2*i].Close()
+	p.conns[2*i+1].Close()
+}
+
+func (p *cuttableProxy) sessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns) / 2
+}
+
+// TestPoolReplacesLostSession cuts one of a pool's connections
+// mid-stream and checks the pool dials a replacement, keeps accepting
+// batches with no error surfaced, and reports the replacement.
+func TestPoolReplacesLostSession(t *testing.T) {
+	_, backend := startServer(t, Config{})
+	proxy := startCuttableProxy(t, backend)
+	const conns = 3
+	p, err := DialPool(proxy.addr(), conns, poolOpenConfig(), DialOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetLogf(t.Logf)
+	done := make(chan struct{})
+	var received int
+	go func() {
+		defer close(done)
+		for range p.Results() {
+			received++
+		}
+	}()
+	key := uint32(0)
+	send := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := p.SendBatch(selfJoiningBatch(key)); err != nil {
+				t.Fatal(err)
+			}
+			key++
+		}
+	}
+	send(30)
+	proxy.cut(1)
+	// Keep sending until the pool notices the dead session and replaces
+	// it; the write may land in OS buffers a few times before it fails.
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Replacements() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never replaced the cut session")
+		}
+		send(3)
+		time.Sleep(10 * time.Millisecond)
+	}
+	send(30)
+	if _, err := p.Close(); err != nil {
+		t.Fatalf("close after replacement: %v", err)
+	}
+	<-done
+	if p.Replacements() != 1 || p.Down() != 0 {
+		t.Errorf("%d replacements, %d down, want 1 and 0", p.Replacements(), p.Down())
+	}
+	if got := proxy.sessions(); got != conns+1 {
+		t.Errorf("proxy saw %d sessions, want %d (original %d + 1 replacement)", got, conns+1, conns)
+	}
+	if received == 0 {
+		t.Error("no results merged")
+	}
+	t.Logf("merged %d results across the replacement (some in flight on the cut session are expectedly lost)", received)
+}
+
+// TestPoolDegradesWhenReplacementFails cuts a session after the backend
+// is unreachable for new dials: the slot goes permanently down and the
+// pool keeps running on the remaining sessions; once every slot is cut
+// SendBatch surfaces ErrConnectionLost.
+func TestPoolDegradesWhenReplacementFails(t *testing.T) {
+	_, backend := startServer(t, Config{})
+	proxy := startCuttableProxy(t, backend)
+	const conns = 2
+	p, err := DialPool(proxy.addr(), conns, poolOpenConfig(), DialOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetLogf(t.Logf)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range p.Results() {
+		}
+	}()
+	if err := p.SendBatch(selfJoiningBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	// New dials now fail (listener closed), so a cut slot cannot be
+	// replaced and must go down.
+	proxy.ln.Close()
+	proxy.cut(0)
+	deadline := time.Now().Add(10 * time.Second)
+	key := uint32(1)
+	for p.Down() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never marked the cut slot down")
+		}
+		if err := p.SendBatch(selfJoiningBatch(key)); err != nil {
+			t.Fatalf("degraded pool refused a batch: %v", err)
+		}
+		key++
+		time.Sleep(10 * time.Millisecond)
+	}
+	proxy.cut(1)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		err := p.SendBatch(selfJoiningBatch(key))
+		key++
+		if err != nil {
+			if !errors.Is(err, ErrConnectionLost) {
+				t.Fatalf("exhausted pool error = %v, want ErrConnectionLost", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool with every slot cut kept accepting batches")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.Down() != conns {
+		t.Errorf("%d slots down, want %d", p.Down(), conns)
+	}
+	p.Close()
+	<-done
+}
+
+// TestPoolDefaultsToOneConn checks conns <= 0 collapses to a single
+// session and the pool still round-trips.
+func TestPoolDefaultsToOneConn(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	p, err := DialPool(addr, 0, poolOpenConfig(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Conns() != 1 {
+		t.Fatalf("pool width %d, want 1", p.Conns())
+	}
+	done := make(chan struct{})
+	var got int
+	go func() {
+		defer close(done)
+		for range p.Results() {
+			got++
+		}
+	}()
+	if err := p.SendBatch(selfJoiningBatch(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if got != 1 {
+		t.Fatalf("%d results, want 1", got)
+	}
+	if _, err := p.Close(); err == nil {
+		t.Error("second Close succeeded")
+	}
+	if err := p.SendBatch(selfJoiningBatch(8)); err == nil {
+		t.Error("SendBatch on a closed pool succeeded")
+	}
+}

@@ -150,7 +150,7 @@ func (s *session) run() {
 		s.pumpResults()
 	}()
 
-	graceful := s.readLoop()
+	mode := s.readLoop()
 
 	// Stop the engine. Close flushes in-flight work, after which the
 	// results channel closes and the writer finishes streaming.
@@ -159,7 +159,14 @@ func (s *session) run() {
 	}
 	<-writerDone
 
-	if graceful {
+	if mode == closeExport {
+		// All results are flushed; the quiesced window state follows, then
+		// the Closed frame confirms the hand-off completed.
+		if !s.exportState() {
+			mode = closeAbort
+		}
+	}
+	if mode != closeAbort {
 		st := wire.Stats{
 			TuplesIn:   s.tuplesIn.Load(),
 			BatchesIn:  s.batchesIn.Load(),
@@ -172,7 +179,51 @@ func (s *session) run() {
 	}
 	m := s.metrics()
 	s.srv.logf("session %d: closed (graceful=%v): %d tuples in / %d batches, %d results out, avg batch latency %v",
-		s.id, graceful, m.TuplesIn, m.BatchesIn, m.ResultsOut, m.AvgBatchLatency)
+		s.id, mode != closeAbort, m.TuplesIn, m.BatchesIn, m.ResultsOut, m.AvgBatchLatency)
+}
+
+// exportState streams the quiesced engine's window state: StateChunk
+// frames followed by a RebalanceCommit carrying per-side tuple counts and
+// the arrival counters at the punctuation boundary. Returns false on
+// failure, which downgrades the teardown to an abort (no Closed frame), so
+// the coordinator never mistakes a truncated export for a complete one.
+func (s *session) exportState() bool {
+	exp := s.eng.(StateExporter) // readLoop admits closeExport only with the capability
+	tuples, err := exp.ExportState()
+	if err != nil {
+		s.fail(err.Error())
+		s.srv.logf("session %d: state export: %v", s.id, err)
+		return false
+	}
+	info := wire.RebalanceInfo{}
+	info.SeqR, info.SeqS = exp.Seqs()
+	for i := range tuples {
+		if tuples[i].Side == stream.SideR {
+			info.TuplesR++
+		} else {
+			info.TuplesS++
+		}
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	for len(tuples) > 0 {
+		n := len(tuples)
+		if n > wire.MaxStateChunk {
+			n = wire.MaxStateChunk
+		}
+		chunk := tuples[:n]
+		tuples = tuples[n:]
+		if err := s.send(func(w *wire.Writer) error { return w.WriteStateChunk(chunk) }); err != nil {
+			s.srv.logf("session %d: writing state chunk: %v", s.id, err)
+			return false
+		}
+	}
+	if err := s.send(func(w *wire.Writer) error { return w.WriteRebalanceCommit(info) }); err != nil {
+		s.srv.logf("session %d: writing rebalance commit: %v", s.id, err)
+		return false
+	}
+	s.srv.logf("session %d: exported %d R + %d S window tuples at seqs (%d, %d)",
+		s.id, info.TuplesR, info.TuplesS, info.SeqR, info.SeqS)
+	return true
 }
 
 // tokensMatch compares a presented auth token against the configured one
@@ -255,13 +306,31 @@ func (s *session) handshake() error {
 	})
 }
 
-// readLoop ingests frames until Close (graceful, returns true) or a
-// connection/protocol error (returns false).
-func (s *session) readLoop() bool {
+// closeMode is how a session's read loop ended, which selects the
+// teardown path.
+type closeMode int
+
+const (
+	// closeAbort: connection or protocol failure — tear down silently.
+	closeAbort closeMode = iota
+	// closeGraceful: FrameClose — drain and send the Closed frame.
+	closeGraceful
+	// closeExport: FrameRebalancePrepare — drain, stream the window state,
+	// then send the Closed frame.
+	closeExport
+)
+
+// readLoop ingests frames until Close (graceful), RebalancePrepare
+// (export), or a connection/protocol error (abort).
+func (s *session) readLoop() closeMode {
 	// One decode buffer for the session's whole life: DecodeBatchInto
 	// reuses its storage, and the Engine contract says PushBatch does not
 	// retain the slice, so steady-state frame decoding never allocates.
 	var decodeBuf []core.Input
+	// imported accumulates the client-pushed state-chunk counts until the
+	// client's RebalanceCommit closes the import.
+	var imported wire.RebalanceInfo
+	importDone := false
 	for {
 		if s.srv.cfg.IdleTimeout > 0 {
 			s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.IdleTimeout))
@@ -278,7 +347,7 @@ func (s *session) readLoop() bool {
 			} else {
 				s.srv.logf("session %d: read: %v", s.id, err)
 			}
-			return false
+			return closeAbort
 		}
 		switch f.Type {
 		case wire.FrameBatch:
@@ -288,7 +357,7 @@ func (s *session) readLoop() bool {
 			if err != nil {
 				s.fail(err.Error())
 				s.srv.logf("session %d: bad batch: %v", s.id, err)
-				return false
+				return closeAbort
 			}
 			// PushBatch blocks while the engine (or the result path
 			// back to this client) is saturated; the credit for this
@@ -300,7 +369,7 @@ func (s *session) readLoop() bool {
 				s.srv.creditsHeld.Add(-1)
 				s.fail(err.Error())
 				s.srv.logf("session %d: engine push: %v", s.id, err)
-				return false
+				return closeAbort
 			}
 			elapsed := time.Since(start)
 			s.tuplesIn.Add(uint64(len(batch)))
@@ -316,17 +385,79 @@ func (s *session) readLoop() bool {
 			s.srv.creditsHeld.Add(-1)
 			if err != nil {
 				s.srv.logf("session %d: writing credit: %v", s.id, err)
-				return false
+				return closeAbort
 			}
 		case wire.FrameClose:
-			return true
+			return closeGraceful
+		case wire.FrameRebalancePrepare:
+			if _, ok := s.eng.(StateExporter); !ok {
+				s.fail(fmt.Sprintf("engine %v does not support state export", s.engCfg.Engine))
+				s.srv.logf("session %d: rebalance-prepare on a non-exportable engine", s.id)
+				return closeAbort
+			}
+			return closeExport
+		case wire.FrameStateChunk:
+			// Import path: a rebalance coordinator seeds a fresh session's
+			// window before streaming resumes. Only before the first batch —
+			// afterwards the engine's arrival counters have moved past the
+			// punctuation boundary the state was sliced at.
+			imp, ok := s.eng.(StateImporter)
+			if !ok {
+				s.fail(fmt.Sprintf("engine %v does not support state import", s.engCfg.Engine))
+				return closeAbort
+			}
+			if s.batchesIn.Load() != 0 || importDone {
+				s.fail("state chunk after streaming began")
+				s.srv.logf("session %d: late state chunk", s.id)
+				return closeAbort
+			}
+			tuples, err := wire.DecodeStateChunk(f.Payload)
+			if err != nil {
+				s.fail(err.Error())
+				s.srv.logf("session %d: bad state chunk: %v", s.id, err)
+				return closeAbort
+			}
+			if err := imp.ImportState(tuples); err != nil {
+				s.fail(err.Error())
+				s.srv.logf("session %d: state import: %v", s.id, err)
+				return closeAbort
+			}
+			for i := range tuples {
+				if tuples[i].Side == stream.SideR {
+					imported.TuplesR++
+				} else {
+					imported.TuplesS++
+				}
+			}
+		case wire.FrameRebalanceCommit:
+			// The client ends its state transfer; echo what this session
+			// actually installed (counts observed, base counters configured)
+			// so the coordinator can verify the hand-off before resuming.
+			want, err := wire.DecodeRebalanceCommit(f.Payload)
+			if err != nil {
+				s.fail(err.Error())
+				return closeAbort
+			}
+			imported.SeqR, imported.SeqS = s.engCfg.BaseSeqR, s.engCfg.BaseSeqS
+			if importDone || want != imported {
+				s.fail(fmt.Sprintf("rebalance commit mismatch: sent %+v, installed %+v", want, imported))
+				s.srv.logf("session %d: rebalance commit mismatch: sent %+v, installed %+v", s.id, want, imported)
+				return closeAbort
+			}
+			importDone = true
+			if err := s.send(func(w *wire.Writer) error { return w.WriteRebalanceCommit(imported) }); err != nil {
+				s.srv.logf("session %d: writing rebalance commit: %v", s.id, err)
+				return closeAbort
+			}
+			s.srv.logf("session %d: imported %d R + %d S window tuples at base seqs (%d, %d)",
+				s.id, imported.TuplesR, imported.TuplesS, imported.SeqR, imported.SeqS)
 		case wire.FrameError:
 			s.srv.logf("session %d: client error: %s", s.id, wire.DecodeError(f.Payload))
-			return false
+			return closeAbort
 		default:
 			s.fail(fmt.Sprintf("unexpected %v frame", f.Type))
 			s.srv.logf("session %d: unexpected %v frame", s.id, f.Type)
-			return false
+			return closeAbort
 		}
 	}
 }

@@ -1,0 +1,376 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"accelstream/internal/core"
+	"accelstream/internal/server"
+	"accelstream/internal/stream"
+	"accelstream/internal/workload"
+)
+
+// resizeOracleRun streams a workload through a router that is resized from
+// oldN to newN shards mid-stream — concurrently with the producer, so the
+// pause really lands inside the flow — and checks the merged results stay
+// multiset-equal to the single-engine oracle: zero tuples lost or
+// duplicated across the transition.
+func resizeOracleRun(t *testing.T, oldN, newN int) {
+	const (
+		window  = 120 // divisible by 2,3,4,5: both layouts slice evenly
+		tuples  = 6000
+		batchSz = 48
+	)
+	maxN := oldN
+	if newN > maxN {
+		maxN = newN
+	}
+	addrs := make([]string, maxN)
+	for i := range addrs {
+		_, addrs[i] = startShardServer(t)
+	}
+	r, err := Dial(Config{Addrs: addrs[:oldN], Cores: 2, Window: window, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(workload.Spec{Seed: 33, KeyDomain: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := gen.Take(tuples)
+
+	var results []stream.Result
+	done := make(chan struct{})
+	go drainRouter(r, &results, done)
+
+	// First half, then resize concurrently with the second half: SendBatch
+	// blocks while the coordinator holds the pause, so the transition lands
+	// at whatever punctuation boundary the race picks.
+	sendAll(t, r, inputs[:tuples/2], batchSz)
+	rebDone := make(chan error, 1)
+	go func() {
+		rep, err := r.Rebalance(addrs[:newN])
+		if err == nil {
+			t.Logf("rebalance %d→%d: migrated %d tuples in %v", rep.OldShards, rep.NewShards, rep.TuplesMigrated, rep.Duration)
+			if rep.Aborted || rep.SlicesLost != 0 || rep.OldShards != oldN || rep.NewShards != newN {
+				err = fmt.Errorf("unexpected report %+v", rep)
+			}
+		}
+		rebDone <- err
+	}()
+	sendAll(t, r, inputs[tuples/2:], batchSz)
+	if err := <-rebDone; err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	st, err := r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if st.TuplesIn != tuples {
+		t.Errorf("router counted %d tuples in, want %d", st.TuplesIn, tuples)
+	}
+	if st.ShardsDown != 0 || st.BatchesDropped != 0 {
+		t.Errorf("healthy resize reports loss: %+v", st)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results; vacuous run")
+	}
+	if err := core.VerifyExactlyOnce(window, stream.EquiJoinOnKey(), inputs, results); err != nil {
+		t.Fatal(err)
+	}
+	states := r.Shards()
+	if len(states) != newN {
+		t.Fatalf("router reports %d shards after resize, want %d", len(states), newN)
+	}
+	completed, aborted, migrated, total := r.RebalanceMetrics()
+	if completed != 1 || aborted != 0 {
+		t.Errorf("rebalance metrics: %d completed / %d aborted, want 1/0", completed, aborted)
+	}
+	if migrated == 0 || total <= 0 {
+		t.Errorf("rebalance metrics: migrated=%d duration=%v, want both positive", migrated, total)
+	}
+}
+
+// TestRebalanceGrowOracle grows a 3-shard deployment to 5 mid-stream.
+func TestRebalanceGrowOracle(t *testing.T) { resizeOracleRun(t, 3, 5) }
+
+// TestRebalanceShrinkOracle shrinks a 4-shard deployment to 2 mid-stream.
+func TestRebalanceShrinkOracle(t *testing.T) { resizeOracleRun(t, 4, 2) }
+
+// TestRebalanceChainResizes walks a deployment 2→4→3→2 through repeated
+// resizes with streaming between each, accumulating retired-generation
+// counters, and checks the end-to-end result multiset.
+func TestRebalanceChainResizes(t *testing.T) {
+	const (
+		window  = 120
+		perLeg  = 1500
+		batchSz = 32
+	)
+	addrs := make([]string, 4)
+	for i := range addrs {
+		_, addrs[i] = startShardServer(t)
+	}
+	r, err := Dial(Config{Addrs: addrs[:2], Cores: 2, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(workload.Spec{Seed: 55, KeyDomain: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []stream.Result
+	done := make(chan struct{})
+	go drainRouter(r, &results, done)
+
+	var inputs []core.Input
+	for _, n := range []int{4, 3, 2} {
+		leg := gen.Take(perLeg)
+		inputs = append(inputs, leg...)
+		sendAll(t, r, leg, batchSz)
+		if _, err := r.Rebalance(addrs[:n]); err != nil {
+			t.Fatalf("rebalance to %d shards: %v", n, err)
+		}
+	}
+	leg := gen.Take(perLeg)
+	inputs = append(inputs, leg...)
+	sendAll(t, r, leg, batchSz)
+
+	if _, err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := core.VerifyExactlyOnce(window, stream.EquiJoinOnKey(), inputs, results); err != nil {
+		t.Fatal(err)
+	}
+	completed, aborted, _, _ := r.RebalanceMetrics()
+	if completed != 3 || aborted != 0 {
+		t.Errorf("rebalance metrics: %d completed / %d aborted, want 3/0", completed, aborted)
+	}
+}
+
+// TestRebalanceAbortRestoresOldLayout points a resize at an unreachable
+// endpoint: the exports succeed, the new-layout dial fails, and the
+// coordinator must restore the old layout from the exported state — the
+// stream then continues with zero loss, oracle-equal end to end.
+func TestRebalanceAbortRestoresOldLayout(t *testing.T) {
+	const (
+		window  = 120
+		tuples  = 3000
+		batchSz = 48
+	)
+	addrs := make([]string, 3)
+	for i := range addrs {
+		_, addrs[i] = startShardServer(t)
+	}
+	// An address with nothing listening: reserve a port, then free it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	r, err := Dial(Config{
+		Addrs:       addrs,
+		Cores:       2,
+		Window:      window,
+		DialTimeout: 2 * time.Second,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(workload.Spec{Seed: 77, KeyDomain: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := gen.Take(tuples)
+
+	var results []stream.Result
+	done := make(chan struct{})
+	go drainRouter(r, &results, done)
+
+	sendAll(t, r, inputs[:tuples/2], batchSz)
+	rep, err := r.Rebalance([]string{addrs[0], addrs[1], addrs[2], deadAddr})
+	if err == nil {
+		t.Fatal("rebalance toward an unreachable shard succeeded")
+	}
+	if !rep.Aborted {
+		t.Fatalf("report not marked aborted: %+v", rep)
+	}
+	if rep.SlicesLost != 0 {
+		t.Errorf("clean abort lost %d slices", rep.SlicesLost)
+	}
+	sendAll(t, r, inputs[tuples/2:], batchSz)
+
+	st, err := r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if st.ShardsDown != 0 || st.BatchesDropped != 0 {
+		t.Errorf("aborted-rebalance run reports loss: %+v", st)
+	}
+	if err := core.VerifyExactlyOnce(window, stream.EquiJoinOnKey(), inputs, results); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Shards()); got != 3 {
+		t.Errorf("router on %d shards after abort, want the old 3", got)
+	}
+	completed, aborted, _, _ := r.RebalanceMetrics()
+	if completed != 0 || aborted != 1 {
+		t.Errorf("rebalance metrics: %d completed / %d aborted, want 0/1", completed, aborted)
+	}
+}
+
+// TestRebalanceCrashDuringExport kills one old shard's server immediately
+// before a resize: its export fails mid-rebalance, the coordinator aborts
+// back to the old layout with only that shard's slice lost, and the
+// containment argument holds — every missing match is stored in the
+// crashed shard's residue class, nothing is duplicated.
+func TestRebalanceCrashDuringExport(t *testing.T) {
+	const (
+		window  = 120 // ≥ 90 arrivals per side: nothing expires (twoPhaseWorkload)
+		perSide = 45
+		batchSz = 10
+		crashed = 1
+	)
+	servers := make([]*server.Server, 5)
+	addrs := make([]string, 5)
+	for i := range addrs {
+		servers[i], addrs[i] = startShardServer(t)
+	}
+	r, err := Dial(Config{
+		Addrs:  addrs[:3],
+		Window: window,
+		Redial: RedialPolicy{Attempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond},
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []stream.Result
+	done := make(chan struct{})
+	go drainRouter(r, &results, done)
+
+	phase1, phase2 := twoPhaseWorkload(perSide)
+	sendAll(t, r, phase1, batchSz)
+
+	// Quiesce: wait until every queued batch is flushed and acknowledged,
+	// so the senders are parked and only the rebalance export can discover
+	// the crash.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		credits := 0
+		for _, st := range r.Shards() {
+			credits += st.CreditsOutstanding
+		}
+		if r.Backlog() == 0 && credits == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router did not quiesce after phase 1")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Crash an old shard, then try to grow onto the live endpoints: the
+	// coordinator cannot export the dead session's slice and must abort.
+	abortServer(t, servers[crashed])
+	target := []string{addrs[0], addrs[2], addrs[3], addrs[4]}
+	rep, err := r.Rebalance(target)
+	if err == nil {
+		t.Fatal("rebalance with a crashed source shard succeeded")
+	}
+	if !strings.Contains(err.Error(), "export") {
+		t.Errorf("abort cause is not the export: %v", err)
+	}
+	if !rep.Aborted || rep.SlicesLost == 0 {
+		t.Fatalf("report %+v, want aborted with lost slices", rep)
+	}
+
+	sendAll(t, r, phase2, batchSz)
+	if _, err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	all := append(append([]core.Input(nil), phase1...), phase2...)
+	oracle, residue := oracleWithStoredResidue(t, window, all, 3)
+	oracleCounts := pairCounts(oracle)
+	got := pairCounts(results)
+	for id, n := range got {
+		if n > oracleCounts[id] {
+			t.Errorf("pair %d seen %d times, oracle has %d (duplicate across abort)", id, n, oracleCounts[id])
+		}
+	}
+	residueOf := make(map[uint64]int, len(oracle))
+	for i, res := range oracle {
+		residueOf[res.PairID()] = residue[i]
+	}
+	missing := 0
+	for id, n := range oracleCounts {
+		if got[id] < n {
+			missing += n - got[id]
+			if residueOf[id] != crashed {
+				t.Errorf("missing pair %d stored on shard %d, only shard %d may lose matches",
+					id, residueOf[id], crashed)
+			}
+		}
+	}
+	t.Logf("crash-abort run: %d/%d oracle matches delivered (%d missing, all residue %d)",
+		len(results), len(oracle), missing, crashed)
+}
+
+// TestRebalanceValidation covers the cheap rejection paths: empty target
+// set, indivisible window, an effective-window change, and a closed
+// router.
+func TestRebalanceValidation(t *testing.T) {
+	_, addr := startShardServer(t)
+	r, err := Dial(Config{Addrs: []string{addr}, Window: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var results []stream.Result
+	go drainRouter(r, &results, done)
+	if _, err := r.Rebalance(nil); err == nil {
+		t.Error("Rebalance accepted an empty shard set")
+	}
+	if _, err := r.Rebalance([]string{addr, addr, addr, addr, addr, addr, addr}); err == nil {
+		t.Error("Rebalance accepted an indivisible window (120 % 7)")
+	}
+	if _, err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if _, err := r.Rebalance([]string{addr}); err == nil {
+		t.Error("Rebalance accepted a closed router")
+	}
+
+	// Window 1200 over 8 cores: one shard slices cleanly (1200/8), four
+	// shards do not (300/8 rounds each core's sub-window up to 38, an
+	// effective window of 1216) — the resize must be refused before any
+	// state moves, or results silently stop being oracle-equal.
+	r2, err := Dial(Config{Addrs: []string{addr}, Window: 1200, Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan struct{})
+	go drainRouter(r2, &results, done2)
+	_, err = r2.Rebalance([]string{addr, addr, addr, addr})
+	if err == nil {
+		t.Error("Rebalance accepted an effective-window change (1200 -> 1216)")
+	} else if !strings.Contains(err.Error(), "effective window") {
+		t.Errorf("rejection does not name the effective window: %v", err)
+	}
+	if _, err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done2
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"accelstream/internal/core"
+	"accelstream/internal/rebalance"
 	"accelstream/internal/server"
 	"accelstream/internal/stream"
 	"accelstream/internal/wire"
@@ -43,20 +44,46 @@ type Router struct {
 	sendWG  sync.WaitGroup
 	drainWG sync.WaitGroup
 
+	// sendMu serializes the broadcast path against generation changes:
+	// SendBatch holds it per batch, Rebalance for the whole pause-and-swap,
+	// and Close while retiring the current generation's queues.
+	sendMu sync.Mutex
+
+	// Rebalance observability (Prometheus-style counters).
+	rebalances      atomic.Uint64 // completed rebalances
+	rebalanceAborts atomic.Uint64 // aborted rebalances (old layout restored)
+	rebalanceNanos  atomic.Uint64 // cumulative rebalance wall time
+	rebalanceMoved  atomic.Uint64 // cumulative window tuples migrated
+
 	mu      sync.Mutex
 	failErr error
 	closed  bool
+	// retired accumulates the counters of shard generations replaced by a
+	// rebalance, so totals survive the swap.
+	retired struct {
+		redials uint64
+		dropped uint64
+		results uint64
+		down    int
+	}
 }
 
 // shardConn is one shard endpoint: a FIFO batch queue consumed by a
 // dedicated sender goroutine that owns the client (and its redials).
+// modulus and window are fixed per generation — a rebalance replaces the
+// whole shardConn set rather than mutating a live one.
 type shardConn struct {
-	r     *Router
-	index int
-	addr  string
+	r       *Router
+	index   int
+	addr    string
+	modulus int // shard count of this generation
+	window  int // per-shard window slice of this generation
 
 	queue  chan *shardBatch
 	client *server.Client // owned by the sender goroutine after Dial
+	// pub mirrors client for concurrent readers (per-shard metrics read
+	// credit occupancy without entering the sender goroutine).
+	pub atomic.Pointer[server.Client]
 
 	up      atomic.Bool
 	down    atomic.Bool
@@ -77,6 +104,10 @@ type shardBatch struct {
 	baseR  uint64
 	baseS  uint64
 	refs   atomic.Int32
+	// stop, when non-nil, marks a pause sentinel instead of a batch: the
+	// sender closes it and exits WITHOUT tearing down its client, handing
+	// session ownership to the rebalance coordinator.
+	stop chan struct{}
 }
 
 func (r *Router) getBatch() *shardBatch {
@@ -104,12 +135,7 @@ func Dial(cfg Config) (*Router, error) {
 	}
 	r := &Router{cfg: cfg, merged: make(chan stream.Result, 4096)}
 	for i, addr := range cfg.Addrs {
-		sc := &shardConn{
-			r:     r,
-			index: i,
-			addr:  addr,
-			queue: make(chan *shardBatch, cfg.QueueDepth),
-		}
+		sc := r.newShardConn(i, addr, len(cfg.Addrs))
 		c, err := server.DialWith(addr, sc.openConfig(0, 0), r.dialOptions())
 		if err != nil {
 			for _, prev := range r.shards {
@@ -118,29 +144,46 @@ func Dial(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("shard: dialing shard %d (%s): %w", i, addr, err)
 		}
 		sc.client = c
+		sc.pub.Store(c)
 		sc.up.Store(true)
 		r.shards = append(r.shards, sc)
 	}
 	for _, sc := range r.shards {
 		r.spawnDrain(sc, sc.client)
-		r.sendWG.Add(1)
-		go func(sc *shardConn) {
-			defer r.sendWG.Done()
-			sc.run()
-		}(sc)
+		r.spawnSender(sc)
 	}
 	return r, nil
+}
+
+// newShardConn builds one endpoint of a modulus-shard generation.
+func (r *Router) newShardConn(index int, addr string, modulus int) *shardConn {
+	return &shardConn{
+		r:       r,
+		index:   index,
+		addr:    addr,
+		modulus: modulus,
+		window:  r.cfg.Window / modulus,
+		queue:   make(chan *shardBatch, r.cfg.QueueDepth),
+	}
+}
+
+// spawnSender starts the shard's dedicated sender goroutine.
+func (r *Router) spawnSender(sc *shardConn) {
+	r.sendWG.Add(1)
+	go func() {
+		defer r.sendWG.Done()
+		sc.run()
+	}()
 }
 
 // openConfig is the shard's session config: its slice of the global
 // window and its residue class, with per-side arrival offsets for resume.
 func (sc *shardConn) openConfig(baseR, baseS uint64) wire.OpenConfig {
-	n := len(sc.r.cfg.Addrs)
 	return wire.OpenConfig{
 		Engine:     wire.EngineSoftUni,
 		Cores:      sc.r.cfg.Cores,
-		Window:     sc.r.cfg.Window / n,
-		ShardCount: n,
+		Window:     sc.window,
+		ShardCount: sc.modulus,
 		ShardIndex: sc.index,
 		BaseSeqR:   baseR,
 		BaseSeqS:   baseS,
@@ -187,6 +230,10 @@ func (r *Router) SendBatch(batch []core.Input) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	// sendMu orders this batch against a concurrent Rebalance: the batch
+	// lands entirely in one shard generation or entirely in the next.
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
 	r.mu.Lock()
 	closed, failErr := r.closed, r.failErr
 	r.mu.Unlock()
@@ -235,6 +282,12 @@ func (r *Router) SendBatch(batch []core.Input) error {
 // dropped session at the next batch boundary.
 func (sc *shardConn) run() {
 	for b := range sc.queue {
+		if b.stop != nil {
+			// Pause sentinel: exit without teardown — the rebalance
+			// coordinator now owns this shard's client (if any).
+			close(b.stop)
+			return
+		}
 		if sc.down.Load() {
 			sc.dropped.Add(1)
 			b.release(sc.r)
@@ -275,6 +328,7 @@ func (sc *shardConn) teardown(graceful bool) {
 		sc.closeErr = err
 	}
 	sc.client = nil
+	sc.pub.Store(nil)
 	sc.up.Store(false)
 }
 
@@ -292,6 +346,7 @@ func (sc *shardConn) redial(baseR, baseS uint64) bool {
 		c, err := server.DialWith(sc.addr, sc.openConfig(baseR, baseS), sc.r.dialOptions())
 		if err == nil {
 			sc.client = c
+			sc.pub.Store(c)
 			sc.up.Store(true)
 			sc.redials.Add(1)
 			sc.r.spawnDrain(sc, c)
@@ -336,11 +391,19 @@ func (sc *shardConn) markDown() {
 // drained every shard.
 func (r *Router) Results() <-chan stream.Result { return r.merged }
 
+// snapshotShards reads the current shard generation under the lock; the
+// returned slice is immutable (a rebalance replaces it wholesale).
+func (r *Router) snapshotShards() []*shardConn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shards
+}
+
 // Backlog reports queued-but-undelivered work: merged results not yet
 // consumed plus broadcast batches not yet sent.
 func (r *Router) Backlog() int {
 	n := len(r.merged)
-	for _, sc := range r.shards {
+	for _, sc := range r.snapshotShards() {
 		n += len(sc.queue)
 	}
 	return n
@@ -348,8 +411,9 @@ func (r *Router) Backlog() int {
 
 // Shards snapshots every shard connection's state.
 func (r *Router) Shards() []State {
-	out := make([]State, len(r.shards))
-	for i, sc := range r.shards {
+	shards := r.snapshotShards()
+	out := make([]State, len(shards))
+	for i, sc := range shards {
 		out[i] = State{
 			Index:          sc.index,
 			Addr:           sc.addr,
@@ -359,8 +423,141 @@ func (r *Router) Shards() []State {
 			BatchesDropped: sc.dropped.Load(),
 			Results:        sc.results.Load(),
 		}
+		if c := sc.pub.Load(); c != nil {
+			out[i].CreditsOutstanding = c.CreditsOutstanding()
+		}
 	}
 	return out
+}
+
+// Rebalance re-slices the deployment onto a new shard set while the
+// logical session keeps running: broadcasting pauses at a punctuation
+// boundary, every live shard session is terminally drained and its window
+// slice exported, the pooled state is re-partitioned by the new modulus
+// and installed on freshly dialed sessions (internal/rebalance does the
+// heavy lifting), and the router swaps generations and resumes. The global
+// window and arrival counters are preserved, so the merged result stream
+// stays oracle-equal across the transition.
+//
+// On failure the old layout is restored from the exported state and the
+// error returned; the router remains usable either way (a shard whose
+// slice could not be restored degrades exactly like a crashed shard).
+// Rebalance may be called concurrently with SendBatch — the batch producer
+// simply blocks for the duration of the pause.
+func (r *Router) Rebalance(newAddrs []string) (rebalance.Report, error) {
+	if len(newAddrs) == 0 {
+		return rebalance.Report{}, fmt.Errorf("shard: rebalance needs at least one shard")
+	}
+	if r.cfg.Window%len(newAddrs) != 0 {
+		return rebalance.Report{}, fmt.Errorf("shard: Window %d does not divide evenly across %d shards",
+			r.cfg.Window, len(newAddrs))
+	}
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return rebalance.Report{}, fmt.Errorf("shard: router closed")
+	}
+	oldShards := r.shards
+	r.mu.Unlock()
+
+	// Refuse a resize that would change the effective window (the engine
+	// rounds each core's sub-window up, so a slice that does not divide
+	// by the core count stores slightly more than window/shards): the
+	// merged results would silently stop being oracle-equal. Checked
+	// under sendMu, before the pause, so rejection disturbs nothing.
+	oldEff := rebalance.EffectiveWindow(r.cfg.Window, len(oldShards), r.cfg.Cores)
+	newEff := rebalance.EffectiveWindow(r.cfg.Window, len(newAddrs), r.cfg.Cores)
+	if oldEff != newEff {
+		return rebalance.Report{}, fmt.Errorf(
+			"shard: resizing %d -> %d shards would change the effective window %d -> %d (per-shard slice must divide by %d cores)",
+			len(oldShards), len(newAddrs), oldEff, newEff, r.cfg.Cores)
+	}
+
+	// Pause: a stop sentinel through each queue flushes the queued batches
+	// ahead of it (FIFO), then parks the sender without tearing down its
+	// session. After the last stop closes, no batch is in flight anywhere.
+	stops := make([]chan struct{}, len(oldShards))
+	for i, sc := range oldShards {
+		stops[i] = make(chan struct{})
+		sc.queue <- &shardBatch{stop: stops[i]}
+	}
+	for _, st := range stops {
+		<-st
+	}
+
+	oldClients := make([]*server.Client, len(oldShards))
+	oldAddrs := make([]string, len(oldShards))
+	for i, sc := range oldShards {
+		oldAddrs[i] = sc.addr
+		oldClients[i] = sc.client // nil for a dropped or downed shard
+	}
+
+	newClients, rep, err := rebalance.Run(rebalance.Config{
+		OldClients:  oldClients,
+		OldAddrs:    oldAddrs,
+		NewAddrs:    newAddrs,
+		Window:      r.cfg.Window,
+		Cores:       r.cfg.Cores,
+		SeqR:        r.seqR, // stable: sendMu held, senders parked
+		SeqS:        r.seqS,
+		DialOptions: r.dialOptions(),
+		Logf:        r.cfg.Logf,
+	})
+	addrs := newAddrs
+	if rep.Aborted || newClients == nil {
+		addrs = oldAddrs
+		r.rebalanceAborts.Add(1)
+	} else {
+		r.rebalances.Add(1)
+	}
+	r.rebalanceNanos.Add(uint64(rep.Duration.Nanoseconds()))
+	r.rebalanceMoved.Add(rep.TuplesMigrated)
+	if newClients == nil {
+		// Catastrophic: every session is gone. Rebuild the old topology
+		// with empty connections; the next batch redials each shard with
+		// fresh arrival offsets (window state lost, as on a full crash).
+		newClients = make([]*server.Client, len(oldAddrs))
+	}
+
+	// Swap generations: fresh shardConns under the new modulus, counters
+	// of the retired generation folded into the cumulative totals.
+	gen := make([]*shardConn, len(addrs))
+	for j, addr := range addrs {
+		sc := r.newShardConn(j, addr, len(addrs))
+		if c := newClients[j]; c != nil {
+			sc.client = c
+			sc.pub.Store(c)
+			sc.up.Store(true)
+			r.spawnDrain(sc, c)
+		}
+		gen[j] = sc
+	}
+	r.mu.Lock()
+	for _, sc := range oldShards {
+		r.retired.redials += sc.redials.Load()
+		r.retired.dropped += sc.dropped.Load()
+		r.retired.results += sc.results.Load()
+		if sc.down.Load() {
+			r.retired.down++
+		}
+	}
+	r.shards = gen
+	r.cfg.Addrs = addrs
+	r.mu.Unlock()
+	for _, sc := range gen {
+		r.spawnSender(sc)
+	}
+	return rep, err
+}
+
+// RebalanceMetrics reports cumulative rebalance counters: completed and
+// aborted runs, window tuples migrated, and total wall time spent
+// rebalancing.
+func (r *Router) RebalanceMetrics() (completed, aborted, migrated uint64, total time.Duration) {
+	return r.rebalances.Load(), r.rebalanceAborts.Load(), r.rebalanceMoved.Load(),
+		time.Duration(r.rebalanceNanos.Load())
 }
 
 // Close drains the session: queued batches are flushed to their shards,
@@ -375,14 +572,19 @@ func (r *Router) Close() (Stats, error) {
 	}
 	r.closed = true
 	r.mu.Unlock()
-	for _, sc := range r.shards {
+	// sendMu orders the queue close against an in-flight Rebalance, so the
+	// generation being retired is the one whose senders we wait for.
+	r.sendMu.Lock()
+	shards := r.snapshotShards()
+	for _, sc := range shards {
 		close(sc.queue)
 	}
 	r.sendWG.Wait()
+	r.sendMu.Unlock()
 	r.drainWG.Wait()
 	close(r.merged)
 	var err error
-	for _, sc := range r.shards {
+	for _, sc := range shards {
 		if sc.closeErr != nil {
 			err = fmt.Errorf("shard: shard %d (%s): close: %w", sc.index, sc.addr, sc.closeErr)
 			break
@@ -396,11 +598,18 @@ func (r *Router) stats() Stats {
 		TuplesIn:   r.tuplesIn.Load(),
 		ResultsOut: r.resultsOut.Load(),
 	}
-	for _, sc := range r.shards {
+	r.mu.Lock()
+	shards := r.shards
+	st.ShardsDown = r.retired.down
+	st.BatchesDropped = r.retired.dropped
+	st.Redials = r.retired.redials
+	r.mu.Unlock()
+	for _, sc := range shards {
 		if sc.down.Load() {
 			st.ShardsDown++
 		}
 		st.BatchesDropped += sc.dropped.Load()
+		st.Redials += sc.redials.Load()
 	}
 	return st
 }

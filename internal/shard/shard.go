@@ -140,9 +140,15 @@ type State struct {
 	BatchesDropped uint64
 	// Results counts results merged from this shard.
 	Results uint64
+	// CreditsOutstanding is how many batch credits the shard's session
+	// currently holds server-side — the per-shard backpressure signal.
+	// Zero while the shard has no live session.
+	CreditsOutstanding int
 }
 
-// Stats are the router's aggregate totals, returned by Close.
+// Stats are the router's aggregate totals, returned by Close. Counters
+// span shard generations: a rebalance folds the retired generation's
+// totals in rather than resetting them.
 type Stats struct {
 	// TuplesIn counts tuples accepted by SendBatch.
 	TuplesIn uint64
@@ -152,4 +158,6 @@ type Stats struct {
 	ShardsDown int
 	// BatchesDropped sums per-shard dropped batches.
 	BatchesDropped uint64
+	// Redials sums successful per-shard reconnections.
+	Redials uint64
 }

@@ -16,6 +16,7 @@ package softjoin
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -219,6 +220,84 @@ func (e *UniFlow) Preload(r, s []stream.Tuple) error {
 	e.seqS = uint64(len(s))
 	return nil
 }
+
+// ImportState installs previously exported sliding-window state into the
+// engine before any tuple has been pushed: the rebalance path that hands a
+// shard its residue-class slice of the global window. Each tuple is routed
+// to the core its arrival sequence number selects under the engine's
+// two-level store turn, so probing behaves exactly as if the engine had
+// ingested the tuple itself. Tuples must arrive in ascending per-side
+// sequence order (window eviction order follows insertion order) and must
+// belong to this engine's residue class with sequence numbers below the
+// engine's base counters. ImportState may be called after Start — a core
+// only reads its windows after receiving a batch, and the channel hand-off
+// orders these writes before that read — but never after ingest begins.
+func (e *UniFlow) ImportState(tuples []core.Input) error {
+	if e.closed {
+		return fmt.Errorf("softjoin: ImportState on a closed engine")
+	}
+	if e.injected.Load() != 0 || e.pending != nil {
+		return fmt.Errorf("softjoin: ImportState must precede the first pushed tuple")
+	}
+	shardN := uint64(e.cfg.ShardCount)
+	cores := uint64(len(e.cores))
+	for i := range tuples {
+		side, t := tuples[i].Side, tuples[i].Tuple
+		base := e.cfg.BaseSeqR
+		if side == stream.SideS {
+			base = e.cfg.BaseSeqS
+		}
+		if t.Seq >= base {
+			return fmt.Errorf("softjoin: imported %v tuple seq %d is not below base %d", side, t.Seq, base)
+		}
+		if t.Seq%shardN != uint64(e.cfg.ShardIndex) {
+			return fmt.Errorf("softjoin: imported %v tuple seq %d is outside residue class %d (mod %d)",
+				side, t.Seq, e.cfg.ShardIndex, shardN)
+		}
+		c := e.cores[(t.Seq/shardN)%cores]
+		if side == stream.SideR {
+			c.windowR.Insert(t)
+			c.storedR.Add(1)
+		} else {
+			c.windowS.Insert(t)
+			c.storedS.Add(1)
+		}
+	}
+	return nil
+}
+
+// ExportState snapshots the engine's resident window state as side-tagged
+// tuples in ascending per-side sequence order (all of R, then all of S),
+// ready for re-slicing across a new shard set. It requires a closed engine
+// — Close drains every in-flight batch first, so the snapshot sits at a
+// punctuation boundary — and tuples that were ingested with sequence
+// numbers (the wire path always stamps them; Preload does not).
+func (e *UniFlow) ExportState() ([]core.Input, error) {
+	if !e.closed {
+		return nil, fmt.Errorf("softjoin: ExportState requires a closed (drained) engine")
+	}
+	var out []core.Input
+	for _, side := range []stream.Side{stream.SideR, stream.SideS} {
+		var tuples []stream.Tuple
+		for _, c := range e.cores {
+			w := c.windowR
+			if side == stream.SideS {
+				w = c.windowS
+			}
+			tuples = append(tuples, w.Snapshot()...)
+		}
+		sort.Slice(tuples, func(i, j int) bool { return tuples[i].Seq < tuples[j].Seq })
+		for _, t := range tuples {
+			out = append(out, core.Input{Side: side, Tuple: t})
+		}
+	}
+	return out, nil
+}
+
+// Seqs returns the per-side arrival counters. Stable only once the single
+// producer has stopped pushing (e.g. after Close) — the punctuation
+// boundary a rebalance snapshots.
+func (e *UniFlow) Seqs() (seqR, seqS uint64) { return e.seqR, e.seqS }
 
 // Start launches the distributor, the join cores, and the result gatherer.
 func (e *UniFlow) Start() error {

@@ -47,6 +47,11 @@ func corpusFrames(tb testing.TB) [][]byte {
 	add(func(w *Writer) error { return w.WriteOpenAck(OpenAck{Credits: 16, Session: 42}) })
 	add(func(w *Writer) error { return w.WriteCredit(3) })
 	add(func(w *Writer) error { return w.WriteClosed(Stats{TuplesIn: 10000, BatchesIn: 40, ResultsOut: 123}) })
+	rng = rand.New(rand.NewSource(17))
+	add(func(w *Writer) error { return w.WriteStateChunk(randStateTuples(rng, 21)) })
+	add(func(w *Writer) error {
+		return w.WriteRebalanceCommit(RebalanceInfo{TuplesR: 60, TuplesS: 61, SeqR: 5000, SeqS: 4999})
+	})
 	return frames
 }
 
@@ -158,10 +163,10 @@ func FuzzDecodeResults(f *testing.F) {
 }
 
 // FuzzDecodeControl fuzzes every control-payload decoder (open,
-// open-ack, credit, closed): accepted opens must validate, and accepted
-// values must survive a round trip.
+// open-ack, credit, closed, state-chunk, rebalance-commit): accepted
+// opens must validate, and accepted values must survive a round trip.
 func FuzzDecodeControl(f *testing.F) {
-	for _, frame := range corpusFrames(f)[2:] { // opens (incl. auth tails), open-ack, credit, closed
+	for _, frame := range corpusFrames(f)[2:] { // opens (incl. auth tails), open-ack, credit, closed, rebalance frames
 		seedWithFlips(f, payloadOf(f, frame))
 	}
 	f.Fuzz(func(t *testing.T, payload []byte) {
@@ -188,5 +193,40 @@ func FuzzDecodeControl(f *testing.F) {
 			t.Fatalf("DecodeCredit accepted out-of-range grant %d", n)
 		}
 		DecodeClosed(payload)
+		if tuples, err := DecodeStateChunk(payload); err == nil {
+			if len(tuples) > MaxStateChunk {
+				t.Fatalf("DecodeStateChunk accepted %d tuples beyond MaxStateChunk", len(tuples))
+			}
+			var rt bytes.Buffer
+			if err := NewWriter(&rt).WriteStateChunk(tuples); err != nil {
+				t.Fatalf("re-encode of accepted state chunk failed: %v", err)
+			}
+			frame, err := NewReader(&rt).ReadFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tuples2, err := DecodeStateChunk(frame.Payload)
+			if err != nil || len(tuples2) != len(tuples) {
+				t.Fatalf("state chunk round trip diverged: %d→%d tuples, err=%v", len(tuples), len(tuples2), err)
+			}
+			for i := range tuples2 {
+				if tuples2[i] != tuples[i] {
+					t.Fatalf("state tuple %d changed across round trip: %+v vs %+v", i, tuples[i], tuples2[i])
+				}
+			}
+		}
+		if info, err := DecodeRebalanceCommit(payload); err == nil {
+			var rt bytes.Buffer
+			if err := NewWriter(&rt).WriteRebalanceCommit(info); err != nil {
+				t.Fatalf("re-encode of accepted rebalance commit failed: %v", err)
+			}
+			frame, err := NewReader(&rt).ReadFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info2, err := DecodeRebalanceCommit(frame.Payload); err != nil || info2 != info {
+				t.Fatalf("rebalance commit round trip diverged: %+v vs %+v, err=%v", info, info2, err)
+			}
+		}
 	})
 }

@@ -65,6 +65,29 @@ const (
 	FrameClosed
 	// FrameError (either direction) reports a fatal session error.
 	FrameError
+	// FrameRebalancePrepare (client → server) asks the session to quiesce
+	// its engine at the current punctuation boundary and export its
+	// sliding-window state: the server drains all in-flight work, streams
+	// the remaining Results frames, then the window contents as StateChunk
+	// frames, a RebalanceCommit summary, and finally the usual Closed
+	// frame. It is terminal for the session, like FrameClose with a state
+	// hand-off attached. Peers predating the rebalance protocol reject the
+	// frame with an Error frame, which a coordinator treats as an abort —
+	// no existing frame's encoding changed, so mixed deployments stay safe.
+	FrameRebalancePrepare
+	// FrameStateChunk (either direction) carries a slice of sliding-window
+	// state: side-tagged tuples with their per-side arrival sequence
+	// numbers. Server → client it is the export path after a
+	// RebalancePrepare; client → server it installs state into a freshly
+	// opened session before its first Batch frame.
+	FrameStateChunk
+	// FrameRebalanceCommit (either direction) ends a state transfer with
+	// per-side tuple counts and arrival counters. On the export path the
+	// server sends it after the last StateChunk; on the import path the
+	// client sends it after the last StateChunk and the server answers
+	// with an echoing RebalanceCommit once the state is installed, so the
+	// coordinator knows the shard holds exactly the slice it was sent.
+	FrameRebalanceCommit
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +109,12 @@ func (t FrameType) String() string {
 		return "closed"
 	case FrameError:
 		return "error"
+	case FrameRebalancePrepare:
+		return "rebalance-prepare"
+	case FrameStateChunk:
+		return "state-chunk"
+	case FrameRebalanceCommit:
+		return "rebalance-commit"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -238,6 +267,26 @@ func (c OpenConfig) Validate() error {
 		return fmt.Errorf("wire: auth token of %d bytes exceeds limit %d", len(c.AuthToken), MaxAuthToken)
 	}
 	return nil
+}
+
+// MaxStateChunk bounds the tuples carried by one StateChunk frame, so a
+// window migration is paced in frames that stay far below MaxPayload.
+const MaxStateChunk = 8192
+
+// RebalanceInfo summarizes one side of a window-state transfer: how many
+// tuples of each stream were moved and the per-side arrival counters the
+// receiving engine resumes at (its Open frame's BaseSeqR/BaseSeqS). Both
+// ends of a transfer exchange it in RebalanceCommit frames and compare, so
+// a short or duplicated migration is detected before streaming resumes.
+type RebalanceInfo struct {
+	// TuplesR and TuplesS count the window-resident tuples transferred
+	// per stream.
+	TuplesR uint64
+	TuplesS uint64
+	// SeqR and SeqS are the per-side arrival counters at the punctuation
+	// boundary the transfer snapshots.
+	SeqR uint64
+	SeqS uint64
 }
 
 // OpenAck is the server's acceptance of a session.

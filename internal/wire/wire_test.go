@@ -177,6 +177,152 @@ func TestControlFrameRoundTrips(t *testing.T) {
 	}
 }
 
+// randStateTuples builds side-tagged tuples with arrival sequence numbers,
+// the payload of a window-state migration.
+func randStateTuples(rng *rand.Rand, n int) []core.Input {
+	tuples := randInputs(rng, n)
+	for i := range tuples {
+		tuples[i].Tuple.Seq = rng.Uint64() >> uint(rng.Intn(64))
+	}
+	return tuples
+}
+
+// TestRebalanceFrameRoundTrips is the encode/decode property test for the
+// rebalance control frames: Prepare is empty, StateChunk preserves side,
+// key, value, AND the arrival sequence number (unlike Batch frames — the
+// residue class of a migrated tuple is a function of its arrival index),
+// and RebalanceCommit preserves the transfer summary.
+func TestRebalanceFrameRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		tuples := randStateTuples(rng, rng.Intn(300))
+		info := RebalanceInfo{
+			TuplesR: rng.Uint64() >> uint(rng.Intn(64)),
+			TuplesS: rng.Uint64() >> uint(rng.Intn(64)),
+			SeqR:    rng.Uint64() >> uint(rng.Intn(64)),
+			SeqS:    rng.Uint64() >> uint(rng.Intn(64)),
+		}
+
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteRebalancePrepare(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteStateChunk(tuples); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteRebalanceCommit(info); err != nil {
+			t.Fatal(err)
+		}
+
+		r := NewReader(&buf)
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != FrameRebalancePrepare || len(f.Payload) != 0 {
+			t.Fatalf("rebalance-prepare frame: %+v", f)
+		}
+		f, err = r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != FrameStateChunk {
+			t.Fatalf("frame type %v, want state-chunk", f.Type)
+		}
+		got, err := DecodeStateChunk(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(tuples) {
+			t.Fatalf("decoded %d state tuples, want %d", len(got), len(tuples))
+		}
+		for i := range got {
+			if got[i].Side != tuples[i].Side ||
+				got[i].Tuple.Key != tuples[i].Tuple.Key ||
+				got[i].Tuple.Val != tuples[i].Tuple.Val ||
+				got[i].Tuple.Seq != tuples[i].Tuple.Seq {
+				t.Fatalf("state tuple %d: got %+v, want %+v", i, got[i], tuples[i])
+			}
+		}
+		f, err = r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotInfo, err := DecodeRebalanceCommit(f.Payload)
+		if err != nil || gotInfo != info {
+			t.Fatalf("rebalance-commit round trip: got %+v want %+v err=%v", gotInfo, info, err)
+		}
+	}
+}
+
+// TestStateChunkLimits checks both directions of the chunk bound: the
+// writer refuses oversized chunks, and the decoder rejects payloads whose
+// count prefix lies about the tuple count or exceeds MaxStateChunk.
+func TestStateChunkLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	if err := NewWriter(io.Discard).WriteStateChunk(randStateTuples(rng, MaxStateChunk+1)); err == nil {
+		t.Fatal("WriteStateChunk accepted an oversized chunk")
+	}
+	// A count prefix larger than the payload could possibly hold.
+	payload := []byte{0xFF, 0x01} // uvarint 255, no tuple bytes
+	if _, err := DecodeStateChunk(payload); err == nil {
+		t.Fatal("DecodeStateChunk accepted a lying count prefix")
+	}
+	// A count prefix beyond MaxStateChunk is rejected before allocation.
+	huge := make([]byte, 8)
+	n := 0
+	for v := uint64(MaxStateChunk + 1); v > 0; v >>= 7 {
+		b := byte(v & 0x7F)
+		if v>>7 > 0 {
+			b |= 0x80
+		}
+		huge[n] = b
+		n++
+	}
+	if _, err := DecodeStateChunk(huge[:n]); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("DecodeStateChunk on oversized count: err=%v", err)
+	}
+	// Invalid tuple side.
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteStateChunk(randStateTuples(rng, 3)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), f.Payload...)
+	bad[1] = 9 // first tuple's side byte
+	if _, err := DecodeStateChunk(bad); err == nil {
+		t.Fatal("DecodeStateChunk accepted an invalid side byte")
+	}
+}
+
+// TestStateChunkCorruptionDetected flips every byte of an encoded
+// StateChunk frame and requires the reader or decoder to reject each copy.
+func TestStateChunkCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteStateChunk(randStateTuples(rng, 25)); err != nil {
+		t.Fatal(err)
+	}
+	original := buf.Bytes()
+	for pos := 0; pos < len(original); pos++ {
+		corrupted := append([]byte(nil), original...)
+		corrupted[pos] ^= 0x41
+		f, err := NewReader(bytes.NewReader(corrupted)).ReadFrame()
+		if err != nil {
+			continue
+		}
+		if f.Type == FrameStateChunk {
+			if _, derr := DecodeStateChunk(f.Payload); derr == nil {
+				t.Fatalf("state-chunk corruption at byte %d went undetected", pos)
+			}
+		}
+	}
+}
+
 // TestCorruptionDetected flips every byte position of an encoded frame in
 // turn and requires the reader to reject each corrupted copy (either by
 // CRC mismatch or by a framing error — never by silently decoding).

@@ -78,6 +78,26 @@ func Dial(addr string, cfg SessionConfig, opts ...DialOption) (*Client, error) {
 	})
 }
 
+// ClientPool stripes independent sessions over several connections to
+// one server: SendBatch hands batches out round-robin, Results merges
+// the sessions' outputs, and a session lost mid-stream is transparently
+// replaced. Each session runs its own engine and window — the pool is a
+// throughput construct (K independent joins), not one bigger logical
+// join; for that, see DialSharded.
+type ClientPool = server.ClientPool
+
+// DialPool connects conns independent sessions to one stream-join
+// server, all with the same engine configuration; conns <= 0 defaults
+// to 1. It takes the same options as Dial.
+func DialPool(addr string, conns int, cfg SessionConfig, opts ...DialOption) (*ClientPool, error) {
+	o := dialOptions{}.apply(opts)
+	return server.DialPool(addr, conns, cfg, server.DialOptions{
+		TLS:       o.tls,
+		AuthToken: o.authToken,
+		Timeout:   o.timeout,
+	})
+}
+
 // Serve listens on addr ("host:port"; ":0" picks a free port — see
 // Server.Addr) and serves stream-join sessions in a background goroutine
 // until Shutdown is called on the returned server. It is the programmatic

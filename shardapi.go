@@ -1,6 +1,7 @@
 package accelstream
 
 import (
+	"accelstream/internal/rebalance"
 	"accelstream/internal/shard"
 )
 
@@ -27,6 +28,12 @@ type ShardState = shard.State
 
 // ShardStats are the router's aggregate totals, returned by Close.
 type ShardStats = shard.Stats
+
+// ShardRebalanceReport summarizes one live resize of a router's shard
+// set (ShardRouter.Rebalance): layout sizes, window tuples migrated,
+// the punctuation counters the transfer snapshotted, and whether the
+// run aborted back to the old layout.
+type ShardRebalanceReport = rebalance.Report
 
 // DialSharded connects to every configured streamd endpoint and returns
 // the router fronting them as one logical join session. It takes the same
