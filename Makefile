@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race test-tls test-elastic fuzz-short bench bench-smoke check
+.PHONY: all build vet fmt-check test test-race test-tls test-elastic test-recovery fuzz-short bench bench-smoke check
 
 all: build
 
@@ -46,6 +46,19 @@ test-elastic:
 		./cmd/streamshard/ ./internal/experiments/
 	$(GO) test -race -run 'Rebalance|Pool' ./internal/shard/ ./internal/server/
 
+# The durability suite: checkpoint encode/decode and store properties
+# (corruption, truncation, crash-mid-snapshot fallback), engine quiesce
+# and snapshot cuts, the server restore/resume path, the coordinated
+# all-shard snapshot, the admin snapshot endpoint, and the recovery
+# experiment shape — then the snapshot/restore paths again under the
+# race detector.
+test-recovery:
+	$(GO) test -run 'Checkpoint|Snapshot|Restore|Recovery|Quiesce|Resume' -v \
+		./internal/checkpoint/ ./internal/softjoin/ ./internal/server/ \
+		./internal/shard/ ./cmd/streamshard/ ./internal/experiments/
+	$(GO) test -race -run 'Checkpoint|Snapshot|Restore' \
+		./internal/server/ ./internal/shard/ ./internal/softjoin/
+
 # Short fuzzing pass over the wire-protocol decoders (10s per target),
 # seeded from the corruption-test corpus. CI-sized; run `go test -fuzz`
 # directly for longer campaigns.
@@ -53,6 +66,10 @@ fuzz-short:
 	@for f in FuzzReadFrame FuzzDecodeBatch FuzzDecodeResults FuzzDecodeControl; do \
 		echo "fuzzing $$f"; \
 		$(GO) test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime 10s ./internal/wire/ || exit 1; \
+	done
+	@for f in FuzzDecode FuzzDecodeManifest FuzzDecodeChunk; do \
+		echo "fuzzing checkpoint $$f"; \
+		$(GO) test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime 10s ./internal/checkpoint/ || exit 1; \
 	done
 
 # Hot-path microbenchmarks (allocations reported), then the end-to-end

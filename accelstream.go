@@ -25,9 +25,15 @@
 package accelstream
 
 import (
+	"accelstream/internal/buildinfo"
 	"accelstream/internal/core"
 	"accelstream/internal/stream"
 )
+
+// Version returns the one-line build-identity banner for a daemon's
+// -version flag: release, embedded VCS revision, and toolchain. The same
+// identity is exported on /metrics as streamd_build_info.
+func Version(daemon string) string { return buildinfo.Print(daemon) }
 
 // Tuple is a 64-bit stream tuple: a 32-bit join key and a 32-bit payload.
 type Tuple = stream.Tuple

@@ -37,7 +37,13 @@ func run() error {
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into (optional)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results: one JSON object per experiment row")
 	list := flag.Bool("list", false, "list available experiment IDs and exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(accelstream.Version("benchmark"))
+		return nil
+	}
 
 	if *list {
 		for _, id := range accelstream.ExperimentIDs() {
@@ -84,7 +90,7 @@ func run() error {
 
 func isNamedExperiment(id string) bool {
 	switch id {
-	case "power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat", "shardscale", "software", "elastic":
+	case "power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat", "shardscale", "software", "elastic", "recovery":
 		return true
 	default:
 		return false

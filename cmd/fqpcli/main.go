@@ -42,7 +42,13 @@ func run() error {
 	queryText := flag.String("query", "", "continuous query to compile")
 	blocks := flag.Int("blocks", 8, "OP-Blocks on the fabric")
 	clock := flag.Float64("clock", 100, "fabric clock in MHz")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(accelstream.Version("fqpcli"))
+		return nil
+	}
 
 	if *queryText == "" {
 		return fmt.Errorf("a -query is required")

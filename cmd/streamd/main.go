@@ -20,6 +20,13 @@
 // sessions_rejected_total on /metrics. See README.md, "Securing the
 // service".
 //
+// With -checkpoint-dir the daemon is durable: window snapshots are cut at
+// punctuation boundaries every -checkpoint-interval (plus one final
+// snapshot as each session drains — a SIGTERM persists the window before
+// exit), and on restart the newest valid snapshot is restored into the
+// first matching session so clients replay only the post-snapshot suffix.
+// See README.md, "Durability & cold restart".
+//
 // Stop with SIGINT/SIGTERM; the daemon drains active sessions for up to
 // -drain before force-closing them.
 package main
@@ -71,9 +78,16 @@ func run() error {
 	tlsCert := flag.String("tls-cert", "", "serve sessions over TLS with this PEM certificate (requires -tls-key)")
 	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
 	authToken := flag.String("auth-token", "", "require this session auth token in every Open frame")
+	ckptDir := flag.String("checkpoint-dir", "", "durable window snapshots in this directory (restored on restart; empty disables)")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "automatic snapshot cadence (0: default 5s; negative: only final snapshots)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(accelstream.Version("streamd"))
+		return nil
+	}
 	if *pprofOn && *metricsAddr == "" {
 		return fmt.Errorf("-pprof requires -metrics (pprof is served on the metrics listener)")
 	}
@@ -100,6 +114,15 @@ func run() error {
 		if *tlsCert == "" {
 			logger.Printf("warning: -auth-token without TLS sends the token in the clear")
 		}
+	}
+	if *ckptDir != "" {
+		opts = append(opts, accelstream.WithCheckpointDir(*ckptDir))
+		if *ckptInterval != 0 {
+			opts = append(opts, accelstream.WithCheckpointInterval(*ckptInterval))
+		}
+		logger.Printf("checkpoints in %s", *ckptDir)
+	} else if *ckptInterval != 0 {
+		return fmt.Errorf("-checkpoint-interval requires -checkpoint-dir")
 	}
 	srv, err := accelstream.Serve(*addr, cfg, opts...)
 	if err != nil {

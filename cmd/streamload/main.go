@@ -86,7 +86,13 @@ func run() error {
 	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
 	authToken := flag.String("auth-token", "", "session auth token sent in the Open frame")
 	dialTimeout := flag.Duration("dial-timeout", 0, "connect + handshake deadline (0: client default)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(accelstream.Version("streamload"))
+		return nil
+	}
 
 	engine, err := accelstream.ParseSessionEngine(*engineName)
 	if err != nil {

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"accelstream"
+	"accelstream/internal/checkpoint"
+	"accelstream/internal/wire"
 )
 
 // routerRegistry tracks the live per-session shard routers and the
@@ -17,12 +19,25 @@ import (
 // every live router onto the changed address list and updating the list
 // new sessions dial, under one lock so sessions opened mid-resize never
 // see a half-applied layout.
+// routerMeta is the engine shape of one live session's router, kept so an
+// admin-triggered snapshot can stamp a restorable checkpoint manifest.
+type routerMeta struct {
+	cores, window int
+	ordered       bool
+}
+
+type routerEntry struct {
+	r    *accelstream.ShardRouter
+	meta routerMeta
+}
+
 type routerRegistry struct {
 	mu      sync.Mutex
 	addrs   []string
-	routers map[int64]*accelstream.ShardRouter
+	routers map[int64]routerEntry
 	nextID  int64
 	logf    func(format string, args ...any)
+	ckpt    *checkpoint.Store // nil without -checkpoint-dir
 
 	// Rebalance counters of routers that already closed, so the metrics
 	// endpoint reports cumulative daemon totals rather than only the
@@ -36,7 +51,7 @@ type routerRegistry struct {
 func newRouterRegistry(addrs []string, logf func(format string, args ...any)) *routerRegistry {
 	return &routerRegistry{
 		addrs:   append([]string(nil), addrs...),
-		routers: make(map[int64]*accelstream.ShardRouter),
+		routers: make(map[int64]routerEntry),
 		logf:    logf,
 	}
 }
@@ -49,12 +64,26 @@ func (g *routerRegistry) snapshotAddrs() []string {
 }
 
 // add registers a live router and returns its registry id.
-func (g *routerRegistry) add(r *accelstream.ShardRouter) int64 {
+func (g *routerRegistry) add(r *accelstream.ShardRouter, meta routerMeta) int64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.nextID++
-	g.routers[g.nextID] = r
+	g.routers[g.nextID] = routerEntry{r: r, meta: meta}
 	return g.nextID
+}
+
+// enableCheckpoints opens the admin snapshot store on the same directory
+// the daemon's serving layer checkpoints into, so POST /admin/snapshot
+// persists files the restore path picks up on the next cold start.
+func (g *routerRegistry) enableCheckpoints(dir string) error {
+	st, err := checkpoint.NewStore(dir, 0, g.logf)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.ckpt = st
+	g.mu.Unlock()
+	return nil
 }
 
 // remove unregisters a closing router, folding its rebalance counters
@@ -63,11 +92,11 @@ func (g *routerRegistry) add(r *accelstream.ShardRouter) int64 {
 func (g *routerRegistry) remove(id int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	r, ok := g.routers[id]
+	e, ok := g.routers[id]
 	if !ok {
 		return
 	}
-	completed, aborted, migrated, total := r.RebalanceMetrics()
+	completed, aborted, migrated, total := e.r.RebalanceMetrics()
 	g.retired.completed += completed
 	g.retired.aborted += aborted
 	g.retired.migrated += migrated
@@ -84,8 +113,8 @@ func (g *routerRegistry) resize(newAddrs []string) (summary []string, err error)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	failed := 0
-	for id, r := range g.routers {
-		rep, rerr := r.Rebalance(newAddrs)
+	for id, e := range g.routers {
+		rep, rerr := e.r.Rebalance(newAddrs)
 		if rerr != nil {
 			failed++
 			summary = append(summary, fmt.Sprintf("session %d: FAILED: %v (old layout kept, %d slices lost)",
@@ -131,6 +160,87 @@ func (g *routerRegistry) registerAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("/admin/remove-shard", func(w http.ResponseWriter, r *http.Request) {
 		g.handleResize(w, r, false)
 	})
+	mux.HandleFunc("/admin/snapshot", g.handleSnapshot)
+}
+
+// handleSnapshot serves POST /admin/snapshot: every live session cuts a
+// coordinated all-shard snapshot of its global window at a punctuation
+// boundary and persists it durably. Requires -checkpoint-dir; the files
+// are what a cold restart restores from.
+func (g *routerRegistry) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ckpt == nil {
+		http.Error(w, "snapshots disabled: start streamshard with -checkpoint-dir", http.StatusConflict)
+		return
+	}
+	if len(g.routers) == 0 {
+		fmt.Fprintln(w, "no live sessions; nothing to snapshot")
+		return
+	}
+	ids := make([]int64, 0, len(g.routers))
+	for id := range g.routers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	failed := 0
+	var lines []string
+	for _, id := range ids {
+		line, err := g.snapshotOne(id, g.routers[id])
+		if err != nil {
+			failed++
+			line = fmt.Sprintf("session %d: FAILED: %v", id, err)
+		}
+		g.logf("admin: snapshot: %s", line)
+		lines = append(lines, line)
+	}
+	if failed > 0 {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// snapshotOne cuts and persists one session's coordinated snapshot.
+func (g *routerRegistry) snapshotOne(id int64, e routerEntry) (string, error) {
+	start := time.Now()
+	tuples, seqR, seqS, err := e.r.SnapshotState()
+	if err != nil {
+		return "", err
+	}
+	snap := checkpoint.Snapshot{
+		Meta: checkpoint.Meta{
+			Engine:     byte(wire.EngineSoftUni),
+			Cores:      e.meta.cores,
+			Window:     e.meta.window,
+			Ordered:    e.meta.ordered,
+			ShardCount: 1, // front-side sessions are unsharded from the client's view
+			ShardIndex: 0,
+			SeqR:       seqR,
+			SeqS:       seqS,
+			UnixNanos:  time.Now().UnixNano(),
+			Session:    uint64(id),
+		},
+		Tuples: tuples,
+	}
+	for i := range tuples {
+		if tuples[i].Side == accelstream.SideR {
+			snap.Meta.TuplesR++
+		} else {
+			snap.Meta.TuplesS++
+		}
+	}
+	n, err := g.ckpt.Write(snap)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("session %d: %d window tuples at seqs (%d, %d), %d bytes in %v",
+		id, len(tuples), seqR, seqS, n, time.Since(start).Round(time.Millisecond)), nil
 }
 
 func (g *routerRegistry) handleResize(w http.ResponseWriter, r *http.Request, grow bool) {
@@ -200,11 +310,11 @@ func (g *routerRegistry) writeMetrics(b *strings.Builder) {
 	var rows []row
 	completed, aborted, migrated := g.retired.completed, g.retired.aborted, g.retired.migrated
 	nanos := g.retired.nanos
-	for id, r := range g.routers {
-		for _, st := range r.Shards() {
+	for id, e := range g.routers {
+		for _, st := range e.r.Shards() {
 			rows = append(rows, row{id, st})
 		}
-		c, a, m, d := r.RebalanceMetrics()
+		c, a, m, d := e.r.RebalanceMetrics()
 		completed += c
 		aborted += a
 		migrated += m

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"accelstream"
+	"accelstream/internal/checkpoint"
 	"accelstream/internal/workload"
 )
 
@@ -62,7 +63,7 @@ func TestAdminResizeLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id := reg.add(r)
+	id := reg.add(r, routerMeta{cores: 1, window: 8})
 	gen, err := workload.NewGenerator(workload.Spec{Seed: 9, KeyDomain: 40})
 	if err != nil {
 		t.Fatal(err)
@@ -173,6 +174,88 @@ func TestAdminResizeLive(t *testing.T) {
 	}
 }
 
+// TestAdminSnapshot drives POST /admin/snapshot: refused without a
+// checkpoint store, a no-op note without sessions, and with a live
+// streaming session it persists a decodable snapshot whose manifest
+// carries the session's engine shape and arrival counters.
+func TestAdminSnapshot(t *testing.T) {
+	const window, tuples, batchSz = 64, 800, 32
+	backends := []string{startBackend(t), startBackend(t)}
+	reg := newRouterRegistry(backends, t.Logf)
+	mux := http.NewServeMux()
+	reg.registerAdmin(mux)
+
+	if code, body := adminPost(t, mux, "/admin/snapshot", ""); code != http.StatusConflict {
+		t.Fatalf("snapshot without -checkpoint-dir: %d %q", code, body)
+	}
+	dir := t.TempDir()
+	if err := reg.enableCheckpoints(dir); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := adminPost(t, mux, "/admin/snapshot", ""); code != http.StatusOK || !strings.Contains(body, "no live sessions") {
+		t.Fatalf("snapshot with no sessions: %d %q", code, body)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/admin/snapshot", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/snapshot: %d", rec.Code)
+	}
+
+	r, err := accelstream.DialSharded(accelstream.ShardConfig{
+		Addrs: reg.snapshotAddrs(), Cores: 2, Window: window, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := reg.add(r, routerMeta{cores: 2, window: window})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range r.Results() {
+		}
+	}()
+	gen, err := workload.NewGenerator(workload.Spec{Seed: 5, KeyDomain: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := gen.Take(tuples)
+	for i := 0; i < len(inputs); i += batchSz {
+		if err := r.SendBatch(inputs[i : i+batchSz]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, body := adminPost(t, mux, "/admin/snapshot", "")
+	if code != http.StatusOK || !strings.Contains(body, "session 1:") {
+		t.Fatalf("snapshot with a live session: %d %q", code, body)
+	}
+	st, err := checkpoint.NewStore(dir, 0, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok, err := st.LatestValid()
+	if err != nil || !ok {
+		t.Fatalf("no valid snapshot on disk: ok=%v err=%v", ok, err)
+	}
+	if snap.Meta.Session != uint64(id) || snap.Meta.Window != window || snap.Meta.Cores != 2 {
+		t.Fatalf("snapshot manifest %+v does not match the session", snap.Meta)
+	}
+	if snap.Meta.SeqR+snap.Meta.SeqS != tuples {
+		t.Fatalf("snapshot at seqs (%d, %d), streamed %d tuples", snap.Meta.SeqR, snap.Meta.SeqS, tuples)
+	}
+	if uint64(len(snap.Tuples)) != snap.Meta.TuplesR+snap.Meta.TuplesS {
+		t.Fatalf("snapshot carries %d tuples, manifest says %d",
+			len(snap.Tuples), snap.Meta.TuplesR+snap.Meta.TuplesS)
+	}
+
+	if _, err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	reg.remove(id)
+}
+
 // TestAdminResizeRefusedOnIndivisibleWindow checks a resize that no live
 // session can satisfy is refused wholesale: the session keeps its layout
 // and the registry address list is unchanged.
@@ -190,7 +273,7 @@ func TestAdminResizeRefusedOnIndivisibleWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg.add(r)
+	reg.add(r, routerMeta{cores: 1, window: 8})
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -28,6 +28,15 @@
 //	curl -X POST 'http://localhost:9100/admin/remove-shard?addr=localhost:7802'
 //	curl http://localhost:9100/admin/shards
 //
+// With -checkpoint-dir the whole deployment is durable: each session cuts
+// coordinated all-shard snapshots of its global window (automatically
+// every -checkpoint-interval, on demand via POST /admin/snapshot, and
+// once more as the session drains), and on restart the newest valid
+// snapshot is re-sliced over the current shard set before the client's
+// first batch — the client replays only the post-snapshot suffix:
+//
+//	curl -X POST http://localhost:9100/admin/snapshot
+//
 // Both sides of the router can be secured independently: the front
 // listener with -tls-cert/-tls-key/-auth-token (like streamd), and the
 // back-side shard dials with -shard-tls/-shard-tls-ca/-shard-auth-token —
@@ -93,6 +102,19 @@ func (e *routerEngine) Close() error {
 }
 func (e *routerEngine) Backlog() int { return e.r.Backlog() }
 
+// The router implements the server's optional Snapshotter and
+// StateImporter capabilities, so a streamshard deployment checkpoints and
+// restores exactly like a single streamd: SnapshotState cuts a
+// coordinated all-shard snapshot of the global window, and ImportState
+// re-slices a recovered snapshot back over the current shard set.
+func (e *routerEngine) SnapshotState() ([]accelstream.Input, uint64, uint64, error) {
+	return e.r.SnapshotState()
+}
+func (e *routerEngine) ResultsEmitted() uint64 { return e.r.ResultsEmitted() }
+func (e *routerEngine) ImportState(tuples []accelstream.Input) error {
+	return e.r.ImportState(tuples)
+}
+
 func run() error {
 	addr := flag.String("addr", ":7800", "listen address")
 	shards := flag.String("shards", "", "comma-separated backing streamd addresses (required; order fixes residue classes)")
@@ -113,9 +135,16 @@ func run() error {
 	shardTLSServerName := flag.String("shard-tls-servername", "", "hostname to verify on shard certificates (when dialing by IP)")
 	shardTLSSkipVerify := flag.Bool("shard-tls-skip-verify", false, "dial shards over TLS without verifying their certificates (testing only)")
 	shardAuthToken := flag.String("shard-auth-token", "", "session auth token presented to the backing shards")
+	ckptDir := flag.String("checkpoint-dir", "", "durable global-window snapshots in this directory (restored on restart; empty disables)")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "automatic snapshot cadence (0: default 5s; negative: only final snapshots)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(accelstream.Version("streamshard"))
+		return nil
+	}
 	if *pprofOn && *metricsAddr == "" {
 		return fmt.Errorf("-pprof requires -metrics (pprof is served on the metrics listener)")
 	}
@@ -154,9 +183,13 @@ func run() error {
 			if oc.Engine != accelstream.EngineSoftwareUniFlow {
 				return nil, fmt.Errorf("streamshard: only the software uni-flow engine can be sharded, got %v", oc.Engine)
 			}
-			if oc.ShardCount > 1 || oc.BaseSeqR != 0 || oc.BaseSeqS != 0 {
+			if oc.ShardCount > 1 {
 				return nil, fmt.Errorf("streamshard: session is already sharded; chain routers by listing routers as shards instead")
 			}
+			// Non-zero BaseSeqR/S means the session resumes from a durable
+			// checkpoint: every shard session opens at the same base offsets,
+			// and the server installs the recovered window via ImportState
+			// before the first batch.
 			scfg := accelstream.ShardConfig{
 				Addrs:      reg.snapshotAddrs(),
 				Cores:      oc.Cores,
@@ -164,6 +197,8 @@ func run() error {
 				QueueDepth: *queueDepth,
 				Redial:     accelstream.ShardRedialPolicy{Attempts: *redials},
 				FailFast:   *failFast,
+				BaseSeqR:   oc.BaseSeqR,
+				BaseSeqS:   oc.BaseSeqS,
 			}
 			if !*quiet {
 				scfg.Logf = logger.Printf
@@ -172,7 +207,8 @@ func run() error {
 			if err != nil {
 				return nil, err
 			}
-			return &routerEngine{r: r, reg: reg, id: reg.add(r)}, nil
+			meta := routerMeta{cores: oc.Cores, window: oc.Window, ordered: oc.Ordered}
+			return &routerEngine{r: r, reg: reg, id: reg.add(r, meta)}, nil
 		},
 	}
 	if !*quiet {
@@ -187,6 +223,18 @@ func run() error {
 		if *tlsCert == "" {
 			logger.Printf("warning: -auth-token without TLS sends the token in the clear")
 		}
+	}
+	if *ckptDir != "" {
+		opts = append(opts, accelstream.WithCheckpointDir(*ckptDir))
+		if *ckptInterval != 0 {
+			opts = append(opts, accelstream.WithCheckpointInterval(*ckptInterval))
+		}
+		if err := reg.enableCheckpoints(*ckptDir); err != nil {
+			return err
+		}
+		logger.Printf("checkpoints in %s", *ckptDir)
+	} else if *ckptInterval != 0 {
+		return fmt.Errorf("-checkpoint-interval requires -checkpoint-dir")
 	}
 	srv, err := accelstream.Serve(*addr, cfg, opts...)
 	if err != nil {
@@ -220,7 +268,7 @@ func run() error {
 		msrv := &http.Server{Handler: mux}
 		defer msrv.Close()
 		go msrv.Serve(mln)
-		logger.Printf("metrics on http://%s/metrics, admin on http://%s/admin/{shards,add-shard,remove-shard}", mln.Addr(), mln.Addr())
+		logger.Printf("metrics on http://%s/metrics, admin on http://%s/admin/{shards,add-shard,remove-shard,snapshot}", mln.Addr(), mln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

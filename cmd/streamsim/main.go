@@ -66,7 +66,13 @@ func run() error {
 	fanout := flag.Int("fanout", 2, "DNode fan-out for the scalable network")
 	measure := flag.Uint64("cycles", 0, "measurement cycles (0: auto-sized)")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the measurement to this file (uni-flow only)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(accelstream.Version("streamsim"))
+		return nil
+	}
 
 	dev, err := parseDevice(*deviceName)
 	if err != nil {

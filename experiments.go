@@ -69,6 +69,7 @@ var experimentRunners = map[string]func(experiments.Options) ([]ExperimentResult
 	"netlat":     figureRunner(experiments.NetLatency),
 	"shardscale": figureRunner(experiments.ShardScale),
 	"elastic":    figureRunner(experiments.Elastic),
+	"recovery":   figureRunner(experiments.Recovery),
 	"fig6": func(experiments.Options) ([]ExperimentResult, error) {
 		text, err := experiments.Fig6Table()
 		if err != nil {

@@ -1,0 +1,51 @@
+// Package buildinfo stamps the daemons with a build identity: a release
+// string plus whatever VCS metadata the Go toolchain embedded. Every
+// daemon exposes it behind a -version flag and the /metrics endpoint
+// (streamd_build_info{version="..."}), so an operator can tell which
+// build answered a scrape without shelling into the box.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Release is the human-assigned version of this source tree. Bump it
+// when cutting a release; the VCS revision is appended automatically
+// when the build carries one.
+const Release = "0.7.0"
+
+// Version returns the full build identity: the release, the embedded
+// VCS revision (short) when present, a "+dirty" marker for modified
+// trees, and the Go toolchain version.
+func Version() string {
+	v := Release
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" {
+			v += "+" + rev
+		}
+		if dirty {
+			v += "+dirty"
+		}
+	}
+	return v
+}
+
+// Print writes the one-line version banner for a -version flag.
+func Print(daemon string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)", daemon, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,172 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store manages a directory of checkpoint files. Writes are atomic
+// (temp-file + fsync + rename) and serialized; loads scan newest-first
+// and skip anything that fails validation, so a crash between the temp
+// write and the rename — or mid-rename power loss leaving a torn file —
+// costs at most the newest snapshot, never the ability to restore.
+type Store struct {
+	dir    string
+	retain int
+	logf   func(format string, args ...any)
+
+	mu sync.Mutex // serializes Write/Prune
+}
+
+// NewStore opens (creating if needed) a checkpoint directory. retain is
+// the number of snapshots kept after each write; values < 1 default to 1.
+func NewStore(dir string, retain int, logf func(format string, args ...any)) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty directory")
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	return &Store{dir: dir, retain: retain, logf: logf}, nil
+}
+
+// Dir returns the directory the store manages.
+func (st *Store) Dir() string { return st.dir }
+
+// fileName builds a snapshot file name that sorts lexically by recency:
+// total consumed sequence first (monotone across snapshots of one
+// stream), wall-clock nanos as tie-break.
+func fileName(m Meta) string {
+	return fmt.Sprintf("ckpt-%020d-%020d.ckpt", m.SeqR+m.SeqS, uint64(m.UnixNanos))
+}
+
+// Write encodes the snapshot and installs it atomically, then prunes old
+// snapshots beyond the retain count. Returns the encoded size.
+func (st *Store) Write(s Snapshot) (int, error) {
+	data, err := Encode(s)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	final := filepath.Join(st.dir, fileName(s.Meta))
+	tmp, err := os.CreateTemp(st.dir, ".ckpt-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		cleanup()
+		return 0, fmt.Errorf("checkpoint: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return 0, fmt.Errorf("checkpoint: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(st.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	st.pruneLocked()
+	return len(data), nil
+}
+
+// list returns the snapshot files in the directory sorted newest-first.
+func (st *Store) list() ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".ckpt") {
+			names = append(names, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names, nil
+}
+
+// LatestValid loads the newest snapshot that decodes and validates,
+// skipping (and logging) corrupt or torn files. Returns ok=false when the
+// directory holds no usable snapshot.
+func (st *Store) LatestValid() (Snapshot, bool, error) {
+	names, err := st.list()
+	if err != nil {
+		return Snapshot{}, false, err
+	}
+	for _, name := range names {
+		path := filepath.Join(st.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			st.logf("checkpoint: skip %s: %v", name, err)
+			continue
+		}
+		snap, err := Decode(data)
+		if err != nil {
+			st.logf("checkpoint: skip corrupt %s: %v", name, err)
+			continue
+		}
+		return snap, true, nil
+	}
+	return Snapshot{}, false, nil
+}
+
+// Prune removes snapshots beyond the retain count (newest kept) and any
+// stale temp files left by a crashed writer.
+func (st *Store) Prune() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.pruneLocked()
+}
+
+func (st *Store) pruneLocked() {
+	names, err := st.list()
+	if err != nil {
+		st.logf("%v", err)
+		return
+	}
+	for _, name := range names[min(st.retain, len(names)):] {
+		if err := os.Remove(filepath.Join(st.dir, name)); err != nil {
+			st.logf("checkpoint: prune %s: %v", name, err)
+		}
+	}
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, ".ckpt-") && strings.HasSuffix(n, ".tmp") {
+			if err := os.Remove(filepath.Join(st.dir, n)); err == nil {
+				st.logf("checkpoint: removed stale temp file %s", n)
+			}
+		}
+	}
+}

@@ -431,3 +431,38 @@ func TestElasticShape(t *testing.T) {
 		}
 	}
 }
+
+func TestRecoveryShape(t *testing.T) {
+	fig, err := Recovery(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, ok := fig.SeriesByLabel("checkpointed restart (ms)")
+	if !ok {
+		t.Fatal("missing checkpointed-restart series")
+	}
+	cold, ok := fig.SeriesByLabel("cold restart, full replay (ms)")
+	if !ok {
+		t.Fatal("missing cold-restart series")
+	}
+	for _, w := range []float64{1 << 10, 1 << 12} {
+		r, ok := restored.ValueAt(w)
+		if !ok || r <= 0 {
+			t.Errorf("no checkpointed restart time at window %v (got %v)", w, r)
+		}
+		c, ok := cold.ValueAt(w)
+		if !ok || c <= 0 {
+			t.Errorf("no cold restart time at window %v (got %v)", w, c)
+		}
+	}
+	size, ok := fig.SeriesByLabel("snapshot size (bytes)")
+	if !ok {
+		t.Fatal("missing snapshot-size series")
+	}
+	// Snapshot size must grow with the window: it carries the window image.
+	small, _ := size.ValueAt(1 << 10)
+	large, _ := size.ValueAt(1 << 12)
+	if !(large > small && small > 0) {
+		t.Errorf("snapshot sizes do not grow with window: %v -> %v", small, large)
+	}
+}

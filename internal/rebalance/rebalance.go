@@ -232,7 +232,7 @@ func Run(cfg Config) ([]*server.Client, Report, error) {
 		len(pooled), len(cfg.OldAddrs), cfg.SeqR, cfg.SeqS)
 
 	// Phase 2: re-partition by the new modulus.
-	newSlices := reslice(pooled, len(cfg.NewAddrs))
+	newSlices := Reslice(pooled, len(cfg.NewAddrs))
 
 	// Phase 3: dial the new layout and install each slice. Any failure
 	// aborts back to the old layout — the exported state is still held.
@@ -309,10 +309,11 @@ func (cfg Config) restore(slices [][]core.Input, rep *Report) []*server.Client {
 	return restored
 }
 
-// reslice partitions pooled window state by residue class under the new
+// Reslice partitions pooled window state by residue class under the new
 // modulus, each slice in the order ImportState requires: ascending
-// per-side sequence, R before S.
-func reslice(pooled []core.Input, modulus int) [][]core.Input {
+// per-side sequence, R before S. Exported for the shard router's restore
+// path, which re-slices a recovered global snapshot over its shard set.
+func Reslice(pooled []core.Input, modulus int) [][]core.Input {
 	sort.Slice(pooled, func(i, j int) bool {
 		a, b := pooled[i], pooled[j]
 		if a.Side != b.Side {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"accelstream/internal/core"
@@ -55,6 +56,21 @@ type Client struct {
 	exportInfo         wire.RebalanceInfo
 	exportCommit       bool
 	commitCh           chan wire.RebalanceInfo
+
+	// Checkpoint plumbing: while a Checkpoint call is in flight, incoming
+	// StateChunk frames accumulate into ckptTuples (instead of the
+	// export path) until the CheckpointDone summary lands in ckptCh.
+	ckptActive bool
+	ckptTuples []core.Input
+	ckptCh     chan wire.RebalanceInfo
+
+	// resumeAck preserves the server's OpenAck: a resumed session carries
+	// the checkpoint's arrival counters for the client to replay from.
+	resumeAck wire.OpenAck
+
+	// resultsRecv counts results delivered into the Results channel; a
+	// shard router's coordinated snapshot uses it as its flush target.
+	resultsRecv atomic.Uint64
 
 	// Credit round-trip instrumentation: send times are queued FIFO and
 	// matched to returning credits (the server acks batches in order).
@@ -126,6 +142,7 @@ func DialWith(addr string, cfg wire.OpenConfig, opts DialOptions) (*Client, erro
 		baseSeqR:   cfg.BaseSeqR,
 		baseSeqS:   cfg.BaseSeqS,
 		commitCh:   make(chan wire.RebalanceInfo, 1),
+		ckptCh:     make(chan wire.RebalanceInfo, 1),
 	}
 	conn.SetDeadline(time.Now().Add(timeout))
 	if err := c.w.WriteOpen(cfg); err != nil {
@@ -162,6 +179,13 @@ func DialWith(addr string, cfg wire.OpenConfig, opts DialOptions) (*Client, erro
 	if err != nil {
 		conn.Close()
 		return nil, err
+	}
+	c.resumeAck = ack
+	if ack.Resumed {
+		// The server restored a checkpoint into this session's engine: its
+		// arrival counters resume at the snapshot's, and the client should
+		// replay only the post-snapshot suffix of the streams.
+		c.baseSeqR, c.baseSeqS = ack.ResumeSeqR, ack.ResumeSeqS
 	}
 	conn.SetDeadline(time.Time{})
 	c.credits = make(chan struct{}, ack.Credits)
@@ -351,6 +375,73 @@ func (c *Client) ExportState() ([]core.Input, wire.RebalanceInfo, error) {
 	return c.exportTuples, c.exportInfo, nil
 }
 
+// Resumed reports whether the server restored a durable checkpoint into
+// this session's engine at open, and if so the per-side arrival counters
+// the engine resumed at — the positions the client should replay the
+// streams from.
+func (c *Client) Resumed() (seqR, seqS uint64, ok bool) {
+	return c.resumeAck.ResumeSeqR, c.resumeAck.ResumeSeqS, c.resumeAck.Resumed
+}
+
+// ResultsReceived returns how many results have been delivered into the
+// Results channel. After Checkpoint returns, this count is exact for the
+// pre-checkpoint input: results frames are ordered before the
+// CheckpointDone frame on the wire, so a consumer that drains Results
+// can use the count as a flush barrier.
+func (c *Client) ResultsReceived() uint64 { return c.resultsRecv.Load() }
+
+// Checkpoint asks the server to cut a durable snapshot of this session's
+// engine at the punctuation boundary defined by the frames sent so far,
+// without closing the session. It blocks until the server acknowledges:
+// by then every result the pre-checkpoint input produces has been
+// delivered into Results (keep draining it concurrently, exactly as with
+// Close), and the snapshot — when the server runs with a checkpoint
+// directory — is durable on its disk. The returned tuples are the
+// engine's resident window at the boundary (the server streams them back
+// so a shard router can assemble a coordinated all-shard snapshot), and
+// the RebalanceInfo carries the per-side counts and arrival counters.
+// Must not overlap with ImportState, ExportState, or another Checkpoint.
+func (c *Client) Checkpoint() ([]core.Input, wire.RebalanceInfo, error) {
+	c.mu.Lock()
+	if c.closeSent {
+		c.mu.Unlock()
+		return nil, wire.RebalanceInfo{}, fmt.Errorf("server: session already closing")
+	}
+	if c.ckptActive {
+		c.mu.Unlock()
+		return nil, wire.RebalanceInfo{}, fmt.Errorf("server: checkpoint already in flight")
+	}
+	c.ckptActive = true
+	c.ckptTuples = nil
+	c.mu.Unlock()
+	c.wmu.Lock()
+	err := c.w.WriteCheckpoint()
+	c.wmu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("%w: %v", ErrConnectionLost, err)
+		c.setErr(err)
+		return nil, wire.RebalanceInfo{}, err
+	}
+	select {
+	case info := <-c.ckptCh:
+		c.mu.Lock()
+		tuples := c.ckptTuples
+		c.ckptTuples = nil
+		c.ckptActive = false
+		c.mu.Unlock()
+		if got := uint64(len(tuples)); got != info.TuplesR+info.TuplesS {
+			return nil, wire.RebalanceInfo{}, fmt.Errorf("server: checkpoint announced %d tuples, carried %d",
+				info.TuplesR+info.TuplesS, got)
+		}
+		return tuples, info, nil
+	case <-c.readerDone:
+		if err := c.Err(); err != nil {
+			return nil, wire.RebalanceInfo{}, err
+		}
+		return nil, wire.RebalanceInfo{}, fmt.Errorf("server: session closed during checkpoint")
+	}
+}
+
 // BatchRTT reports the observed credit round-trip time — send of a Batch
 // frame to return of its credit, which includes network transit and the
 // engine's ingest time — as (average, max, samples).
@@ -383,6 +474,9 @@ func (c *Client) readLoop(r *wire.Reader) {
 			}
 			for _, res := range results {
 				c.results <- res
+				// Counted after the hand-off: a coordinated-snapshot flush
+				// barrier reads this as "delivered into the channel".
+				c.resultsRecv.Add(1)
 			}
 		case wire.FrameCredit:
 			n, err := wire.DecodeCredit(f.Payload)
@@ -415,7 +509,11 @@ func (c *Client) readLoop(r *wire.Reader) {
 				return
 			}
 			c.mu.Lock()
-			c.exportTuples = append(c.exportTuples, tuples...)
+			if c.ckptActive {
+				c.ckptTuples = append(c.ckptTuples, tuples...)
+			} else {
+				c.exportTuples = append(c.exportTuples, tuples...)
+			}
 			c.mu.Unlock()
 		case wire.FrameRebalanceCommit:
 			info, err := wire.DecodeRebalanceCommit(f.Payload)
@@ -429,6 +527,16 @@ func (c *Client) readLoop(r *wire.Reader) {
 			c.mu.Unlock()
 			select {
 			case c.commitCh <- info:
+			default:
+			}
+		case wire.FrameCheckpointDone:
+			info, err := wire.DecodeCheckpointDone(f.Payload)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			select {
+			case c.ckptCh <- info:
 			default:
 			}
 		case wire.FrameClosed:

@@ -48,6 +48,22 @@ type StateImporter interface {
 	ImportState(tuples []core.Input) error
 }
 
+// Snapshotter is the optional engine capability behind durable
+// checkpoints: unlike StateExporter it snapshots a LIVE engine.
+// SnapshotState quiesces the engine at a punctuation boundary, returns
+// the resident window state (ascending per-side sequence order) with the
+// per-side arrival counters at the boundary, and leaves the engine
+// running. ResultsEmitted reports how many results have been handed to
+// the Results channel — at the quiesce boundary that count is exact, so
+// a session can wait until every pre-snapshot result has reached the
+// connection before declaring the snapshot durable. A session honors
+// FrameCheckpoint (and the automatic checkpoint interval) only when its
+// engine implements this.
+type Snapshotter interface {
+	SnapshotState() (tuples []core.Input, seqR, seqS uint64, err error)
+	ResultsEmitted() uint64
+}
+
 // buildEngine instantiates the engine a session requested.
 func buildEngine(cfg wire.OpenConfig) (Engine, error) {
 	if err := cfg.Validate(); err != nil {

@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
+
+	"accelstream/internal/buildinfo"
 )
 
 // ProcessStats is a point-in-time snapshot of server-wide gauges, the
@@ -25,6 +28,30 @@ type ProcessStats struct {
 	// wrong auth tokens ("no_token"/"bad_token"), handshake timeouts,
 	// malformed opens, capacity, and drain-time rejects.
 	SessionsRejected map[string]uint64
+	// Checkpoints summarizes the durable-snapshot subsystem; zero-valued
+	// (Enabled false) when the server runs without a checkpoint directory.
+	Checkpoints CheckpointStats
+}
+
+// CheckpointStats is a point-in-time snapshot of the durable-checkpoint
+// counters.
+type CheckpointStats struct {
+	// Enabled reports whether a checkpoint directory is configured.
+	Enabled bool
+	// Written / Errors / Skipped count snapshot writes, failed attempts,
+	// and automatic snapshots dropped because a write was in flight.
+	Written uint64
+	Errors  uint64
+	Skipped uint64
+	// LastUnixNanos / LastBytes / LastDuration describe the most recent
+	// snapshot: when it was cut, its encoded size, and its write time.
+	LastUnixNanos int64
+	LastBytes     uint64
+	LastDuration  time.Duration
+	// Restores / RestoredTuples count snapshots installed into sessions
+	// at open and the window tuples they carried.
+	Restores       uint64
+	RestoredTuples uint64
 }
 
 // ProcessStats snapshots the server-wide gauges.
@@ -37,6 +64,17 @@ func (s *Server) ProcessStats() ProcessStats {
 		SessionsTotal:      s.nextID,
 		CreditsOutstanding: s.creditsHeld.Load(),
 		SessionsRejected:   rejected,
+		Checkpoints: CheckpointStats{
+			Enabled:        s.ckpt != nil,
+			Written:        s.ckptTotal.Load(),
+			Errors:         s.ckptErrors.Load(),
+			Skipped:        s.ckptSkipped.Load(),
+			LastUnixNanos:  s.ckptLastNanos.Load(),
+			LastBytes:      s.ckptLastBytes.Load(),
+			LastDuration:   time.Duration(s.ckptLastDur.Load()),
+			Restores:       s.ckptRestores.Load(),
+			RestoredTuples: s.ckptRestoreTuples.Load(),
+		},
 	}
 }
 
@@ -76,6 +114,32 @@ func writeProcessMetrics(b *strings.Builder, ps ProcessStats) {
 	runtime.ReadMemStats(&ms)
 	gauge("streamd_goroutines", "Goroutines in the process.", runtime.NumGoroutine())
 	gauge("streamd_heap_alloc_bytes", "Heap bytes allocated and in use.", ms.HeapAlloc)
+	fmt.Fprintf(b, "# HELP streamd_build_info Build identity of the running server (constant 1).\n# TYPE streamd_build_info gauge\nstreamd_build_info{version=%q} 1\n",
+		buildinfo.Version())
+	if ps.Checkpoints.Enabled {
+		writeCheckpointMetrics(b, ps.Checkpoints)
+	}
+}
+
+func writeCheckpointMetrics(b *strings.Builder, cs CheckpointStats) {
+	counter := func(name, help string, value uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+	}
+	gauge := func(name, help string, value any) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+	}
+	counter("streamd_checkpoints_written_total", "Durable snapshots written.", cs.Written)
+	counter("streamd_checkpoint_errors_total", "Snapshot attempts that failed.", cs.Errors)
+	counter("streamd_checkpoints_skipped_total", "Automatic snapshots skipped because a write was in flight.", cs.Skipped)
+	age := float64(-1)
+	if cs.LastUnixNanos > 0 {
+		age = time.Since(time.Unix(0, cs.LastUnixNanos)).Seconds()
+	}
+	gauge("streamd_checkpoint_age_seconds", "Seconds since the newest snapshot was cut (-1: none yet).", age)
+	gauge("streamd_checkpoint_last_bytes", "Encoded size of the newest snapshot.", cs.LastBytes)
+	gauge("streamd_checkpoint_last_duration_seconds", "Wall time the newest snapshot write took.", cs.LastDuration.Seconds())
+	counter("streamd_checkpoint_restores_total", "Snapshots restored into sessions at open.", cs.Restores)
+	counter("streamd_checkpoint_restored_tuples_total", "Window tuples installed by restores.", cs.RestoredTuples)
 }
 
 func writeSessionMetrics(b *strings.Builder, sessions []SessionMetrics) {

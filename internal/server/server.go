@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelstream/internal/checkpoint"
 	"accelstream/internal/wire"
 )
 
@@ -66,6 +67,21 @@ type Config struct {
 	// (cmd/streamshard) uses this to put a whole shard cluster behind one
 	// ordinary streamd session.
 	NewEngine func(cfg wire.OpenConfig) (Engine, error)
+	// CheckpointDir, when non-empty, enables durable window checkpoints:
+	// sessions whose engines support live snapshots (Snapshotter) write
+	// CRC-framed snapshot files into this directory — automatically every
+	// CheckpointInterval, on client Checkpoint frames, and once more at
+	// session teardown — and New restores the newest valid snapshot so
+	// the first matching session resumes with the window already loaded.
+	CheckpointDir string
+	// CheckpointInterval is the minimum time between automatic snapshots,
+	// cut at batch (punctuation) boundaries. Defaults to 5 seconds when
+	// CheckpointDir is set; negative disables automatic snapshots (client
+	// Checkpoint frames and the final teardown snapshot still work).
+	CheckpointInterval time.Duration
+	// CheckpointRetain is how many snapshot files to keep (newest first).
+	// Defaults to 3.
+	CheckpointRetain int
 }
 
 func (c *Config) applyDefaults() {
@@ -80,6 +96,14 @@ func (c *Config) applyDefaults() {
 	}
 	if c.HandshakeTimeout == 0 {
 		c.HandshakeTimeout = 10 * time.Second
+	}
+	if c.CheckpointDir != "" {
+		if c.CheckpointInterval == 0 {
+			c.CheckpointInterval = 5 * time.Second
+		}
+		if c.CheckpointRetain == 0 {
+			c.CheckpointRetain = 3
+		}
 	}
 }
 
@@ -115,6 +139,24 @@ type Server struct {
 	// sessions_rejected_total metric.
 	rejectMu sync.Mutex
 	rejects  map[string]uint64
+
+	// Durable-checkpoint state (see checkpoint.go). ckpt is nil when
+	// checkpoints are disabled; restored holds the newest valid snapshot
+	// loaded at construction until the first matching session consumes it.
+	ckpt       *checkpoint.Store
+	restoredMu sync.Mutex
+	restored   *checkpoint.Snapshot
+
+	// Checkpoint metrics, exported via MetricsHandler.
+	ckptTotal         atomic.Uint64 // snapshots written
+	ckptErrors        atomic.Uint64 // snapshot attempts that failed
+	ckptSkipped       atomic.Uint64 // auto snapshots skipped (writer busy)
+	ckptLastNanos     atomic.Int64  // unix nanos of the last written snapshot
+	ckptLastBytes     atomic.Uint64 // encoded size of the last snapshot
+	ckptLastDur       atomic.Int64  // wall nanos the last snapshot took
+	ckptRestores      atomic.Uint64 // snapshots installed into sessions
+	ckptRestoreTuples atomic.Uint64 // window tuples restored
+	ckptWriting       atomic.Bool   // single-flight gate for async writes
 
 	wg sync.WaitGroup
 }
@@ -164,13 +206,21 @@ func (s *Server) rejectCounts() map[string]uint64 {
 	return out
 }
 
-// New builds a server. Call Serve or ListenAndServe to start it.
+// New builds a server. Call Serve or ListenAndServe to start it. When
+// Config.CheckpointDir is set, New opens the checkpoint store and loads
+// the newest valid snapshot (skipping torn or corrupt files) before any
+// listener can accept sessions, so the first matching session resumes
+// from it.
 func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, sessions: make(map[uint64]*session)}, nil
+	s := &Server{cfg: cfg, sessions: make(map[uint64]*session)}
+	if err := s.initCheckpoints(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // logf emits a lifecycle line when logging is configured.

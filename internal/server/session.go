@@ -65,6 +65,10 @@ type session struct {
 	resultFrames atomic.Uint64
 	latNanos     atomic.Uint64
 	latMax       atomic.Uint64
+
+	// lastCkpt is when this session last cut an automatic checkpoint;
+	// touched only by the read-loop goroutine.
+	lastCkpt time.Time
 }
 
 func newSession(srv *Server, id uint64, conn net.Conn) *session {
@@ -158,6 +162,11 @@ func (s *session) run() {
 		s.srv.logf("session %d: engine close: %v", s.id, err)
 	}
 	<-writerDone
+
+	// Persist the terminal window state (the SIGTERM-drain / crash-restart
+	// snapshot) before any closing frames: the engine is drained and every
+	// result has been handed to the connection.
+	s.finalCheckpoint(mode)
 
 	if mode == closeExport {
 		// All results are flushed; the quiesced window state follows, then
@@ -287,6 +296,14 @@ func (s *session) handshake() error {
 			return s.srv.cfg.NewEngine(cfg)
 		}
 	}
+	// Restore path: when a loaded checkpoint matches this session's shape,
+	// build the engine with the snapshot's arrival counters so the client
+	// replays only the post-snapshot suffix of the streams.
+	restored := s.srv.takeRestored(cfg)
+	if restored != nil {
+		cfg.BaseSeqR = restored.Meta.SeqR
+		cfg.BaseSeqS = restored.Meta.SeqS
+	}
 	eng, err := build(cfg)
 	if err != nil {
 		s.srv.countReject(rejectEngine)
@@ -298,12 +315,34 @@ func (s *session) handshake() error {
 		s.fail(err.Error())
 		return err
 	}
+	if restored != nil {
+		imp, ok := eng.(StateImporter)
+		if !ok {
+			err = fmt.Errorf("engine %v cannot import restored state", cfg.Engine)
+		} else {
+			err = imp.ImportState(restored.Tuples)
+		}
+		if err != nil {
+			eng.Close()
+			s.srv.countReject(rejectEngine)
+			s.fail(err.Error())
+			return fmt.Errorf("restoring checkpoint: %w", err)
+		}
+		s.srv.ckptRestores.Add(1)
+		s.srv.ckptRestoreTuples.Add(uint64(len(restored.Tuples)))
+		s.srv.logf("session %d: restored checkpoint at seqs (%d, %d), %d window tuples",
+			s.id, restored.Meta.SeqR, restored.Meta.SeqS, len(restored.Tuples))
+	}
 	s.eng = eng
 	s.engCfg = cfg
 	s.opened.Store(true)
-	return s.send(func(w *wire.Writer) error {
-		return w.WriteOpenAck(wire.OpenAck{Credits: s.srv.cfg.InitialCredits, Session: s.id})
-	})
+	ack := wire.OpenAck{Credits: s.srv.cfg.InitialCredits, Session: s.id}
+	if restored != nil {
+		ack.Resumed = true
+		ack.ResumeSeqR = restored.Meta.SeqR
+		ack.ResumeSeqS = restored.Meta.SeqS
+	}
+	return s.send(func(w *wire.Writer) error { return w.WriteOpenAck(ack) })
 }
 
 // closeMode is how a session's read loop ended, which selects the
@@ -385,6 +424,31 @@ func (s *session) readLoop() closeMode {
 			s.srv.creditsHeld.Add(-1)
 			if err != nil {
 				s.srv.logf("session %d: writing credit: %v", s.id, err)
+				return closeAbort
+			}
+			// Each batch boundary is a punctuation boundary — the cheapest
+			// place to cut an interval-driven durable snapshot.
+			s.maybeAutoCheckpoint()
+		case wire.FrameCheckpoint:
+			// Client-requested snapshot. Unlike RebalancePrepare this is
+			// non-terminal: the engine quiesces, the snapshot (and every
+			// result the included input produced) is flushed, and the
+			// session resumes streaming. On a checkpoint-less server the
+			// request degrades to a barrier acknowledgement: the state is
+			// still collected and summarized, just not persisted.
+			if _, ok := s.eng.(Snapshotter); !ok {
+				s.fail(fmt.Sprintf("engine %v does not support snapshots", s.engCfg.Engine))
+				s.srv.logf("session %d: checkpoint on a non-snapshottable engine", s.id)
+				return closeAbort
+			}
+			info, err := s.checkpointRequested()
+			if err != nil {
+				s.fail(err.Error())
+				s.srv.logf("session %d: checkpoint: %v", s.id, err)
+				return closeAbort
+			}
+			if err := s.send(func(w *wire.Writer) error { return w.WriteCheckpointDone(info) }); err != nil {
+				s.srv.logf("session %d: writing checkpoint-done: %v", s.id, err)
 				return closeAbort
 			}
 		case wire.FrameClose:
@@ -511,14 +575,18 @@ func (s *session) pumpResults() {
 				break coalesce
 			}
 		}
-		s.resultsOut.Add(uint64(len(batch)))
-		s.resultFrames.Add(1)
 		if writeOK {
 			if err := s.send(func(w *wire.Writer) error { return w.WriteResults(batch) }); err != nil {
 				s.srv.logf("session %d: writing results: %v", s.id, err)
 				writeOK = false
 			}
 		}
+		// Counted after the write: the checkpoint durability barrier
+		// (flushResults) reads resultsOut as "handed to the connection".
+		// Still counted when the write failed or was skipped, so the
+		// barrier terminates on a dead connection.
+		s.resultsOut.Add(uint64(len(batch)))
+		s.resultFrames.Add(1)
 		*bufp = batch[:0]
 		resultFramePool.Put(bufp)
 	}

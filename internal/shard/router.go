@@ -3,6 +3,8 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,7 +93,19 @@ type shardConn struct {
 	dropped atomic.Uint64
 	results atomic.Uint64
 
+	// drain mirrors the current client's drain goroutine state; a
+	// coordinated snapshot's flush barrier reads it to learn when every
+	// result the client has received was forwarded into the merged stream.
+	drain atomic.Pointer[drainState]
+
 	closeErr error // written by the sender, read after sendWG.Wait
+}
+
+// drainState is one drain goroutine's progress: results forwarded into
+// the merged channel from one client session.
+type drainState struct {
+	client    *server.Client
+	forwarded atomic.Uint64
 }
 
 // shardBatch is one broadcast unit: the shared tuple slice plus the
@@ -134,9 +148,12 @@ func Dial(cfg Config) (*Router, error) {
 		return nil, err
 	}
 	r := &Router{cfg: cfg, merged: make(chan stream.Result, 4096)}
+	// A restored deployment resumes the global arrival counters at the
+	// checkpoint's: every shard session opens with the same offsets.
+	r.seqR, r.seqS = cfg.BaseSeqR, cfg.BaseSeqS
 	for i, addr := range cfg.Addrs {
 		sc := r.newShardConn(i, addr, len(cfg.Addrs))
-		c, err := server.DialWith(addr, sc.openConfig(0, 0), r.dialOptions())
+		c, err := server.DialWith(addr, sc.openConfig(cfg.BaseSeqR, cfg.BaseSeqS), r.dialOptions())
 		if err != nil {
 			for _, prev := range r.shards {
 				prev.client.Close()
@@ -211,13 +228,19 @@ func (r *Router) logf(format string, args ...any) {
 // Each (re)dialed client gets its own drain goroutine; it exits when the
 // client's result channel closes.
 func (r *Router) spawnDrain(sc *shardConn, c *server.Client) {
+	ds := &drainState{client: c}
+	sc.drain.Store(ds)
 	r.drainWG.Add(1)
 	go func() {
 		defer r.drainWG.Done()
 		for res := range c.Results() {
+			r.merged <- res
+			// Counted after the hand-off, forwarded last: when the snapshot
+			// flush barrier sees forwarded == the client's received count,
+			// every result is in the merged channel and already counted.
 			sc.results.Add(1)
 			r.resultsOut.Add(1)
-			r.merged <- res
+			ds.forwarded.Add(1)
 		}
 	}()
 }
@@ -478,14 +501,7 @@ func (r *Router) Rebalance(newAddrs []string) (rebalance.Report, error) {
 	// Pause: a stop sentinel through each queue flushes the queued batches
 	// ahead of it (FIFO), then parks the sender without tearing down its
 	// session. After the last stop closes, no batch is in flight anywhere.
-	stops := make([]chan struct{}, len(oldShards))
-	for i, sc := range oldShards {
-		stops[i] = make(chan struct{})
-		sc.queue <- &shardBatch{stop: stops[i]}
-	}
-	for _, st := range stops {
-		<-st
-	}
+	r.pauseSenders(oldShards)
 
 	oldClients := make([]*server.Client, len(oldShards))
 	oldAddrs := make([]string, len(oldShards))
@@ -550,6 +566,181 @@ func (r *Router) Rebalance(newAddrs []string) (rebalance.Report, error) {
 		r.spawnSender(sc)
 	}
 	return rep, err
+}
+
+// pauseSenders parks every sender goroutine at a punctuation boundary: a
+// stop sentinel through each queue flushes the queued batches ahead of it
+// (FIFO), then the sender exits without tearing down its session. The
+// caller must hold sendMu and respawn the senders (or swap generations)
+// before releasing it.
+func (r *Router) pauseSenders(shards []*shardConn) {
+	stops := make([]chan struct{}, len(shards))
+	for i, sc := range shards {
+		stops[i] = make(chan struct{})
+		sc.queue <- &shardBatch{stop: stops[i]}
+	}
+	for _, st := range stops {
+		<-st
+	}
+}
+
+// SnapshotState cuts a coordinated all-shard snapshot of the deployment's
+// global window at a punctuation boundary, implementing the server
+// Snapshotter capability so a whole shard cluster checkpoints behind one
+// streamshard session. Broadcasting pauses exactly as for a rebalance
+// (stop sentinels through the per-shard queues), every shard session cuts
+// a live checkpoint concurrently, the per-shard flush barriers guarantee
+// each shard's pre-snapshot results have been forwarded into the merged
+// stream, and the union of the residue-class slices — sorted back into
+// ascending per-side sequence order — is returned with the global arrival
+// counters. The router resumes streaming on return.
+//
+// Every shard must be up: a snapshot missing a residue class would
+// restore a window with holes. Results must be drained concurrently
+// (exactly as with SendBatch) or the flush barriers cannot complete.
+func (r *Router) SnapshotState() ([]core.Input, uint64, uint64, error) {
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
+	r.mu.Lock()
+	closed := r.closed
+	shards := r.shards
+	r.mu.Unlock()
+	if closed {
+		return nil, 0, 0, fmt.Errorf("shard: router closed")
+	}
+
+	r.pauseSenders(shards)
+	defer func() {
+		for _, sc := range shards {
+			r.spawnSender(sc)
+		}
+	}()
+
+	// Senders are parked, so reading sc.client is safe now.
+	for _, sc := range shards {
+		if sc.client == nil || sc.down.Load() {
+			return nil, 0, 0, fmt.Errorf("shard: snapshot needs every shard up; shard %d (%s) is down", sc.index, sc.addr)
+		}
+	}
+
+	type shardSnap struct {
+		tuples []core.Input
+		info   wire.RebalanceInfo
+		err    error
+	}
+	snaps := make([]shardSnap, len(shards))
+	var wg sync.WaitGroup
+	for i, sc := range shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			tuples, info, err := sc.client.Checkpoint()
+			if err == nil {
+				// Each shard counts the same global arrivals; a divergent
+				// counter means a residue class desynchronized.
+				if info.SeqR != r.seqR || info.SeqS != r.seqS {
+					err = fmt.Errorf("shard %d (%s): snapshot at seqs (%d, %d), router at (%d, %d)",
+						sc.index, sc.addr, info.SeqR, info.SeqS, r.seqR, r.seqS)
+				}
+			}
+			snaps[i] = shardSnap{tuples: tuples, info: info, err: err}
+		}(i, sc)
+	}
+	wg.Wait()
+	for _, sn := range snaps {
+		if sn.err != nil {
+			return nil, 0, 0, fmt.Errorf("shard: coordinated snapshot: %w", sn.err)
+		}
+	}
+
+	// Flush barrier: every result a shard delivered before its
+	// CheckpointDone must be forwarded into the merged stream before the
+	// snapshot is handed to the caller, so the caller's own result-flush
+	// barrier covers the full pre-snapshot output.
+	for _, sc := range shards {
+		ds := sc.drain.Load()
+		if ds == nil || ds.client != sc.client {
+			return nil, 0, 0, fmt.Errorf("shard: shard %d (%s) has no active drain", sc.index, sc.addr)
+		}
+		target := sc.client.ResultsReceived()
+		for ds.forwarded.Load() < target {
+			runtime.Gosched()
+		}
+	}
+
+	// Pool the residue-class slices back into one global window image in
+	// ascending per-side sequence order (all of R, then all of S).
+	var pooled []core.Input
+	for _, sn := range snaps {
+		pooled = append(pooled, sn.tuples...)
+	}
+	sort.SliceStable(pooled, func(i, j int) bool {
+		if pooled[i].Side != pooled[j].Side {
+			return pooled[i].Side == stream.SideR
+		}
+		return pooled[i].Tuple.Seq < pooled[j].Tuple.Seq
+	})
+	return pooled, r.seqR, r.seqS, nil
+}
+
+// ResultsEmitted returns how many results have been forwarded into the
+// merged stream — the Snapshotter flush target: at the boundary
+// SnapshotState establishes, the count is exact for the input so far.
+func (r *Router) ResultsEmitted() uint64 { return r.resultsOut.Load() }
+
+// ImportState installs a previously snapshotted global window into the
+// freshly dialed deployment, before any batch has been broadcast: the
+// tuples are re-sliced by residue class under the current modulus and
+// installed on every shard session concurrently. The router must have
+// been dialed with Config.BaseSeqR/BaseSeqS set to the snapshot's arrival
+// counters, so each shard session verifies the slice against the same
+// base offsets. This is the restore path a streamshard daemon runs when
+// its server hands it a recovered checkpoint at session open.
+func (r *Router) ImportState(tuples []core.Input) error {
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
+	if r.tuplesIn.Load() != 0 {
+		return fmt.Errorf("shard: ImportState must precede the first batch")
+	}
+	r.mu.Lock()
+	closed := r.closed
+	shards := r.shards
+	r.mu.Unlock()
+	if closed {
+		return fmt.Errorf("shard: router closed")
+	}
+
+	r.pauseSenders(shards)
+	defer func() {
+		for _, sc := range shards {
+			r.spawnSender(sc)
+		}
+	}()
+	for _, sc := range shards {
+		if sc.client == nil || sc.down.Load() {
+			return fmt.Errorf("shard: restore needs every shard up; shard %d (%s) is down", sc.index, sc.addr)
+		}
+	}
+
+	slices := rebalance.Reslice(tuples, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sc := range shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			errs[i] = sc.client.ImportState(slices[i])
+		}(i, sc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard: restoring shard %d (%s): %w", shards[i].index, shards[i].addr, err)
+		}
+	}
+	r.logf("restored %d window tuples across %d shards at seqs (%d, %d)",
+		len(tuples), len(shards), r.seqR, r.seqS)
+	return nil
 }
 
 // RebalanceMetrics reports cumulative rebalance counters: completed and

@@ -90,6 +90,12 @@ type Config struct {
 	// FailFast makes SendBatch return an error once any shard is
 	// permanently down, instead of degrading to the surviving shards.
 	FailFast bool
+	// BaseSeqR/BaseSeqS resume the global per-side arrival counters when
+	// the deployment restarts from a durable checkpoint: every shard
+	// session opens with these base offsets, and the producer replays
+	// only the post-snapshot suffix. ImportState must install the
+	// snapshot's window tuples before the first batch.
+	BaseSeqR, BaseSeqS uint64
 	// Logf, when set, receives shard lifecycle lines (drops, redials).
 	Logf func(format string, args ...any)
 }

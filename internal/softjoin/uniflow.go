@@ -16,6 +16,7 @@ package softjoin
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -132,6 +133,13 @@ type UniFlow struct {
 
 	injected  atomic.Uint64
 	collected atomic.Uint64
+	// slabsDone counts result slabs fully forwarded into e.results by the
+	// gathering side. Together with the per-core slabsSent counters it
+	// gives Quiesce a sound completion test: a core increments slabsSent
+	// before publishing its processed watermark, so once every core shows
+	// processed == injected the sum of slabsSent is final, and once
+	// slabsDone catches up every result is in e.results.
+	slabsDone atomic.Uint64
 }
 
 // softCore is one join-core goroutine's state.
@@ -150,6 +158,7 @@ type softCore struct {
 	storedR, storedS atomic.Uint64
 	processed        atomic.Uint64
 	compared         atomic.Uint64
+	slabsSent        atomic.Uint64
 }
 
 // NewUniFlow builds (but does not start) the engine.
@@ -276,6 +285,13 @@ func (e *UniFlow) ExportState() ([]core.Input, error) {
 	if !e.closed {
 		return nil, fmt.Errorf("softjoin: ExportState requires a closed (drained) engine")
 	}
+	return e.collectState(), nil
+}
+
+// collectState gathers the resident window tuples of every core, sorted in
+// ascending per-side sequence order (all of R, then all of S). Callers must
+// hold the engine at a punctuation boundary: closed, or quiesced.
+func (e *UniFlow) collectState() []core.Input {
 	var out []core.Input
 	for _, side := range []stream.Side{stream.SideR, stream.SideS} {
 		var tuples []stream.Tuple
@@ -291,8 +307,61 @@ func (e *UniFlow) ExportState() ([]core.Input, error) {
 			out = append(out, core.Input{Side: side, Tuple: t})
 		}
 	}
-	return out, nil
+	return out
 }
+
+// Quiesce drives the running engine to a punctuation boundary without
+// closing it: pending input is flushed, then it spin-waits until every
+// core has processed every injected tuple and every result slab those
+// batches produced has been forwarded into the Results channel. On
+// return the windows are safe to read, the sequence counters are stable,
+// and Collected() counts every result the input so far can produce —
+// results may still sit buffered in the Results channel, which the
+// consumer must keep draining or Quiesce can block forever. Must be
+// called from the single producer goroutine (no concurrent Push).
+func (e *UniFlow) Quiesce() error {
+	if !e.started {
+		return fmt.Errorf("softjoin: Quiesce before Start")
+	}
+	if e.closed {
+		return nil // Close already drained everything
+	}
+	e.flushBatch()
+	inj := e.injected.Load()
+	for _, c := range e.cores {
+		for c.processed.Load() < inj {
+			runtime.Gosched()
+		}
+	}
+	// Every core published processed == injected, and slabsSent is
+	// incremented before that publish — the total is final now.
+	var sent uint64
+	for _, c := range e.cores {
+		sent += c.slabsSent.Load()
+	}
+	for e.slabsDone.Load() < sent {
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// SnapshotState quiesces the live engine and returns its resident window
+// state (ascending per-side sequence order) together with the per-side
+// arrival counters at the boundary — everything a durable checkpoint
+// needs. Unlike ExportState it leaves the engine running; pushes may
+// resume as soon as it returns.
+func (e *UniFlow) SnapshotState() ([]core.Input, uint64, uint64, error) {
+	if err := e.Quiesce(); err != nil {
+		return nil, 0, 0, err
+	}
+	return e.collectState(), e.seqR, e.seqS, nil
+}
+
+// ResultsEmitted returns how many results have been handed to the Results
+// channel. At a quiesce boundary this is the exact number of results the
+// input consumed so far produces — the flush target a checkpointing
+// session waits on before declaring a snapshot durable.
+func (e *UniFlow) ResultsEmitted() uint64 { return e.collected.Load() }
 
 // Seqs returns the per-side arrival counters. Stable only once the single
 // producer has stopped pushing (e.g. after Close) — the punctuation
@@ -348,6 +417,7 @@ func (e *UniFlow) Start() error {
 						e.results <- slab.items[i].res
 					}
 					e.collected.Add(uint64(len(slab.items)))
+					e.slabsDone.Add(1)
 					putSlab(slab)
 				}
 			}()
@@ -403,6 +473,10 @@ func (e *UniFlow) Start() error {
 				}
 			}
 			rb.release(low, emit)
+			// Counted only after the release: at a quiesce point every
+			// core's watermark equals the injected count, so the final
+			// release drains the buffer before the count goes final.
+			e.slabsDone.Add(1)
 		}
 		rb.flush(emit)
 	}()
@@ -445,13 +519,20 @@ func (c *softCore) run() {
 			}
 			proc++
 		}
+		// Decide (and count) the slab send before publishing the processed
+		// watermark: Quiesce reads processed to learn when the slab count
+		// is final, so slabsSent must be visible first.
+		send := c.ordered || len(slab.items) > 0
+		if send {
+			c.slabsSent.Add(1)
+		}
 		c.processed.Store(proc)
 		b.release()
 		// Hand the batch's whole result vector over with a single send;
 		// the punctuation (processed watermark) rides in the slab header.
 		// Relaxed mode has no watermarks, so empty slabs stay here and are
 		// reused for the next batch.
-		if c.ordered || len(slab.items) > 0 {
+		if send {
 			slab.core = c.part.Position
 			slab.processed = proc
 			c.out <- slab

@@ -121,11 +121,18 @@ func (w *Writer) WriteOpen(cfg OpenConfig) error {
 	return w.writeFrame(FrameOpen, b)
 }
 
-// WriteOpenAck emits an OpenAck frame.
+// WriteOpenAck emits an OpenAck frame. The checkpoint-resume fields ride
+// in an optional tail written only when Resumed is set, so a non-resumed
+// ack stays byte-identical to the pre-checkpoint encoding.
 func (w *Writer) WriteOpenAck(ack OpenAck) error {
 	b := w.buf[:0]
 	b = appendUvarint(b, uint64(ack.Credits))
 	b = appendUvarint(b, ack.Session)
+	if ack.Resumed {
+		b = append(b, 1)
+		b = appendUvarint(b, ack.ResumeSeqR)
+		b = appendUvarint(b, ack.ResumeSeqS)
+	}
 	w.buf = b
 	return w.writeFrame(FrameOpenAck, b)
 }
@@ -235,6 +242,25 @@ func (w *Writer) WriteRebalanceCommit(info RebalanceInfo) error {
 	b = appendUvarint(b, info.SeqS)
 	w.buf = b
 	return w.writeFrame(FrameRebalanceCommit, b)
+}
+
+// WriteCheckpoint emits a Checkpoint (snapshot request) frame. Like
+// RebalancePrepare it carries no payload: the punctuation boundary is the
+// frame's position in the stream.
+func (w *Writer) WriteCheckpoint() error {
+	return w.writeFrame(FrameCheckpoint, nil)
+}
+
+// WriteCheckpointDone emits a CheckpointDone frame carrying the snapshot
+// summary (same encoding as RebalanceCommit).
+func (w *Writer) WriteCheckpointDone(info RebalanceInfo) error {
+	b := w.buf[:0]
+	b = appendUvarint(b, info.TuplesR)
+	b = appendUvarint(b, info.TuplesS)
+	b = appendUvarint(b, info.SeqR)
+	b = appendUvarint(b, info.SeqS)
+	w.buf = b
+	return w.writeFrame(FrameCheckpointDone, b)
 }
 
 // Reader decodes frames from an io.Reader. Not safe for concurrent use.
@@ -393,10 +419,20 @@ func DecodeOpen(payload []byte) (OpenConfig, error) {
 	return cfg, nil
 }
 
-// DecodeOpenAck parses an OpenAck payload.
+// DecodeOpenAck parses an OpenAck payload, including the optional
+// checkpoint-resume tail.
 func DecodeOpenAck(payload []byte) (OpenAck, error) {
 	c := cursor{b: payload}
 	ack := OpenAck{Credits: int(c.uvarint()), Session: c.uvarint()}
+	if c.err == nil && c.remaining() > 0 {
+		flag := c.byte()
+		if c.err == nil && flag != 1 {
+			return OpenAck{}, fmt.Errorf("wire: invalid open-ack resume flag %d", flag)
+		}
+		ack.Resumed = true
+		ack.ResumeSeqR = c.uvarint()
+		ack.ResumeSeqS = c.uvarint()
+	}
 	if err := c.finish(); err != nil {
 		return OpenAck{}, err
 	}
@@ -514,6 +550,12 @@ func DecodeRebalanceCommit(payload []byte) (RebalanceInfo, error) {
 		return RebalanceInfo{}, err
 	}
 	return info, nil
+}
+
+// DecodeCheckpointDone parses a CheckpointDone payload (same encoding as
+// RebalanceCommit).
+func DecodeCheckpointDone(payload []byte) (RebalanceInfo, error) {
+	return DecodeRebalanceCommit(payload)
 }
 
 // DecodeCredit parses a Credit payload.

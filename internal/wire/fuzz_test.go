@@ -52,6 +52,15 @@ func corpusFrames(tb testing.TB) [][]byte {
 	add(func(w *Writer) error {
 		return w.WriteRebalanceCommit(RebalanceInfo{TuplesR: 60, TuplesS: 61, SeqR: 5000, SeqS: 4999})
 	})
+	// Checkpoint control frames and the resumed open-ack (with its
+	// optional resume tail), so the fuzzer mutates the tail flag too.
+	add(func(w *Writer) error { return w.WriteCheckpoint() })
+	add(func(w *Writer) error {
+		return w.WriteCheckpointDone(RebalanceInfo{TuplesR: 12, TuplesS: 13, SeqR: 800, SeqS: 801})
+	})
+	add(func(w *Writer) error {
+		return w.WriteOpenAck(OpenAck{Credits: 8, Session: 7, Resumed: true, ResumeSeqR: 1 << 33, ResumeSeqS: 42})
+	})
 	return frames
 }
 

@@ -88,6 +88,17 @@ const (
 	// with an echoing RebalanceCommit once the state is installed, so the
 	// coordinator knows the shard holds exactly the slice it was sent.
 	FrameRebalanceCommit
+	// FrameCheckpoint (client → server) asks the session to cut a durable
+	// snapshot of its engine at the punctuation boundary the frame's
+	// position in the stream defines: every batch sent before it is
+	// included, nothing after. The session stays live; the server answers
+	// with CheckpointDone once the snapshot — and every result the
+	// included input produces — has been handed to the connection.
+	FrameCheckpoint
+	// FrameCheckpointDone (server → client) acknowledges a Checkpoint
+	// with a RebalanceInfo payload: the per-side resident tuple counts
+	// and arrival counters of the snapshot just cut.
+	FrameCheckpointDone
 )
 
 // String implements fmt.Stringer.
@@ -115,6 +126,10 @@ func (t FrameType) String() string {
 		return "state-chunk"
 	case FrameRebalanceCommit:
 		return "rebalance-commit"
+	case FrameCheckpoint:
+		return "checkpoint"
+	case FrameCheckpointDone:
+		return "checkpoint-done"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -295,6 +310,16 @@ type OpenAck struct {
 	Credits int
 	// Session is the server-assigned session identifier.
 	Session uint64
+	// Resumed reports that the server restored a durable checkpoint into
+	// this session's engine before accepting it: the engine already holds
+	// the snapshot's window and its arrival counters start at
+	// ResumeSeqR/ResumeSeqS, so the client replays only the suffix of the
+	// streams from those positions. Carried as a backward-compatible tail
+	// on the OpenAck frame — a non-resumed ack is byte-identical to the
+	// pre-checkpoint encoding.
+	Resumed    bool
+	ResumeSeqR uint64
+	ResumeSeqS uint64
 }
 
 // Stats are the session statistics carried in the Closed frame.

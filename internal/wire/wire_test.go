@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math/rand"
 	"strings"
@@ -610,5 +611,82 @@ func TestReaderSequence(t *testing.T) {
 	}
 	if _, err := r.ReadFrame(); err != io.EOF {
 		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestCheckpointFrameRoundTrips covers the durable-checkpoint control
+// frames: Checkpoint is empty, CheckpointDone carries the snapshot
+// summary, and the OpenAck resume tail round-trips — present only when
+// Resumed is set, so old clients never see unexpected trailing bytes.
+func TestCheckpointFrameRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	info := RebalanceInfo{TuplesR: 7, TuplesS: 8, SeqR: 1001, SeqS: 999}
+	if err := w.WriteCheckpointDone(info); err != nil {
+		t.Fatal(err)
+	}
+	resumed := OpenAck{Credits: 8, Session: 3, Resumed: true, ResumeSeqR: 1 << 40, ResumeSeqS: 77}
+	if err := w.WriteOpenAck(resumed); err != nil {
+		t.Fatal(err)
+	}
+	plain := OpenAck{Credits: 8, Session: 4}
+	if err := w.WriteOpenAck(plain); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	f, err := r.ReadFrame()
+	if err != nil || f.Type != FrameCheckpoint || len(f.Payload) != 0 {
+		t.Fatalf("checkpoint frame: %+v err=%v", f, err)
+	}
+	f, _ = r.ReadFrame()
+	if f.Type != FrameCheckpointDone {
+		t.Fatalf("checkpoint-done type: %v", f.Type)
+	}
+	got, err := DecodeCheckpointDone(f.Payload)
+	if err != nil || got != info {
+		t.Fatalf("checkpoint-done round trip: got %+v err=%v", got, err)
+	}
+	f, _ = r.ReadFrame()
+	ack, err := DecodeOpenAck(f.Payload)
+	if err != nil || ack != resumed {
+		t.Fatalf("resumed open-ack round trip: got %+v err=%v", ack, err)
+	}
+	f, _ = r.ReadFrame()
+	ack, err = DecodeOpenAck(f.Payload)
+	if err != nil || ack != plain {
+		t.Fatalf("plain open-ack round trip: got %+v err=%v", ack, err)
+	}
+	if ack.Resumed || ack.ResumeSeqR != 0 || ack.ResumeSeqS != 0 {
+		t.Fatalf("plain open-ack grew a resume tail: %+v", ack)
+	}
+}
+
+// TestOpenAckResumeFlagValidated rejects a resume tail whose flag byte is
+// not the defined value 1: the tail is the only optional part of the
+// frame, so a corrupt flag must not be silently treated as either form.
+func TestOpenAckResumeFlagValidated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteOpenAck(OpenAck{Credits: 2, Session: 9, Resumed: true, ResumeSeqR: 5, ResumeSeqS: 6}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), f.Payload...)
+	// The flag byte sits right after the two uvarints (credits, session).
+	flagAt := -1
+	for i, rest := 0, payload; i < 2; i++ {
+		_, n := binary.Uvarint(rest)
+		rest = rest[n:]
+		flagAt = len(payload) - len(rest)
+	}
+	payload[flagAt] = 2
+	if _, err := DecodeOpenAck(payload); err == nil {
+		t.Fatal("accepted open-ack with invalid resume flag")
 	}
 }

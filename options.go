@@ -68,9 +68,11 @@ func WithRedialPolicy(p ShardRedialPolicy) DialOption {
 type ServeOption func(*serveOptions)
 
 type serveOptions struct {
-	tls       *tls.Config
-	tlsErr    error // deferred WithServeTLSFiles load failure
-	authToken string
+	tls                *tls.Config
+	tlsErr             error // deferred WithServeTLSFiles load failure
+	authToken          string
+	checkpointDir      string
+	checkpointInterval time.Duration
 }
 
 func (o serveOptions) apply(opts []ServeOption) serveOptions {
@@ -102,6 +104,26 @@ func WithServeTLSFiles(certFile, keyFile string) ServeOption {
 // WithServeTLS — without TLS the token crosses the wire in the clear.
 func WithServeAuthToken(token string) ServeOption {
 	return func(o *serveOptions) { o.authToken = token }
+}
+
+// WithCheckpointDir makes the server durable: window snapshots are
+// written to dir (created if absent), and on startup the newest valid
+// snapshot is restored into the first matching session before the
+// listener accepts anything — the client resumes with only the
+// post-snapshot suffix to replay. Snapshots are cut automatically at
+// punctuation boundaries (see WithCheckpointInterval) and once more at
+// session teardown.
+func WithCheckpointDir(dir string) ServeOption {
+	return func(o *serveOptions) { o.checkpointDir = dir }
+}
+
+// WithCheckpointInterval sets the automatic snapshot cadence (default 5s
+// when a checkpoint directory is configured). Zero keeps the default; a
+// negative interval disables automatic snapshots, leaving only
+// client-requested and teardown snapshots. No-op without
+// WithCheckpointDir.
+func WithCheckpointInterval(d time.Duration) ServeOption {
+	return func(o *serveOptions) { o.checkpointInterval = d }
 }
 
 // LoadServerTLS builds a server TLS configuration from a PEM

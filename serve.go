@@ -115,6 +115,12 @@ func Serve(addr string, cfg ServerConfig, opts ...ServeOption) (*Server, error) 
 	if o.authToken != "" {
 		cfg.AuthToken = o.authToken
 	}
+	if o.checkpointDir != "" {
+		cfg.CheckpointDir = o.checkpointDir
+	}
+	if o.checkpointInterval != 0 {
+		cfg.CheckpointInterval = o.checkpointInterval
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		return nil, err
