@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race test-tls test-elastic test-recovery fuzz-short bench bench-smoke check
+.PHONY: all build vet fmt-check test test-race test-tls test-elastic test-recovery fuzz-short bench bench-probe bench-smoke probe-smoke check
 
 all: build
 
@@ -79,9 +79,21 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/wire/ ./internal/softjoin/
 	$(GO) run ./cmd/benchmark -fig software -json
 
+# Probe-kernel sweep: hash index vs block scan across windows and
+# selectivities (comparisons/op reported per point), then the perf
+# assertion that the index actually pays off.
+bench-probe:
+	$(GO) test -run '^$$' -bench '^BenchmarkProbe$$' -benchmem ./internal/softjoin/
+	$(GO) test -run '^TestHashKernelOutpacesScan$$' -count=1 -v ./internal/softjoin/
+
 # One-iteration pass over every benchmark: catches bit-rot in bench code
 # without paying measurement time. CI runs this.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/wire/ ./internal/softjoin/
+
+# CI assertion: the hash kernel must answer the equi-join probe load in
+# less wall time than the block scan at W=2^14 — the point of the index.
+probe-smoke:
+	$(GO) test -run '^TestHashKernelOutpacesScan$$' -count=1 -v ./internal/softjoin/
 
 check: build vet fmt-check test

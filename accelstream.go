@@ -83,6 +83,28 @@ type JoinCondition = stream.JoinCondition
 // paper's evaluation.
 func EquiJoinOnKey() JoinCondition { return stream.EquiJoinOnKey() }
 
+// ProbeKernel selects the window-probe kernel of a software uni-flow
+// engine: the per-core incremental hash index (equi-joins, O(matches) per
+// probe) or the block-scan sweep over the window's packed word column
+// (any condition) — the software analogues of a GPU hash probe and a SIMD
+// lane sweep.
+type ProbeKernel = stream.ProbeKernel
+
+// Probe kernels.
+const (
+	// KernelAuto resolves per join condition: hash for the equi-join on
+	// key, scan otherwise.
+	KernelAuto = stream.KernelAuto
+	// KernelHash forces the incremental hash index (equi-join only).
+	KernelHash = stream.KernelHash
+	// KernelScan forces the 64-wide bitmask block scan.
+	KernelScan = stream.KernelScan
+)
+
+// ParseProbeKernel maps a flag value ("auto", "hash", "scan") to a probe
+// kernel; the empty string parses as KernelAuto.
+func ParseProbeKernel(name string) (ProbeKernel, error) { return stream.ParseProbeKernel(name) }
+
 // FlowModel selects between the paper's two parallel join architectures.
 type FlowModel = core.FlowModel
 

@@ -36,6 +36,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "workload seed")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into (optional)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results: one JSON object per experiment row")
+	probeKernel := flag.String("probe-kernel", "auto", "restrict software experiments to one probe kernel (hash, scan); auto sweeps both")
 	list := flag.Bool("list", false, "list available experiment IDs and exit")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -52,11 +53,16 @@ func run() error {
 		return nil
 	}
 
+	kernel, err := accelstream.ParseProbeKernel(*probeKernel)
+	if err != nil {
+		return err
+	}
+
 	id := strings.ToLower(*fig)
 	if id != "all" && !strings.HasPrefix(id, "fig") && !isNamedExperiment(id) {
 		id = "fig" + id
 	}
-	results, err := accelstream.RunExperiment(id, accelstream.ExperimentOptions{Quick: *quick, Seed: *seed})
+	results, err := accelstream.RunExperiment(id, accelstream.ExperimentOptions{Quick: *quick, Seed: *seed, ProbeKernel: kernel})
 	if err != nil {
 		return err
 	}

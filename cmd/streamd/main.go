@@ -78,6 +78,7 @@ func run() error {
 	tlsCert := flag.String("tls-cert", "", "serve sessions over TLS with this PEM certificate (requires -tls-key)")
 	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
 	authToken := flag.String("auth-token", "", "require this session auth token in every Open frame")
+	probeKernel := flag.String("probe-kernel", "auto", "default probe kernel for soft-uni sessions: auto, hash, or scan (sessions naming a kernel keep their choice)")
 	ckptDir := flag.String("checkpoint-dir", "", "durable window snapshots in this directory (restored on restart; empty disables)")
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "automatic snapshot cadence (0: default 5s; negative: only final snapshots)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
@@ -95,12 +96,18 @@ func run() error {
 		return fmt.Errorf("-tls-cert and -tls-key must be given together")
 	}
 
+	kernel, err := accelstream.ParseProbeKernel(*probeKernel)
+	if err != nil {
+		return err
+	}
+
 	logger := log.New(os.Stderr, "streamd: ", log.LstdFlags)
 	cfg := accelstream.ServerConfig{
 		InitialCredits: *credits,
 		MaxBatch:       *maxBatch,
 		IdleTimeout:    *idle,
 		MaxSessions:    *maxSessions,
+		ProbeKernel:    kernel,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

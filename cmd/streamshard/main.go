@@ -135,6 +135,7 @@ func run() error {
 	shardTLSServerName := flag.String("shard-tls-servername", "", "hostname to verify on shard certificates (when dialing by IP)")
 	shardTLSSkipVerify := flag.Bool("shard-tls-skip-verify", false, "dial shards over TLS without verifying their certificates (testing only)")
 	shardAuthToken := flag.String("shard-auth-token", "", "session auth token presented to the backing shards")
+	probeKernel := flag.String("probe-kernel", "auto", "default probe kernel forwarded to the backing shard engines: auto, hash, or scan (sessions naming a kernel keep their choice)")
 	ckptDir := flag.String("checkpoint-dir", "", "durable global-window snapshots in this directory (restored on restart; empty disables)")
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "automatic snapshot cadence (0: default 5s; negative: only final snapshots)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
@@ -158,6 +159,11 @@ func run() error {
 	}
 	if *shards == "" || len(addrs) == 0 {
 		return fmt.Errorf("-shards is required (comma-separated streamd addresses)")
+	}
+
+	defaultKernel, err := accelstream.ParseProbeKernel(*probeKernel)
+	if err != nil {
+		return err
 	}
 
 	logger := log.New(os.Stderr, "streamshard: ", log.LstdFlags)
@@ -190,15 +196,20 @@ func run() error {
 			// checkpoint: every shard session opens at the same base offsets,
 			// and the server installs the recovered window via ImportState
 			// before the first batch.
+			kernel := oc.ProbeKernel
+			if kernel == accelstream.KernelAuto {
+				kernel = defaultKernel
+			}
 			scfg := accelstream.ShardConfig{
-				Addrs:      reg.snapshotAddrs(),
-				Cores:      oc.Cores,
-				Window:     oc.Window,
-				QueueDepth: *queueDepth,
-				Redial:     accelstream.ShardRedialPolicy{Attempts: *redials},
-				FailFast:   *failFast,
-				BaseSeqR:   oc.BaseSeqR,
-				BaseSeqS:   oc.BaseSeqS,
+				Addrs:       reg.snapshotAddrs(),
+				Cores:       oc.Cores,
+				Window:      oc.Window,
+				QueueDepth:  *queueDepth,
+				Redial:      accelstream.ShardRedialPolicy{Attempts: *redials},
+				FailFast:    *failFast,
+				BaseSeqR:    oc.BaseSeqR,
+				BaseSeqS:    oc.BaseSeqS,
+				ProbeKernel: kernel,
 			}
 			if !*quiet {
 				scfg.Logf = logger.Printf

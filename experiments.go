@@ -14,6 +14,9 @@ type ExperimentOptions struct {
 	Quick bool
 	// Seed fixes the synthetic workloads (default 42).
 	Seed int64
+	// ProbeKernel restricts the software experiments to one probe kernel;
+	// KernelAuto (the default) sweeps both where a figure compares them.
+	ProbeKernel ProbeKernel
 }
 
 // ExperimentResult is one regenerated figure/table.
@@ -106,7 +109,7 @@ func figureRunner(fn func(experiments.Options) (experiments.Figure, error)) func
 // RunExperiment regenerates one of the paper's figures/tables by ID (see
 // ExperimentIDs), or all of them for id "all".
 func RunExperiment(id string, opt ExperimentOptions) ([]ExperimentResult, error) {
-	eopt := experiments.Options{Quick: opt.Quick, Seed: opt.Seed}
+	eopt := experiments.Options{Quick: opt.Quick, Seed: opt.Seed, ProbeKernel: opt.ProbeKernel}
 	if eopt.Seed == 0 {
 		eopt.Seed = 42
 	}

@@ -9,6 +9,7 @@ import (
 
 	"accelstream/internal/core"
 	"accelstream/internal/softjoin"
+	"accelstream/internal/stream"
 	"accelstream/internal/wire"
 	"accelstream/internal/workload"
 )
@@ -35,8 +36,8 @@ func swSelectivitySpec(seed int64, selectivity float64) workload.Spec {
 // stream with the given per-comparison match probability, returning the
 // ingest rate (million tuples/s) and the result emission rate (million
 // results/s) over the timed region.
-func swSelectivityRun(cores, window int, selectivity float64, measureTuples int, opt Options) (inMtps, outMrps float64, err error) {
-	e, err := softjoin.NewUniFlow(softjoin.Config{NumCores: cores, WindowSize: window})
+func swSelectivityRun(cores, window int, selectivity float64, measureTuples int, kernel stream.ProbeKernel, opt Options) (inMtps, outMrps float64, err error) {
+	e, err := softjoin.NewUniFlow(softjoin.Config{NumCores: cores, WindowSize: window, ProbeKernel: kernel})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -185,8 +186,11 @@ func decodePushMicro(batchSize int, iters int, opt Options) (nsPerTuple, allocsP
 }
 
 // SoftwareBaseline regenerates the software data-path baseline: uni-flow
-// throughput versus match selectivity (the emit-path stress), and the
-// decode→push micro measurements of the server's per-frame hot path.
+// throughput versus match selectivity per probe kernel (the emit-path
+// stress), and the decode→push micro measurements of the server's
+// per-frame hot path. By default both probe kernels are swept — hash
+// index and block scan — so the figure records the kernel speedup;
+// Options.ProbeKernel restricts the sweep to one kernel.
 func SoftwareBaseline(opt Options) (sel, micro Figure, err error) {
 	const (
 		cores  = 8
@@ -194,7 +198,7 @@ func SoftwareBaseline(opt Options) (sel, micro Figure, err error) {
 	)
 	sel = Figure{
 		ID:     "software",
-		Title:  fmt.Sprintf("Software uni-flow data path (%d cores, W=2^16): throughput vs selectivity", cores),
+		Title:  fmt.Sprintf("Software uni-flow data path (%d cores, W=2^16): throughput vs selectivity, per probe kernel", cores),
 		XLabel: "match selectivity",
 		YLabel: "million/s",
 	}
@@ -204,31 +208,38 @@ func SoftwareBaseline(opt Options) (sel, micro Figure, err error) {
 		resultsBudget /= 4
 		maxTuples /= 4
 	}
-	in := Series{Label: "ingest Mtuples/s"}
-	out := Series{Label: "results M/s"}
-	for _, s := range []float64{0, 1e-4, 1e-3, 1e-2} {
-		measure := maxTuples
-		if s > 0 {
-			// Size each point by its expected result volume so runtime
-			// stays roughly constant across selectivities.
-			measure = int(float64(resultsBudget) / (float64(window) * s))
-			if measure > maxTuples {
-				measure = maxTuples
-			}
-			if measure < 8192 {
-				measure = 8192
-			}
-		}
-		inM, outM, err := swSelectivityRun(cores, window, s, measure, opt)
-		if err != nil {
-			return Figure{}, Figure{}, err
-		}
-		in.Points = append(in.Points, Point{X: s, Y: inM})
-		out.Points = append(out.Points, Point{X: s, Y: outM})
+	kernels := []stream.ProbeKernel{stream.KernelHash, stream.KernelScan}
+	if opt.ProbeKernel != stream.KernelAuto {
+		kernels = []stream.ProbeKernel{opt.ProbeKernel}
 	}
-	sel.Series = []Series{in, out}
+	for _, kernel := range kernels {
+		in := Series{Label: fmt.Sprintf("ingest Mtuples/s [%s]", kernel)}
+		out := Series{Label: fmt.Sprintf("results M/s [%s]", kernel)}
+		for _, s := range []float64{0, 1e-4, 1e-3, 1e-2} {
+			measure := maxTuples
+			if s > 0 {
+				// Size each point by its expected result volume so runtime
+				// stays roughly constant across selectivities.
+				measure = int(float64(resultsBudget) / (float64(window) * s))
+				if measure > maxTuples {
+					measure = maxTuples
+				}
+				if measure < 8192 {
+					measure = 8192
+				}
+			}
+			inM, outM, err := swSelectivityRun(cores, window, s, measure, kernel, opt)
+			if err != nil {
+				return Figure{}, Figure{}, err
+			}
+			in.Points = append(in.Points, Point{X: s, Y: inM})
+			out.Points = append(out.Points, Point{X: s, Y: outM})
+		}
+		sel.Series = append(sel.Series, in, out)
+	}
 	sel.Notes = append(sel.Notes,
-		"at selectivity ≥1e-3 the result path dominates; absolute values depend on this host")
+		"at selectivity ≥1e-3 the result path dominates; absolute values depend on this host",
+		"the hash kernel probes only its key's chain (O(matches)); the scan kernel sweeps the whole window per probe")
 
 	micro = Figure{
 		ID:     "software-micro",

@@ -17,6 +17,10 @@ type Options struct {
 	Quick bool
 	// Seed fixes the workloads.
 	Seed int64
+	// ProbeKernel restricts the software experiments to one probe kernel.
+	// KernelAuto (the default) sweeps both kernels where the figure
+	// compares them and otherwise lets the engine resolve per condition.
+	ProbeKernel stream.ProbeKernel
 }
 
 // hwThroughput synthesizes and cycle-simulates one design and returns its

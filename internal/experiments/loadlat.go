@@ -14,7 +14,10 @@ import (
 // swPacedLatency measures the software engine's probe latency at a fixed
 // offered load (tuples/s) instead of at saturation.
 func swPacedLatency(cores, window int, rate float64, probes int, opt Options) (time.Duration, error) {
-	e, err := softjoin.NewUniFlow(softjoin.Config{NumCores: cores, WindowSize: window})
+	// Scan kernel pinned to match swThroughput's saturation measurement:
+	// the load-latency curve needs a saturable engine, and the hash kernel
+	// pushes saturation past what a single paced producer can offer.
+	e, err := softjoin.NewUniFlow(softjoin.Config{NumCores: cores, WindowSize: window, ProbeKernel: stream.KernelScan})
 	if err != nil {
 		return 0, err
 	}

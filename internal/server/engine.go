@@ -79,6 +79,7 @@ func buildEngine(cfg wire.OpenConfig) (Engine, error) {
 			ShardIndex:     cfg.ShardIndex,
 			BaseSeqR:       cfg.BaseSeqR,
 			BaseSeqS:       cfg.BaseSeqS,
+			ProbeKernel:    cfg.ProbeKernel,
 		})
 		if err != nil {
 			return nil, err
@@ -100,7 +101,14 @@ func buildEngine(cfg wire.OpenConfig) (Engine, error) {
 	}
 }
 
-// uniEngine adapts softjoin.UniFlow.
+// kernelReporter is the optional engine capability behind the probe-kernel
+// metrics: the concrete (resolved) kernel the engine's cores run.
+type kernelReporter interface {
+	Kernel() stream.ProbeKernel
+}
+
+// uniEngine adapts softjoin.UniFlow. Kernel() is promoted from the
+// embedded engine, so uniEngine satisfies kernelReporter.
 type uniEngine struct{ *softjoin.UniFlow }
 
 func (e *uniEngine) PushBatch(batch []core.Input) error {

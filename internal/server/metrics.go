@@ -28,6 +28,9 @@ type ProcessStats struct {
 	// wrong auth tokens ("no_token"/"bad_token"), handshake timeouts,
 	// malformed opens, capacity, and drain-time rejects.
 	SessionsRejected map[string]uint64
+	// ProbeKernel is the server's configured default probe kernel for
+	// soft-uni sessions ("auto", "hash", or "scan").
+	ProbeKernel string
 	// Checkpoints summarizes the durable-snapshot subsystem; zero-valued
 	// (Enabled false) when the server runs without a checkpoint directory.
 	Checkpoints CheckpointStats
@@ -64,6 +67,7 @@ func (s *Server) ProcessStats() ProcessStats {
 		SessionsTotal:      s.nextID,
 		CreditsOutstanding: s.creditsHeld.Load(),
 		SessionsRejected:   rejected,
+		ProbeKernel:        s.cfg.ProbeKernel.String(),
 		Checkpoints: CheckpointStats{
 			Enabled:        s.ckpt != nil,
 			Written:        s.ckptTotal.Load(),
@@ -116,6 +120,8 @@ func writeProcessMetrics(b *strings.Builder, ps ProcessStats) {
 	gauge("streamd_heap_alloc_bytes", "Heap bytes allocated and in use.", ms.HeapAlloc)
 	fmt.Fprintf(b, "# HELP streamd_build_info Build identity of the running server (constant 1).\n# TYPE streamd_build_info gauge\nstreamd_build_info{version=%q} 1\n",
 		buildinfo.Version())
+	fmt.Fprintf(b, "# HELP streamd_probe_kernel Default probe kernel for soft-uni sessions (constant 1).\n# TYPE streamd_probe_kernel gauge\nstreamd_probe_kernel{kernel=%q} 1\n",
+		ps.ProbeKernel)
 	if ps.Checkpoints.Enabled {
 		writeCheckpointMetrics(b, ps.Checkpoints)
 	}
@@ -184,5 +190,12 @@ func writeSessionMetrics(b *strings.Builder, sessions []SessionMetrics) {
 	fmt.Fprint(b, "# HELP streamd_session_backlog Undelivered engine results queued per live session.\n# TYPE streamd_session_backlog gauge\n")
 	for _, m := range sessions {
 		fmt.Fprintf(b, "streamd_session_backlog%s %d\n", label(m), m.Backlog)
+	}
+	fmt.Fprint(b, "# HELP streamd_session_probe_kernel Concrete probe kernel the session's engine runs (constant 1).\n# TYPE streamd_session_probe_kernel gauge\n")
+	for _, m := range sessions {
+		if m.Kernel == "" {
+			continue // engine without probe kernels
+		}
+		fmt.Fprintf(b, "streamd_session_probe_kernel{session=\"%d\",engine=%q,kernel=%q} 1\n", m.ID, m.Engine, m.Kernel)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"accelstream/internal/checkpoint"
+	"accelstream/internal/stream"
 	"accelstream/internal/wire"
 )
 
@@ -59,6 +60,12 @@ type Config struct {
 	// sessions_rejected_total{reason="bad_token"|"no_token"}. Tokens are
 	// sent in the clear unless TLS is also enabled.
 	AuthToken string
+	// ProbeKernel, when not KernelAuto, is the server-wide default probe
+	// kernel for soft-uni sessions whose Open frame requests auto: the
+	// `-probe-kernel` flag of streamd. A session that names a kernel
+	// explicitly keeps its choice. KernelAuto (the zero value) leaves
+	// resolution to the engine (hash for the equi-join, scan otherwise).
+	ProbeKernel stream.ProbeKernel
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 	// NewEngine, when set, replaces the built-in engine constructors: the

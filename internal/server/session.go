@@ -40,6 +40,9 @@ type SessionMetrics struct {
 	// engine-accept time (the interval the batch's credit is withheld).
 	AvgBatchLatency time.Duration
 	MaxBatchLatency time.Duration
+	// Kernel is the concrete probe kernel the session's engine runs
+	// ("hash" or "scan"); empty for engines without probe kernels.
+	Kernel string
 	// Open reports whether the session is still live.
 	Open bool
 }
@@ -115,6 +118,9 @@ func (s *session) metrics() SessionMetrics {
 	// flag publishes them, so read them only after observing it.
 	if s.opened.Load() {
 		m.Engine = s.engCfg.Engine
+		if kr, ok := s.eng.(kernelReporter); ok {
+			m.Kernel = kr.Kernel().String()
+		}
 		if m.Open {
 			m.Backlog = s.eng.Backlog()
 		}
@@ -286,6 +292,12 @@ func (s *session) handshake() error {
 			s.fail(wire.UnauthorizedPrefix + ": bad auth token")
 			return fmt.Errorf("session sent a bad auth token")
 		}
+	}
+	// Server-wide probe-kernel default: sessions that left the kernel on
+	// auto inherit the operator's `-probe-kernel` choice. Only soft-uni
+	// engines have probe kernels, and explicit session choices win.
+	if cfg.Engine == wire.EngineSoftUni && cfg.ProbeKernel == stream.KernelAuto {
+		cfg.ProbeKernel = s.srv.cfg.ProbeKernel
 	}
 	build := buildEngine
 	if s.srv.cfg.NewEngine != nil {

@@ -197,13 +197,14 @@ func (r *Router) spawnSender(sc *shardConn) {
 // window and its residue class, with per-side arrival offsets for resume.
 func (sc *shardConn) openConfig(baseR, baseS uint64) wire.OpenConfig {
 	return wire.OpenConfig{
-		Engine:     wire.EngineSoftUni,
-		Cores:      sc.r.cfg.Cores,
-		Window:     sc.window,
-		ShardCount: sc.modulus,
-		ShardIndex: sc.index,
-		BaseSeqR:   baseR,
-		BaseSeqS:   baseS,
+		Engine:      wire.EngineSoftUni,
+		Cores:       sc.r.cfg.Cores,
+		Window:      sc.window,
+		ShardCount:  sc.modulus,
+		ShardIndex:  sc.index,
+		BaseSeqR:    baseR,
+		BaseSeqS:    baseS,
+		ProbeKernel: sc.r.cfg.ProbeKernel,
 	}
 }
 

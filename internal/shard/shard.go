@@ -29,6 +29,8 @@ import (
 	"crypto/tls"
 	"fmt"
 	"time"
+
+	"accelstream/internal/stream"
 )
 
 // RedialPolicy bounds reconnection of a dropped shard session. The zero
@@ -84,6 +86,11 @@ type Config struct {
 	// AuthToken, when non-empty, authenticates every shard session (and
 	// every redial) against the shards' configured token.
 	AuthToken string
+	// ProbeKernel, when not KernelAuto, is carried in every shard
+	// session's Open frame so the backing engines run the named probe
+	// kernel (hash index or block scan) instead of resolving it per
+	// condition.
+	ProbeKernel stream.ProbeKernel
 	// DialTimeout bounds each shard connect + handshake (0: the client
 	// default). Redial backoff delays are on top of this.
 	DialTimeout time.Duration

@@ -11,70 +11,92 @@ import (
 
 // benchCore builds one warm softCore whose opposite window is full, with
 // roughly one match per `selInv` stored tuples for probe key 7.
-func benchCore(window, selInv int, equiFast bool) *softCore {
+func benchCore(window, selInv int, kernel stream.ProbeKernel) *softCore {
 	c := &softCore{
 		part:    core.Partition{NumCores: 1, Position: 0},
 		shard:   core.Partition{NumCores: 1, Position: 0},
 		cond:    stream.EquiJoinOnKey(),
-		equiKey: equiFast,
+		kernel:  kernel,
 		windowR: stream.NewSlidingWindow(window),
 		windowS: stream.NewSlidingWindow(window),
 	}
+	if kernel == stream.KernelHash {
+		c.idxR = stream.NewKeyIndex(c.windowR)
+		c.idxS = stream.NewKeyIndex(c.windowS)
+		c.matchBuf = make([]stream.Tuple, 0, 64)
+	}
 	for i := 0; i < window; i++ {
-		c.windowS.Insert(stream.Tuple{Key: uint32(7 + (i%selInv)*1000), Val: uint32(i)})
+		c.store(stream.SideS, stream.Tuple{Key: uint32(7 + (i%selInv)*1000), Val: uint32(i)})
 	}
 	return c
 }
 
-// BenchmarkProbe compares the equi-join fast path (direct ring-segment
-// scan) against the generic closure-based Scan path on the same window
-// contents and selectivity.
+// BenchmarkProbe sweeps the two probe kernels across window sizes and
+// selectivities on identical window contents: the hash kernel's O(matches)
+// lookups against the block-scan kernel's O(W) bitmask sweep.
 func BenchmarkProbe(b *testing.B) {
-	for _, window := range []int{1 << 10, 1 << 13} {
-		for _, mode := range []struct {
-			name string
-			fast bool
-		}{{"equi-fast", true}, {"generic-scan", false}} {
-			b.Run(fmt.Sprintf("W=%d/%s", window, mode.name), func(b *testing.B) {
-				c := benchCore(window, 256, mode.fast)
-				probe := stream.Tuple{Key: 7}
-				slab := getSlab()
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					slab.items = slab.items[:0]
-					c.probe(probe, stream.SideR, c.windowS, uint64(i), slab)
-				}
-				b.StopTimer()
-				b.ReportMetric(float64(window), "comparisons/op")
-				putSlab(slab)
-			})
+	for _, window := range []int{1 << 10, 1 << 13, 1 << 16} {
+		for _, selInv := range []int{16, 256, 4096} {
+			if selInv > window {
+				continue
+			}
+			for _, kernel := range []stream.ProbeKernel{stream.KernelHash, stream.KernelScan} {
+				name := fmt.Sprintf("W=%d/sel=1-%d/%s", window, selInv, kernel)
+				b.Run(name, func(b *testing.B) {
+					c := benchCore(window, selInv, kernel)
+					probe := stream.Tuple{Key: 7}
+					slab := getSlab()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						slab.items = slab.items[:0]
+						c.probe(probe, stream.SideR, uint64(i), slab)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(c.compared.Load())/float64(b.N), "comparisons/op")
+					putSlab(slab)
+				})
+			}
 		}
 	}
 }
 
-// TestProbeAllocFree pins the emit-path acceptance criterion: a probe into
-// a warm slab — matches included — performs zero heap allocations.
+// TestProbeAllocFree pins the emit-path acceptance criterion for both
+// kernels: a probe into a warm slab — matches included — performs zero
+// heap allocations. For the hash kernel this covers the index lookup and
+// the match scratch; for the scan kernel the bitmask sweep.
 func TestProbeAllocFree(t *testing.T) {
-	for _, mode := range []struct {
-		name string
-		fast bool
-	}{{"equi-fast", true}, {"generic-scan", false}} {
-		t.Run(mode.name, func(t *testing.T) {
-			c := benchCore(1<<10, 64, mode.fast)
+	for _, kernel := range []stream.ProbeKernel{stream.KernelHash, stream.KernelScan} {
+		t.Run(kernel.String(), func(t *testing.T) {
+			c := benchCore(1<<10, 64, kernel)
 			probe := stream.Tuple{Key: 7}
 			slab := getSlab()
-			// Warm the slab to its steady-state capacity.
-			c.probe(probe, stream.SideR, c.windowS, 0, slab)
+			// Warm the slab (and match scratch) to steady-state capacity.
+			c.probe(probe, stream.SideR, 0, slab)
 			allocs := testing.AllocsPerRun(100, func() {
 				slab.items = slab.items[:0]
-				c.probe(probe, stream.SideR, c.windowS, 1, slab)
+				c.probe(probe, stream.SideR, 1, slab)
 			})
 			putSlab(slab)
 			if allocs != 0 {
-				t.Fatalf("probe into warm slab: %v allocs/probe, want 0", allocs)
+				t.Fatalf("%v probe into warm slab: %v allocs/probe, want 0", kernel, allocs)
 			}
 		})
+	}
+}
+
+// TestStoreAllocFree: the hash kernel's index maintenance adds no
+// steady-state allocation to the store path either — inserts (with
+// expiry and periodic index rebuilds) stay alloc-free.
+func TestStoreAllocFree(t *testing.T) {
+	c := benchCore(1<<10, 64, stream.KernelHash)
+	var k uint32
+	allocs := testing.AllocsPerRun(5000, func() {
+		c.store(stream.SideS, stream.Tuple{Key: k % 512, Val: k})
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("hash-kernel store: %v allocs/insert, want 0", allocs)
 	}
 }
 
@@ -87,43 +109,45 @@ func BenchmarkUniFlowPush(b *testing.B) {
 		if ordered {
 			name = "ordered"
 		}
-		b.Run(name, func(b *testing.B) {
-			const window = 1 << 12
-			e, err := NewUniFlow(Config{NumCores: 4, WindowSize: window, OrderedResults: ordered})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := e.Start(); err != nil {
-				b.Fatal(err)
-			}
-			var wg sync.WaitGroup
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for range e.Results() {
+		for _, kernel := range []stream.ProbeKernel{stream.KernelHash, stream.KernelScan} {
+			b.Run(fmt.Sprintf("%s/%s", name, kernel), func(b *testing.B) {
+				const window = 1 << 12
+				e, err := NewUniFlow(Config{NumCores: 4, WindowSize: window, OrderedResults: ordered, ProbeKernel: kernel})
+				if err != nil {
+					b.Fatal(err)
 				}
-			}()
-			const batchSize = 256
-			batch := make([]core.Input, batchSize) // reused: PushBatch copies
-			for i := range batch {
-				side := stream.SideR
-				if i%2 == 1 {
-					side = stream.SideS
+				if err := e.Start(); err != nil {
+					b.Fatal(err)
 				}
-				// Key domain 4096 over a 4096 window: ~1 match per probe.
-				batch[i] = core.Input{Side: side, Tuple: stream.Tuple{Key: uint32(i * 37 % 4096)}}
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				e.PushBatch(batch)
-			}
-			if err := e.Close(); err != nil {
-				b.Fatal(err)
-			}
-			wg.Wait()
-			b.StopTimer()
-			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "tuples/s")
-		})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range e.Results() {
+					}
+				}()
+				const batchSize = 256
+				batch := make([]core.Input, batchSize) // reused: PushBatch copies
+				for i := range batch {
+					side := stream.SideR
+					if i%2 == 1 {
+						side = stream.SideS
+					}
+					// Key domain 4096 over a 4096 window: ~1 match per probe.
+					batch[i] = core.Input{Side: side, Tuple: stream.Tuple{Key: uint32(i * 37 % 4096)}}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.PushBatch(batch)
+				}
+				if err := e.Close(); err != nil {
+					b.Fatal(err)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "tuples/s")
+			})
+		}
 	}
 }

@@ -370,40 +370,126 @@ func TestUniFlowOrderedResults(t *testing.T) {
 	}
 }
 
-// TestUniFlowComparisonsPerTuple: each tuple is compared against one full
-// sub-window per core once windows are warm — the N·(W/N)=W work invariant.
+// TestUniFlowComparisonsPerTuple: Comparisons() stays meaningful per
+// kernel. Under the scan kernel each tuple sweeps one full sub-window per
+// core — the N·(W/N)=W work invariant. Under the hash kernel a probe for
+// an absent key examines (nearly) nothing: that asymmetry is the whole
+// point of the index.
 func TestUniFlowComparisonsPerTuple(t *testing.T) {
 	const (
 		cores  = 4
 		window = 128
 		probes = 50
 	)
-	r := make([]stream.Tuple, window)
-	s := make([]stream.Tuple, window)
-	for i := range r {
-		r[i] = stream.Tuple{Key: 0xF0000000 + uint32(i)}
-		s[i] = stream.Tuple{Key: 0xE0000000 + uint32(i)}
+	run := func(kernel stream.ProbeKernel) uint64 {
+		r := make([]stream.Tuple, window)
+		s := make([]stream.Tuple, window)
+		for i := range r {
+			r[i] = stream.Tuple{Key: 0xF0000000 + uint32(i)}
+			s[i] = stream.Tuple{Key: 0xE0000000 + uint32(i)}
+		}
+		e, err := NewUniFlow(Config{NumCores: cores, WindowSize: window, ProbeKernel: kernel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Kernel(); got != kernel {
+			t.Fatalf("Kernel() = %v, want %v", got, kernel)
+		}
+		if err := e.Preload(r, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		wg, _ := drain(e.Results())
+		for i := 0; i < probes; i++ {
+			e.Push(stream.SideR, stream.Tuple{Key: 1})
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		return e.Comparisons()
 	}
-	e, err := NewUniFlow(Config{NumCores: cores, WindowSize: window})
+	if got, want := run(stream.KernelScan), uint64(probes*window); got != want {
+		t.Errorf("scan kernel Comparisons() = %d, want %d (full window per tuple)", got, want)
+	}
+	// Hash kernel: far below a full-window sweep (distinct keys, so probe
+	// chains are short; the exact count depends on hash collisions).
+	if got, limit := run(stream.KernelHash), uint64(probes*window/4); got >= limit {
+		t.Errorf("hash kernel Comparisons() = %d, want < %d (index probes, not sweeps)", got, limit)
+	}
+}
+
+// TestUniFlowAutoKernelResolution: auto picks hash for the default
+// equi-join condition and scan for anything else; forcing hash with a
+// non-equi condition is a configuration error.
+func TestUniFlowAutoKernelResolution(t *testing.T) {
+	e, err := NewUniFlow(Config{NumCores: 1, WindowSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Preload(r, s); err != nil {
+	if e.Kernel() != stream.KernelHash {
+		t.Errorf("auto kernel for equi-join = %v, want hash", e.Kernel())
+	}
+	band := stream.JoinCondition{LHS: stream.FieldKey, RHS: stream.FieldKey, Cmp: stream.CmpLT}
+	e, err = NewUniFlow(Config{NumCores: 1, WindowSize: 8, Condition: band})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Start(); err != nil {
-		t.Fatal(err)
+	if e.Kernel() != stream.KernelScan {
+		t.Errorf("auto kernel for non-equi condition = %v, want scan", e.Kernel())
 	}
-	wg, _ := drain(e.Results())
-	for i := 0; i < probes; i++ {
-		e.Push(stream.SideR, stream.Tuple{Key: 1})
+	if _, err := NewUniFlow(Config{NumCores: 1, WindowSize: 8, Condition: band, ProbeKernel: stream.KernelHash}); err == nil {
+		t.Error("forcing the hash kernel with a non-equi condition succeeded, want error")
 	}
-	if err := e.Close(); err != nil {
-		t.Fatal(err)
+	if _, err := NewUniFlow(Config{NumCores: 1, WindowSize: 8, ProbeKernel: stream.ProbeKernel(7)}); err == nil {
+		t.Error("invalid kernel code accepted, want error")
 	}
-	wg.Wait()
-	if got, want := e.Comparisons(), uint64(probes*window); got != want {
-		t.Errorf("Comparisons() = %d, want %d (full window per tuple)", got, want)
+}
+
+// TestUniFlowKernelsOracleEqual runs the same random workload through both
+// kernels — equi condition for both, plus a non-equi condition on the scan
+// kernel — and checks each against the exactly-once oracle.
+func TestUniFlowKernelsOracleEqual(t *testing.T) {
+	const (
+		window = 64
+		tuples = 4000
+	)
+	conds := []struct {
+		name   string
+		cond   stream.JoinCondition
+		kernel stream.ProbeKernel
+	}{
+		{"equi/hash", stream.EquiJoinOnKey(), stream.KernelHash},
+		{"equi/scan", stream.EquiJoinOnKey(), stream.KernelScan},
+		{"lt-key/scan", stream.JoinCondition{LHS: stream.FieldKey, RHS: stream.FieldKey, Cmp: stream.CmpLT}, stream.KernelScan},
+		{"ge-val/scan", stream.JoinCondition{LHS: stream.FieldVal, RHS: stream.FieldVal, Cmp: stream.CmpGE}, stream.KernelScan},
+	}
+	for _, tc := range conds {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			inputs := randomWorkload(rng, tuples, 32)
+			e, err := NewUniFlow(Config{NumCores: 4, WindowSize: window, Condition: tc.cond, ProbeKernel: tc.kernel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Start(); err != nil {
+				t.Fatal(err)
+			}
+			wg, got := drain(e.Results())
+			for _, in := range inputs {
+				e.Push(in.Side, in.Tuple)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			if err := core.VerifyExactlyOnce(window, tc.cond, inputs, *got); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

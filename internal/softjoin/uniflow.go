@@ -16,6 +16,7 @@ package softjoin
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -61,6 +62,11 @@ type Config struct {
 	// session mid-stream.
 	BaseSeqR uint64
 	BaseSeqS uint64
+	// ProbeKernel selects the window-probe kernel the join cores run.
+	// KernelAuto (the zero value) resolves per condition: the hash-index
+	// kernel for the equi-join on key, the block-scan kernel otherwise.
+	// KernelHash may only be forced together with the equi-join condition.
+	ProbeKernel stream.ProbeKernel
 }
 
 func (cfg *Config) applyDefaults() {
@@ -98,7 +104,26 @@ func (cfg Config) Validate() error {
 	if cfg.ShardCount <= 1 && cfg.ShardIndex != 0 {
 		return fmt.Errorf("softjoin: ShardIndex %d without a ShardCount", cfg.ShardIndex)
 	}
+	if !cfg.ProbeKernel.Valid() {
+		return fmt.Errorf("softjoin: unknown probe kernel code %d", cfg.ProbeKernel)
+	}
+	if cfg.ProbeKernel == stream.KernelHash && cfg.Condition != stream.EquiJoinOnKey() {
+		return fmt.Errorf("softjoin: the hash probe kernel handles only the equi-join on key, not %v", cfg.Condition)
+	}
 	return cfg.Condition.Validate()
+}
+
+// resolveKernel maps KernelAuto to the concrete kernel for the condition:
+// the hash index can only answer the equi-join on key, the block scan
+// answers anything.
+func (cfg Config) resolveKernel() stream.ProbeKernel {
+	if cfg.ProbeKernel != stream.KernelAuto {
+		return cfg.ProbeKernel
+	}
+	if cfg.Condition == stream.EquiJoinOnKey() {
+		return stream.KernelHash
+	}
+	return stream.KernelScan
 }
 
 // sharded reports whether the configuration assigns a shard role.
@@ -118,6 +143,7 @@ func (cfg Config) subWindowSize() int {
 type UniFlow struct {
 	cfg       Config
 	subWindow int
+	kernel    stream.ProbeKernel // concrete (resolved) probe kernel
 
 	in      chan *inputBatch
 	pending *inputBatch
@@ -147,12 +173,17 @@ type softCore struct {
 	part    core.Partition
 	shard   core.Partition // deployment-level residue class (unsharded: 1/0)
 	cond    stream.JoinCondition
-	equiKey bool // Condition is the equi-join on key: probe takes the fast path
-	ordered bool // ordered mode needs a slab (punctuation) per batch, even empty
+	kernel  stream.ProbeKernel // concrete kernel: KernelHash or KernelScan
+	ordered bool               // ordered mode needs a slab (punctuation) per batch, even empty
 	in      chan *inputBatch
 	out     chan *resultSlab
 	windowR *stream.SlidingWindow
 	windowS *stream.SlidingWindow
+	// Hash-kernel state: one incremental key index per sub-window, kept in
+	// sync by the store path, plus a reusable match scratch so steady-state
+	// probes never allocate. Nil/unused under the scan kernel.
+	idxR, idxS *stream.KeyIndex
+	matchBuf   []stream.Tuple
 
 	countR, countS   uint64
 	storedR, storedS atomic.Uint64
@@ -170,16 +201,17 @@ func NewUniFlow(cfg Config) (*UniFlow, error) {
 	e := &UniFlow{
 		cfg:       cfg,
 		subWindow: cfg.subWindowSize(),
+		kernel:    cfg.resolveKernel(),
 		in:        make(chan *inputBatch, cfg.ChannelDepth),
 		results:   make(chan stream.Result, cfg.ChannelDepth*cfg.BatchSize+1),
 	}
 	e.seqR, e.seqS = cfg.BaseSeqR, cfg.BaseSeqS
 	for i := 0; i < cfg.NumCores; i++ {
-		e.cores = append(e.cores, &softCore{
+		c := &softCore{
 			part:    core.Partition{NumCores: cfg.NumCores, Position: i},
 			shard:   core.Partition{NumCores: cfg.ShardCount, Position: cfg.ShardIndex},
 			cond:    cfg.Condition,
-			equiKey: cfg.Condition == stream.EquiJoinOnKey(),
+			kernel:  e.kernel,
 			ordered: cfg.OrderedResults,
 			in:      make(chan *inputBatch, cfg.ChannelDepth),
 			// One slab per in-flight batch: depth mirrors the input side.
@@ -188,9 +220,39 @@ func NewUniFlow(cfg Config) (*UniFlow, error) {
 			windowS: stream.NewSlidingWindow(cfg.subWindowSize()),
 			countR:  cfg.BaseSeqR,
 			countS:  cfg.BaseSeqS,
-		})
+		}
+		if e.kernel == stream.KernelHash {
+			c.idxR = stream.NewKeyIndex(c.windowR)
+			c.idxS = stream.NewKeyIndex(c.windowS)
+			c.matchBuf = make([]stream.Tuple, 0, 64)
+		}
+		e.cores = append(e.cores, c)
 	}
 	return e, nil
+}
+
+// Kernel returns the concrete probe kernel the join cores run (never
+// KernelAuto — resolution happens at construction).
+func (e *UniFlow) Kernel() stream.ProbeKernel { return e.kernel }
+
+// store inserts t into the core's sub-window for side, keeping the probe
+// index (hash kernel) in sync. Every window insert — live ingest, preload,
+// and state import alike — must go through here, or hash-kernel probes
+// would miss the tuple.
+func (c *softCore) store(side stream.Side, t stream.Tuple) {
+	if side == stream.SideR {
+		c.windowR.Insert(t)
+		if c.idxR != nil {
+			c.idxR.NoteInsert(t.Key)
+		}
+		c.storedR.Add(1)
+	} else {
+		c.windowS.Insert(t)
+		if c.idxS != nil {
+			c.idxS.NoteInsert(t.Key)
+		}
+		c.storedS.Add(1)
+	}
 }
 
 // Preload fills the cores' sub-windows round-robin without running the
@@ -206,14 +268,7 @@ func (e *UniFlow) Preload(r, s []stream.Tuple) error {
 	n := e.cfg.NumCores
 	fill := func(side stream.Side, tuples []stream.Tuple) {
 		for i, t := range tuples {
-			c := e.cores[i%n]
-			if side == stream.SideR {
-				c.windowR.Insert(t)
-				c.storedR.Add(1)
-			} else {
-				c.windowS.Insert(t)
-				c.storedS.Add(1)
-			}
+			e.cores[i%n].store(side, t)
 		}
 	}
 	if len(r) > e.cfg.WindowSize || len(s) > e.cfg.WindowSize {
@@ -263,14 +318,7 @@ func (e *UniFlow) ImportState(tuples []core.Input) error {
 			return fmt.Errorf("softjoin: imported %v tuple seq %d is outside residue class %d (mod %d)",
 				side, t.Seq, e.cfg.ShardIndex, shardN)
 		}
-		c := e.cores[(t.Seq/shardN)%cores]
-		if side == stream.SideR {
-			c.windowR.Insert(t)
-			c.storedR.Add(1)
-		} else {
-			c.windowS.Insert(t)
-			c.storedS.Add(1)
-		}
+		e.cores[(t.Seq/shardN)%cores].store(side, t)
 	}
 	return nil
 }
@@ -503,17 +551,15 @@ func (c *softCore) run() {
 			t := in.Tuple
 			switch in.Side {
 			case stream.SideR:
-				c.probe(t, stream.SideR, c.windowS, proc, slab)
+				c.probe(t, stream.SideR, proc, slab)
 				if c.shard.StoreTurn(c.countR) && c.part.StoreTurn(c.countR/shardN) {
-					c.windowR.Insert(t)
-					c.storedR.Add(1)
+					c.store(stream.SideR, t)
 				}
 				c.countR++
 			case stream.SideS:
-				c.probe(t, stream.SideS, c.windowR, proc, slab)
+				c.probe(t, stream.SideS, proc, slab)
 				if c.shard.StoreTurn(c.countS) && c.part.StoreTurn(c.countS/shardN) {
-					c.windowS.Insert(t)
-					c.storedS.Add(1)
+					c.store(stream.SideS, t)
 				}
 				c.countS++
 			}
@@ -542,58 +588,87 @@ func (c *softCore) run() {
 	putSlab(slab)
 }
 
-// probe scans the opposite sub-window for matches with t (arrival index
-// idx), appending them to the batch's result slab. The equi-join-on-key
-// condition takes a fast path over the ring's backing segments — a
-// branch-predictable compare loop with no per-element closure call, the
-// software analogue of the hardware comparator sweep. Both paths count
-// every scanned tuple toward Comparisons(), with one atomic add per probe
-// (a per-element atomic would dominate the hot loop).
-func (c *softCore) probe(t stream.Tuple, side stream.Side, win *stream.SlidingWindow, idx uint64, slab *resultSlab) {
-	if c.equiKey {
-		key := t.Key
-		older, newer := win.Segments()
-		items := slab.items
-		if side == stream.SideR {
-			for i := range older {
-				if older[i].Key == key {
-					items = append(items, taggedResult{res: stream.Result{R: t, S: older[i]}, idx: idx})
-				}
-			}
-			for i := range newer {
-				if newer[i].Key == key {
-					items = append(items, taggedResult{res: stream.Result{R: t, S: newer[i]}, idx: idx})
-				}
-			}
-		} else {
-			for i := range older {
-				if older[i].Key == key {
-					items = append(items, taggedResult{res: stream.Result{R: older[i], S: t}, idx: idx})
-				}
-			}
-			for i := range newer {
-				if newer[i].Key == key {
-					items = append(items, taggedResult{res: stream.Result{R: newer[i], S: t}, idx: idx})
-				}
-			}
-		}
-		slab.items = items
-		c.compared.Add(uint64(len(older) + len(newer)))
+// probe matches t (arrival index idx) against the opposite sub-window,
+// appending results to the batch's slab. The kernel decides the shape of
+// the work and what Comparisons() counts:
+//
+//   - KernelHash looks the key up in the opposite window's incremental
+//     index — O(matches) per probe; Comparisons() counts the index entries
+//     the probe chain examined (the loads the kernel actually performed).
+//   - KernelScan sweeps the opposite window's dense word column in
+//     64-wide bitmask blocks; Comparisons() counts every word swept, like
+//     the hardware comparator sweep it mirrors.
+//
+// Both kernels pay one atomic add per probe (a per-element atomic would
+// dominate the hot loop).
+func (c *softCore) probe(t stream.Tuple, side stream.Side, idx uint64, slab *resultSlab) {
+	if c.kernel == stream.KernelHash {
+		c.probeHash(t, side, idx, slab)
 		return
 	}
-	cond := c.cond
-	var scanned uint64
-	win.Scan(func(stored stream.Tuple) bool {
-		scanned++
-		if cond.Match(t, stored) {
-			if side == stream.SideR {
-				slab.items = append(slab.items, taggedResult{res: stream.Result{R: t, S: stored}, idx: idx})
-			} else {
-				slab.items = append(slab.items, taggedResult{res: stream.Result{R: stored, S: t}, idx: idx})
-			}
+	c.probeScan(t, side, idx, slab)
+}
+
+// probeHash is the hash-index probe kernel: the software analogue of a GPU
+// hash-join probe. Matches surface in probe-chain order, not arrival
+// order; ordered mode sequences results by probe arrival only, so the
+// within-probe order is free.
+func (c *softCore) probeHash(t stream.Tuple, side stream.Side, idx uint64, slab *resultSlab) {
+	ix := c.idxS
+	if side == stream.SideS {
+		ix = c.idxR
+	}
+	matches, examined := ix.AppendMatches(t.Key, c.matchBuf[:0])
+	c.matchBuf = matches // keep the grown capacity for the next probe
+	if side == stream.SideR {
+		for _, stored := range matches {
+			slab.items = append(slab.items, taggedResult{res: stream.Result{R: t, S: stored}, idx: idx})
 		}
-		return true
-	})
+	} else {
+		for _, stored := range matches {
+			slab.items = append(slab.items, taggedResult{res: stream.Result{R: stored, S: t}, idx: idx})
+		}
+	}
+	c.compared.Add(uint64(examined))
+}
+
+// probeScan is the block-scan probe kernel: the predicate runs over the
+// window's packed word column in 64-wide blocks producing a hit bitmask
+// (stream.BlockMask), and full tuples are materialized only for set bits —
+// the branch-reduced software analogue of a SIMD lane sweep. It evaluates
+// any join condition.
+func (c *softCore) probeScan(t stream.Tuple, side stream.Side, idx uint64, slab *resultSlab) {
+	win := c.windowS
+	if side == stream.SideS {
+		win = c.windowR
+	}
+	lhs := c.cond.LHS.Extract(t)
+	olderT, newerT := win.Segments()
+	olderW, newerW := win.WordSegments()
+	scanned := uint64(len(olderW) + len(newerW))
+	for seg := 0; seg < 2; seg++ {
+		tuples, words := olderT, olderW
+		if seg == 1 {
+			tuples, words = newerT, newerW
+		}
+		for len(words) > 0 {
+			n := len(words)
+			if n > stream.BlockBits {
+				n = stream.BlockBits
+			}
+			mask := stream.BlockMask(words[:n], c.cond.RHS, c.cond.Cmp, lhs)
+			for mask != 0 {
+				i := bits.TrailingZeros64(mask)
+				mask &= mask - 1
+				if side == stream.SideR {
+					slab.items = append(slab.items, taggedResult{res: stream.Result{R: t, S: tuples[i]}, idx: idx})
+				} else {
+					slab.items = append(slab.items, taggedResult{res: stream.Result{R: tuples[i], S: t}, idx: idx})
+				}
+			}
+			words, tuples = words[n:], tuples[n:]
+		}
+	}
 	c.compared.Add(scanned)
 }
 

@@ -1,0 +1,141 @@
+package stream
+
+import "math/bits"
+
+// KeyIndex is an incremental hash index over the Key field of a sliding
+// window's resident tuples: key → ring slots, the structure a hash-probe
+// kernel looks matches up in at O(matches) per probe instead of the
+// scalar O(W) ring sweep. It is the software analogue of the hash tables
+// GPU stream-join kernels build over their window partitions.
+//
+// Design: open addressing with linear probing over a power-of-two table
+// of (key, insert number) entries. Expiry never touches the index — an
+// entry is live iff its insert number still falls inside the window's
+// resident generation range [Total-Len, Total), which makes the index
+// tombstone-free: stale entries need no marker, they age out by the
+// generation check alone. The ring-slot invariant (insert n occupies ring
+// slot n mod Cap) turns a live entry back into its tuple with one array
+// load. Inserts reclaim stale entries they cross (safe under open
+// addressing: the slot stays occupied, so other chains keep their
+// terminator-free prefix), and the table is rebuilt from the ring —
+// amortized O(1) per insert, zero allocations — whenever the occupied
+// fraction reaches half, so probe chains stay short forever.
+//
+// The index is single-writer, like the window it covers. After
+// SlidingWindow.Reset (which restarts the generation counter) call
+// Rebuild before the next lookup.
+type KeyIndex struct {
+	w     *SlidingWindow
+	shift uint     // 64 - log2(table size): Fibonacci-hash bucket select
+	mask  uint64   // table size - 1
+	keys  []uint32 // entry keys
+	ns    []uint64 // entry insert numbers; emptySlot marks unused slots
+	used  int      // occupied (live or stale) slots
+	limit int      // rebuild threshold on used
+}
+
+// emptySlot marks a table slot that has never held an entry since the
+// last rebuild. Insert numbers are window generations and can never
+// reach it.
+const emptySlot = ^uint64(0)
+
+// fibMul is 2^64 divided by the golden ratio: Fibonacci multiplicative
+// hashing spreads the 32-bit keys over the table's high bits.
+const fibMul = 0x9E3779B97F4A7C15
+
+// NewKeyIndex builds an index over w and indexes any already-resident
+// tuples. The table is sized to four slots per window slot (next power
+// of two), so live entries alone never pass a quarter of it.
+func NewKeyIndex(w *SlidingWindow) *KeyIndex {
+	size := 8
+	for size < 4*w.Cap() {
+		size <<= 1
+	}
+	ix := &KeyIndex{
+		w:     w,
+		shift: uint(64 - bits.TrailingZeros(uint(size))),
+		mask:  uint64(size - 1),
+		keys:  make([]uint32, size),
+		ns:    make([]uint64, size),
+		limit: size / 2,
+	}
+	ix.Rebuild()
+	return ix
+}
+
+// bucket returns the table slot key's probe chain starts at.
+func (ix *KeyIndex) bucket(key uint32) uint64 {
+	return (uint64(key) * fibMul) >> ix.shift
+}
+
+// NoteInsert indexes the tuple the window just accepted; call it
+// immediately after every SlidingWindow.Insert on an indexed window. It
+// performs no allocation: table growth is fixed at construction, and the
+// periodic rebuild reuses the same arrays.
+func (ix *KeyIndex) NoteInsert(key uint32) {
+	if ix.used >= ix.limit {
+		// Rebuild reindexes every resident — including the tuple this call
+		// is noting, since the window insert has already happened.
+		ix.Rebuild()
+		return
+	}
+	minLive := ix.w.total - uint64(ix.w.count)
+	i := ix.bucket(key)
+	for {
+		e := ix.ns[i]
+		if e == emptySlot {
+			ix.used++
+			break
+		}
+		if e < minLive {
+			break // stale entry: reclaim it in place
+		}
+		i = (i + 1) & ix.mask
+	}
+	ix.keys[i] = key
+	ix.ns[i] = ix.w.total - 1
+}
+
+// AppendMatches appends every resident tuple whose key equals key to dst
+// and returns the extended slice together with the number of table
+// entries the probe chain examined — the work the kernel actually did,
+// the currency a Comparisons() counter should report. Matches surface in
+// probe-chain order, not window arrival order.
+func (ix *KeyIndex) AppendMatches(key uint32, dst []Tuple) ([]Tuple, int) {
+	minLive := ix.w.total - uint64(ix.w.count)
+	ring := uint64(len(ix.w.buf))
+	examined := 0
+	for i := ix.bucket(key); ; i = (i + 1) & ix.mask {
+		e := ix.ns[i]
+		if e == emptySlot {
+			return dst, examined
+		}
+		examined++
+		if ix.keys[i] == key && e >= minLive {
+			dst = append(dst, ix.w.buf[e%ring])
+		}
+	}
+}
+
+// Rebuild reindexes the window from scratch, dropping every stale entry.
+// It runs automatically when the table's occupied fraction reaches half;
+// call it manually only after SlidingWindow.Reset.
+func (ix *KeyIndex) Rebuild() {
+	for i := range ix.ns {
+		ix.ns[i] = emptySlot
+	}
+	w := ix.w
+	ix.used = w.count
+	minLive := w.total - uint64(w.count)
+	ring := uint64(len(w.buf))
+	for j := uint64(0); j < uint64(w.count); j++ {
+		n := minLive + j
+		key := w.buf[n%ring].Key
+		i := ix.bucket(key)
+		for ix.ns[i] != emptySlot {
+			i = (i + 1) & ix.mask
+		}
+		ix.keys[i] = key
+		ix.ns[i] = n
+	}
+}

@@ -1,0 +1,155 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// linearMatches is the oracle the index is checked against: a straight
+// Segments() sweep collecting every resident tuple with the given key.
+func linearMatches(w *SlidingWindow, key uint32) []Tuple {
+	var out []Tuple
+	older, newer := w.Segments()
+	for _, t := range older {
+		if t.Key == key {
+			out = append(out, t)
+		}
+	}
+	for _, t := range newer {
+		if t.Key == key {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// sameTupleMultiset compares two match sets ignoring order: the hash
+// kernel yields matches in probe-chain order, the scan in arrival order.
+func sameTupleMultiset(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[Tuple]int, len(a))
+	for _, t := range a {
+		counts[t]++
+	}
+	for _, t := range b {
+		if counts[t] == 0 {
+			return false
+		}
+		counts[t]--
+	}
+	return true
+}
+
+// TestKeyIndexMatchesLinearScan is the window-expiry/index-consistency
+// property test: a random sequence of Insert, RemoveOldest, and Reset
+// operations on an indexed window, with the index's lookups checked
+// against a linear Segments() scan after every step — for present keys,
+// expired keys, and never-inserted keys alike.
+func TestKeyIndexMatchesLinearScan(t *testing.T) {
+	for _, capacity := range []int{1, 2, 7, 32, 257} {
+		capacity := capacity
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + capacity)))
+			w := NewSlidingWindow(capacity)
+			ix := NewKeyIndex(w)
+			const keyDomain = 16 // small domain: duplicates and expiries collide hard
+			var seq uint64
+			scratch := make([]Tuple, 0, capacity)
+			for step := 0; step < 4000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 7: // insert dominates, like a live stream
+					tu := Tuple{Key: uint32(rng.Intn(keyDomain)), Val: rng.Uint32(), Seq: seq}
+					seq++
+					w.Insert(tu)
+					ix.NoteInsert(tu.Key)
+				case op < 9:
+					w.RemoveOldest()
+				default:
+					if rng.Intn(50) == 0 { // rare full reset
+						w.Reset()
+						ix.Rebuild()
+					}
+				}
+				// Every key in the domain (hit or miss), plus one foreign key.
+				for key := uint32(0); key <= keyDomain; key++ {
+					got, _ := ix.AppendMatches(key, scratch[:0])
+					want := linearMatches(w, key)
+					if !sameTupleMultiset(got, want) {
+						t.Fatalf("cap=%d step=%d key=%d: index found %v, linear scan %v",
+							capacity, step, key, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKeyIndexExaminedCounts: probe work is O(chain), and a miss on an
+// empty index examines nothing.
+func TestKeyIndexExaminedCounts(t *testing.T) {
+	w := NewSlidingWindow(64)
+	ix := NewKeyIndex(w)
+	if _, examined := ix.AppendMatches(7, nil); examined != 0 {
+		t.Fatalf("empty index examined %d entries, want 0", examined)
+	}
+	for i := 0; i < 64; i++ {
+		w.Insert(Tuple{Key: 7, Val: uint32(i)})
+		ix.NoteInsert(7)
+	}
+	matches, examined := ix.AppendMatches(7, nil)
+	if len(matches) != 64 {
+		t.Fatalf("got %d matches, want 64", len(matches))
+	}
+	if examined < 64 {
+		t.Fatalf("examined %d < 64 matches", examined)
+	}
+}
+
+// TestKeyIndexAllocFree: steady-state maintenance and lookups perform no
+// heap allocation once the match scratch has reached capacity.
+func TestKeyIndexAllocFree(t *testing.T) {
+	const capacity = 1 << 10
+	w := NewSlidingWindow(capacity)
+	ix := NewKeyIndex(w)
+	var k uint32
+	scratch := make([]Tuple, 0, 64)
+	allocs := testing.AllocsPerRun(5000, func() {
+		w.Insert(Tuple{Key: k % 128, Val: k})
+		ix.NoteInsert(k % 128)
+		scratch, _ = ix.AppendMatches((k+1)%128, scratch[:0])
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("insert+lookup steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestWordColumnTracksRing: WordSegments stays element-aligned with
+// Segments across inserts, expiries, and removals.
+func TestWordColumnTracksRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := NewSlidingWindow(37)
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(4) == 0 {
+			w.RemoveOldest()
+		} else {
+			w.Insert(Tuple{Key: rng.Uint32(), Val: rng.Uint32()})
+		}
+		tSeg := make([]Tuple, 0, w.Len())
+		older, newer := w.Segments()
+		tSeg = append(append(tSeg, older...), newer...)
+		wSeg := make([]uint64, 0, w.Len())
+		olderW, newerW := w.WordSegments()
+		wSeg = append(append(wSeg, olderW...), newerW...)
+		if len(tSeg) != len(wSeg) {
+			t.Fatalf("step %d: %d tuples vs %d words", step, len(tSeg), len(wSeg))
+		}
+		for i := range tSeg {
+			if tSeg[i].Word() != wSeg[i] {
+				t.Fatalf("step %d pos %d: word column %x, tuple word %x", step, i, wSeg[i], tSeg[i].Word())
+			}
+		}
+	}
+}

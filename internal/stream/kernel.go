@@ -1,0 +1,121 @@
+package stream
+
+import "fmt"
+
+// Probe kernels: the two data-parallel shapes a software join core can
+// give its window probe, mirroring the paper's accelerator landscape.
+// The hash kernel is the software analogue of a GPU hash-join probe —
+// O(matches) lookups against an incrementally maintained index (KeyIndex)
+// instead of an O(W) sweep. The block-scan kernel is the software
+// analogue of a SIMD lane sweep — the predicate is evaluated over the
+// window's dense word column in 64-wide blocks producing a hit bitmask,
+// and full tuples are materialized only for set bits.
+
+// ProbeKernel selects which probe kernel a join core runs.
+type ProbeKernel uint8
+
+const (
+	// KernelAuto picks per condition: the hash kernel for the
+	// equi-join-on-key condition, the block-scan kernel otherwise.
+	KernelAuto ProbeKernel = iota
+	// KernelHash probes a per-core incremental hash index (equi-join on
+	// key only).
+	KernelHash
+	// KernelScan sweeps the window's word column in 64-wide bitmask
+	// blocks; it evaluates any join condition.
+	KernelScan
+)
+
+// String implements fmt.Stringer.
+func (k ProbeKernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelHash:
+		return "hash"
+	case KernelScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("kernel(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a defined kernel code.
+func (k ProbeKernel) Valid() bool { return k <= KernelScan }
+
+// ParseProbeKernel maps a command-line name to a probe kernel. The empty
+// string parses as KernelAuto.
+func ParseProbeKernel(name string) (ProbeKernel, error) {
+	switch name {
+	case "", "auto":
+		return KernelAuto, nil
+	case "hash":
+		return KernelHash, nil
+	case "scan", "block-scan":
+		return KernelScan, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown probe kernel %q (want auto, hash, or scan)", name)
+	}
+}
+
+// BlockBits is the lane width of the block-scan kernel: how many window
+// words one BlockMask call evaluates into a single hit bitmask.
+const BlockBits = 64
+
+// BlockMask evaluates cmp(lhs, field(word)) across up to 64 packed bus
+// words (key in the high 32 bits, value in the low — Tuple.Word layout)
+// and returns the bitmask of hits, bit i for words[i]. The comparator
+// dispatch happens once per block, not per element, so each inner loop is
+// a tight compare-and-set over a dense array — the branch-reduced
+// software stand-in for a SIMD lane sweep, with result materialization
+// (the unpredictable branch) deferred to the caller's walk of the set
+// bits. Words beyond the first 64 are ignored.
+func BlockMask(words []uint64, field Field, cmp Comparator, lhs uint32) uint64 {
+	if len(words) > BlockBits {
+		words = words[:BlockBits]
+	}
+	var shift uint
+	if field == FieldKey {
+		shift = 32
+	}
+	var m uint64
+	switch cmp {
+	case CmpEQ:
+		for i := range words {
+			if lhs == uint32(words[i]>>shift) {
+				m |= 1 << uint(i)
+			}
+		}
+	case CmpNE:
+		for i := range words {
+			if lhs != uint32(words[i]>>shift) {
+				m |= 1 << uint(i)
+			}
+		}
+	case CmpLT:
+		for i := range words {
+			if lhs < uint32(words[i]>>shift) {
+				m |= 1 << uint(i)
+			}
+		}
+	case CmpLE:
+		for i := range words {
+			if lhs <= uint32(words[i]>>shift) {
+				m |= 1 << uint(i)
+			}
+		}
+	case CmpGT:
+		for i := range words {
+			if lhs > uint32(words[i]>>shift) {
+				m |= 1 << uint(i)
+			}
+		}
+	case CmpGE:
+		for i := range words {
+			if lhs >= uint32(words[i]>>shift) {
+				m |= 1 << uint(i)
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,94 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBlockMaskMatchesComparatorEval cross-checks the block kernel's
+// bitmask against scalar Comparator.Eval over random word blocks, for
+// every comparator × field combination and block lengths 0..64.
+func TestBlockMaskMatchesComparatorEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cmps := []Comparator{CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE}
+	fields := []Field{FieldKey, FieldVal}
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(BlockBits + 1)
+		words := make([]uint64, n)
+		for i := range words {
+			// Narrow domain so equality actually fires.
+			key := uint32(rng.Intn(8))
+			val := uint32(rng.Intn(8))
+			words[i] = Tuple{Key: key, Val: val}.Word()
+		}
+		lhs := uint32(rng.Intn(8))
+		for _, cmp := range cmps {
+			for _, field := range fields {
+				mask := BlockMask(words, field, cmp, lhs)
+				for i, w := range words {
+					rhs := uint32(w)
+					if field == FieldKey {
+						rhs = uint32(w >> 32)
+					}
+					want := cmp.Eval(lhs, rhs)
+					got := mask&(1<<uint(i)) != 0
+					if got != want {
+						t.Fatalf("trial %d cmp=%v field=%v lhs=%d words[%d]=%x: mask bit %v, Eval %v",
+							trial, cmp, field, lhs, i, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockMaskTruncates: words past the 64-lane block are ignored, and
+// an empty block yields an empty mask.
+func TestBlockMaskTruncates(t *testing.T) {
+	if m := BlockMask(nil, FieldKey, CmpEQ, 0); m != 0 {
+		t.Fatalf("empty block mask = %x, want 0", m)
+	}
+	words := make([]uint64, BlockBits+8)
+	for i := range words {
+		words[i] = Tuple{Key: 5}.Word()
+	}
+	if m := BlockMask(words, FieldKey, CmpEQ, 5); m != ^uint64(0) {
+		t.Fatalf("oversized block mask = %x, want all ones", m)
+	}
+}
+
+func TestParseProbeKernel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ProbeKernel
+		ok   bool
+	}{
+		{"", KernelAuto, true},
+		{"auto", KernelAuto, true},
+		{"hash", KernelHash, true},
+		{"scan", KernelScan, true},
+		{"block-scan", KernelScan, true},
+		{"simd", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseProbeKernel(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Fatalf("ParseProbeKernel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("ParseProbeKernel(%q) succeeded, want error", c.in)
+		}
+	}
+	for _, k := range []ProbeKernel{KernelAuto, KernelHash, KernelScan} {
+		if !k.Valid() {
+			t.Fatalf("%v not Valid", k)
+		}
+		back, err := ParseProbeKernel(k.String())
+		if err != nil || back != k {
+			t.Fatalf("round-trip %v → %q → %v, %v", k, k.String(), back, err)
+		}
+	}
+	if ProbeKernel(9).Valid() {
+		t.Fatal("kernel code 9 reported Valid")
+	}
+}

@@ -8,11 +8,21 @@ import "fmt"
 // buffers realized in BRAM on the hardware join cores: a fixed-capacity
 // ring where inserting into a full window expires the oldest tuple.
 //
+// Alongside the tuple ring the window maintains a structure-of-arrays
+// column of the packed 64-bit bus words (Tuple.Word: key in the high
+// half, value in the low half), kept in sync on every mutation. Probe
+// kernels scan this flat column instead of loading whole Tuple structs —
+// the cache-friendly dense-key-array layout the paper's GPU and FPGA
+// joins owe their data parallelism to — and materialize full tuples from
+// the ring only for actual matches.
+//
 // The zero value is not usable; construct with NewSlidingWindow.
 type SlidingWindow struct {
-	buf   []Tuple // fixed backing store of len == capacity
-	head  int     // position of the oldest tuple
+	buf   []Tuple  // fixed backing store of len == capacity
+	words []uint64 // SoA column: words[i] == buf[i].Word(), same ring layout
+	head  int      // position of the oldest tuple
 	count int
+	total uint64 // inserts ever accepted (Reset zeroes it)
 }
 
 // NewSlidingWindow returns an empty window with the given capacity.
@@ -22,7 +32,7 @@ func NewSlidingWindow(capacity int) *SlidingWindow {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("stream: window capacity must be positive, got %d", capacity))
 	}
-	return &SlidingWindow{buf: make([]Tuple, capacity)}
+	return &SlidingWindow{buf: make([]Tuple, capacity), words: make([]uint64, capacity)}
 }
 
 // Cap returns the window capacity.
@@ -31,16 +41,28 @@ func (w *SlidingWindow) Cap() int { return len(w.buf) }
 // Len returns the number of tuples currently resident.
 func (w *SlidingWindow) Len() int { return w.count }
 
+// Total returns how many tuples the window has ever accepted. Together
+// with Len it defines the resident insert-number range [Total-Len, Total),
+// the generation check indexes use to recognize expired entries without
+// tombstones. The n-th accepted tuple (counting from zero since the last
+// Reset) always occupies ring slot n mod Cap — an invariant of the
+// ring arithmetic that holds across expiries and RemoveOldest.
+func (w *SlidingWindow) Total() uint64 { return w.total }
+
 // Insert stores t, expiring the oldest resident tuple when full. It returns
 // the expired tuple and whether an expiry happened.
 func (w *SlidingWindow) Insert(t Tuple) (expired Tuple, ok bool) {
+	w.total++
 	if w.count < len(w.buf) {
-		w.buf[(w.head+w.count)%len(w.buf)] = t
+		i := (w.head + w.count) % len(w.buf)
+		w.buf[i] = t
+		w.words[i] = t.Word()
 		w.count++
 		return Tuple{}, false
 	}
 	expired = w.buf[w.head]
 	w.buf[w.head] = t
+	w.words[w.head] = t.Word()
 	w.head = (w.head + 1) % len(w.buf)
 	return expired, true
 }
@@ -94,6 +116,17 @@ func (w *SlidingWindow) Segments() (older, newer []Tuple) {
 	return w.buf[w.head:], w.buf[:w.head+w.count-len(w.buf)]
 }
 
+// WordSegments mirrors Segments over the packed word column: the same
+// older/newer split, element-aligned with the tuple views, so a kernel
+// can sweep the dense words and materialize tuples only for hits. The
+// views alias the window's storage under the same validity rules.
+func (w *SlidingWindow) WordSegments() (older, newer []uint64) {
+	if w.head+w.count <= len(w.words) {
+		return w.words[w.head : w.head+w.count], nil
+	}
+	return w.words[w.head:], w.words[:w.head+w.count-len(w.words)]
+}
+
 // Snapshot returns the resident tuples in arrival order as a fresh slice.
 func (w *SlidingWindow) Snapshot() []Tuple {
 	out := make([]Tuple, 0, w.count)
@@ -104,8 +137,11 @@ func (w *SlidingWindow) Snapshot() []Tuple {
 	return out
 }
 
-// Reset empties the window without releasing its storage.
+// Reset empties the window without releasing its storage. Indexes built
+// over the window (KeyIndex) must be Rebuilt afterwards: Reset restarts
+// the insert-number generation.
 func (w *SlidingWindow) Reset() {
 	w.head = 0
 	w.count = 0
+	w.total = 0
 }

@@ -95,9 +95,10 @@ func appendU32(b []byte, v uint32) []byte {
 // WriteOpen emits an Open frame. The shard-role fields ride as a tail
 // after the original fixed fields, so a PR-1 Open frame (no tail) still
 // decodes — as an unsharded session — on a current server. The auth token
-// is a second optional tail after the shard fields, written only when
-// non-empty, so an unauthenticated Open stays byte-identical to the PR-2
-// encoding.
+// is a second optional tail after the shard fields, and the probe-kernel
+// byte a third after the token; each is written only when a later tail
+// needs it or its value is non-default, so an unauthenticated auto-kernel
+// Open stays byte-identical to the earlier encodings.
 func (w *Writer) WriteOpen(cfg OpenConfig) error {
 	b := w.buf[:0]
 	b = appendUvarint(b, ProtocolVersion)
@@ -113,9 +114,12 @@ func (w *Writer) WriteOpen(cfg OpenConfig) error {
 	b = appendUvarint(b, uint64(cfg.ShardIndex))
 	b = appendUvarint(b, cfg.BaseSeqR)
 	b = appendUvarint(b, cfg.BaseSeqS)
-	if cfg.AuthToken != "" {
+	if cfg.AuthToken != "" || cfg.ProbeKernel != stream.KernelAuto {
 		b = appendUvarint(b, uint64(len(cfg.AuthToken)))
 		b = append(b, cfg.AuthToken...)
+	}
+	if cfg.ProbeKernel != stream.KernelAuto {
+		b = append(b, byte(cfg.ProbeKernel))
 	}
 	w.buf = b
 	return w.writeFrame(FrameOpen, b)
@@ -384,7 +388,8 @@ func (c *cursor) finish() error {
 // DecodeOpen parses an Open payload. The shard-role tail is optional: a
 // frame that ends after the flags byte decodes as an unsharded session
 // (all tail fields zero), keeping PR-1 clients compatible. The auth-token
-// tail after it is optional too; its absence decodes as an empty token.
+// tail after it is optional too (absence decodes as an empty token), as
+// is the probe-kernel byte after that (absence decodes as KernelAuto).
 func DecodeOpen(payload []byte) (OpenConfig, error) {
 	c := cursor{b: payload}
 	version := c.uvarint()
@@ -406,6 +411,9 @@ func DecodeOpen(payload []byte) (OpenConfig, error) {
 			return OpenConfig{}, fmt.Errorf("wire: auth token of %d bytes exceeds limit %d", n, MaxAuthToken)
 		}
 		cfg.AuthToken = string(c.bytes(int(n)))
+	}
+	if c.err == nil && c.remaining() > 0 {
+		cfg.ProbeKernel = stream.ProbeKernel(c.byte())
 	}
 	if err := c.finish(); err != nil {
 		return OpenConfig{}, err

@@ -28,6 +28,8 @@ package wire
 import (
 	"fmt"
 	"strings"
+
+	"accelstream/internal/stream"
 )
 
 // ProtocolVersion is carried in the Open frame; the server rejects
@@ -238,6 +240,12 @@ type OpenConfig struct {
 	// so token-less frames are byte-identical to the previous protocol
 	// revision.
 	AuthToken string
+	// ProbeKernel selects the window-probe kernel of a soft-uni engine:
+	// auto (the zero value) resolves per join condition, hash forces the
+	// per-core incremental key index, scan forces the block-scan sweep.
+	// Like the auth token it rides the Open frame as an optional tail —
+	// auto-kernel frames are byte-identical to the previous revision.
+	ProbeKernel stream.ProbeKernel
 }
 
 // Validate bounds-checks the configuration.
@@ -280,6 +288,12 @@ func (c OpenConfig) Validate() error {
 	}
 	if len(c.AuthToken) > MaxAuthToken {
 		return fmt.Errorf("wire: auth token of %d bytes exceeds limit %d", len(c.AuthToken), MaxAuthToken)
+	}
+	if !c.ProbeKernel.Valid() {
+		return fmt.Errorf("wire: invalid probe kernel code %d", c.ProbeKernel)
+	}
+	if c.ProbeKernel != stream.KernelAuto && c.Engine != EngineSoftUni {
+		return fmt.Errorf("wire: probe kernel selection requires the soft-uni engine")
 	}
 	return nil
 }

@@ -690,3 +690,74 @@ func TestOpenAckResumeFlagValidated(t *testing.T) {
 		t.Fatal("accepted open-ack with invalid resume flag")
 	}
 }
+
+// TestOpenProbeKernelRoundTrip covers the probe-kernel tail of the Open
+// frame: explicit kernels survive the round trip (with or without an auth
+// token), an auto-kernel Open carries no kernel tail at all, and invalid
+// kernel codes are rejected on both ends.
+func TestOpenProbeKernelRoundTrip(t *testing.T) {
+	cfgs := []OpenConfig{
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, ProbeKernel: stream.KernelHash},
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, ProbeKernel: stream.KernelScan, AuthToken: "s3cret"},
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, ShardCount: 4, ShardIndex: 3, BaseSeqR: 7, ProbeKernel: stream.KernelHash},
+	}
+	for _, cfg := range cfgs {
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewReader(&buf).ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeOpen(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cfg {
+			t.Errorf("probe-kernel open round trip: got %+v, want %+v", got, cfg)
+		}
+	}
+
+	// Auto-kernel frames carry neither the kernel byte nor the empty token
+	// length it would ride behind.
+	plain := OpenConfig{Engine: EngineSoftUni, Cores: 2, Window: 512}
+	kern := plain
+	kern.ProbeKernel = stream.KernelScan
+	var withKern, without bytes.Buffer
+	if err := NewWriter(&withKern).WriteOpen(kern); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewWriter(&without).WriteOpen(plain); err != nil {
+		t.Fatal(err)
+	}
+	if withKern.Len() != without.Len()+2 { // empty-token uvarint + kernel byte
+		t.Errorf("kernel tail sizing off: %d vs %d bytes", withKern.Len(), without.Len())
+	}
+
+	// Bad configurations: an undefined kernel code, and a kernel forced on
+	// an engine that has no probe kernels.
+	bad := plain
+	bad.ProbeKernel = stream.ProbeKernel(9)
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted undefined probe kernel code")
+	}
+	sim := OpenConfig{Engine: EngineSimUni, Cores: 2, Window: 512, ProbeKernel: stream.KernelHash}
+	if err := sim.Validate(); err == nil {
+		t.Error("Validate accepted probe kernel on the simulated engine")
+	}
+	// A hand-built payload with a bogus kernel byte is rejected in decode.
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteOpen(kern); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), f.Payload...)
+	payload[len(payload)-1] = 9
+	if _, err := DecodeOpen(payload); err == nil {
+		t.Error("accepted open with undefined probe kernel byte")
+	}
+}
