@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race test-tls test-elastic test-recovery fuzz-short bench bench-probe bench-smoke probe-smoke check
+.PHONY: all build vet fmt-check test test-race test-tls test-elastic test-recovery test-quota fuzz-short bench bench-probe bench-smoke probe-smoke check
 
 all: build
 
@@ -58,6 +58,17 @@ test-recovery:
 		./internal/shard/ ./cmd/streamshard/ ./internal/experiments/
 	$(GO) test -race -run 'Checkpoint|Snapshot|Restore' \
 		./internal/server/ ./internal/shard/ ./internal/softjoin/
+
+# The multi-tenant admission suite: the controller's bookkeeping, the
+# session-cap race, the window-memory budget, lossless rate shaping, the
+# v1/v2 handshake interop, tenant passthrough on shard redial and
+# rebalance, and the facade precedence/quota surface — then the
+# controller and the server's admission path again under the race
+# detector.
+test-quota:
+	$(GO) test -run 'Quota|Tenant|Admission|Admit|V1ClientInterop|DialOptionPrecedence|OpenV2|RejectCode' -v \
+		./internal/admission/ ./internal/server/ ./internal/shard/ ./internal/wire/ .
+	$(GO) test -race -run 'Quota|Tenant|Admit' ./internal/admission/ ./internal/server/ ./internal/shard/
 
 # Short fuzzing pass over the wire-protocol decoders (10s per target),
 # seeded from the corruption-test corpus. CI-sized; run `go test -fuzz`

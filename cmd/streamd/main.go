@@ -73,6 +73,9 @@ func run() error {
 	idle := flag.Duration("idle", 2*time.Minute, "idle session timeout (negative disables)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
 	maxSessions := flag.Int("max-sessions", 0, "concurrent session cap (0: unlimited)")
+	quotaConfig := flag.String("quota-config", "", "multi-tenant admission quotas from this JSON file (see README, \"Multi-tenant operation\")")
+	maxWindowMem := flag.Int64("max-window-mem", 0, "server-wide aggregate window-memory budget in bytes (0: unlimited; overrides the -quota-config server entry)")
+	rateLimit := flag.Float64("rate-limit", 0, "server-wide sustained ingest cap in tuples/sec, enforced by credit shaping (0: unlimited; overrides the -quota-config server entry)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address at /metrics (empty disables)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
 	tlsCert := flag.String("tls-cert", "", "serve sessions over TLS with this PEM certificate (requires -tls-key)")
@@ -130,6 +133,25 @@ func run() error {
 		logger.Printf("checkpoints in %s", *ckptDir)
 	} else if *ckptInterval != 0 {
 		return fmt.Errorf("-checkpoint-interval requires -checkpoint-dir")
+	}
+	var quotas accelstream.QuotaConfig
+	if *quotaConfig != "" {
+		quotas, err = accelstream.LoadQuotaConfig(*quotaConfig)
+		if err != nil {
+			return err
+		}
+	}
+	// The shorthand flags bound the whole server; per-tenant limits need
+	// the JSON config.
+	if *maxWindowMem > 0 {
+		quotas.Server.MaxWindowBytes = *maxWindowMem
+	}
+	if *rateLimit > 0 {
+		quotas.Server.RatePerSec = *rateLimit
+	}
+	if quotas.Enabled() {
+		opts = append(opts, accelstream.WithServeQuotas(quotas))
+		logger.Printf("admission quotas enabled (%d tenant overrides)", len(quotas.Tenants))
 	}
 	srv, err := accelstream.Serve(*addr, cfg, opts...)
 	if err != nil {

@@ -22,6 +22,7 @@ package main
 
 import (
 	"crypto/tls"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,23 @@ type session interface {
 	Close() (accelstream.SessionStats, error)
 	Credits() int
 	BatchRTT() (avg, max time.Duration, samples uint64)
+}
+
+// reportReject prints a typed handshake rejection as the run's outcome —
+// the probe succeeded in measuring the server's admission answer. Returns
+// false for errors that are not typed rejections (the caller fails as
+// usual).
+func reportReject(err error) bool {
+	var adm *accelstream.AdmissionError
+	if errors.As(err, &adm) {
+		fmt.Printf("rejected: code=%s retry_after=%v\n", adm.Code, adm.RetryAfter)
+		return true
+	}
+	if errors.Is(err, accelstream.ErrUnauthorized) {
+		fmt.Printf("rejected: code=unauthorized\n")
+		return true
+	}
+	return false
 }
 
 func parseDist(name string) (workload.KeyDist, error) {
@@ -85,6 +103,8 @@ func run() error {
 	tlsCert := flag.String("tls-cert", "", "PEM client certificate for mutual TLS (requires -tls-key)")
 	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
 	authToken := flag.String("auth-token", "", "session auth token sent in the Open frame")
+	tenant := flag.String("tenant", "", "tenant identity the session opens under (admission-control accounting on the server)")
+	reportRejects := flag.Bool("report-rejects", false, "report a typed handshake rejection (code, retry-after) as the run's outcome instead of failing")
 	dialTimeout := flag.Duration("dial-timeout", 0, "connect + handshake deadline (0: client default)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -134,6 +154,9 @@ func run() error {
 	if *authToken != "" {
 		opts = append(opts, accelstream.WithAuthToken(*authToken))
 	}
+	if *tenant != "" {
+		opts = append(opts, accelstream.WithTenant(*tenant))
+	}
 	if *dialTimeout > 0 {
 		opts = append(opts, accelstream.WithDialTimeout(*dialTimeout))
 	}
@@ -148,6 +171,9 @@ func run() error {
 	if *conns > 1 {
 		pool, err = accelstream.DialPool(*addr, *conns, sessCfg, opts...)
 		if err != nil {
+			if *reportRejects && reportReject(err) {
+				return nil
+			}
 			return err
 		}
 		pool.SetLogf(func(format string, args ...any) {
@@ -159,6 +185,9 @@ func run() error {
 	} else {
 		c, err = accelstream.Dial(*addr, sessCfg, opts...)
 		if err != nil {
+			if *reportRejects && reportReject(err) {
+				return nil
+			}
 			return err
 		}
 		fmt.Printf("session open: %v engine, %d cores, window %d, credit window %d\n",

@@ -125,6 +125,10 @@ func run() error {
 	queueDepth := flag.Int("queue", 4, "per-shard pending-batch queue depth")
 	redials := flag.Int("redials", 3, "redial attempts before a dropped shard is abandoned (negative disables redial)")
 	failFast := flag.Bool("failfast", false, "fail sessions when a shard is permanently lost instead of degrading")
+	maxSessions := flag.Int("max-sessions", 0, "concurrent front-side session cap (0: unlimited)")
+	quotaConfig := flag.String("quota-config", "", "multi-tenant admission quotas for front-side sessions from this JSON file (see README, \"Multi-tenant operation\")")
+	maxWindowMem := flag.Int64("max-window-mem", 0, "aggregate window-memory budget in bytes across front-side sessions (0: unlimited; overrides the -quota-config server entry)")
+	rateLimit := flag.Float64("rate-limit", 0, "sustained ingest cap in tuples/sec across front-side sessions, enforced by credit shaping (0: unlimited; overrides the -quota-config server entry)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address at /metrics (empty disables)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
 	tlsCert := flag.String("tls-cert", "", "serve front-side sessions over TLS with this PEM certificate (requires -tls-key)")
@@ -135,6 +139,7 @@ func run() error {
 	shardTLSServerName := flag.String("shard-tls-servername", "", "hostname to verify on shard certificates (when dialing by IP)")
 	shardTLSSkipVerify := flag.Bool("shard-tls-skip-verify", false, "dial shards over TLS without verifying their certificates (testing only)")
 	shardAuthToken := flag.String("shard-auth-token", "", "session auth token presented to the backing shards")
+	shardTenant := flag.String("shard-tenant", "", "tenant identity presented to the backing shards when the front session names none (front-session tenants are forwarded as-is)")
 	probeKernel := flag.String("probe-kernel", "auto", "default probe kernel forwarded to the backing shard engines: auto, hash, or scan (sessions naming a kernel keep their choice)")
 	ckptDir := flag.String("checkpoint-dir", "", "durable global-window snapshots in this directory (restored on restart; empty disables)")
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "automatic snapshot cadence (0: default 5s; negative: only final snapshots)")
@@ -185,6 +190,7 @@ func run() error {
 		InitialCredits: *credits,
 		MaxBatch:       *maxBatch,
 		IdleTimeout:    *idle,
+		MaxSessions:    *maxSessions,
 		NewEngine: func(oc accelstream.SessionConfig) (accelstream.SessionEngineImpl, error) {
 			if oc.Engine != accelstream.EngineSoftwareUniFlow {
 				return nil, fmt.Errorf("streamshard: only the software uni-flow engine can be sharded, got %v", oc.Engine)
@@ -200,6 +206,14 @@ func run() error {
 			if kernel == accelstream.KernelAuto {
 				kernel = defaultKernel
 			}
+			// Forward the front session's tenant identity to every backing
+			// shard session (redials and rebalances included), so the
+			// shards' admission accounting sees the real tenant rather
+			// than the router; -shard-tenant fills in for anonymous ones.
+			tenant := oc.Tenant
+			if tenant == "" {
+				tenant = *shardTenant
+			}
 			scfg := accelstream.ShardConfig{
 				Addrs:       reg.snapshotAddrs(),
 				Cores:       oc.Cores,
@@ -210,6 +224,7 @@ func run() error {
 				BaseSeqR:    oc.BaseSeqR,
 				BaseSeqS:    oc.BaseSeqS,
 				ProbeKernel: kernel,
+				Tenant:      tenant,
 			}
 			if !*quiet {
 				scfg.Logf = logger.Printf
@@ -246,6 +261,23 @@ func run() error {
 		logger.Printf("checkpoints in %s", *ckptDir)
 	} else if *ckptInterval != 0 {
 		return fmt.Errorf("-checkpoint-interval requires -checkpoint-dir")
+	}
+	var quotas accelstream.QuotaConfig
+	if *quotaConfig != "" {
+		quotas, err = accelstream.LoadQuotaConfig(*quotaConfig)
+		if err != nil {
+			return err
+		}
+	}
+	if *maxWindowMem > 0 {
+		quotas.Server.MaxWindowBytes = *maxWindowMem
+	}
+	if *rateLimit > 0 {
+		quotas.Server.RatePerSec = *rateLimit
+	}
+	if quotas.Enabled() {
+		opts = append(opts, accelstream.WithServeQuotas(quotas))
+		logger.Printf("admission quotas enabled (%d tenant overrides)", len(quotas.Tenants))
 	}
 	srv, err := accelstream.Serve(*addr, cfg, opts...)
 	if err != nil {

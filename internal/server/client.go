@@ -28,6 +28,32 @@ var ErrConnectionLost = errors.New("server: connection lost")
 // credentials, so the shard router does not redial through it.
 var ErrUnauthorized = errors.New("server: unauthorized")
 
+// ErrAdmissionDenied reports that the server's admission controller
+// turned the session away: a tenant or server-wide quota (sessions,
+// window memory, or ingest rate) was exhausted. Returned (wrapped) by
+// Dial; test with errors.Is, and use errors.As against *AdmissionError
+// for the typed reject code and retry-after hint. Unlike ErrUnauthorized,
+// retrying after the hint can succeed — quota frees as sessions close.
+var ErrAdmissionDenied = errors.New("server: admission denied")
+
+// AdmissionError is the typed admission rejection carried by a v2
+// handshake's OpenAck. It wraps ErrAdmissionDenied.
+type AdmissionError struct {
+	// Code says which quota rejected the open (RejectQuotaSessions,
+	// RejectQuotaMemory, or RejectRateLimited).
+	Code wire.RejectCode
+	// RetryAfter is the server's hint for when a retry may succeed.
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("server: admission denied: %s (retry after %v)", e.Code, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrAdmissionDenied) hold.
+func (e *AdmissionError) Unwrap() error { return ErrAdmissionDenied }
+
 // Client is one session against a network-attached stream-join server.
 // SendBatch may be called from one producer goroutine while another
 // goroutine drains Results; Close flushes the session and returns the
@@ -96,6 +122,15 @@ type DialOptions struct {
 	// AuthToken, when non-empty, rides the Open frame for the server's
 	// session-auth check; a rejection surfaces as ErrUnauthorized.
 	AuthToken string
+	// Tenant, when non-empty, names the tenant identity the server
+	// accounts this session under (requires the v2 handshake). It wins
+	// over any OpenConfig.Tenant already set; left empty, the server
+	// derives a tenant from the auth token, or uses the shared default.
+	Tenant string
+	// ProbeKernel, when not KernelAuto, selects the soft-uni probe kernel
+	// for this session, winning over any OpenConfig.ProbeKernel already
+	// set (and over the server-wide default, which only applies to auto).
+	ProbeKernel stream.ProbeKernel
 	// Timeout bounds connecting plus the session handshake (TLS and Open
 	// frame both); 0 means DialTimeout. A black-holed endpoint therefore
 	// fails within the deadline instead of hanging indefinitely.
@@ -111,8 +146,16 @@ func Dial(addr string, cfg wire.OpenConfig) (*Client, error) {
 // DialWith connects to a stream-join server and opens a session with the
 // given engine configuration and dial options.
 func DialWith(addr string, cfg wire.OpenConfig, opts DialOptions) (*Client, error) {
+	// Explicit dial options win over whatever the OpenConfig carries; the
+	// server's own defaults apply only to fields left at zero end to end.
 	if opts.AuthToken != "" {
 		cfg.AuthToken = opts.AuthToken
+	}
+	if opts.Tenant != "" {
+		cfg.Tenant = opts.Tenant
+	}
+	if opts.ProbeKernel != stream.KernelAuto {
+		cfg.ProbeKernel = opts.ProbeKernel
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -179,6 +222,15 @@ func DialWith(addr string, cfg wire.OpenConfig, opts DialOptions) (*Client, erro
 	if err != nil {
 		conn.Close()
 		return nil, err
+	}
+	if ack.Reject != wire.RejectNone {
+		// A v2 server answers handshake denials with a typed reject ack
+		// instead of the v1 Error frame.
+		conn.Close()
+		if ack.Reject == wire.RejectUnauthorized {
+			return nil, ErrUnauthorized
+		}
+		return nil, &AdmissionError{Code: ack.Reject, RetryAfter: ack.RetryAfter}
 	}
 	c.resumeAck = ack
 	if ack.Resumed {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"accelstream/internal/admission"
 	"accelstream/internal/buildinfo"
 )
 
@@ -92,6 +93,8 @@ func (s *Server) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var b strings.Builder
 		writeProcessMetrics(&b, s.ProcessStats())
+		tenants, throttled := s.TenantMetrics()
+		writeTenantMetrics(&b, tenants, throttled)
 		writeSessionMetrics(&b, s.Metrics())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprint(w, b.String())
@@ -146,6 +149,29 @@ func writeCheckpointMetrics(b *strings.Builder, cs CheckpointStats) {
 	gauge("streamd_checkpoint_last_duration_seconds", "Wall time the newest snapshot write took.", cs.LastDuration.Seconds())
 	counter("streamd_checkpoint_restores_total", "Snapshots restored into sessions at open.", cs.Restores)
 	counter("streamd_checkpoint_restored_tuples_total", "Window tuples installed by restores.", cs.RestoredTuples)
+}
+
+// writeTenantMetrics emits the admission controller's per-tenant
+// accounting. Tenant identities are restricted to a label-safe charset at
+// the wire layer (wire.ValidTenant), so they are quoted verbatim.
+func writeTenantMetrics(b *strings.Builder, tenants []admission.TenantUsage, throttledTotal uint64) {
+	fmt.Fprint(b, "# HELP streamd_tenant_sessions Live sessions per tenant.\n# TYPE streamd_tenant_sessions gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(b, "streamd_tenant_sessions{tenant=%q} %d\n", t.Tenant, t.Sessions)
+	}
+	fmt.Fprint(b, "# HELP streamd_tenant_window_bytes Aggregate window memory accounted per tenant (2*window*16 bytes per session).\n# TYPE streamd_tenant_window_bytes gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(b, "streamd_tenant_window_bytes{tenant=%q} %d\n", t.Tenant, t.WindowBytes)
+	}
+	fmt.Fprint(b, "# HELP streamd_tenant_sessions_admitted_total Sessions ever admitted per tenant.\n# TYPE streamd_tenant_sessions_admitted_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(b, "streamd_tenant_sessions_admitted_total{tenant=%q} %d\n", t.Tenant, t.Admitted)
+	}
+	fmt.Fprint(b, "# HELP streamd_tenant_throttled_total Batch credits withheld by rate shaping, per tenant.\n# TYPE streamd_tenant_throttled_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(b, "streamd_tenant_throttled_total{tenant=%q} %d\n", t.Tenant, t.Throttled)
+	}
+	fmt.Fprintf(b, "# HELP streamd_throttled_total Batch credits withheld by rate shaping, server-wide.\n# TYPE streamd_throttled_total counter\nstreamd_throttled_total %d\n", throttledTotal)
 }
 
 func writeSessionMetrics(b *strings.Builder, sessions []SessionMetrics) {

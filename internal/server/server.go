@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelstream/internal/admission"
 	"accelstream/internal/checkpoint"
 	"accelstream/internal/stream"
 	"accelstream/internal/wire"
@@ -89,6 +90,16 @@ type Config struct {
 	// CheckpointRetain is how many snapshot files to keep (newest first).
 	// Defaults to 3.
 	CheckpointRetain int
+	// Quotas configures the multi-tenant admission-control layer: every
+	// session opens under a tenant identity (explicit in the Open frame, or
+	// derived from its auth token) and is counted against per-tenant and
+	// server-wide limits — concurrent sessions, aggregate window memory,
+	// and token-bucket ingest rate. Over-limit opens are rejected with a
+	// typed reject code before any engine is built; running sessions over
+	// their rate are throttled by withheld credits, never killed. The zero
+	// value admits everything but still accounts per-tenant usage for the
+	// metrics exposition. See internal/admission.
+	Quotas admission.Config
 }
 
 func (c *Config) applyDefaults() {
@@ -165,6 +176,11 @@ type Server struct {
 	ckptRestoreTuples atomic.Uint64 // window tuples restored
 	ckptWriting       atomic.Bool   // single-flight gate for async writes
 
+	// adm is the admission controller (always non-nil): the gate every
+	// handshake passes before an engine is built, and the per-tenant
+	// accounting behind the streamd_tenant_* metrics.
+	adm *admission.Controller
+
 	wg sync.WaitGroup
 }
 
@@ -191,6 +207,10 @@ const (
 	// rejectIO: the connection failed before the handshake finished.
 	rejectIO = "io"
 )
+
+// Admission rejects are counted under the wire reject-code names —
+// "quota_sessions", "quota_memory", "rate_limited" (wire.RejectCode.String)
+// — alongside the constants above, keeping one reason label space.
 
 // countReject records one turned-away session under the given reason.
 func (s *Server) countReject(reason string) {
@@ -224,6 +244,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, sessions: make(map[uint64]*session)}
+	s.adm = admission.NewController(cfg.Quotas)
 	if err := s.initCheckpoints(); err != nil {
 		return nil, err
 	}
@@ -389,6 +410,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	return err
+}
+
+// TenantMetrics snapshots the admission controller's per-tenant usage
+// (sorted by tenant identity) plus the server-wide cumulative count of
+// throttle events (credits withheld by rate shaping).
+func (s *Server) TenantMetrics() ([]admission.TenantUsage, uint64) {
+	return s.adm.Snapshot()
 }
 
 // Metrics snapshots every live session plus recently closed ones, ordered

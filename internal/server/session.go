@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelstream/internal/admission"
 	"accelstream/internal/core"
 	"accelstream/internal/stream"
 	"accelstream/internal/wire"
@@ -43,6 +44,8 @@ type SessionMetrics struct {
 	// Kernel is the concrete probe kernel the session's engine runs
 	// ("hash" or "scan"); empty for engines without probe kernels.
 	Kernel string
+	// Tenant is the tenant identity the session is accounted under.
+	Tenant string
 	// Open reports whether the session is still live.
 	Open bool
 }
@@ -61,6 +64,11 @@ type session struct {
 	engCfg wire.OpenConfig
 	opened atomic.Bool
 	live   atomic.Bool
+
+	// lease is the session's hold on its tenant's admission quotas,
+	// acquired during the handshake (before the engine is built) and
+	// released at teardown. Written before opened publishes it.
+	lease *admission.Lease
 
 	tuplesIn     atomic.Uint64
 	batchesIn    atomic.Uint64
@@ -118,6 +126,7 @@ func (s *session) metrics() SessionMetrics {
 	// flag publishes them, so read them only after observing it.
 	if s.opened.Load() {
 		m.Engine = s.engCfg.Engine
+		m.Tenant = s.lease.Tenant()
 		if kr, ok := s.eng.(kernelReporter); ok {
 			m.Kernel = kr.Kernel().String()
 		}
@@ -144,13 +153,20 @@ func (s *session) fail(msg string) {
 func (s *session) run() {
 	defer s.live.Store(false)
 	defer s.conn.Close()
+	// The admission lease is acquired mid-handshake; release it on every
+	// exit path (including handshake failures after the gate).
+	defer func() {
+		if s.lease != nil {
+			s.lease.Release()
+		}
+	}()
 
 	if err := s.handshake(); err != nil {
 		s.srv.logf("session %d: handshake failed: %v", s.id, err)
 		return
 	}
-	s.srv.logf("session %d: open from %s (%v, %d cores, window %d)",
-		s.id, s.conn.RemoteAddr(), s.engCfg.Engine, s.engCfg.Cores, s.engCfg.Window)
+	s.srv.logf("session %d: open from %s (%v, %d cores, window %d, tenant %s)",
+		s.id, s.conn.RemoteAddr(), s.engCfg.Engine, s.engCfg.Cores, s.engCfg.Window, s.lease.Tenant())
 
 	// Writer: stream engine results back, coalescing whatever is ready
 	// into one Results frame per write.
@@ -241,6 +257,27 @@ func (s *session) exportState() bool {
 	return true
 }
 
+// sessionWindowBytes is the window-memory cost one session is accounted
+// for by the admission controller: two sliding windows of Window tuples,
+// 16 bytes each (core.Input's key+value pair).
+func sessionWindowBytes(cfg wire.OpenConfig) int64 {
+	return 2 * int64(cfg.Window) * 16
+}
+
+// reject answers a failed handshake in the session's own protocol
+// version: v2 sessions get a typed OpenAck rejection (code plus
+// retry-after hint), v1 sessions the legacy Error frame.
+func (s *session) reject(version uint8, code wire.RejectCode, retryAfter time.Duration, v1msg string) {
+	if version != wire.ProtocolV2 {
+		s.fail(v1msg)
+		return
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	s.send(func(w *wire.Writer) error {
+		return w.WriteOpenAck(wire.OpenAck{Version: wire.ProtocolV2, Reject: code, RetryAfter: retryAfter})
+	})
+}
+
 // tokensMatch compares a presented auth token against the configured one
 // in constant time. Both sides are hashed first, so neither the compare
 // duration nor an early length check leaks anything about the secret.
@@ -284,15 +321,26 @@ func (s *session) handshake() error {
 	if want := s.srv.cfg.AuthToken; want != "" {
 		if cfg.AuthToken == "" {
 			s.srv.countReject(rejectNoToken)
-			s.fail(wire.UnauthorizedPrefix + ": auth token required")
+			s.reject(cfg.Version, wire.RejectUnauthorized, 0, wire.UnauthorizedPrefix+": auth token required")
 			return fmt.Errorf("session sent no auth token")
 		}
 		if !tokensMatch(cfg.AuthToken, want) {
 			s.srv.countReject(rejectBadToken)
-			s.fail(wire.UnauthorizedPrefix + ": bad auth token")
+			s.reject(cfg.Version, wire.RejectUnauthorized, 0, wire.UnauthorizedPrefix+": bad auth token")
 			return fmt.Errorf("session sent a bad auth token")
 		}
 	}
+	// Admission gate: resolve the tenant identity and charge the session
+	// against its quotas before any engine memory is committed. Over-limit
+	// opens fail fast here with a typed reject code and retry hint.
+	tenant := admission.DeriveTenant(cfg.Tenant, cfg.AuthToken)
+	lease, rej := s.srv.adm.Admit(tenant, sessionWindowBytes(cfg))
+	if rej != nil {
+		s.srv.countReject(rej.Code.String())
+		s.reject(cfg.Version, rej.Code, rej.RetryAfter, rej.Error())
+		return fmt.Errorf("tenant %q: %v", tenant, rej)
+	}
+	s.lease = lease
 	// Server-wide probe-kernel default: sessions that left the kernel on
 	// auto inherit the operator's `-probe-kernel` choice. Only soft-uni
 	// engines have probe kernels, and explicit session choices win.
@@ -348,7 +396,10 @@ func (s *session) handshake() error {
 	s.eng = eng
 	s.engCfg = cfg
 	s.opened.Store(true)
-	ack := wire.OpenAck{Credits: s.srv.cfg.InitialCredits, Session: s.id}
+	// The ack answers in the session's own protocol version: v2 opens get
+	// the TLV ack (able to carry typed rejects on later redials), v1 opens
+	// the legacy positional encoding.
+	ack := wire.OpenAck{Version: cfg.Version, Credits: s.srv.cfg.InitialCredits, Session: s.id}
 	if restored != nil {
 		ack.Resumed = true
 		ack.ResumeSeqR = restored.Meta.SeqR
@@ -431,6 +482,15 @@ func (s *session) readLoop() closeMode {
 				if uint64(elapsed.Nanoseconds()) <= prev || s.latMax.CompareAndSwap(prev, uint64(elapsed.Nanoseconds())) {
 					break
 				}
+			}
+			// Rate shaping: charge the batch against the tenant's (and the
+			// server's) token bucket and withhold this batch's credit for
+			// the debt. The batch itself was already accepted — shaping
+			// delays credits, it never drops data — and the sleep happens
+			// while creditsHeld still counts the batch, so the backpressure
+			// gauge reflects throttling too.
+			if d := s.lease.Throttle(len(batch)); d > 0 {
+				time.Sleep(d)
 			}
 			err = s.send(func(w *wire.Writer) error { return w.WriteCredit(1) })
 			s.srv.creditsHeld.Add(-1)

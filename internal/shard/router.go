@@ -208,13 +208,16 @@ func (sc *shardConn) openConfig(baseR, baseS uint64) wire.OpenConfig {
 	}
 }
 
-// dialOptions is how every shard session — first dial and redial alike —
-// reaches its endpoint: same TLS configuration, same auth token, same
-// connect timeout.
+// dialOptions is how every shard session — first dial, redial, and
+// rebalance-installed session alike — reaches its endpoint: same TLS
+// configuration, same auth token, same tenant identity, same connect
+// timeout. Rebalance passes these through to internal/rebalance, so a
+// generation swap cannot shed the deployment's tenant accounting.
 func (r *Router) dialOptions() server.DialOptions {
 	return server.DialOptions{
 		TLS:       r.cfg.TLS,
 		AuthToken: r.cfg.AuthToken,
+		Tenant:    r.cfg.Tenant,
 		Timeout:   r.cfg.DialTimeout,
 	}
 }
@@ -384,6 +387,12 @@ func (sc *shardConn) redial(baseR, baseS uint64) bool {
 			// The shard rejected our credentials; backing off and retrying
 			// with the same token cannot succeed.
 			break
+		}
+		var adm *server.AdmissionError
+		if errors.As(err, &adm) && adm.RetryAfter > delay {
+			// Honor the admission controller's retry-after hint: redialing
+			// sooner is guaranteed to be rejected again.
+			delay = adm.RetryAfter
 		}
 		if attempt < pol.Attempts {
 			time.Sleep(delay)

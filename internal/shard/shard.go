@@ -86,6 +86,11 @@ type Config struct {
 	// AuthToken, when non-empty, authenticates every shard session (and
 	// every redial) against the shards' configured token.
 	AuthToken string
+	// Tenant, when non-empty, is the tenant identity every shard session
+	// opens under — first dials, redials, and rebalance-installed sessions
+	// alike — so the whole deployment is accounted against one tenant's
+	// admission quotas on every shard server.
+	Tenant string
 	// ProbeKernel, when not KernelAuto, is carried in every shard
 	// session's Open frame so the backing engines run the named probe
 	// kernel (hash index or block scan) instead of resolving it per

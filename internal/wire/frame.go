@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"accelstream/internal/core"
 	"accelstream/internal/stream"
@@ -92,16 +93,106 @@ func appendU32(b []byte, v uint32) []byte {
 	return binary.BigEndian.AppendUint32(b, v)
 }
 
-// WriteOpen emits an Open frame. The shard-role fields ride as a tail
-// after the original fixed fields, so a PR-1 Open frame (no tail) still
-// decodes — as an unsharded session — on a current server. The auth token
-// is a second optional tail after the shard fields, and the probe-kernel
-// byte a third after the token; each is written only when a later tail
-// needs it or its value is non-default, so an unauthenticated auto-kernel
-// Open stays byte-identical to the earlier encodings.
+// The field tags of the v2 (field-tagged) Open encoding. A v2 Open payload
+// is the version uvarint followed by [tag:uvarint][len:uvarint][value]
+// fields in any order; zero-valued fields are omitted and unknown tags are
+// skipped, so the encoding grows without another protocol revision.
+const (
+	openTagEngine      = 1  // 1 byte: EngineKind
+	openTagCores       = 2  // uvarint
+	openTagWindow      = 3  // uvarint
+	openTagFlags       = 4  // 1 byte: bit 0 = ordered
+	openTagShardCount  = 5  // uvarint
+	openTagShardIndex  = 6  // uvarint
+	openTagBaseSeqR    = 7  // uvarint
+	openTagBaseSeqS    = 8  // uvarint
+	openTagAuthToken   = 9  // raw bytes
+	openTagProbeKernel = 10 // 1 byte: stream.ProbeKernel
+	openTagTenant      = 11 // raw bytes, ValidTenant-constrained
+)
+
+// The field tags of the v2 OpenAck encoding (same TLV grammar as the v2
+// Open). A rejected ack carries only the reject fields; an accepting ack
+// never carries them, so each decoded ack is canonical.
+const (
+	ackTagCredits    = 1 // uvarint
+	ackTagSession    = 2 // uvarint
+	ackTagResumed    = 3 // 1 byte: must be 1
+	ackTagResumeSeqR = 4 // uvarint
+	ackTagResumeSeqS = 5 // uvarint
+	ackTagReject     = 6 // 1 byte: RejectCode
+	ackTagRetryAfter = 7 // uvarint: milliseconds
+)
+
+// appendFieldUvarint appends one TLV field holding a uvarint value.
+func appendFieldUvarint(b []byte, tag, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b = appendUvarint(b, tag)
+	b = appendUvarint(b, uint64(n))
+	return append(b, tmp[:n]...)
+}
+
+// appendFieldByte appends one TLV field holding a single byte.
+func appendFieldByte(b []byte, tag uint64, v byte) []byte {
+	b = appendUvarint(b, tag)
+	b = appendUvarint(b, 1)
+	return append(b, v)
+}
+
+// appendFieldString appends one TLV field holding raw string bytes.
+func appendFieldString(b []byte, tag uint64, s string) []byte {
+	b = appendUvarint(b, tag)
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// fieldUvarint parses a TLV value that must be exactly one uvarint.
+func fieldUvarint(tag uint64, val []byte) (uint64, error) {
+	v, n := binary.Uvarint(val)
+	if n <= 0 || n != len(val) {
+		return 0, fmt.Errorf("wire: malformed uvarint in field %d", tag)
+	}
+	return v, nil
+}
+
+// fieldByte parses a TLV value that must be exactly one byte.
+func fieldByte(tag uint64, val []byte) (byte, error) {
+	if len(val) != 1 {
+		return 0, fmt.Errorf("wire: field %d wants 1 byte, got %d", tag, len(val))
+	}
+	return val[0], nil
+}
+
+// WriteOpen emits an Open frame in the encoding cfg.Version selects —
+// the field-tagged v2 layout by default (Version zero or ProtocolV2), or
+// the original positional v1 layout for servers predating the versioned
+// handshake.
 func (w *Writer) WriteOpen(cfg OpenConfig) error {
+	switch cfg.Version {
+	case 0, ProtocolV2:
+		return w.writeOpenV2(cfg)
+	case ProtocolV1:
+		return w.writeOpenV1(cfg)
+	default:
+		return fmt.Errorf("wire: protocol version %d not supported (want %d or %d)", cfg.Version, ProtocolV1, ProtocolV2)
+	}
+}
+
+// writeOpenV1 emits the original positional Open layout. The shard-role
+// fields ride as a tail after the original fixed fields, so a PR-1 Open
+// frame (no tail) still decodes — as an unsharded session — on a current
+// server. The auth token is a second optional tail after the shard fields,
+// and the probe-kernel byte a third after the token; each is written only
+// when a later tail needs it or its value is non-default, so an
+// unauthenticated auto-kernel Open stays byte-identical to the earlier
+// encodings.
+func (w *Writer) writeOpenV1(cfg OpenConfig) error {
+	if cfg.Tenant != "" {
+		return fmt.Errorf("wire: tenant identity requires the v2 open encoding")
+	}
 	b := w.buf[:0]
-	b = appendUvarint(b, ProtocolVersion)
+	b = appendUvarint(b, ProtocolV1)
 	b = append(b, byte(cfg.Engine))
 	b = appendUvarint(b, uint64(cfg.Cores))
 	b = appendUvarint(b, uint64(cfg.Window))
@@ -125,10 +216,59 @@ func (w *Writer) WriteOpen(cfg OpenConfig) error {
 	return w.writeFrame(FrameOpen, b)
 }
 
-// WriteOpenAck emits an OpenAck frame. The checkpoint-resume fields ride
-// in an optional tail written only when Resumed is set, so a non-resumed
-// ack stays byte-identical to the pre-checkpoint encoding.
+// writeOpenV2 emits the field-tagged Open layout: the version uvarint
+// followed by TLV fields, zero-valued fields omitted.
+func (w *Writer) writeOpenV2(cfg OpenConfig) error {
+	b := w.buf[:0]
+	b = appendUvarint(b, ProtocolV2)
+	b = appendFieldByte(b, openTagEngine, byte(cfg.Engine))
+	b = appendFieldUvarint(b, openTagCores, uint64(cfg.Cores))
+	b = appendFieldUvarint(b, openTagWindow, uint64(cfg.Window))
+	if cfg.Ordered {
+		b = appendFieldByte(b, openTagFlags, 1)
+	}
+	if cfg.ShardCount != 0 {
+		b = appendFieldUvarint(b, openTagShardCount, uint64(cfg.ShardCount))
+	}
+	if cfg.ShardIndex != 0 {
+		b = appendFieldUvarint(b, openTagShardIndex, uint64(cfg.ShardIndex))
+	}
+	if cfg.BaseSeqR != 0 {
+		b = appendFieldUvarint(b, openTagBaseSeqR, cfg.BaseSeqR)
+	}
+	if cfg.BaseSeqS != 0 {
+		b = appendFieldUvarint(b, openTagBaseSeqS, cfg.BaseSeqS)
+	}
+	if cfg.AuthToken != "" {
+		b = appendFieldString(b, openTagAuthToken, cfg.AuthToken)
+	}
+	if cfg.ProbeKernel != stream.KernelAuto {
+		b = appendFieldByte(b, openTagProbeKernel, byte(cfg.ProbeKernel))
+	}
+	if cfg.Tenant != "" {
+		b = appendFieldString(b, openTagTenant, cfg.Tenant)
+	}
+	w.buf = b
+	return w.writeFrame(FrameOpen, b)
+}
+
+// WriteOpenAck emits an OpenAck frame in the encoding ack.Version selects.
+// Version zero or ProtocolV1 is the original positional layout (the
+// checkpoint-resume fields ride in an optional tail written only when
+// Resumed is set, so a non-resumed ack stays byte-identical to the
+// pre-checkpoint encoding); it cannot carry a typed rejection — v1
+// sessions are rejected with an Error frame instead.
 func (w *Writer) WriteOpenAck(ack OpenAck) error {
+	switch ack.Version {
+	case 0, ProtocolV1:
+	case ProtocolV2:
+		return w.writeOpenAckV2(ack)
+	default:
+		return fmt.Errorf("wire: open-ack version %d not supported (want %d or %d)", ack.Version, ProtocolV1, ProtocolV2)
+	}
+	if ack.Reject != RejectNone {
+		return fmt.Errorf("wire: v1 open-ack cannot carry reject code %v", ack.Reject)
+	}
 	b := w.buf[:0]
 	b = appendUvarint(b, uint64(ack.Credits))
 	b = appendUvarint(b, ack.Session)
@@ -136,6 +276,33 @@ func (w *Writer) WriteOpenAck(ack OpenAck) error {
 		b = append(b, 1)
 		b = appendUvarint(b, ack.ResumeSeqR)
 		b = appendUvarint(b, ack.ResumeSeqS)
+	}
+	w.buf = b
+	return w.writeFrame(FrameOpenAck, b)
+}
+
+// writeOpenAckV2 emits the field-tagged OpenAck layout. Its leading
+// uvarint is 0 — a credit window no v1 ack can carry — so a decoder can
+// tell the encodings apart without context; the version uvarint and the
+// TLV fields follow. A rejected ack carries only the reject code and the
+// optional retry-after hint.
+func (w *Writer) writeOpenAckV2(ack OpenAck) error {
+	b := w.buf[:0]
+	b = appendUvarint(b, 0)
+	b = appendUvarint(b, ProtocolV2)
+	if ack.Reject != RejectNone {
+		b = appendFieldByte(b, ackTagReject, byte(ack.Reject))
+		if ack.RetryAfter > 0 {
+			b = appendFieldUvarint(b, ackTagRetryAfter, uint64(ack.RetryAfter/time.Millisecond))
+		}
+	} else {
+		b = appendFieldUvarint(b, ackTagCredits, uint64(ack.Credits))
+		b = appendFieldUvarint(b, ackTagSession, ack.Session)
+		if ack.Resumed {
+			b = appendFieldByte(b, ackTagResumed, 1)
+			b = appendFieldUvarint(b, ackTagResumeSeqR, ack.ResumeSeqR)
+			b = appendFieldUvarint(b, ackTagResumeSeqS, ack.ResumeSeqS)
+		}
 	}
 	w.buf = b
 	return w.writeFrame(FrameOpenAck, b)
@@ -385,15 +552,42 @@ func (c *cursor) finish() error {
 	return nil
 }
 
-// DecodeOpen parses an Open payload. The shard-role tail is optional: a
-// frame that ends after the flags byte decodes as an unsharded session
-// (all tail fields zero), keeping PR-1 clients compatible. The auth-token
-// tail after it is optional too (absence decodes as an empty token), as
-// is the probe-kernel byte after that (absence decodes as KernelAuto).
+// DecodeOpen parses an Open payload of either protocol version,
+// dispatching on the leading version uvarint, and sets cfg.Version to the
+// version actually received so the server can answer in kind.
 func DecodeOpen(payload []byte) (OpenConfig, error) {
 	c := cursor{b: payload}
 	version := c.uvarint()
-	cfg := OpenConfig{}
+	if c.err != nil {
+		return OpenConfig{}, c.err
+	}
+	var cfg OpenConfig
+	var err error
+	switch version {
+	case ProtocolV1:
+		cfg, err = decodeOpenV1(&c)
+	case ProtocolV2:
+		cfg, err = decodeOpenV2(&c)
+	default:
+		return OpenConfig{}, fmt.Errorf("wire: protocol version %d not supported (want %d or %d)", version, ProtocolV1, ProtocolV2)
+	}
+	if err != nil {
+		return OpenConfig{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return OpenConfig{}, err
+	}
+	return cfg, nil
+}
+
+// decodeOpenV1 parses the positional v1 Open layout. The shard-role tail
+// is optional: a frame that ends after the flags byte decodes as an
+// unsharded session (all tail fields zero), keeping PR-1 clients
+// compatible. The auth-token tail after it is optional too (absence
+// decodes as an empty token), as is the probe-kernel byte after that
+// (absence decodes as KernelAuto).
+func decodeOpenV1(c *cursor) (OpenConfig, error) {
+	cfg := OpenConfig{Version: ProtocolV1}
 	cfg.Engine = EngineKind(c.byte())
 	cfg.Cores = int(c.uvarint())
 	cfg.Window = int(c.uvarint())
@@ -418,20 +612,99 @@ func DecodeOpen(payload []byte) (OpenConfig, error) {
 	if err := c.finish(); err != nil {
 		return OpenConfig{}, err
 	}
-	if version != ProtocolVersion {
-		return OpenConfig{}, fmt.Errorf("wire: protocol version %d not supported (want %d)", version, ProtocolVersion)
+	return cfg, nil
+}
+
+// decodeOpenV2 parses the field-tagged v2 Open layout. Unknown tags are
+// skipped so future fields do not break this decoder; duplicate tags are
+// last-wins.
+func decodeOpenV2(c *cursor) (OpenConfig, error) {
+	cfg := OpenConfig{Version: ProtocolV2}
+	for c.err == nil && c.remaining() > 0 {
+		tag := c.uvarint()
+		n := c.uvarint()
+		val := c.bytes(int(n))
+		if c.err != nil {
+			break
+		}
+		var err error
+		switch tag {
+		case openTagEngine:
+			var b byte
+			if b, err = fieldByte(tag, val); err == nil {
+				cfg.Engine = EngineKind(b)
+			}
+		case openTagCores:
+			var v uint64
+			if v, err = fieldUvarint(tag, val); err == nil {
+				cfg.Cores = int(v)
+			}
+		case openTagWindow:
+			var v uint64
+			if v, err = fieldUvarint(tag, val); err == nil {
+				cfg.Window = int(v)
+			}
+		case openTagFlags:
+			var b byte
+			if b, err = fieldByte(tag, val); err == nil {
+				cfg.Ordered = b&1 != 0
+			}
+		case openTagShardCount:
+			var v uint64
+			if v, err = fieldUvarint(tag, val); err == nil {
+				cfg.ShardCount = int(v)
+			}
+		case openTagShardIndex:
+			var v uint64
+			if v, err = fieldUvarint(tag, val); err == nil {
+				cfg.ShardIndex = int(v)
+			}
+		case openTagBaseSeqR:
+			cfg.BaseSeqR, err = fieldUvarint(tag, val)
+		case openTagBaseSeqS:
+			cfg.BaseSeqS, err = fieldUvarint(tag, val)
+		case openTagAuthToken:
+			if len(val) > MaxAuthToken {
+				err = fmt.Errorf("wire: auth token of %d bytes exceeds limit %d", len(val), MaxAuthToken)
+			} else {
+				cfg.AuthToken = string(val)
+			}
+		case openTagProbeKernel:
+			var b byte
+			if b, err = fieldByte(tag, val); err == nil {
+				cfg.ProbeKernel = stream.ProbeKernel(b)
+			}
+		case openTagTenant:
+			// Charset and length are checked by Validate via ValidTenant.
+			cfg.Tenant = string(val)
+		default:
+			// Unknown field: skip for forward compatibility.
+		}
+		if err != nil {
+			return OpenConfig{}, err
+		}
 	}
-	if err := cfg.Validate(); err != nil {
-		return OpenConfig{}, err
+	if c.err != nil {
+		return OpenConfig{}, c.err
 	}
 	return cfg, nil
 }
 
-// DecodeOpenAck parses an OpenAck payload, including the optional
+// DecodeOpenAck parses an OpenAck payload of either encoding. A leading
+// credit uvarint of 0 — impossible in a v1 ack — marks the v2 layout; any
+// other value is a v1 ack (decoded with Version 0, the v1 default, so
+// pre-existing round trips are unchanged) with the optional
 // checkpoint-resume tail.
 func DecodeOpenAck(payload []byte) (OpenAck, error) {
 	c := cursor{b: payload}
-	ack := OpenAck{Credits: int(c.uvarint()), Session: c.uvarint()}
+	first := c.uvarint()
+	if c.err != nil {
+		return OpenAck{}, c.err
+	}
+	if first == 0 {
+		return decodeOpenAckV2(&c)
+	}
+	ack := OpenAck{Credits: int(first), Session: c.uvarint()}
 	if c.err == nil && c.remaining() > 0 {
 		flag := c.byte()
 		if c.err == nil && flag != 1 {
@@ -443,6 +716,76 @@ func DecodeOpenAck(payload []byte) (OpenAck, error) {
 	}
 	if err := c.finish(); err != nil {
 		return OpenAck{}, err
+	}
+	if ack.Credits <= 0 {
+		return OpenAck{}, fmt.Errorf("wire: non-positive credit window %d", ack.Credits)
+	}
+	return ack, nil
+}
+
+// decodeOpenAckV2 parses the field-tagged OpenAck layout (after the
+// leading 0 discriminator). The decoded ack is canonicalized: a rejected
+// ack keeps only the reject code and retry-after hint, an accepting ack
+// drops any stray retry-after, so decode→encode→decode is stable.
+func decodeOpenAckV2(c *cursor) (OpenAck, error) {
+	version := c.uvarint()
+	if c.err != nil {
+		return OpenAck{}, c.err
+	}
+	if version != ProtocolV2 {
+		return OpenAck{}, fmt.Errorf("wire: open-ack version %d not supported (want %d)", version, ProtocolV2)
+	}
+	ack := OpenAck{Version: ProtocolV2}
+	var retryMillis uint64
+	for c.err == nil && c.remaining() > 0 {
+		tag := c.uvarint()
+		n := c.uvarint()
+		val := c.bytes(int(n))
+		if c.err != nil {
+			break
+		}
+		var err error
+		switch tag {
+		case ackTagCredits:
+			var v uint64
+			if v, err = fieldUvarint(tag, val); err == nil {
+				ack.Credits = int(v)
+			}
+		case ackTagSession:
+			ack.Session, err = fieldUvarint(tag, val)
+		case ackTagResumed:
+			var b byte
+			if b, err = fieldByte(tag, val); err == nil && b != 1 {
+				err = fmt.Errorf("wire: invalid open-ack resume flag %d", b)
+			}
+			ack.Resumed = err == nil
+		case ackTagResumeSeqR:
+			ack.ResumeSeqR, err = fieldUvarint(tag, val)
+		case ackTagResumeSeqS:
+			ack.ResumeSeqS, err = fieldUvarint(tag, val)
+		case ackTagReject:
+			var b byte
+			if b, err = fieldByte(tag, val); err == nil {
+				ack.Reject = RejectCode(b)
+			}
+		case ackTagRetryAfter:
+			retryMillis, err = fieldUvarint(tag, val)
+		default:
+			// Unknown field: skip for forward compatibility.
+		}
+		if err != nil {
+			return OpenAck{}, err
+		}
+	}
+	if c.err != nil {
+		return OpenAck{}, c.err
+	}
+	if ack.Reject != RejectNone {
+		return OpenAck{
+			Version:    ProtocolV2,
+			Reject:     ack.Reject,
+			RetryAfter: time.Duration(retryMillis) * time.Millisecond,
+		}, nil
 	}
 	if ack.Credits <= 0 {
 		return OpenAck{}, fmt.Errorf("wire: non-positive credit window %d", ack.Credits)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 // The fuzz targets below harden the frame decoders against arbitrary
@@ -29,22 +30,38 @@ func corpusFrames(tb testing.TB) [][]byte {
 	add(func(w *Writer) error { return w.WriteBatch(9, randInputs(rng, 25)) })
 	rng = rand.New(rand.NewSource(5))
 	add(func(w *Writer) error { return w.WriteResults(randResults(rng, 17)) })
+	// Opens in both encodings, so the fuzzer crosses v1 and v2 bytes: the
+	// same shard-role config positionally and field-tagged.
 	add(func(w *Writer) error {
-		return w.WriteOpen(OpenConfig{Engine: EngineSoftUni, Cores: 8, Window: 1 << 14, ShardCount: 4, ShardIndex: 2, BaseSeqR: 99, BaseSeqS: 7})
+		return w.WriteOpen(OpenConfig{Version: ProtocolV1, Engine: EngineSoftUni, Cores: 8, Window: 1 << 14, ShardCount: 4, ShardIndex: 2, BaseSeqR: 99, BaseSeqS: 7})
 	})
-	// Auth-token tails: a short token and one at the length limit, so the
-	// fuzzer mutates both the token length prefix and its bytes.
 	add(func(w *Writer) error {
-		return w.WriteOpen(OpenConfig{Engine: EngineSoftUni, Cores: 2, Window: 256, AuthToken: "hunter2"})
+		return w.WriteOpen(OpenConfig{Version: ProtocolV2, Engine: EngineSoftUni, Cores: 8, Window: 1 << 14, ShardCount: 4, ShardIndex: 2, BaseSeqR: 99, BaseSeqS: 7})
+	})
+	// Auth-token fields: a short v1 tail, one at the length limit, and a
+	// v2 open carrying token + tenant + kernel, so the fuzzer mutates the
+	// length prefixes and TLV tags alike.
+	add(func(w *Writer) error {
+		return w.WriteOpen(OpenConfig{Version: ProtocolV1, Engine: EngineSoftUni, Cores: 2, Window: 256, AuthToken: "hunter2"})
 	})
 	add(func(w *Writer) error {
 		tok := make([]byte, MaxAuthToken)
 		for i := range tok {
 			tok[i] = byte(i)
 		}
-		return w.WriteOpen(OpenConfig{Engine: EngineSoftBi, Cores: 4, Window: 1 << 10, AuthToken: string(tok)})
+		return w.WriteOpen(OpenConfig{Version: ProtocolV1, Engine: EngineSoftBi, Cores: 4, Window: 1 << 10, AuthToken: string(tok)})
+	})
+	add(func(w *Writer) error {
+		return w.WriteOpen(OpenConfig{Engine: EngineSoftUni, Cores: 2, Window: 256, AuthToken: "hunter2", Tenant: "acme.prod", ProbeKernel: 2})
 	})
 	add(func(w *Writer) error { return w.WriteOpenAck(OpenAck{Credits: 16, Session: 42}) })
+	// v2 acks: an acceptance and a typed rejection with a retry hint.
+	add(func(w *Writer) error {
+		return w.WriteOpenAck(OpenAck{Version: ProtocolV2, Credits: 16, Session: 42})
+	})
+	add(func(w *Writer) error {
+		return w.WriteOpenAck(OpenAck{Version: ProtocolV2, Reject: RejectRateLimited, RetryAfter: 1500 * time.Millisecond})
+	})
 	add(func(w *Writer) error { return w.WriteCredit(3) })
 	add(func(w *Writer) error { return w.WriteClosed(Stats{TuplesIn: 10000, BatchesIn: 40, ResultsOut: 123}) })
 	rng = rand.New(rand.NewSource(17))
@@ -195,8 +212,24 @@ func FuzzDecodeControl(f *testing.F) {
 				t.Fatalf("open round trip diverged: %+v vs %+v, err=%v", cfg, cfg2, err)
 			}
 		}
-		if ack, err := DecodeOpenAck(payload); err == nil && ack.Credits <= 0 {
-			t.Fatalf("DecodeOpenAck accepted non-positive credits: %+v", ack)
+		if ack, err := DecodeOpenAck(payload); err == nil {
+			if ack.Reject == RejectNone && ack.Credits <= 0 {
+				t.Fatalf("DecodeOpenAck accepted non-positive credits: %+v", ack)
+			}
+			if ack.Reject != RejectNone && (ack.Credits != 0 || ack.Session != 0 || ack.Resumed) {
+				t.Fatalf("DecodeOpenAck returned non-canonical rejection: %+v", ack)
+			}
+			var rt bytes.Buffer
+			if err := NewWriter(&rt).WriteOpenAck(ack); err != nil {
+				t.Fatalf("re-encode of accepted open-ack failed: %v", err)
+			}
+			frame, err := NewReader(&rt).ReadFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ack2, err := DecodeOpenAck(frame.Payload); err != nil || ack2 != ack {
+				t.Fatalf("open-ack round trip diverged: %+v vs %+v, err=%v", ack, ack2, err)
+			}
 		}
 		if n, err := DecodeCredit(payload); err == nil && (n <= 0 || n > 1<<20) {
 			t.Fatalf("DecodeCredit accepted out-of-range grant %d", n)

@@ -28,13 +28,26 @@ package wire
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"accelstream/internal/stream"
 )
 
-// ProtocolVersion is carried in the Open frame; the server rejects
-// versions it does not speak.
-const ProtocolVersion = 1
+// The protocol versions carried in the Open frame's leading uvarint.
+// Version 1 is the original positional encoding grown by optional tails
+// (shard role, auth token, probe kernel); version 2 replaces the accreted
+// tails with an explicit field-tagged (TLV) encoding that also carries
+// the tenant identity. Servers accept both; clients send v2 by default.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+)
+
+// ProtocolVersion is the original protocol revision, kept for call sites
+// that predate the versioned handshake.
+//
+// Deprecated: name ProtocolV1 or ProtocolV2 explicitly.
+const ProtocolVersion = ProtocolV1
 
 // MaxPayload bounds a frame payload so a corrupt or hostile length prefix
 // cannot cause an unbounded allocation.
@@ -183,14 +196,83 @@ func ParseEngineKind(name string) (EngineKind, error) {
 // MaxAuthToken bounds the session auth token carried in the Open frame.
 const MaxAuthToken = 512
 
+// MaxTenant bounds the tenant identity carried in the Open frame.
+const MaxTenant = 128
+
+// ValidTenant reports whether s is a well-formed tenant identity: 1 to
+// MaxTenant bytes of [a-zA-Z0-9._:-]. The charset is restricted so tenant
+// identities can be embedded verbatim in metric labels and log lines.
+func ValidTenant(s string) bool {
+	if len(s) == 0 || len(s) > MaxTenant {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == ':' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// RejectCode is the machine-readable session-reject classification carried
+// in a v2 OpenAck (RejectNone means the session was accepted). It replaces
+// the v1 convention of prefixing Error-frame messages with
+// UnauthorizedPrefix: a v2 client switches on the code instead of parsing
+// the message.
+type RejectCode uint8
+
+// The session-reject codes.
+const (
+	// RejectNone: the session was admitted.
+	RejectNone RejectCode = iota
+	// RejectUnauthorized: the auth token was missing or did not match.
+	RejectUnauthorized
+	// RejectQuotaSessions: the tenant (or server) concurrent-session quota
+	// is exhausted.
+	RejectQuotaSessions
+	// RejectQuotaMemory: admitting the session's window would exceed the
+	// tenant (or server) aggregate window-memory budget.
+	RejectQuotaMemory
+	// RejectRateLimited: the tenant's ingest budget is currently exhausted
+	// (its running sessions are being throttled); retry after the hint.
+	RejectRateLimited
+)
+
+// String implements fmt.Stringer; the strings double as the reason labels
+// of the sessions_rejected_total metric.
+func (c RejectCode) String() string {
+	switch c {
+	case RejectNone:
+		return "none"
+	case RejectUnauthorized:
+		return "unauthorized"
+	case RejectQuotaSessions:
+		return "quota_sessions"
+	case RejectQuotaMemory:
+		return "quota_memory"
+	case RejectRateLimited:
+		return "rate_limited"
+	default:
+		return fmt.Sprintf("reject(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is a known reject code.
+func (c RejectCode) Valid() bool { return c <= RejectRateLimited }
+
 // UnauthorizedPrefix prefixes the Error-frame message a server sends when
-// session authentication fails. It is part of the protocol: clients map
-// messages carrying it to a typed unauthorized error instead of a generic
-// handshake failure.
+// session authentication fails on a v1 session. It remains part of the
+// protocol for v1 interop: v1 clients map messages carrying it to a typed
+// unauthorized error. v2 sessions carry RejectUnauthorized in the OpenAck
+// instead.
 const UnauthorizedPrefix = "unauthorized"
 
 // IsUnauthorized reports whether an Error-frame message is a session-auth
-// rejection.
+// rejection (v1 sessions only; v2 rejections ride the OpenAck).
 func IsUnauthorized(msg string) bool {
 	return strings.HasPrefix(msg, UnauthorizedPrefix)
 }
@@ -202,6 +284,11 @@ const simWindowLimit = 1 << 12
 
 // OpenConfig is the session configuration carried in the Open frame.
 type OpenConfig struct {
+	// Version selects the Open-frame encoding: ProtocolV1 (the original
+	// positional layout with optional tails) or ProtocolV2 (field-tagged).
+	// Zero means ProtocolV2 — clients send v2 by default. DecodeOpen sets
+	// it to the version actually received, so a server can answer in kind.
+	Version uint8
 	// Engine selects the join engine.
 	Engine EngineKind
 	// Cores is the number of join cores.
@@ -246,10 +333,29 @@ type OpenConfig struct {
 	// Like the auth token it rides the Open frame as an optional tail —
 	// auto-kernel frames are byte-identical to the previous revision.
 	ProbeKernel stream.ProbeKernel
+	// Tenant is the session's tenant identity, the unit of admission
+	// control: per-tenant session, window-memory, and ingest-rate quotas
+	// are accounted against it. Only the v2 encoding carries it; a v1
+	// session's tenant is derived server-side (from the auth token, or the
+	// default tenant). Empty means "no explicit tenant".
+	Tenant string
 }
 
 // Validate bounds-checks the configuration.
 func (c OpenConfig) Validate() error {
+	switch c.Version {
+	case 0, ProtocolV1, ProtocolV2:
+	default:
+		return fmt.Errorf("wire: protocol version %d not supported (want %d or %d)", c.Version, ProtocolV1, ProtocolV2)
+	}
+	if c.Tenant != "" {
+		if c.Version == ProtocolV1 {
+			return fmt.Errorf("wire: tenant identity requires the v2 open encoding")
+		}
+		if !ValidTenant(c.Tenant) {
+			return fmt.Errorf("wire: invalid tenant identity %q (1-%d bytes of [a-zA-Z0-9._:-])", c.Tenant, MaxTenant)
+		}
+	}
 	switch c.Engine {
 	case EngineSoftUni, EngineSoftBi, EngineSimUni:
 	default:
@@ -318,8 +424,23 @@ type RebalanceInfo struct {
 	SeqS uint64
 }
 
-// OpenAck is the server's acceptance of a session.
+// OpenAck is the server's answer to an Open frame: an acceptance carrying
+// the initial credit window, or — v2 sessions only — a typed rejection
+// carrying a RejectCode and an optional retry-after hint. (v1 sessions
+// are rejected with an Error frame instead, as before.)
 type OpenAck struct {
+	// Version selects the OpenAck encoding; the server answers with the
+	// version the session's Open frame carried. Zero means ProtocolV1 (the
+	// original encoding), so pre-existing call sites stay byte-identical.
+	Version uint8
+	// Reject, when not RejectNone, marks the ack as a typed rejection: the
+	// session was turned away and the connection closes. Carried only by
+	// the v2 encoding.
+	Reject RejectCode
+	// RetryAfter hints how long a rejected client should wait before
+	// retrying (zero: no hint). Carried only by the v2 encoding, only
+	// meaningful with Reject set.
+	RetryAfter time.Duration
 	// Credits is the initial batch-credit window.
 	Credits int
 	// Session is the server-assigned session identifier.

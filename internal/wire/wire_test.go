@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"accelstream/internal/core"
 	"accelstream/internal/stream"
@@ -147,8 +148,10 @@ func TestControlFrameRoundTrips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gotCfg != cfg {
-		t.Fatalf("open round trip: got %+v, want %+v", gotCfg, cfg)
+	wantCfg := cfg
+	wantCfg.Version = ProtocolV2 // clients send v2 by default; decode stamps it
+	if gotCfg != wantCfg {
+		t.Fatalf("open round trip: got %+v, want %+v", gotCfg, wantCfg)
 	}
 	f, _ = r.ReadFrame()
 	ack, err := DecodeOpenAck(f.Payload)
@@ -431,28 +434,33 @@ func TestOpenConfigValidate(t *testing.T) {
 	}
 }
 
-// TestOpenShardRoundTrip covers the shard-role tail of the Open frame.
+// TestOpenShardRoundTrip covers the shard-role fields of the Open frame,
+// in both the v1 (positional tail) and v2 (field-tagged) encodings.
 func TestOpenShardRoundTrip(t *testing.T) {
 	cfgs := []OpenConfig{
 		{Engine: EngineSoftUni, Cores: 2, Window: 512, ShardCount: 8, ShardIndex: 5},
 		{Engine: EngineSoftUni, Cores: 2, Window: 512, ShardCount: 3, ShardIndex: 0, BaseSeqR: 1 << 40, BaseSeqS: 123456},
 		{Engine: EngineSoftBi, Cores: 2, Window: 512},
 	}
-	for _, cfg := range cfgs {
-		var buf bytes.Buffer
-		if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
-			t.Fatal(err)
-		}
-		f, err := NewReader(&buf).ReadFrame()
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := DecodeOpen(f.Payload)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got != cfg {
-			t.Errorf("shard open round trip: got %+v, want %+v", got, cfg)
+	for _, base := range cfgs {
+		for _, version := range []uint8{ProtocolV1, ProtocolV2} {
+			cfg := base
+			cfg.Version = version
+			var buf bytes.Buffer
+			if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
+				t.Fatal(err)
+			}
+			f, err := NewReader(&buf).ReadFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeOpen(f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != cfg {
+				t.Errorf("shard open round trip (v%d): got %+v, want %+v", version, got, cfg)
+			}
 		}
 	}
 }
@@ -469,7 +477,7 @@ func TestDecodeOpenLegacyTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := OpenConfig{Engine: EngineSoftUni, Cores: 4, Window: 256, Ordered: true}
+	want := OpenConfig{Version: ProtocolV1, Engine: EngineSoftUni, Cores: 4, Window: 256, Ordered: true}
 	if cfg != want {
 		t.Errorf("legacy open decoded as %+v, want %+v", cfg, want)
 	}
@@ -480,36 +488,40 @@ func TestDecodeOpenLegacyTail(t *testing.T) {
 	}
 }
 
-// TestOpenAuthTokenRoundTrip covers the auth-token tail of the Open
-// frame: tokens survive the round trip, a token-less Open stays
-// byte-identical to the PR-2 encoding, and oversized tokens are rejected
-// on both ends.
+// TestOpenAuthTokenRoundTrip covers the auth token on the Open frame in
+// both encodings: tokens survive the round trip, a token-less v1 Open
+// stays byte-identical to the PR-2 encoding, and oversized tokens are
+// rejected on both ends.
 func TestOpenAuthTokenRoundTrip(t *testing.T) {
 	cfgs := []OpenConfig{
 		{Engine: EngineSoftUni, Cores: 2, Window: 512, AuthToken: "s3cret"},
 		{Engine: EngineSoftUni, Cores: 2, Window: 512, ShardCount: 4, ShardIndex: 1, BaseSeqR: 9, AuthToken: strings.Repeat("k", MaxAuthToken)},
 		{Engine: EngineSoftBi, Cores: 2, Window: 512, AuthToken: "with\x00binary\xffbytes"},
 	}
-	for _, cfg := range cfgs {
-		var buf bytes.Buffer
-		if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
-			t.Fatal(err)
-		}
-		f, err := NewReader(&buf).ReadFrame()
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := DecodeOpen(f.Payload)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got != cfg {
-			t.Errorf("auth open round trip: got %+v, want %+v", got, cfg)
+	for _, base := range cfgs {
+		for _, version := range []uint8{ProtocolV1, ProtocolV2} {
+			cfg := base
+			cfg.Version = version
+			var buf bytes.Buffer
+			if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
+				t.Fatal(err)
+			}
+			f, err := NewReader(&buf).ReadFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeOpen(f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != cfg {
+				t.Errorf("auth open round trip (v%d): got %+v, want %+v", version, got, cfg)
+			}
 		}
 	}
 
-	// Token-less frames carry no auth tail at all.
-	plain := OpenConfig{Engine: EngineSoftUni, Cores: 2, Window: 512}
+	// Token-less v1 frames carry no auth tail at all.
+	plain := OpenConfig{Version: ProtocolV1, Engine: EngineSoftUni, Cores: 2, Window: 512}
 	var withTok, without bytes.Buffer
 	tok := plain
 	tok.AuthToken = "t"
@@ -701,27 +713,31 @@ func TestOpenProbeKernelRoundTrip(t *testing.T) {
 		{Engine: EngineSoftUni, Cores: 2, Window: 512, ProbeKernel: stream.KernelScan, AuthToken: "s3cret"},
 		{Engine: EngineSoftUni, Cores: 2, Window: 512, ShardCount: 4, ShardIndex: 3, BaseSeqR: 7, ProbeKernel: stream.KernelHash},
 	}
-	for _, cfg := range cfgs {
-		var buf bytes.Buffer
-		if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
-			t.Fatal(err)
-		}
-		f, err := NewReader(&buf).ReadFrame()
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := DecodeOpen(f.Payload)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got != cfg {
-			t.Errorf("probe-kernel open round trip: got %+v, want %+v", got, cfg)
+	for _, base := range cfgs {
+		for _, version := range []uint8{ProtocolV1, ProtocolV2} {
+			cfg := base
+			cfg.Version = version
+			var buf bytes.Buffer
+			if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
+				t.Fatal(err)
+			}
+			f, err := NewReader(&buf).ReadFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeOpen(f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != cfg {
+				t.Errorf("probe-kernel open round trip (v%d): got %+v, want %+v", version, got, cfg)
+			}
 		}
 	}
 
-	// Auto-kernel frames carry neither the kernel byte nor the empty token
-	// length it would ride behind.
-	plain := OpenConfig{Engine: EngineSoftUni, Cores: 2, Window: 512}
+	// Auto-kernel v1 frames carry neither the kernel byte nor the empty
+	// token length it would ride behind.
+	plain := OpenConfig{Version: ProtocolV1, Engine: EngineSoftUni, Cores: 2, Window: 512}
 	kern := plain
 	kern.ProbeKernel = stream.KernelScan
 	var withKern, without bytes.Buffer
@@ -759,5 +775,171 @@ func TestOpenProbeKernelRoundTrip(t *testing.T) {
 	payload[len(payload)-1] = 9
 	if _, err := DecodeOpen(payload); err == nil {
 		t.Error("accepted open with undefined probe kernel byte")
+	}
+}
+
+// TestOpenTenantRoundTrip covers the tenant identity on the v2 Open
+// frame: tenants survive the round trip, the v1 encoding refuses to carry
+// one, and malformed identities are rejected by Validate.
+func TestOpenTenantRoundTrip(t *testing.T) {
+	cfgs := []OpenConfig{
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, Tenant: "acme"},
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, Tenant: "team-7.prod:eu_west", AuthToken: "s3cret", ProbeKernel: stream.KernelHash},
+		{Engine: EngineSoftUni, Cores: 2, Window: 512, ShardCount: 4, ShardIndex: 1, BaseSeqR: 9, Tenant: strings.Repeat("t", MaxTenant)},
+	}
+	for _, cfg := range cfgs {
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewReader(&buf).ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeOpen(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cfg
+		want.Version = ProtocolV2
+		if got != want {
+			t.Errorf("tenant open round trip: got %+v, want %+v", got, want)
+		}
+	}
+
+	// The v1 encoding has no tenant field; writing one is an error, not a
+	// silent drop.
+	v1 := OpenConfig{Version: ProtocolV1, Engine: EngineSoftUni, Cores: 2, Window: 512, Tenant: "acme"}
+	if err := NewWriter(io.Discard).WriteOpen(v1); err == nil {
+		t.Error("v1 WriteOpen silently dropped the tenant identity")
+	}
+	if err := v1.Validate(); err == nil {
+		t.Error("Validate accepted a tenant on the v1 encoding")
+	}
+
+	for _, bad := range []string{
+		strings.Repeat("x", MaxTenant+1), // too long
+		"has space",                      // charset
+		"naïve",                          // non-ASCII
+		"tab\there",
+	} {
+		cfg := OpenConfig{Engine: EngineSoftUni, Cores: 2, Window: 512, Tenant: bad}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted malformed tenant %q", bad)
+		}
+	}
+	if !ValidTenant("a") || !ValidTenant("A-Z.a_z:0-9") {
+		t.Error("ValidTenant rejected well-formed identities")
+	}
+	if ValidTenant("") {
+		t.Error("ValidTenant accepted the empty string")
+	}
+}
+
+// TestOpenV2UnknownFieldSkipped: a v2 Open carrying an unknown field tag
+// still decodes — that is the forward-compatibility contract that lets the
+// encoding grow without a v3.
+func TestOpenV2UnknownFieldSkipped(t *testing.T) {
+	cfg := OpenConfig{Engine: EngineSoftUni, Cores: 2, Window: 512, Tenant: "acme"}
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteOpen(cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), f.Payload...)
+	payload = appendUvarint(payload, 99) // unknown tag
+	payload = appendUvarint(payload, 3)
+	payload = append(payload, 0xDE, 0xAD, 0xBF)
+	got, err := DecodeOpen(payload)
+	if err != nil {
+		t.Fatalf("v2 open with unknown field rejected: %v", err)
+	}
+	want := cfg
+	want.Version = ProtocolV2
+	if got != want {
+		t.Errorf("unknown-field open decoded as %+v, want %+v", got, want)
+	}
+	// A field whose length overruns the payload is still a framing error.
+	trunc := append([]byte(nil), f.Payload...)
+	trunc = appendUvarint(trunc, 99)
+	trunc = appendUvarint(trunc, 8) // claims 8 bytes, none follow
+	if _, err := DecodeOpen(trunc); err == nil {
+		t.Error("overrunning unknown field accepted")
+	}
+}
+
+// TestOpenAckV2RoundTrips covers the v2 OpenAck encoding: accepting acks
+// (with and without the checkpoint-resume fields) and typed rejections
+// with a retry-after hint all survive the round trip, and the v1 encoding
+// refuses to carry a reject code.
+func TestOpenAckV2RoundTrips(t *testing.T) {
+	acks := []OpenAck{
+		{Version: ProtocolV2, Credits: 16, Session: 42},
+		{Version: ProtocolV2, Credits: 8, Session: 3, Resumed: true, ResumeSeqR: 1 << 40, ResumeSeqS: 77},
+		{Version: ProtocolV2, Reject: RejectUnauthorized},
+		{Version: ProtocolV2, Reject: RejectQuotaSessions},
+		{Version: ProtocolV2, Reject: RejectQuotaMemory, RetryAfter: 250 * time.Millisecond},
+		{Version: ProtocolV2, Reject: RejectRateLimited, RetryAfter: 3 * time.Second},
+	}
+	for _, ack := range acks {
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteOpenAck(ack); err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewReader(&buf).ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeOpenAck(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ack {
+			t.Errorf("v2 open-ack round trip: got %+v, want %+v", got, ack)
+		}
+	}
+
+	// The v1 encoding cannot express a typed rejection.
+	if err := NewWriter(io.Discard).WriteOpenAck(OpenAck{Reject: RejectUnauthorized}); err == nil {
+		t.Error("v1 WriteOpenAck silently dropped the reject code")
+	}
+	// A v2 accepting ack without credits is as invalid as its v1 analogue.
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteOpenAck(OpenAck{Version: ProtocolV2, Session: 9}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeOpenAck(f.Payload); err == nil {
+		t.Error("creditless v2 open-ack accepted")
+	}
+}
+
+// TestRejectCodeStrings pins the reject-code strings: they double as the
+// reason labels of streamd_sessions_rejected_total, so renaming one is a
+// metrics-schema break.
+func TestRejectCodeStrings(t *testing.T) {
+	want := map[RejectCode]string{
+		RejectNone:          "none",
+		RejectUnauthorized:  "unauthorized",
+		RejectQuotaSessions: "quota_sessions",
+		RejectQuotaMemory:   "quota_memory",
+		RejectRateLimited:   "rate_limited",
+	}
+	for code, s := range want {
+		if code.String() != s {
+			t.Errorf("RejectCode(%d).String() = %q, want %q", code, code.String(), s)
+		}
+		if !code.Valid() {
+			t.Errorf("RejectCode(%d) not Valid", code)
+		}
+	}
+	if RejectCode(99).Valid() {
+		t.Error("undefined reject code Valid")
 	}
 }

@@ -21,10 +21,12 @@ import (
 type DialOption func(*dialOptions)
 
 type dialOptions struct {
-	tls       *tls.Config
-	authToken string
-	timeout   time.Duration
-	redial    *ShardRedialPolicy
+	tls         *tls.Config
+	authToken   string
+	tenant      string
+	probeKernel ProbeKernel
+	timeout     time.Duration
+	redial      *ShardRedialPolicy
 }
 
 func (o dialOptions) apply(opts []DialOption) dialOptions {
@@ -46,6 +48,25 @@ func WithTLS(cfg *tls.Config) DialOption {
 // ErrUnauthorized.
 func WithAuthToken(token string) DialOption {
 	return func(o *dialOptions) { o.authToken = token }
+}
+
+// WithTenant names the tenant identity the session opens under, for the
+// server's admission-control accounting (quotas on sessions, window
+// memory, and ingest rate — see WithServeQuotas). Precedence, highest
+// first: this option, then a Tenant already set on the SessionConfig /
+// ShardConfig, then the server's derivation (a stable hash of the auth
+// token, or the shared "default" tenant).
+func WithTenant(tenant string) DialOption {
+	return func(o *dialOptions) { o.tenant = tenant }
+}
+
+// WithProbeKernel selects the probe kernel of a software uni-flow
+// session (KernelHash or KernelScan). Precedence, highest first: this
+// option, then a ProbeKernel already set on the SessionConfig /
+// ShardConfig, then the server's `-probe-kernel` default (which applies
+// only to sessions that left the kernel on KernelAuto).
+func WithProbeKernel(k ProbeKernel) DialOption {
+	return func(o *dialOptions) { o.probeKernel = k }
 }
 
 // WithDialTimeout bounds each connect plus session handshake (TLS and
@@ -73,6 +94,7 @@ type serveOptions struct {
 	authToken          string
 	checkpointDir      string
 	checkpointInterval time.Duration
+	quotas             *QuotaConfig
 }
 
 func (o serveOptions) apply(opts []ServeOption) serveOptions {
@@ -104,6 +126,17 @@ func WithServeTLSFiles(certFile, keyFile string) ServeOption {
 // WithServeTLS — without TLS the token crosses the wire in the clear.
 func WithServeAuthToken(token string) ServeOption {
 	return func(o *serveOptions) { o.authToken = token }
+}
+
+// WithServeQuotas enables multi-tenant admission control: per-tenant and
+// server-wide limits on concurrent sessions, aggregate window memory, and
+// token-bucket ingest rate. Over-limit opens are rejected with a typed
+// code (ErrAdmissionDenied client-side, with a retry-after hint); running
+// sessions over their rate are throttled by withheld credits, never
+// killed. Load a config from JSON with LoadQuotaConfig, or build one
+// directly from TenantQuota values.
+func WithServeQuotas(cfg QuotaConfig) ServeOption {
+	return func(o *serveOptions) { o.quotas = &cfg }
 }
 
 // WithCheckpointDir makes the server durable: window snapshots are

@@ -1,0 +1,156 @@
+package accelstream
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// startQuotaServer serves on loopback with the given config/options and
+// registers a cleanup shutdown.
+func startQuotaServer(t *testing.T, cfg ServerConfig, opts ...ServeOption) (*Server, string) {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, srv.Addr().String()
+}
+
+// closeQuietly drains and closes a session opened only for its handshake
+// side effects.
+func closeQuietly(c *Client) {
+	go func() {
+		for range c.Results() {
+		}
+	}()
+	c.Close()
+}
+
+// TestDialOptionPrecedence pins the documented resolution order for the
+// per-session knobs that exist both as DialOptions and as SessionConfig
+// fields: explicit option > SessionConfig field > server default.
+func TestDialOptionPrecedence(t *testing.T) {
+	srv, addr := startQuotaServer(t, ServerConfig{ProbeKernel: KernelScan})
+	base := SessionConfig{Engine: EngineSoftwareUniFlow, Cores: 1, Window: 64}
+
+	// sessionBy dials, reads the session's resolved tenant and kernel off
+	// the server's metrics, and closes. A prior case's session may still be
+	// winding down server-side, so it polls for exactly one open session.
+	sessionBy := func(cfg SessionConfig, opts ...DialOption) (tenant, kernel string) {
+		t.Helper()
+		c, err := Dial(addr, cfg, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closeQuietly(c)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			open := 0
+			for _, m := range srv.Metrics() {
+				if m.Open {
+					open++
+					tenant, kernel = m.Tenant, m.Kernel
+				}
+			}
+			if open == 1 {
+				return tenant, kernel
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("server reports %d open sessions, want 1", open)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	cases := []struct {
+		name           string
+		cfg            SessionConfig
+		opts           []DialOption
+		tenant, kernel string
+	}{
+		{"server defaults", base, nil, "default", "scan"},
+		{"config fields beat server default",
+			func() SessionConfig { c := base; c.Tenant = "cfg-tenant"; c.ProbeKernel = KernelHash; return c }(),
+			nil, "cfg-tenant", "hash"},
+		{"options beat config fields",
+			func() SessionConfig { c := base; c.Tenant = "cfg-tenant"; c.ProbeKernel = KernelHash; return c }(),
+			[]DialOption{WithTenant("opt-tenant"), WithProbeKernel(KernelScan)},
+			"opt-tenant", "scan"},
+		{"options alone beat server default", base,
+			[]DialOption{WithTenant("opt-tenant"), WithProbeKernel(KernelHash)},
+			"opt-tenant", "hash"},
+	}
+	for _, tc := range cases {
+		tenant, kernel := sessionBy(tc.cfg, tc.opts...)
+		if tenant != tc.tenant || kernel != tc.kernel {
+			t.Errorf("%s: resolved (tenant=%q, kernel=%q), want (%q, %q)",
+				tc.name, tenant, kernel, tc.tenant, tc.kernel)
+		}
+	}
+}
+
+// TestServeQuotasFacade runs the two-tenant demo from the README through
+// the public API: a JSON quota file (the -quota-config format) loaded via
+// LoadQuotaConfig, WithServeQuotas on Serve, typed rejections on Dial,
+// and per-tenant accounting on Server.TenantMetrics.
+func TestServeQuotasFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "quotas.json")
+	if err := os.WriteFile(path, []byte(`{
+		"default": {"max_sessions": 1},
+		"tenants": {"gold": {"max_sessions": 2}}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	quotas, err := LoadQuotaConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startQuotaServer(t, ServerConfig{}, WithServeQuotas(quotas))
+
+	base := SessionConfig{Engine: EngineSoftwareUniFlow, Cores: 1, Window: 64}
+	gold1, err := Dial(addr, base, WithTenant("gold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeQuietly(gold1)
+	gold2, err := Dial(addr, base, WithTenant("gold"))
+	if err != nil {
+		t.Fatalf("gold's second session within its override quota: %v", err)
+	}
+	defer closeQuietly(gold2)
+	if _, err := Dial(addr, base, WithTenant("gold")); !errors.Is(err, ErrAdmissionDenied) {
+		t.Fatalf("gold's third session: got %v, want ErrAdmissionDenied", err)
+	}
+
+	bronze, err := Dial(addr, base, WithTenant("bronze"))
+	if err != nil {
+		t.Fatalf("bronze's first session under the default quota: %v", err)
+	}
+	defer closeQuietly(bronze)
+	_, err = Dial(addr, base, WithTenant("bronze"))
+	var adm *AdmissionError
+	if !errors.As(err, &adm) {
+		t.Fatalf("bronze's second session: got %v, want *AdmissionError", err)
+	}
+	if adm.RetryAfter <= 0 {
+		t.Errorf("typed rejection has no retry-after hint: %+v", adm)
+	}
+
+	tenants, _ := srv.TenantMetrics()
+	got := map[string]int{}
+	for _, tu := range tenants {
+		got[tu.Tenant] = tu.Sessions
+	}
+	if got["gold"] != 2 || got["bronze"] != 1 {
+		t.Errorf("tenant accounting %v, want gold=2 bronze=1", got)
+	}
+}

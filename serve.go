@@ -1,6 +1,7 @@
 package accelstream
 
 import (
+	"accelstream/internal/admission"
 	"accelstream/internal/server"
 	"accelstream/internal/wire"
 )
@@ -64,6 +65,36 @@ type SessionStats = wire.Stats
 // (missing or mismatched) during the Dial handshake; test with errors.Is.
 var ErrUnauthorized = server.ErrUnauthorized
 
+// ErrAdmissionDenied reports that a server's admission controller turned
+// the session away — a tenant or server-wide quota (sessions, window
+// memory, or ingest rate) was exhausted. Test with errors.Is; use
+// errors.As against *AdmissionError for the typed code and retry-after
+// hint. Unlike ErrUnauthorized, retrying after the hint can succeed.
+var ErrAdmissionDenied = server.ErrAdmissionDenied
+
+// AdmissionError is the typed admission rejection a quota-limited server
+// answers an over-limit Dial with; it wraps ErrAdmissionDenied.
+type AdmissionError = server.AdmissionError
+
+// TenantQuota bounds one tenant's (or, as QuotaConfig.Server, the whole
+// server's) resources: concurrent sessions, aggregate window memory, and
+// token-bucket ingest rate. Zero fields are unlimited.
+type TenantQuota = admission.Quota
+
+// QuotaConfig is a server's admission-control configuration: a
+// server-wide aggregate quota, a default per-tenant quota, and per-tenant
+// overrides. Pass to Serve via WithServeQuotas.
+type QuotaConfig = admission.Config
+
+// TenantUsage is one tenant's live accounting snapshot, as returned by
+// Server.TenantMetrics.
+type TenantUsage = admission.TenantUsage
+
+// LoadQuotaConfig reads a QuotaConfig from a JSON file — the format the
+// streamd/streamshard `-quota-config` flag takes; see README.md,
+// "Multi-tenant operation".
+func LoadQuotaConfig(path string) (QuotaConfig, error) { return admission.LoadConfig(path) }
+
 // Dial connects to a stream-join server (see Serve / cmd/streamd) and
 // opens a session with the given engine configuration. Options secure the
 // session (WithTLS, WithAuthToken) or tune the dial (WithDialTimeout);
@@ -72,9 +103,11 @@ var ErrUnauthorized = server.ErrUnauthorized
 func Dial(addr string, cfg SessionConfig, opts ...DialOption) (*Client, error) {
 	o := dialOptions{}.apply(opts)
 	return server.DialWith(addr, cfg, server.DialOptions{
-		TLS:       o.tls,
-		AuthToken: o.authToken,
-		Timeout:   o.timeout,
+		TLS:         o.tls,
+		AuthToken:   o.authToken,
+		Tenant:      o.tenant,
+		ProbeKernel: o.probeKernel,
+		Timeout:     o.timeout,
 	})
 }
 
@@ -92,9 +125,11 @@ type ClientPool = server.ClientPool
 func DialPool(addr string, conns int, cfg SessionConfig, opts ...DialOption) (*ClientPool, error) {
 	o := dialOptions{}.apply(opts)
 	return server.DialPool(addr, conns, cfg, server.DialOptions{
-		TLS:       o.tls,
-		AuthToken: o.authToken,
-		Timeout:   o.timeout,
+		TLS:         o.tls,
+		AuthToken:   o.authToken,
+		Tenant:      o.tenant,
+		ProbeKernel: o.probeKernel,
+		Timeout:     o.timeout,
 	})
 }
 
@@ -120,6 +155,9 @@ func Serve(addr string, cfg ServerConfig, opts ...ServeOption) (*Server, error) 
 	}
 	if o.checkpointInterval != 0 {
 		cfg.CheckpointInterval = o.checkpointInterval
+	}
+	if o.quotas != nil {
+		cfg.Quotas = *o.quotas
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -48,6 +48,12 @@ func DialSharded(cfg ShardConfig, opts ...DialOption) (*ShardRouter, error) {
 	if o.authToken != "" {
 		cfg.AuthToken = o.authToken
 	}
+	if o.tenant != "" {
+		cfg.Tenant = o.tenant
+	}
+	if o.probeKernel != KernelAuto {
+		cfg.ProbeKernel = o.probeKernel
+	}
 	if o.timeout > 0 {
 		cfg.DialTimeout = o.timeout
 	}
