@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race test-tls test-elastic test-recovery test-quota fuzz-short bench bench-probe bench-smoke probe-smoke check
+.PHONY: all build vet fmt-check test test-race test-tls test-elastic test-recovery test-quota test-autoscale fuzz-short bench bench-probe bench-smoke probe-smoke check
 
 all: build
 
@@ -70,6 +70,19 @@ test-quota:
 		./internal/admission/ ./internal/server/ ./internal/shard/ ./internal/wire/ .
 	$(GO) test -race -run 'Quota|Tenant|Admit' ./internal/admission/ ./internal/server/ ./internal/shard/
 
+# The autoscaling suite: the policy/controller unit tests (hysteresis,
+# cooldown, square-wave flap resistance, clock regressions), the router
+# and daemon closed loops (grow/shrink under live ingest, oracle-equal),
+# the redial backoff hint fix, and the admission hardening regressions
+# (tenant eviction, bucket clock, throttle teardown) — then the
+# controller and the scale paths again under the race detector.
+test-autoscale:
+	$(GO) test -run 'Autoscale|Scale|Policy|Redial|Signals|Cooldown|SquareWave|Streak|Trigger|Evict|BucketClock|ThrottledSession|QuotaTenants' -v \
+		./internal/autoscale/ ./internal/shard/ ./internal/admission/ \
+		./internal/server/ ./cmd/streamshard/ ./internal/experiments/
+	$(GO) test -race -run 'Autoscale|Tick|Scale|Evict' \
+		./internal/autoscale/ ./internal/shard/ ./internal/admission/ ./cmd/streamshard/
+
 # Short fuzzing pass over the wire-protocol decoders (10s per target),
 # seeded from the corruption-test corpus. CI-sized; run `go test -fuzz`
 # directly for longer campaigns.
@@ -82,6 +95,8 @@ fuzz-short:
 		echo "fuzzing checkpoint $$f"; \
 		$(GO) test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime 10s ./internal/checkpoint/ || exit 1; \
 	done
+	@echo "fuzzing FuzzParsePolicy"; \
+	$(GO) test -run '^FuzzParsePolicy$$' -fuzz '^FuzzParsePolicy$$' -fuzztime 10s ./internal/autoscale/
 
 # Hot-path microbenchmarks (allocations reported), then the end-to-end
 # software figure; the JSON rows land in BENCH_software.json alongside

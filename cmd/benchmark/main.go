@@ -96,7 +96,7 @@ func run() error {
 
 func isNamedExperiment(id string) bool {
 	switch id {
-	case "power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat", "shardscale", "software", "elastic", "recovery":
+	case "power", "hwsw", "landscape", "fanout", "loadlat", "llhs", "netlat", "shardscale", "software", "elastic", "recovery", "autoscale":
 		return true
 	default:
 		return false

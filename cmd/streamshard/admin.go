@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"accelstream"
+	"accelstream/internal/autoscale"
 	"accelstream/internal/checkpoint"
 	"accelstream/internal/wire"
 )
@@ -34,10 +35,17 @@ type routerEntry struct {
 type routerRegistry struct {
 	mu      sync.Mutex
 	addrs   []string
+	standby []string // autoscaler growth pool, in activation order
 	routers map[int64]routerEntry
 	nextID  int64
 	logf    func(format string, args ...any)
 	ckpt    *checkpoint.Store // nil without -checkpoint-dir
+
+	// auto is the closed-loop shard autoscaler, nil without -autoscale.
+	// throttled, when set, reports the front server's cumulative
+	// credit-withhold count so admission pressure feeds the policy.
+	auto      *autoscale.Controller
+	throttled func() uint64
 
 	// Rebalance counters of routers that already closed, so the metrics
 	// endpoint reports cumulative daemon totals rather than only the
@@ -45,6 +53,7 @@ type routerRegistry struct {
 	retired struct {
 		completed, aborted, migrated uint64
 		nanos                        uint64
+		tuplesIn                     uint64
 	}
 }
 
@@ -101,6 +110,10 @@ func (g *routerRegistry) remove(id int64) {
 	g.retired.aborted += aborted
 	g.retired.migrated += migrated
 	g.retired.nanos += uint64(total.Nanoseconds())
+	// Fold the closing session's ingest counter into the retired total so
+	// the autoscaler's aggregate tuple count never steps backwards when a
+	// session closes (a backwards delta would read as a zero-rate tick).
+	g.retired.tuplesIn += e.r.Signals().TuplesIn
 	delete(g.routers, id)
 }
 
@@ -112,6 +125,14 @@ func (g *routerRegistry) remove(id int64) {
 func (g *routerRegistry) resize(newAddrs []string) (summary []string, err error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.resizeLocked(newAddrs)
+}
+
+// resizeLocked is resize with g.mu already held, shared by the admin
+// handlers (via resize) and the autoscale actuator (which composes the
+// target list and moves addresses between the active set and the standby
+// pool under one critical section).
+func (g *routerRegistry) resizeLocked(newAddrs []string) (summary []string, err error) {
 	failed := 0
 	for id, e := range g.routers {
 		rep, rerr := e.r.Rebalance(newAddrs)
@@ -129,6 +150,22 @@ func (g *routerRegistry) resize(newAddrs []string) (summary []string, err error)
 			failed, len(g.routers), strings.Join(g.addrs, ","))
 	}
 	g.addrs = append([]string(nil), newAddrs...)
+	// An operator may manually activate an address the autoscaler was
+	// holding in standby; drop it from the pool so it is never dialed
+	// twice under two residue classes.
+	if len(g.standby) > 0 {
+		active := make(map[string]bool, len(newAddrs))
+		for _, a := range newAddrs {
+			active[a] = true
+		}
+		var kept []string
+		for _, a := range g.standby {
+			if !active[a] {
+				kept = append(kept, a)
+			}
+		}
+		g.standby = kept
+	}
 	summary = append(summary, fmt.Sprintf("shard set now: %s", strings.Join(g.addrs, ",")))
 	return summary, nil
 }
@@ -161,6 +198,7 @@ func (g *routerRegistry) registerAdmin(mux *http.ServeMux) {
 		g.handleResize(w, r, false)
 	})
 	mux.HandleFunc("/admin/snapshot", g.handleSnapshot)
+	mux.HandleFunc("/admin/autoscale", g.handleAutoscale)
 }
 
 // handleSnapshot serves POST /admin/snapshot: every live session cuts a
@@ -370,4 +408,5 @@ func (g *routerRegistry) writeMetrics(b *strings.Builder) {
 	fmt.Fprintf(b, "streamshard_rebalance_tuples_migrated_total %d\n", migrated)
 	family("streamshard_rebalance_duration_seconds", "counter", "Total wall time spent rebalancing, pause to resume.")
 	fmt.Fprintf(b, "streamshard_rebalance_duration_seconds %v\n", time.Duration(nanos).Seconds())
+	g.writeAutoscaleMetrics(b)
 }

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"accelstream/internal/autoscale"
+)
+
+// defaultDaemonPolicy is the autoscale policy -autoscale runs without
+// -autoscale-config. It is deliberately conservative for a daemon fronting
+// many sessions: the hot trigger is credit starvation (shards pinned at
+// their credit/queue limits), scale-ups need three consecutive hot
+// 1-second ticks, scale-downs ten quiet ones, and every action is followed
+// by a 10s cooldown so a resize settles before the next decision.
+func defaultDaemonPolicy() autoscale.Policy {
+	return autoscale.Policy{
+		TickMS:     1000,
+		StarveHigh: 0.9,
+		StarveLow:  0.25,
+		UpAfter:    3,
+		DownAfter:  10,
+		CooldownMS: 10000,
+	}
+}
+
+// enableAutoscale wires a closed-loop controller over the registry: the
+// live routers' aggregated signals (plus the front server's throttle
+// counter, via the throttled hook) feed the policy, and scale decisions
+// move addresses between the active set and the standby pool through the
+// same rebalance path the admin endpoint uses. Call before startAutoscale;
+// the controller does not tick until started.
+func (g *routerRegistry) enableAutoscale(pol autoscale.Policy, standby []string, throttled func() uint64) error {
+	pol = pol.WithDefaults()
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.standby = append([]string(nil), standby...)
+	pool := len(g.addrs) + len(g.standby)
+	g.mu.Unlock()
+	if pol.MinShards > pool {
+		return fmt.Errorf("autoscale min_shards %d exceeds the %d-address pool (-shards plus -standby-shards)",
+			pol.MinShards, pool)
+	}
+	g.throttled = throttled
+	auto, err := autoscale.New(pol, registrySource{g}, registryActuator{g}, autoscale.WithLogf(g.logf))
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.auto = auto
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *routerRegistry) startAutoscale() error {
+	if g.auto == nil {
+		return fmt.Errorf("autoscale not enabled")
+	}
+	return g.auto.Start()
+}
+
+// stopAutoscale halts the control loop; the in-flight tick (if any)
+// finishes first, so no rebalance is abandoned halfway.
+func (g *routerRegistry) stopAutoscale() {
+	if g.auto != nil {
+		g.auto.Stop()
+	}
+}
+
+// registrySource aggregates every live session's router signals into one
+// daemon-wide sample: per-shard credit and queue pressure summed across
+// sessions, the cumulative ingest counter (live plus retired sessions),
+// the worst per-session window occupancy, and the front server's
+// admission throttle counter.
+type registrySource struct{ g *routerRegistry }
+
+func (s registrySource) Sample() autoscale.Sample {
+	g := s.g
+	g.mu.Lock()
+	n := len(g.addrs)
+	signals := make([]autoscale.ShardSignal, n)
+	for i := range signals {
+		signals[i] = autoscale.ShardSignal{Index: i}
+	}
+	tuples := g.retired.tuplesIn
+	var occ float64
+	for _, e := range g.routers {
+		rs := e.r.Signals()
+		tuples += rs.TuplesIn
+		if rs.WindowOccupancy > occ {
+			occ = rs.WindowOccupancy
+		}
+		for _, sh := range rs.ShardSignals {
+			if sh.Index < 0 || sh.Index >= n {
+				continue
+			}
+			agg := &signals[sh.Index]
+			agg.Up = agg.Up || sh.Up
+			agg.CreditsOutstanding += sh.CreditsOutstanding
+			agg.CreditCapacity += sh.CreditCapacity
+			agg.QueueLen += sh.QueueLen
+			agg.QueueCap += sh.QueueCap
+		}
+	}
+	throttled := g.throttled
+	g.mu.Unlock()
+	smp := autoscale.Sample{
+		Shards:          n,
+		TuplesIn:        tuples,
+		WindowOccupancy: occ,
+		ShardSignals:    signals,
+	}
+	if throttled != nil {
+		smp.Throttled = throttled()
+	}
+	return smp
+}
+
+// registryActuator lands autoscale decisions on the deployment: growth
+// activates the head of the standby pool, shrink retires the tail of the
+// active set back to the front of the pool (so the next scale-up reuses
+// the most recently drained endpoints first). Both directions rebalance
+// every live session under the registry lock, exactly like the admin
+// add/remove-shard endpoints.
+type registryActuator struct{ g *routerRegistry }
+
+func (a registryActuator) Scale(target int) error {
+	g := a.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur := len(g.addrs)
+	if target == cur {
+		return nil
+	}
+	if target < 1 {
+		return fmt.Errorf("autoscale target %d below 1 shard", target)
+	}
+	if target > cur {
+		need := target - cur
+		if need > len(g.standby) {
+			return fmt.Errorf("autoscale target %d needs %d standby shards, have %d", target, need, len(g.standby))
+		}
+		activating := append([]string(nil), g.standby[:need]...)
+		newAddrs := append(append([]string(nil), g.addrs...), activating...)
+		summary, err := g.resizeLocked(newAddrs)
+		for _, line := range summary {
+			g.logf("autoscale: %s", line)
+		}
+		return err // resizeLocked already moved activating out of standby
+	}
+	retiring := append([]string(nil), g.addrs[target:]...)
+	newAddrs := append([]string(nil), g.addrs[:target]...)
+	summary, err := g.resizeLocked(newAddrs)
+	for _, line := range summary {
+		g.logf("autoscale: %s", line)
+	}
+	if err != nil {
+		return err
+	}
+	g.standby = append(retiring, g.standby...)
+	return nil
+}
+
+func (a registryActuator) Limit() int {
+	a.g.mu.Lock()
+	defer a.g.mu.Unlock()
+	return len(a.g.addrs) + len(a.g.standby)
+}
+
+// handleAutoscale serves GET /admin/autoscale: the effective policy, the
+// active and standby shard sets, and the controller's live report
+// (streaks, cooldown, recent decisions) as JSON.
+func (g *routerRegistry) handleAutoscale(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	g.mu.Lock()
+	auto := g.auto
+	resp := struct {
+		Enabled bool              `json:"enabled"`
+		Shards  []string          `json:"shards"`
+		Standby []string          `json:"standby,omitempty"`
+		Policy  *autoscale.Policy `json:"policy,omitempty"`
+		Report  *autoscale.Report `json:"report,omitempty"`
+	}{
+		Enabled: auto != nil,
+		Shards:  append([]string(nil), g.addrs...),
+		Standby: append([]string(nil), g.standby...),
+	}
+	g.mu.Unlock()
+	if auto != nil {
+		pol := auto.Policy()
+		rep := auto.Report()
+		resp.Policy = &pol
+		resp.Report = &rep
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// writeAutoscaleMetrics appends the autoscaler's families to the daemon
+// metrics. Always emitted (enabled=0 with a zero report when -autoscale is
+// off) so dashboards need no conditional scrape config.
+func (g *routerRegistry) writeAutoscaleMetrics(b *strings.Builder) {
+	g.mu.Lock()
+	auto := g.auto
+	standby := len(g.standby)
+	g.mu.Unlock()
+	var rep autoscale.Report
+	if auto != nil {
+		rep = auto.Report()
+	}
+	family := func(name, kind, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+	}
+	enabled := 0
+	if auto != nil {
+		enabled = 1
+	}
+	family("streamshard_autoscale_enabled", "gauge", "Whether the closed-loop shard autoscaler is running.")
+	fmt.Fprintf(b, "streamshard_autoscale_enabled %d\n", enabled)
+	family("streamshard_standby_shards", "gauge", "Shard endpoints held in the autoscaler's standby pool.")
+	fmt.Fprintf(b, "streamshard_standby_shards %d\n", standby)
+	family("streamshard_autoscale_ticks_total", "counter", "Autoscale policy evaluations.")
+	fmt.Fprintf(b, "streamshard_autoscale_ticks_total %d\n", rep.Ticks)
+	family("streamshard_autoscale_scale_ups_total", "counter", "Completed autoscale grow actions.")
+	fmt.Fprintf(b, "streamshard_autoscale_scale_ups_total %d\n", rep.ScaleUps)
+	family("streamshard_autoscale_scale_downs_total", "counter", "Completed autoscale shrink actions.")
+	fmt.Fprintf(b, "streamshard_autoscale_scale_downs_total %d\n", rep.ScaleDowns)
+	family("streamshard_autoscale_holds_total", "counter", "Autoscale ticks that held the current shard count.")
+	fmt.Fprintf(b, "streamshard_autoscale_holds_total %d\n", rep.Holds)
+	family("streamshard_autoscale_errors_total", "counter", "Autoscale actions that failed at the rebalance layer.")
+	fmt.Fprintf(b, "streamshard_autoscale_errors_total %d\n", rep.Errors)
+	family("streamshard_autoscale_cooldown_active", "gauge", "Whether the autoscaler is in its post-action cooldown.")
+	cooling := 0
+	if !rep.CooldownUntil.IsZero() {
+		cooling = 1
+	}
+	fmt.Fprintf(b, "streamshard_autoscale_cooldown_active %d\n", cooling)
+	family("streamshard_autoscale_target", "gauge", "Shard count of the autoscaler's last landed deployment.")
+	fmt.Fprintf(b, "streamshard_autoscale_target %d\n", rep.Shards)
+	family("streamshard_autoscale_last_decision_timestamp_seconds", "gauge", "Unix time of the last scale action (0: none yet).")
+	var lastTS int64
+	if !rep.Last.At.IsZero() && rep.Last.Action != autoscale.ActionHold {
+		lastTS = rep.Last.At.Unix()
+	}
+	fmt.Fprintf(b, "streamshard_autoscale_last_decision_timestamp_seconds %d\n", lastTS)
+	family("streamshard_autoscale_triggers_total", "counter", "Scale actions by the signal that tripped them.")
+	triggers := make([]string, 0, len(rep.Triggers))
+	for name := range rep.Triggers {
+		triggers = append(triggers, name)
+	}
+	sort.Strings(triggers)
+	for _, name := range triggers {
+		fmt.Fprintf(b, "streamshard_autoscale_triggers_total{trigger=%q} %d\n", name, rep.Triggers[name])
+	}
+}

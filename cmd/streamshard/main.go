@@ -28,6 +28,18 @@
 //	curl -X POST 'http://localhost:9100/admin/remove-shard?addr=localhost:7802'
 //	curl http://localhost:9100/admin/shards
 //
+// With -autoscale the same resize plane runs closed-loop: the daemon
+// samples its live signals (per-shard ingest rate, credit starvation,
+// admission throttling, window occupancy) every tick and grows into the
+// -standby-shards pool or shrinks back with hysteresis and a post-action
+// cooldown. Tune thresholds with -autoscale-config (JSON policy) and
+// inspect the loop live:
+//
+//	streamshard -addr :7800 -shards localhost:7801 \
+//	  -standby-shards localhost:7802,localhost:7803 \
+//	  -autoscale -metrics :9100
+//	curl http://localhost:9100/admin/autoscale
+//
 // With -checkpoint-dir the whole deployment is durable: each session cuts
 // coordinated all-shard snapshots of its global window (automatically
 // every -checkpoint-interval, on demand via POST /admin/snapshot, and
@@ -118,6 +130,9 @@ func (e *routerEngine) ImportState(tuples []accelstream.Input) error {
 func run() error {
 	addr := flag.String("addr", ":7800", "listen address")
 	shards := flag.String("shards", "", "comma-separated backing streamd addresses (required; order fixes residue classes)")
+	standbyShards := flag.String("standby-shards", "", "comma-separated standby streamd addresses the autoscaler may grow into, in activation order")
+	autoscaleOn := flag.Bool("autoscale", false, "closed-loop shard autoscaling over -shards plus -standby-shards (conservative default policy; tune with -autoscale-config)")
+	autoscaleConfig := flag.String("autoscale-config", "", "autoscale policy from this JSON file (implies -autoscale; see README, \"Autoscaling\")")
 	credits := flag.Int("credits", 8, "per-session batch-credit window")
 	maxBatch := flag.Int("maxbatch", 8192, "maximum tuples per batch frame")
 	idle := flag.Duration("idle", 2*time.Minute, "idle session timeout (negative disables)")
@@ -164,6 +179,15 @@ func run() error {
 	}
 	if *shards == "" || len(addrs) == 0 {
 		return fmt.Errorf("-shards is required (comma-separated streamd addresses)")
+	}
+	var standby []string
+	for _, a := range strings.Split(*standbyShards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			standby = append(standby, a)
+		}
+	}
+	if *autoscaleConfig != "" {
+		*autoscaleOn = true
 	}
 
 	defaultKernel, err := accelstream.ParseProbeKernel(*probeKernel)
@@ -283,6 +307,35 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *autoscaleOn {
+		pol := defaultDaemonPolicy()
+		if *autoscaleConfig != "" {
+			pol, err = accelstream.LoadAutoscalePolicy(*autoscaleConfig)
+			if err != nil {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				srv.Shutdown(ctx)
+				return err
+			}
+		}
+		err = reg.enableAutoscale(pol, standby, func() uint64 {
+			_, throttled := srv.TenantMetrics()
+			return throttled
+		})
+		if err == nil {
+			err = reg.startAutoscale()
+		}
+		if err != nil {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			srv.Shutdown(ctx)
+			return err
+		}
+		logger.Printf("autoscale enabled: %d active + %d standby shards, tick %v, cooldown %v",
+			len(addrs), len(standby), pol.WithDefaults().Tick(), pol.WithDefaults().Cooldown())
+	} else if len(standby) > 0 {
+		logger.Printf("warning: -standby-shards without -autoscale; the standby pool is unused")
+	}
 	mode := "plaintext"
 	if *tlsCert != "" {
 		mode = "TLS"
@@ -318,6 +371,9 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	got := <-sig
 	logger.Printf("received %v, draining sessions (budget %v)", got, *drain)
+	// Stop the autoscaler before draining: an in-flight tick finishes its
+	// rebalance, and no new resize starts under the shutdown.
+	reg.stopAutoscale()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -72,6 +72,7 @@ var experimentRunners = map[string]func(experiments.Options) ([]ExperimentResult
 	"netlat":     figureRunner(experiments.NetLatency),
 	"shardscale": figureRunner(experiments.ShardScale),
 	"elastic":    figureRunner(experiments.Elastic),
+	"autoscale":  figureRunner(experiments.Autoscale),
 	"recovery":   figureRunner(experiments.Recovery),
 	"fig6": func(experiments.Options) ([]ExperimentResult, error) {
 		text, err := experiments.Fig6Table()

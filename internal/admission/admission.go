@@ -45,6 +45,16 @@ const DefaultTenant = "default"
 // frees whenever some session closes).
 const DefaultRetryAfter = time.Second
 
+// DefaultMaxTenants caps distinct live tenant entries when
+// Config.MaxTenants is 0. Tenant identities are client-supplied, each
+// entry costs heap and a /metrics label series, so "no configured cap"
+// must still not mean "unbounded".
+const DefaultMaxTenants = 4096
+
+// DefaultEvictAfter is the idle period after which a zero-usage tenant
+// entry is dropped when Config.EvictAfterMS is 0.
+const DefaultEvictAfter = 5 * time.Minute
+
 // Quota bounds one tenant's — or, as Config.Server, the whole server's —
 // resource usage. Zero values mean unlimited, so the zero Quota admits
 // everything.
@@ -85,6 +95,38 @@ type Config struct {
 	Default Quota `json:"default,omitempty"`
 	// Tenants maps tenant identities to their quotas.
 	Tenants map[string]Quota `json:"tenants,omitempty"`
+	// MaxTenants caps distinct live tenant entries (idle ones are swept
+	// first; a genuinely full table rejects new tenants with
+	// RejectQuotaTenants). 0 = DefaultMaxTenants; negative = unlimited.
+	MaxTenants int `json:"max_tenants,omitempty"`
+	// EvictAfterMS is how long a zero-usage tenant entry (no sessions, no
+	// window memory, bucket solvent) may sit idle before eviction.
+	// 0 = DefaultEvictAfter; negative = never evict.
+	EvictAfterMS int64 `json:"evict_after_ms,omitempty"`
+}
+
+// maxTenants resolves the live-tenant cap (0 when unlimited).
+func (c Config) maxTenants() int {
+	switch {
+	case c.MaxTenants > 0:
+		return c.MaxTenants
+	case c.MaxTenants < 0:
+		return 0
+	default:
+		return DefaultMaxTenants
+	}
+}
+
+// evictAfter resolves the idle-eviction period (0 when eviction is off).
+func (c Config) evictAfter() time.Duration {
+	switch {
+	case c.EvictAfterMS > 0:
+		return time.Duration(c.EvictAfterMS) * time.Millisecond
+	case c.EvictAfterMS < 0:
+		return 0
+	default:
+		return DefaultEvictAfter
+	}
 }
 
 // Enabled reports whether any limit is configured at all; a disabled
@@ -181,17 +223,22 @@ func newBucket(rate, depth float64, now time.Time) bucket {
 	return bucket{rate: rate, depth: depth, tokens: depth, last: now}
 }
 
-// refill advances the bucket to now.
+// refill advances the bucket to now. Time only moves forward here: when
+// the wall clock steps backwards (NTP correction, VM resume), now is
+// behind b.last and the bucket simply stays put — rewinding b.last would
+// make the next refill count the stepped-over interval twice and mint
+// free tokens.
 func (b *bucket) refill(now time.Time) {
 	if b.rate <= 0 {
 		return
 	}
 	dt := now.Sub(b.last).Seconds()
-	if dt > 0 {
-		b.tokens += dt * b.rate
-		if b.tokens > b.depth {
-			b.tokens = b.depth
-		}
+	if dt <= 0 {
+		return
+	}
+	b.tokens += dt * b.rate
+	if b.tokens > b.depth {
+		b.tokens = b.depth
 	}
 	b.last = now
 }
@@ -223,6 +270,18 @@ type tenantState struct {
 	bucket      bucket
 	throttled   uint64 // cumulative throttle events (delayed credits)
 	admitted    uint64 // cumulative admitted sessions
+	lastActive  time.Time
+}
+
+// idle reports whether the entry holds no live resources: no sessions, no
+// window memory, and a solvent bucket (an indebted tenant keeps its entry
+// so the debt outlives its sessions — evicting it would forgive the debt).
+func (ts *tenantState) idle(now time.Time) bool {
+	if ts.sessions != 0 || ts.windowBytes != 0 {
+		return false
+	}
+	ts.bucket.refill(now)
+	return ts.bucket.debt() == 0
 }
 
 // Controller enforces a Config. All methods are safe for concurrent use.
@@ -236,6 +295,8 @@ type Controller struct {
 	windowBytes int64
 	srvBucket   bucket
 	throttled   uint64
+	evicted     uint64
+	lastSweep   time.Time
 
 	now func() time.Time // injectable clock for tests
 }
@@ -244,20 +305,46 @@ type Controller struct {
 // controller that admits everything but still accounts per-tenant usage.
 func NewController(cfg Config) *Controller {
 	c := &Controller{cfg: cfg, tenants: make(map[string]*tenantState), now: time.Now}
-	c.srvBucket = newBucket(cfg.Server.RatePerSec, cfg.Server.burst(), c.now())
+	now := c.now()
+	c.srvBucket = newBucket(cfg.Server.RatePerSec, cfg.Server.burst(), now)
+	c.lastSweep = now
 	return c
 }
 
 // state returns (creating if needed) the accounting entry for a tenant.
-// Callers hold c.mu.
-func (c *Controller) state(tenant string) *tenantState {
+// Callers hold c.mu and have already enforced the live-tenant cap for new
+// entries (Admit does both).
+func (c *Controller) state(tenant string, now time.Time) *tenantState {
 	ts, ok := c.tenants[tenant]
 	if !ok {
 		q := c.cfg.quotaFor(tenant)
-		ts = &tenantState{quota: q, bucket: newBucket(q.RatePerSec, q.burst(), c.now())}
+		ts = &tenantState{quota: q, bucket: newBucket(q.RatePerSec, q.burst(), now), lastActive: now}
 		c.tenants[tenant] = ts
 	}
 	return ts
+}
+
+// sweepLocked drops tenant entries that hold no live resources and have
+// been idle past the eviction period. Callers hold c.mu.
+func (c *Controller) sweepLocked(now time.Time) {
+	ttl := c.cfg.evictAfter()
+	if ttl <= 0 {
+		return
+	}
+	c.lastSweep = now
+	for name, ts := range c.tenants {
+		if ts.idle(now) && now.Sub(ts.lastActive) >= ttl {
+			delete(c.tenants, name)
+			c.evicted++
+		}
+	}
+}
+
+// Evicted returns the cumulative count of evicted idle tenant entries.
+func (c *Controller) Evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }
 
 // Admit gates one session open: tenant is the derived tenant identity and
@@ -267,7 +354,26 @@ func (c *Controller) state(tenant string) *tenantState {
 func (c *Controller) Admit(tenant string, windowBytes int64) (*Lease, *Reject) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ts := c.state(tenant)
+	now := c.now()
+
+	// Tenant identities are client-supplied: before creating an entry for
+	// a new one, sweep idle entries (periodically, and always under cap
+	// pressure) and enforce the live-tenant cap, so an unauthenticated
+	// client churning tenant strings cannot grow the table or the metric
+	// cardinality without bound.
+	if _, ok := c.tenants[tenant]; !ok {
+		if ttl := c.cfg.evictAfter(); ttl > 0 && now.Sub(c.lastSweep) >= ttl {
+			c.sweepLocked(now)
+		}
+		if max := c.cfg.maxTenants(); max > 0 && len(c.tenants) >= max {
+			c.sweepLocked(now)
+			if len(c.tenants) >= max {
+				return nil, &Reject{Code: wire.RejectQuotaTenants, RetryAfter: DefaultRetryAfter, Scope: "server"}
+			}
+		}
+	}
+	ts := c.state(tenant, now)
+	ts.lastActive = now
 
 	if q := ts.quota; q.MaxSessions > 0 && ts.sessions >= q.MaxSessions {
 		return nil, &Reject{Code: wire.RejectQuotaSessions, RetryAfter: DefaultRetryAfter, Scope: "tenant"}
@@ -283,7 +389,6 @@ func (c *Controller) Admit(tenant string, windowBytes int64) (*Lease, *Reject) {
 	}
 	// A tenant already in rate debt cannot usefully ingest: reject the
 	// open with the time until its bucket is solvent again.
-	now := c.now()
 	ts.bucket.refill(now)
 	if d := ts.bucket.debt(); d > 0 {
 		return nil, &Reject{Code: wire.RejectRateLimited, RetryAfter: d, Scope: "tenant"}
@@ -327,6 +432,7 @@ func (l *Lease) Release() {
 	defer l.c.mu.Unlock()
 	l.ts.sessions--
 	l.ts.windowBytes -= l.windowBytes
+	l.ts.lastActive = l.c.now()
 	l.c.sessions--
 	l.c.windowBytes -= l.windowBytes
 }
@@ -340,6 +446,7 @@ func (l *Lease) Throttle(n int) time.Duration {
 	l.c.mu.Lock()
 	defer l.c.mu.Unlock()
 	now := l.c.now()
+	l.ts.lastActive = now
 	d := l.ts.bucket.charge(float64(n), now)
 	if sd := l.c.srvBucket.charge(float64(n), now); sd > d {
 		d = sd

@@ -1,6 +1,7 @@
 package admission
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -313,5 +314,172 @@ func TestSnapshot(t *testing.T) {
 	tenants, _ = c.Snapshot()
 	if tenants[1].Sessions != 0 || tenants[1].WindowBytes != 0 || tenants[1].Admitted != 1 {
 		t.Fatalf("beta usage after release: %+v", tenants[1])
+	}
+}
+
+// TestBucketClockRegression pins the refill clamp: a wall-clock step
+// backwards (NTP correction, VM resume) must not rewind the bucket's
+// refill anchor — the buggy behavior re-counted the stepped-over interval
+// on the way forward and minted free tokens, silently forgiving rate
+// debt.
+func TestBucketClockRegression(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{Default: Quota{RatePerSec: 100, Burst: 100}})
+	c.now = clk.now
+	l, rej := c.Admit("acme", 0)
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	// Overdraw by 500 tokens at 100/s: 5 seconds of debt.
+	if d := l.Throttle(600); math.Abs(d.Seconds()-5.0) > 1e-9 {
+		t.Fatalf("initial debt %v, want 5s", d)
+	}
+	// The clock steps back 10s. The debt must not move.
+	clk.advance(-10 * time.Second)
+	if d := l.Throttle(0); math.Abs(d.Seconds()-5.0) > 1e-9 {
+		t.Fatalf("debt after backwards step %v, want 5s", d)
+	}
+	// The clock returns to where it was. With the bug, refill counted the
+	// 10 re-traversed seconds as elapsed time and minted 1000 tokens,
+	// clearing the debt; fixed, no time has passed and the debt stands.
+	clk.advance(10 * time.Second)
+	if d := l.Throttle(0); math.Abs(d.Seconds()-5.0) > 1e-9 {
+		t.Fatalf("debt after clock recovery %v, want 5s (free tokens minted)", d)
+	}
+	// Genuine forward progress still pays the debt down.
+	clk.advance(2 * time.Second)
+	if d := l.Throttle(0); math.Abs(d.Seconds()-3.0) > 1e-9 {
+		t.Fatalf("debt after 2s %v, want 3s", d)
+	}
+}
+
+// TestTenantEvictionBoundsState is the unbounded-growth regression test:
+// 10k one-shot tenants (each opens one session and goes away) must not
+// grow the live-tenant table or the metric label set past the cap —
+// idle entries are swept as they age out, and every open is still
+// admitted.
+func TestTenantEvictionBoundsState(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{
+		Default:      Quota{RatePerSec: 1000},
+		MaxTenants:   100,
+		EvictAfterMS: 1000,
+	})
+	c.now = clk.now
+	const churn = 10_000
+	for i := 0; i < churn; i++ {
+		clk.advance(10 * time.Millisecond)
+		l, rej := c.Admit(fmt.Sprintf("oneshot-%d", i), 1024)
+		if rej != nil {
+			t.Fatalf("one-shot tenant %d rejected: %v", i, rej)
+		}
+		l.Release()
+	}
+	tenants, _ := c.Snapshot()
+	if len(tenants) > 101 {
+		t.Fatalf("live tenant table grew to %d entries (cap 100)", len(tenants))
+	}
+	if ev := c.Evicted(); ev < churn-200 {
+		t.Fatalf("evicted only %d of ~%d idle tenants", ev, churn)
+	}
+
+	// With the table full of not-yet-expired entries and the clock frozen,
+	// brand-new tenant identities are rejected with the typed code instead
+	// of growing the table.
+	for i := 0; i < 200; i++ {
+		_, rej := c.Admit(fmt.Sprintf("flood-%d", i), 1024)
+		if rej == nil {
+			t.Fatalf("flood tenant %d admitted past the cap", i)
+		}
+		if rej.Code != wire.RejectQuotaTenants {
+			t.Fatalf("flood reject code %v, want quota_tenants", rej.Code)
+		}
+		if rej.RetryAfter <= 0 {
+			t.Fatal("tenant-cap rejection carries no retry-after hint")
+		}
+	}
+	if tenants, _ := c.Snapshot(); len(tenants) > 101 {
+		t.Fatalf("rejected floods still grew the table to %d", len(tenants))
+	}
+
+	// Known tenants keep admitting even while the table is full.
+	if _, rej := c.Admit(tenants[len(tenants)-1].Tenant, 1024); rej != nil {
+		t.Fatalf("existing tenant rejected while table full: %v", rej)
+	}
+}
+
+// TestEvictionSparesIndebtedTenant: eviction must not forgive rate debt —
+// a zero-session tenant whose bucket is insolvent keeps its entry (and
+// its debt) until the debt clears, even under cap pressure.
+func TestEvictionSparesIndebtedTenant(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{
+		Default:      Quota{RatePerSec: 100, Burst: 10},
+		MaxTenants:   1,
+		EvictAfterMS: 100,
+	})
+	c.now = clk.now
+	l, rej := c.Admit("debtor", 0)
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	l.Throttle(1010) // (1010-10)/100 = 10 seconds of debt
+	l.Release()
+
+	// Well past the idle period, but the debt is still outstanding: the
+	// entry survives, so the 1-entry cap rejects a new tenant...
+	clk.advance(time.Second)
+	if _, rej := c.Admit("other", 0); rej == nil || rej.Code != wire.RejectQuotaTenants {
+		t.Fatalf("indebted tenant evicted under pressure: %v", rej)
+	}
+	// ...and the debtor itself still carries the debt on re-open.
+	if _, rej := c.Admit("debtor", 0); rej == nil || rej.Code != wire.RejectRateLimited {
+		t.Fatalf("debt forgiven: %v", rej)
+	}
+
+	// Once the debt elapses the entry is idle, evictable, and the slot
+	// frees for the new tenant.
+	clk.advance(10 * time.Second)
+	if _, rej := c.Admit("other", 0); rej != nil {
+		t.Fatalf("post-debt admit rejected: %v", rej)
+	}
+	if c.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", c.Evicted())
+	}
+}
+
+// TestEvictionDisabled: a negative EvictAfterMS turns sweeping off, and a
+// negative MaxTenants removes the cap (the pre-fix behavior, now opt-in).
+func TestEvictionDisabled(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{MaxTenants: -1, EvictAfterMS: -1})
+	c.now = clk.now
+	for i := 0; i < 500; i++ {
+		clk.advance(time.Minute)
+		l, rej := c.Admit(fmt.Sprintf("t-%d", i), 0)
+		if rej != nil {
+			t.Fatalf("unlimited config rejected tenant %d: %v", i, rej)
+		}
+		l.Release()
+	}
+	if tenants, _ := c.Snapshot(); len(tenants) != 500 {
+		t.Fatalf("unlimited config evicted: %d entries", len(tenants))
+	}
+	if c.Evicted() != 0 {
+		t.Fatalf("evicted = %d with eviction disabled", c.Evicted())
+	}
+}
+
+// TestRejectQuotaTenantsWire: the new reject code round-trips the wire
+// enum contract (valid, labeled, distinct).
+func TestRejectQuotaTenantsWire(t *testing.T) {
+	if !wire.RejectQuotaTenants.Valid() {
+		t.Fatal("RejectQuotaTenants not Valid()")
+	}
+	if got := wire.RejectQuotaTenants.String(); got != "quota_tenants" {
+		t.Fatalf("String() = %q", got)
+	}
+	if wire.RejectQuotaTenants == wire.RejectRateLimited {
+		t.Fatal("code collision")
 	}
 }

@@ -1,0 +1,731 @@
+// Package autoscale is the closed-loop control plane over the shard
+// deployment: it samples the router's live signals (per-shard ingest
+// rate, credit starvation, window occupancy, admission throttling) into a
+// sliding evaluation window, applies a hysteresis policy, and drives the
+// rebalance actuator to add or remove shards. The paper's distributed
+// deployment (Figs. 10-12) is sized to the offered load by hand; this
+// package is the piece that sizes it continuously, the way Diba-style
+// re-configurable stream processors argue a stream system should re-shape
+// itself to the workload instead of being provisioned for its peak.
+//
+// The loop is deliberately conservative — every mechanism it drives
+// (ShardRouter.Rebalance, the streamshard add/remove-shard plane) pauses
+// the stream for the transition, so a wrong decision costs real latency:
+//
+//   - Scale-up fires only when some hot signal has held above its
+//     high-water mark for UpAfter consecutive ticks.
+//   - Scale-down fires only when every signal has sat below its low-water
+//     mark for DownAfter consecutive ticks (typically longer: growing is
+//     urgent, shrinking is housekeeping).
+//   - Each action is one step (N -> N±1), clamped to [MinShards,
+//     MaxShards], and followed by a cooldown during which nothing is
+//     judged — one resize settles before the next is considered. Together
+//     the streak requirements and the cooldown bound the decision rate to
+//     at most one action per cooldown window, so a load square-wave
+//     faster than the streaks cannot make the deployment flap.
+//
+// The package knows nothing about shards concretely: a Source supplies
+// cumulative counters and per-shard backpressure signals, an Actuator
+// executes "run at N shards". internal/shard and cmd/streamshard provide
+// both; tests provide fakes and an injectable clock.
+package autoscale
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Defaults for the zero Policy fields.
+const (
+	DefaultTickMS      = 1000
+	DefaultWindowTicks = 4
+	DefaultUpAfter     = 3
+	DefaultDownAfter   = 6
+	DefaultMinShards   = 1
+	defaultRecentKeep  = 32 // decision-history depth kept for the report
+)
+
+// Policy is the hysteresis rule set. Durations are carried as explicit
+// milliseconds so a Policy round-trips through operator JSON (see
+// ParsePolicy) without custom marshaling. The zero value of every
+// threshold disables its trigger; a Policy must enable at least one.
+type Policy struct {
+	// TickMS is the sampling cadence in milliseconds. Default 1000.
+	TickMS int64 `json:"tick_ms,omitempty"`
+	// WindowTicks is the breadth of the sliding evaluation window, in
+	// samples: rates are measured oldest-to-newest across it, so a larger
+	// window smooths burstier workloads. Default 4, minimum 2.
+	WindowTicks int `json:"window_ticks,omitempty"`
+
+	// HighWaterTPS marks a deployment hot when the per-shard ingest rate
+	// (total tuples/sec divided by the shard count) sustains at or above
+	// it. 0 disables the ingest trigger.
+	HighWaterTPS float64 `json:"high_water_tps,omitempty"`
+	// LowWaterTPS is the ingest rate under which a shard counts as cold.
+	// 0 with HighWaterTPS set defaults to HighWaterTPS/4. Keep it below
+	// HighWaterTPS*(N-1)/N or a shrink immediately re-triggers a grow.
+	LowWaterTPS float64 `json:"low_water_tps,omitempty"`
+
+	// StarveHigh marks the deployment hot when any shard's credit
+	// starvation — the fraction of its batch credits held server-side, or
+	// of its send queue occupied, whichever is worse — sustains at or
+	// above it. In (0, 1]; 0 disables the starvation trigger.
+	StarveHigh float64 `json:"starve_high,omitempty"`
+	// StarveLow is the starvation fraction under which every shard must
+	// sit for the deployment to count as cold. 0 with StarveHigh set
+	// defaults to StarveHigh/2.
+	StarveLow float64 `json:"starve_low,omitempty"`
+
+	// ThrottleHotPerSec marks the deployment hot when admission-layer
+	// throttle events (credits withheld by rate shaping) sustain at or
+	// above this rate. Note that throttling enforces a *quota*: scaling
+	// out does not raise the tenant's budget, so only enable this trigger
+	// when the server-wide shaping rate tracks real capacity. 0 disables.
+	ThrottleHotPerSec float64 `json:"throttle_hot_per_sec,omitempty"`
+
+	// OccupancyHigh marks the deployment hot when the source's
+	// window-memory occupancy (0..1) sustains at or above it. 0 disables.
+	OccupancyHigh float64 `json:"occupancy_high,omitempty"`
+
+	// UpAfter is how many consecutive hot ticks arm a scale-up. Default 3.
+	UpAfter int `json:"up_after,omitempty"`
+	// DownAfter is how many consecutive cold ticks arm a scale-down.
+	// Default 6.
+	DownAfter int `json:"down_after,omitempty"`
+
+	// MinShards / MaxShards bound the deployment size. MinShards defaults
+	// to 1; MaxShards 0 means "the actuator's whole address pool".
+	MinShards int `json:"min_shards,omitempty"`
+	MaxShards int `json:"max_shards,omitempty"`
+
+	// CooldownMS suppresses evaluation for this long after every action
+	// (including a failed one, so a broken actuator is not hot-looped).
+	// Default 5 ticks.
+	CooldownMS int64 `json:"cooldown_ms,omitempty"`
+}
+
+// WithDefaults returns the policy with zero fields replaced by defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.TickMS == 0 {
+		p.TickMS = DefaultTickMS
+	}
+	if p.WindowTicks == 0 {
+		p.WindowTicks = DefaultWindowTicks
+	}
+	if p.UpAfter == 0 {
+		p.UpAfter = DefaultUpAfter
+	}
+	if p.DownAfter == 0 {
+		p.DownAfter = DefaultDownAfter
+	}
+	if p.MinShards == 0 {
+		p.MinShards = DefaultMinShards
+	}
+	if p.CooldownMS == 0 {
+		p.CooldownMS = 5 * p.TickMS
+	}
+	if p.HighWaterTPS > 0 && p.LowWaterTPS == 0 {
+		p.LowWaterTPS = p.HighWaterTPS / 4
+	}
+	if p.StarveHigh > 0 && p.StarveLow == 0 {
+		p.StarveLow = p.StarveHigh / 2
+	}
+	return p
+}
+
+// Validate checks a defaulted policy. Call WithDefaults first (New does).
+func (p Policy) Validate() error {
+	if p.TickMS <= 0 {
+		return fmt.Errorf("autoscale: tick_ms must be positive, got %d", p.TickMS)
+	}
+	if p.WindowTicks < 2 {
+		return fmt.Errorf("autoscale: window_ticks must be at least 2 (rates need two samples), got %d", p.WindowTicks)
+	}
+	if p.HighWaterTPS < 0 || p.LowWaterTPS < 0 || p.ThrottleHotPerSec < 0 {
+		return fmt.Errorf("autoscale: rate thresholds must be non-negative")
+	}
+	if p.HighWaterTPS > 0 && p.LowWaterTPS >= p.HighWaterTPS {
+		return fmt.Errorf("autoscale: low_water_tps %g must stay below high_water_tps %g (the hysteresis band)",
+			p.LowWaterTPS, p.HighWaterTPS)
+	}
+	if p.StarveHigh < 0 || p.StarveHigh > 1 || p.StarveLow < 0 {
+		return fmt.Errorf("autoscale: starvation thresholds must be fractions in [0, 1]")
+	}
+	if p.StarveHigh > 0 && p.StarveLow >= p.StarveHigh {
+		return fmt.Errorf("autoscale: starve_low %g must stay below starve_high %g", p.StarveLow, p.StarveHigh)
+	}
+	if p.OccupancyHigh < 0 || p.OccupancyHigh > 1 {
+		return fmt.Errorf("autoscale: occupancy_high must be a fraction in [0, 1], got %g", p.OccupancyHigh)
+	}
+	if p.HighWaterTPS == 0 && p.StarveHigh == 0 && p.ThrottleHotPerSec == 0 && p.OccupancyHigh == 0 {
+		return fmt.Errorf("autoscale: policy enables no hot trigger (set high_water_tps, starve_high, throttle_hot_per_sec, or occupancy_high)")
+	}
+	if p.UpAfter < 1 || p.DownAfter < 1 {
+		return fmt.Errorf("autoscale: up_after and down_after must be at least 1")
+	}
+	if p.MinShards < 1 {
+		return fmt.Errorf("autoscale: min_shards must be at least 1, got %d", p.MinShards)
+	}
+	if p.MaxShards != 0 && p.MaxShards < p.MinShards {
+		return fmt.Errorf("autoscale: max_shards %d below min_shards %d", p.MaxShards, p.MinShards)
+	}
+	if p.CooldownMS < 0 {
+		return fmt.Errorf("autoscale: cooldown_ms must be non-negative, got %d", p.CooldownMS)
+	}
+	return nil
+}
+
+// Tick returns the sampling cadence as a duration.
+func (p Policy) Tick() time.Duration { return time.Duration(p.TickMS) * time.Millisecond }
+
+// Cooldown returns the post-action settle time as a duration.
+func (p Policy) Cooldown() time.Duration { return time.Duration(p.CooldownMS) * time.Millisecond }
+
+// ParsePolicy reads a Policy from operator JSON, e.g.
+//
+//	{
+//	  "tick_ms": 1000, "cooldown_ms": 10000,
+//	  "high_water_tps": 50000, "low_water_tps": 10000,
+//	  "starve_high": 0.9, "starve_low": 0.25,
+//	  "up_after": 3, "down_after": 10,
+//	  "min_shards": 1, "max_shards": 8
+//	}
+//
+// Unknown fields are rejected (a typoed threshold silently disabling a
+// trigger is worse than a parse error), defaults are applied, and the
+// result is validated.
+func ParsePolicy(data []byte) (Policy, error) {
+	var p Policy
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Policy{}, fmt.Errorf("autoscale: parsing policy: %w", err)
+	}
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}
+
+// LoadPolicy reads and validates a Policy from a JSON file.
+func LoadPolicy(path string) (Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Policy{}, fmt.Errorf("autoscale: reading policy: %w", err)
+	}
+	p, err := ParsePolicy(data)
+	if err != nil {
+		return Policy{}, fmt.Errorf("autoscale: policy %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// ShardSignal is one shard's point-in-time backpressure signals.
+type ShardSignal struct {
+	// Index is the shard's position (its residue class).
+	Index int
+	// Up reports whether the shard has a live session.
+	Up bool
+	// CreditsOutstanding / CreditCapacity: batch credits the shard's
+	// session holds server-side, out of its credit window. A shard whose
+	// credits sit at capacity is fully backpressured.
+	CreditsOutstanding int
+	CreditCapacity     int
+	// QueueLen / QueueCap: the router-side pending-batch queue.
+	QueueLen int
+	QueueCap int
+}
+
+// starvation is the worse of the shard's two backpressure fractions.
+func (s ShardSignal) starvation() float64 {
+	var f float64
+	if s.CreditCapacity > 0 {
+		f = float64(s.CreditsOutstanding) / float64(s.CreditCapacity)
+	}
+	if s.QueueCap > 0 {
+		if q := float64(s.QueueLen) / float64(s.QueueCap); q > f {
+			f = q
+		}
+	}
+	return f
+}
+
+// Sample is one observation of the deployment. Counters are cumulative;
+// the controller differences them across its sliding window to get rates.
+type Sample struct {
+	// At is stamped by the controller with its own clock.
+	At time.Time
+	// Shards is the current deployment size.
+	Shards int
+	// TuplesIn is the cumulative ingested tuple count.
+	TuplesIn uint64
+	// Throttled is the cumulative admission-layer throttle-event count
+	// (credits withheld by rate shaping); 0 when the source has no
+	// admission view.
+	Throttled uint64
+	// WindowOccupancy is the window-memory occupancy fraction in [0, 1];
+	// 0 when the source cannot measure it.
+	WindowOccupancy float64
+	// ShardSignals carries the per-shard backpressure signals.
+	ShardSignals []ShardSignal
+}
+
+// Source supplies samples. Sample is called once per tick, from the
+// control loop's goroutine.
+type Source interface {
+	Sample() Sample
+}
+
+// Actuator executes scaling decisions.
+type Actuator interface {
+	// Scale transitions the deployment to target shards. It may take as
+	// long as a rebalance pause; the controller times it.
+	Scale(target int) error
+	// Limit is the largest shard count the actuator can reach (its
+	// address pool), re-read every tick so a grown pool widens the bounds
+	// without restarting the controller.
+	Limit() int
+}
+
+// Action classifies a decision.
+type Action int
+
+const (
+	// ActionHold: no scaling this tick (warming up, in cooldown, inside
+	// the hysteresis band, streak not yet armed, or at a bound).
+	ActionHold Action = iota
+	// ActionUp / ActionDown: a resize was attempted (see Decision.Err).
+	ActionUp
+	ActionDown
+)
+
+// String implements fmt.Stringer; the strings double as metric label
+// values.
+func (a Action) String() string {
+	switch a {
+	case ActionHold:
+		return "hold"
+	case ActionUp:
+		return "up"
+	case ActionDown:
+		return "down"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Decision is one tick's outcome.
+type Decision struct {
+	At     time.Time `json:"at"`
+	Action Action    `json:"action"`
+	// Trigger is the machine-readable trigger label ("ingest",
+	// "starvation", "throttle", "occupancy" for up; "idle" for down;
+	// empty for holds), doubling as the triggers_total metric label.
+	Trigger string `json:"trigger,omitempty"`
+	// Reason is the human-readable explanation.
+	Reason string `json:"reason"`
+	// From / To are the shard counts around the action (equal on holds).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Took is the wall time of the actuator call — effectively the
+	// rebalance pause the action cost. Zero for holds.
+	Took time.Duration `json:"took_ns"`
+	// Err is the actuator failure, when the action did not land.
+	Err string `json:"err,omitempty"`
+}
+
+// Report is the controller's observable state, feeding the /metrics
+// families and the streamshard /admin/autoscale endpoint.
+type Report struct {
+	// Shards is the deployment size at the last sample.
+	Shards int `json:"shards"`
+	// Ticks counts evaluations; Holds the ticks that decided nothing.
+	Ticks uint64 `json:"ticks"`
+	Holds uint64 `json:"holds"`
+	// ScaleUps / ScaleDowns count landed actions; Errors the actuator
+	// failures.
+	ScaleUps   uint64 `json:"scale_ups"`
+	ScaleDowns uint64 `json:"scale_downs"`
+	Errors     uint64 `json:"errors"`
+	// HotStreak / ColdStreak are the current consecutive-tick counts.
+	HotStreak  int `json:"hot_streak"`
+	ColdStreak int `json:"cold_streak"`
+	// CooldownUntil is when evaluation resumes after the last action
+	// (zero when not cooling down).
+	CooldownUntil time.Time `json:"cooldown_until,omitempty"`
+	// Last is the most recent decision (including holds); Recent the
+	// bounded history of non-hold decisions, oldest first.
+	Last   Decision   `json:"last"`
+	Recent []Decision `json:"recent,omitempty"`
+	// Triggers counts actions by trigger label.
+	Triggers map[string]uint64 `json:"triggers,omitempty"`
+	// LastRateTPS / LastStarvation / LastOccupancy are the signal values
+	// of the most recent evaluation (per-shard ingest tuples/sec, worst
+	// starvation fraction, window occupancy).
+	LastRateTPS    float64 `json:"last_rate_tps"`
+	LastStarvation float64 `json:"last_starvation"`
+	LastOccupancy  float64 `json:"last_occupancy"`
+}
+
+// Controller runs the policy against a source and an actuator. Tick (and
+// therefore Run) must not be called concurrently with itself — the control
+// loop is single-threaded by design — but Report is safe from any
+// goroutine.
+type Controller struct {
+	pol Policy
+	src Source
+	act Actuator
+
+	now  func() time.Time // injectable clock for tests
+	logf func(format string, args ...any)
+
+	mu            sync.Mutex
+	samples       []Sample
+	hot, cold     int
+	cooldownUntil time.Time
+	ticks         uint64
+	ups, downs    uint64
+	holds, errs   uint64
+	triggers      map[string]uint64
+	last          Decision
+	recent        []Decision
+	lastShards    int
+	lastRate      float64
+	lastStarve    float64
+	lastOcc       float64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithClock injects the controller's clock (tests step it manually).
+func WithClock(now func() time.Time) Option {
+	return func(c *Controller) { c.now = now }
+}
+
+// WithLogf routes decision log lines (actions and errors, not holds).
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(c *Controller) { c.logf = logf }
+}
+
+// New builds a controller: the policy is defaulted and validated, the
+// source and actuator are required. The controller is idle until Start
+// (or, in tests, explicit Tick calls).
+func New(pol Policy, src Source, act Actuator, opts ...Option) (*Controller, error) {
+	pol = pol.WithDefaults()
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil || act == nil {
+		return nil, fmt.Errorf("autoscale: controller needs both a source and an actuator")
+	}
+	c := &Controller{
+		pol:      pol,
+		src:      src,
+		act:      act,
+		now:      time.Now,
+		triggers: make(map[string]uint64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Policy returns the defaulted policy the controller runs.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// Start launches the control loop at the policy's tick cadence. Stop ends
+// it. Starting twice is an error.
+func (c *Controller) Start() error {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return fmt.Errorf("autoscale: controller already started")
+	}
+	c.started = true
+	c.mu.Unlock()
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.pol.Tick())
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.Tick()
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop ends the control loop and waits for an in-flight tick (including
+// its actuator call) to finish. Safe to call more than once, and before
+// Start (in which case it only marks the controller stopped).
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		<-c.done
+	}
+}
+
+// Tick runs one evaluation: sample, classify, and — when a streak is
+// armed outside cooldown — act. Exported so tests (and callers embedding
+// the controller in their own loop) can drive it deterministically.
+func (c *Controller) Tick() Decision {
+	// Sample outside the controller lock: sources typically hold their own
+	// registry lock, which metrics/Report readers traverse in the opposite
+	// order.
+	s := c.src.Sample()
+	limit := c.act.Limit()
+	c.mu.Lock()
+	now := c.now()
+	s.At = now
+	c.ticks++
+	c.lastShards = s.Shards
+	c.samples = append(c.samples, s)
+	if len(c.samples) > c.pol.WindowTicks {
+		c.samples = c.samples[1:]
+	}
+	if len(c.samples) < 2 {
+		d := c.holdLocked(now, s.Shards, "warming up: rates need two samples")
+		c.mu.Unlock()
+		return d
+	}
+
+	oldest := c.samples[0]
+	elapsed := s.At.Sub(oldest.At).Seconds()
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	var perShardTPS, throttlePS float64
+	if elapsed > 0 {
+		if s.TuplesIn >= oldest.TuplesIn {
+			perShardTPS = float64(s.TuplesIn-oldest.TuplesIn) / elapsed / float64(shards)
+		}
+		if s.Throttled >= oldest.Throttled {
+			throttlePS = float64(s.Throttled-oldest.Throttled) / elapsed
+		}
+	}
+	var starve float64
+	for _, sig := range s.ShardSignals {
+		if !sig.Up {
+			continue
+		}
+		if f := sig.starvation(); f > starve {
+			starve = f
+		}
+	}
+	c.lastRate, c.lastStarve, c.lastOcc = perShardTPS, starve, s.WindowOccupancy
+
+	if now.Before(c.cooldownUntil) {
+		// A resize is settling: signals still reflect the old layout (or
+		// the pause itself), so neither streak accumulates.
+		c.hot, c.cold = 0, 0
+		d := c.holdLocked(now, s.Shards, fmt.Sprintf("cooldown until %s", c.cooldownUntil.Format(time.RFC3339Nano)))
+		c.mu.Unlock()
+		return d
+	}
+
+	trigger, reason := c.pol.hotTrigger(perShardTPS, starve, throttlePS, s.WindowOccupancy)
+	cold := c.pol.isCold(perShardTPS, starve, throttlePS, s.WindowOccupancy)
+	switch {
+	case trigger != "":
+		c.hot++
+		c.cold = 0
+	case cold:
+		c.cold++
+		c.hot = 0
+	default:
+		// Inside the hysteresis band: both streaks reset, so a marginal
+		// workload arms neither direction.
+		c.hot, c.cold = 0, 0
+	}
+
+	maxShards := limit
+	if c.pol.MaxShards > 0 && c.pol.MaxShards < maxShards {
+		maxShards = c.pol.MaxShards
+	}
+	var target int
+	var label string
+	switch {
+	case trigger != "" && c.hot >= c.pol.UpAfter:
+		if s.Shards >= maxShards {
+			d := c.holdLocked(now, s.Shards, fmt.Sprintf("at max shards (%d): %s", maxShards, reason))
+			c.mu.Unlock()
+			return d
+		}
+		target, label = s.Shards+1, trigger
+	case cold && c.cold >= c.pol.DownAfter:
+		if s.Shards <= c.pol.MinShards {
+			d := c.holdLocked(now, s.Shards, fmt.Sprintf("at min shards (%d): %s", c.pol.MinShards, reason))
+			c.mu.Unlock()
+			return d
+		}
+		target, label = s.Shards-1, "idle"
+		reason = fmt.Sprintf("all signals below low water for %d ticks (%s)", c.cold, reason)
+	default:
+		d := c.holdLocked(now, s.Shards, fmt.Sprintf("hot %d/%d, cold %d/%d: %s",
+			c.hot, c.pol.UpAfter, c.cold, c.pol.DownAfter, holdReason(trigger, cold, reason)))
+		c.mu.Unlock()
+		return d
+	}
+	from := s.Shards
+	c.mu.Unlock()
+
+	// The actuator call runs outside the controller lock: a rebalance can
+	// take hundreds of milliseconds, and actuators typically hold their
+	// own registry lock that metrics/Report readers also traverse.
+	start := c.now()
+	err := c.act.Scale(target)
+	took := c.now().Sub(start)
+
+	c.mu.Lock()
+	d := Decision{At: c.now(), Trigger: label, Reason: reason, From: from, To: target, Took: took}
+	if target > from {
+		d.Action = ActionUp
+	} else {
+		d.Action = ActionDown
+	}
+	if err != nil {
+		d.Err = err.Error()
+		c.errs++
+	} else if d.Action == ActionUp {
+		c.ups++
+	} else {
+		c.downs++
+	}
+	c.triggers[label]++
+	c.lastShards = target
+	if err != nil {
+		c.lastShards = from
+	}
+	// Cooldown either way: a landed resize needs to settle, and a failing
+	// actuator must not be hammered every tick.
+	c.cooldownUntil = d.At.Add(c.pol.Cooldown())
+	c.hot, c.cold = 0, 0
+	// The window's samples straddle the resize (or the failed attempt's
+	// pause); rates across it would mix regimes.
+	c.samples = c.samples[:0]
+	c.last = d
+	c.recent = append(c.recent, d)
+	if len(c.recent) > defaultRecentKeep {
+		c.recent = c.recent[1:]
+	}
+	c.mu.Unlock()
+
+	if c.logf != nil {
+		if err != nil {
+			c.logf("autoscale: %s %d -> %d failed after %v (%s): %v", d.Action, from, target, took, reason, err)
+		} else {
+			c.logf("autoscale: %s %d -> %d in %v (%s)", d.Action, from, target, took, reason)
+		}
+	}
+	return d
+}
+
+// holdLocked records a no-action tick. Callers hold c.mu.
+func (c *Controller) holdLocked(now time.Time, shards int, reason string) Decision {
+	d := Decision{At: now, Action: ActionHold, Reason: reason, From: shards, To: shards}
+	c.holds++
+	c.last = d
+	return d
+}
+
+func holdReason(trigger string, cold bool, reason string) string {
+	switch {
+	case trigger != "":
+		return reason
+	case cold:
+		return "all signals below low water"
+	default:
+		return "within hysteresis band"
+	}
+}
+
+// hotTrigger returns the first firing hot trigger's label and explanation
+// ("" when none fires).
+func (p Policy) hotTrigger(perShardTPS, starve, throttlePS, occ float64) (string, string) {
+	if p.HighWaterTPS > 0 && perShardTPS >= p.HighWaterTPS {
+		return "ingest", fmt.Sprintf("ingest %.0f tup/s/shard >= high water %.0f", perShardTPS, p.HighWaterTPS)
+	}
+	if p.StarveHigh > 0 && starve >= p.StarveHigh {
+		return "starvation", fmt.Sprintf("credit starvation %.2f >= high water %.2f", starve, p.StarveHigh)
+	}
+	if p.ThrottleHotPerSec > 0 && throttlePS >= p.ThrottleHotPerSec {
+		return "throttle", fmt.Sprintf("admission throttling %.1f events/s >= %.1f", throttlePS, p.ThrottleHotPerSec)
+	}
+	if p.OccupancyHigh > 0 && occ >= p.OccupancyHigh {
+		return "occupancy", fmt.Sprintf("window occupancy %.2f >= high water %.2f", occ, p.OccupancyHigh)
+	}
+	return "", ""
+}
+
+// isCold reports whether every enabled signal sits below its low-water
+// mark.
+func (p Policy) isCold(perShardTPS, starve, throttlePS, occ float64) bool {
+	if p.HighWaterTPS > 0 && perShardTPS > p.LowWaterTPS {
+		return false
+	}
+	if p.StarveHigh > 0 && starve > p.StarveLow {
+		return false
+	}
+	if p.ThrottleHotPerSec > 0 && throttlePS > 0 {
+		return false
+	}
+	if p.OccupancyHigh > 0 && occ >= p.OccupancyHigh {
+		return false
+	}
+	return true
+}
+
+// Report snapshots the controller's observable state.
+func (c *Controller) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Report{
+		Shards:         c.lastShards,
+		Ticks:          c.ticks,
+		Holds:          c.holds,
+		ScaleUps:       c.ups,
+		ScaleDowns:     c.downs,
+		Errors:         c.errs,
+		HotStreak:      c.hot,
+		ColdStreak:     c.cold,
+		Last:           c.last,
+		LastRateTPS:    c.lastRate,
+		LastStarvation: c.lastStarve,
+		LastOccupancy:  c.lastOcc,
+	}
+	if c.now().Before(c.cooldownUntil) {
+		r.CooldownUntil = c.cooldownUntil
+	}
+	if len(c.recent) > 0 {
+		r.Recent = append([]Decision(nil), c.recent...)
+	}
+	if len(c.triggers) > 0 {
+		r.Triggers = make(map[string]uint64, len(c.triggers))
+		for k, v := range c.triggers {
+			r.Triggers[k] = v
+		}
+	}
+	return r
+}

@@ -1,0 +1,701 @@
+package autoscale
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-stepped clock for deterministic controller
+// tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// fakeCluster implements Source and Actuator: a deployment whose offered
+// load the test scripts directly. Each Sample advances the cumulative
+// tuple counter by rateTPS * tick / shards... actually by rateTPS * tick
+// total; the controller divides by shards itself.
+type fakeCluster struct {
+	mu        sync.Mutex
+	clock     *fakeClock
+	tick      time.Duration
+	shards    int
+	limit     int
+	rateTPS   float64 // offered load, tuples/sec across the deployment
+	starve    float64 // reported starvation fraction on shard 0
+	throttled uint64
+	occupancy float64
+	tuplesIn  uint64
+	scales    []int
+	scaleErr  error
+	lastAt    time.Time
+}
+
+func newFakeCluster(clock *fakeClock, tick time.Duration, shards, limit int) *fakeCluster {
+	return &fakeCluster{clock: clock, tick: tick, shards: shards, limit: limit, lastAt: clock.now()}
+}
+
+func (f *fakeCluster) setRate(tps float64) {
+	f.mu.Lock()
+	f.rateTPS = tps
+	f.mu.Unlock()
+}
+
+func (f *fakeCluster) setStarve(s float64) {
+	f.mu.Lock()
+	f.starve = s
+	f.mu.Unlock()
+}
+
+func (f *fakeCluster) addThrottled(n uint64) {
+	f.mu.Lock()
+	f.throttled += n
+	f.mu.Unlock()
+}
+
+func (f *fakeCluster) setOccupancy(o float64) {
+	f.mu.Lock()
+	f.occupancy = o
+	f.mu.Unlock()
+}
+
+func (f *fakeCluster) Sample() Sample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.clock.now()
+	if dt := now.Sub(f.lastAt).Seconds(); dt > 0 {
+		f.tuplesIn += uint64(f.rateTPS * dt)
+	}
+	f.lastAt = now
+	sigs := make([]ShardSignal, f.shards)
+	for i := range sigs {
+		sigs[i] = ShardSignal{Index: i, Up: true, CreditCapacity: 8, QueueCap: 64}
+	}
+	if len(sigs) > 0 {
+		sigs[0].CreditsOutstanding = int(f.starve * 8)
+		if f.starve >= 1 {
+			sigs[0].CreditsOutstanding = 8
+		}
+	}
+	return Sample{
+		Shards:          f.shards,
+		TuplesIn:        f.tuplesIn,
+		Throttled:       f.throttled,
+		WindowOccupancy: f.occupancy,
+		ShardSignals:    sigs,
+	}
+}
+
+func (f *fakeCluster) Scale(target int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.scales = append(f.scales, target)
+	if f.scaleErr != nil {
+		return f.scaleErr
+	}
+	f.shards = target
+	return nil
+}
+
+func (f *fakeCluster) Limit() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.limit
+}
+
+func (f *fakeCluster) scaleHistory() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.scales...)
+}
+
+func (f *fakeCluster) shardCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards
+}
+
+// step advances the clock one tick and runs one evaluation.
+func step(c *Controller, clock *fakeClock, tick time.Duration) Decision {
+	clock.advance(tick)
+	return c.Tick()
+}
+
+var testPolicy = Policy{
+	TickMS:       100,
+	WindowTicks:  3,
+	HighWaterTPS: 1000,
+	LowWaterTPS:  200,
+	UpAfter:      2,
+	DownAfter:    3,
+	MinShards:    1,
+	MaxShards:    4,
+	CooldownMS:   250,
+}
+
+func newTestController(t *testing.T, pol Policy, f *fakeCluster, clock *fakeClock) *Controller {
+	t.Helper()
+	c, err := New(pol, f, f, WithClock(clock.now))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestPolicyDefaultsAndValidation(t *testing.T) {
+	p := Policy{HighWaterTPS: 1000}.WithDefaults()
+	if p.TickMS != DefaultTickMS || p.WindowTicks != DefaultWindowTicks {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	if p.LowWaterTPS != 250 {
+		t.Fatalf("LowWaterTPS default = %g, want HighWaterTPS/4 = 250", p.LowWaterTPS)
+	}
+	if p.CooldownMS != 5*DefaultTickMS {
+		t.Fatalf("CooldownMS default = %d, want 5 ticks", p.CooldownMS)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("defaulted policy invalid: %v", err)
+	}
+
+	bad := []Policy{
+		{},                                    // no trigger
+		{HighWaterTPS: 100, LowWaterTPS: 100}, // band collapsed
+		{StarveHigh: 1.5},                     // fraction out of range
+		{HighWaterTPS: 100, MinShards: 3, MaxShards: 2}, // inverted bounds
+		{HighWaterTPS: 100, WindowTicks: 1},             // window too narrow
+		{OccupancyHigh: -0.2},                           // negative fraction
+	}
+	for i, p := range bad {
+		if err := p.WithDefaults().Validate(); err == nil {
+			t.Errorf("bad[%d] %+v validated", i, p)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy([]byte(`{"high_water_tps": 5000, "up_after": 2, "max_shards": 8}`))
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	if p.HighWaterTPS != 5000 || p.UpAfter != 2 || p.MaxShards != 8 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.LowWaterTPS != 1250 || p.DownAfter != DefaultDownAfter {
+		t.Fatalf("defaults not applied after parse: %+v", p)
+	}
+
+	if _, err := ParsePolicy([]byte(`{"high_water_tp": 5000}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParsePolicy([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ParsePolicy([]byte(`{"low_water_tps": 10}`)); err == nil {
+		t.Fatal("trigger-free policy accepted")
+	}
+}
+
+func TestLoadPolicy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pol.json")
+	if err := os.WriteFile(path, []byte(`{"starve_high": 0.9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPolicy(path)
+	if err != nil {
+		t.Fatalf("LoadPolicy: %v", err)
+	}
+	if p.StarveHigh != 0.9 || p.StarveLow != 0.45 {
+		t.Fatalf("loaded %+v", p)
+	}
+	if _, err := LoadPolicy(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestScaleUpAfterSustainedIngest(t *testing.T) {
+	clock := newFakeClock()
+	f := newFakeCluster(clock, 100*time.Millisecond, 1, 4)
+	c := newTestController(t, testPolicy, f, clock)
+	tick := 100 * time.Millisecond
+
+	// Quiet warmup: no action.
+	for i := 0; i < 4; i++ {
+		if d := step(c, clock, tick); d.Action != ActionHold {
+			t.Fatalf("quiet tick %d: %+v", i, d)
+		}
+	}
+
+	// Hot load. First hot tick arms the streak, second (UpAfter=2) fires.
+	f.setRate(5000)
+	if d := step(c, clock, tick); d.Action != ActionHold {
+		t.Fatalf("first hot tick should hold: %+v", d)
+	}
+	d := step(c, clock, tick)
+	if d.Action != ActionUp || d.From != 1 || d.To != 2 {
+		t.Fatalf("second hot tick: %+v", d)
+	}
+	if d.Trigger != "ingest" {
+		t.Fatalf("trigger = %q, want ingest", d.Trigger)
+	}
+	if f.shardCount() != 2 {
+		t.Fatalf("cluster at %d shards", f.shardCount())
+	}
+}
+
+func TestScaleDownRequiresAllQuiet(t *testing.T) {
+	clock := newFakeClock()
+	f := newFakeCluster(clock, 100*time.Millisecond, 2, 4)
+	c := newTestController(t, testPolicy, f, clock)
+	tick := 100 * time.Millisecond
+
+	// Idle except shard-0 starvation held above StarveLow: per-shard
+	// ingest is cold but the deployment must not shrink.
+	pol := testPolicy
+	pol.StarveHigh = 0.9
+	pol.StarveLow = 0.25
+	c = newTestController(t, pol, f, clock)
+	f.setStarve(0.5)
+	for i := 0; i < 10; i++ {
+		if d := step(c, clock, tick); d.Action != ActionHold {
+			t.Fatalf("tick %d scaled despite starvation %+v", i, d)
+		}
+	}
+
+	// Starvation clears: DownAfter=3 quiet ticks then a shrink.
+	f.setStarve(0)
+	var downs int
+	for i := 0; i < 4; i++ {
+		if d := step(c, clock, tick); d.Action == ActionDown {
+			downs++
+			if d.From != 2 || d.To != 1 {
+				t.Fatalf("shrink %+v", d)
+			}
+		}
+	}
+	if downs != 1 {
+		t.Fatalf("downs = %d, want 1", downs)
+	}
+	if f.shardCount() != 1 {
+		t.Fatalf("cluster at %d shards", f.shardCount())
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	clock := newFakeClock()
+	tick := 100 * time.Millisecond
+
+	// At max: sustained heat never exceeds the bound.
+	f := newFakeCluster(clock, tick, 4, 4)
+	c := newTestController(t, testPolicy, f, clock)
+	f.setRate(50000)
+	for i := 0; i < 12; i++ {
+		if d := step(c, clock, tick); d.Action != ActionHold {
+			t.Fatalf("scaled past max: %+v", d)
+		}
+	}
+	if got := f.scaleHistory(); len(got) != 0 {
+		t.Fatalf("actuator called at max: %v", got)
+	}
+
+	// At min: sustained quiet never drops below.
+	f = newFakeCluster(clock, tick, 1, 4)
+	c = newTestController(t, testPolicy, f, clock)
+	for i := 0; i < 12; i++ {
+		if d := step(c, clock, tick); d.Action != ActionHold {
+			t.Fatalf("scaled below min: %+v", d)
+		}
+	}
+
+	// Actuator pool limit caps below the policy's MaxShards.
+	f = newFakeCluster(clock, tick, 2, 2)
+	c = newTestController(t, testPolicy, f, clock)
+	f.setRate(50000)
+	for i := 0; i < 12; i++ {
+		if d := step(c, clock, tick); d.Action != ActionHold {
+			t.Fatalf("scaled past actuator limit: %+v", d)
+		}
+	}
+}
+
+func TestCooldownSpacesActions(t *testing.T) {
+	clock := newFakeClock()
+	tick := 100 * time.Millisecond
+	f := newFakeCluster(clock, tick, 1, 4)
+	c := newTestController(t, testPolicy, f, clock) // cooldown 250ms
+
+	f.setRate(50000)
+	var actions []time.Time
+	for i := 0; i < 40 && f.shardCount() < 4; i++ {
+		if d := step(c, clock, tick); d.Action == ActionUp {
+			actions = append(actions, d.At)
+		}
+	}
+	if f.shardCount() != 4 {
+		t.Fatalf("never reached max: %d", f.shardCount())
+	}
+	if len(actions) != 3 {
+		t.Fatalf("actions = %d, want 3 (1->2->3->4)", len(actions))
+	}
+	cooldown := testPolicy.Cooldown()
+	for i := 1; i < len(actions); i++ {
+		if gap := actions[i].Sub(actions[i-1]); gap < cooldown {
+			t.Fatalf("actions %d and %d only %v apart (cooldown %v)", i-1, i, gap, cooldown)
+		}
+	}
+}
+
+// TestSquareWaveNoFlap is the policy-level flap test: a load square-wave
+// switching faster than the streak requirements must produce no scaling
+// at all, and one slower than the streaks must stay bounded at one action
+// per cooldown window.
+func TestSquareWaveNoFlap(t *testing.T) {
+	clock := newFakeClock()
+	tick := 100 * time.Millisecond
+	pol := testPolicy
+	pol.UpAfter = 3
+	pol.DownAfter = 5
+	// WindowTicks 2 makes the measured rate the instantaneous per-tick
+	// rate, so the wave's phases map exactly onto streak ticks (a wider
+	// window only smooths further, which helps, not hurts).
+	pol.WindowTicks = 2
+	f := newFakeCluster(clock, tick, 2, 4)
+	c := newTestController(t, pol, f, clock)
+
+	// Fast square wave: 2 hot ticks, 2 quiet ticks — shorter than either
+	// streak, so neither direction ever arms.
+	for cycle := 0; cycle < 20; cycle++ {
+		f.setRate(50000)
+		for i := 0; i < 2; i++ {
+			if d := step(c, clock, tick); d.Action != ActionHold {
+				t.Fatalf("fast wave cycle %d scaled: %+v", cycle, d)
+			}
+		}
+		f.setRate(0)
+		for i := 0; i < 2; i++ {
+			if d := step(c, clock, tick); d.Action != ActionHold {
+				t.Fatalf("fast wave cycle %d scaled: %+v", cycle, d)
+			}
+		}
+	}
+	if got := f.scaleHistory(); len(got) != 0 {
+		t.Fatalf("fast square wave produced actions: %v", got)
+	}
+
+	// Slow square wave: long enough phases to arm both streaks. Actions
+	// happen, but never two inside one cooldown window.
+	var decisions []Decision
+	for cycle := 0; cycle < 6; cycle++ {
+		f.setRate(50000)
+		for i := 0; i < 8; i++ {
+			if d := step(c, clock, tick); d.Action != ActionHold {
+				decisions = append(decisions, d)
+			}
+		}
+		f.setRate(0)
+		for i := 0; i < 12; i++ {
+			if d := step(c, clock, tick); d.Action != ActionHold {
+				decisions = append(decisions, d)
+			}
+		}
+	}
+	if len(decisions) == 0 {
+		t.Fatal("slow square wave produced no actions")
+	}
+	cooldown := pol.Cooldown()
+	for i := 1; i < len(decisions); i++ {
+		if gap := decisions[i].At.Sub(decisions[i-1].At); gap < cooldown {
+			t.Fatalf("decisions %v apart, cooldown %v: %+v -> %+v",
+				gap, cooldown, decisions[i-1], decisions[i])
+		}
+	}
+	// The deployment must stay inside bounds throughout.
+	if n := f.shardCount(); n < 1 || n > 4 {
+		t.Fatalf("deployment left bounds: %d", n)
+	}
+}
+
+func TestStarvationAndThrottleAndOccupancyTriggers(t *testing.T) {
+	clock := newFakeClock()
+	tick := 100 * time.Millisecond
+	pol := testPolicy
+	pol.StarveHigh = 0.9
+	pol.ThrottleHotPerSec = 10
+	pol.OccupancyHigh = 0.95
+	pol.UpAfter = 2
+
+	// Starvation trigger.
+	f := newFakeCluster(clock, tick, 1, 4)
+	c := newTestController(t, pol, f, clock)
+	step(c, clock, tick)
+	f.setStarve(1.0)
+	step(c, clock, tick)
+	d := step(c, clock, tick)
+	if d.Action != ActionUp || d.Trigger != "starvation" {
+		t.Fatalf("starvation trigger: %+v", d)
+	}
+
+	// Throttle trigger.
+	f = newFakeCluster(clock, tick, 1, 4)
+	c = newTestController(t, pol, f, clock)
+	step(c, clock, tick)
+	for i := 0; i < 3; i++ {
+		f.addThrottled(100)
+		if d = step(c, clock, tick); d.Action == ActionUp {
+			break
+		}
+	}
+	if d.Action != ActionUp || d.Trigger != "throttle" {
+		t.Fatalf("throttle trigger: %+v", d)
+	}
+
+	// Occupancy trigger.
+	f = newFakeCluster(clock, tick, 1, 4)
+	c = newTestController(t, pol, f, clock)
+	step(c, clock, tick)
+	f.setOccupancy(0.99)
+	step(c, clock, tick)
+	d = step(c, clock, tick)
+	if d.Action != ActionUp || d.Trigger != "occupancy" {
+		t.Fatalf("occupancy trigger: %+v", d)
+	}
+}
+
+func TestActuatorErrorCoolsDown(t *testing.T) {
+	clock := newFakeClock()
+	tick := 100 * time.Millisecond
+	f := newFakeCluster(clock, tick, 1, 4)
+	f.scaleErr = errors.New("rebalance aborted")
+	c := newTestController(t, testPolicy, f, clock)
+
+	f.setRate(50000)
+	var attempts int
+	for i := 0; i < 10; i++ {
+		if d := step(c, clock, tick); d.Action == ActionUp {
+			attempts++
+			if d.Err == "" {
+				t.Fatalf("failed action lost its error: %+v", d)
+			}
+		}
+	}
+	// 10 ticks at 100ms with 250ms cooldown and UpAfter=2: the failure
+	// must not be retried every tick.
+	if attempts == 0 || attempts > 3 {
+		t.Fatalf("attempts = %d, want 1..3 (cooldown must pace failures)", attempts)
+	}
+	r := c.Report()
+	if r.Errors != uint64(attempts) || r.ScaleUps != 0 {
+		t.Fatalf("report after failures: %+v", r)
+	}
+	if f.shardCount() != 1 {
+		t.Fatalf("failed scale mutated the deployment: %d", f.shardCount())
+	}
+}
+
+func TestClockRegressionDoesNotPanic(t *testing.T) {
+	// A wall-clock step backwards between samples must not panic or mint
+	// a negative rate (cumulative counters would underflow if differenced
+	// naively).
+	clock := newFakeClock()
+	tick := 100 * time.Millisecond
+	f := newFakeCluster(clock, tick, 1, 4)
+	c := newTestController(t, testPolicy, f, clock)
+	f.setRate(5000)
+	step(c, clock, tick)
+	step(c, clock, tick)
+	clock.advance(-10 * time.Second)
+	d := c.Tick()
+	if d.Action != ActionHold {
+		t.Fatalf("backwards clock produced action: %+v", d)
+	}
+	r := c.Report()
+	if r.LastRateTPS < 0 {
+		t.Fatalf("negative rate: %+v", r)
+	}
+}
+
+func TestReportAndDecisionHistory(t *testing.T) {
+	clock := newFakeClock()
+	tick := 100 * time.Millisecond
+	f := newFakeCluster(clock, tick, 1, 4)
+	c := newTestController(t, testPolicy, f, clock)
+
+	f.setRate(50000)
+	for i := 0; i < 30 && f.shardCount() < 4; i++ {
+		step(c, clock, tick)
+	}
+	f.setRate(0)
+	for i := 0; i < 40 && f.shardCount() > 1; i++ {
+		step(c, clock, tick)
+	}
+
+	r := c.Report()
+	if r.ScaleUps != 3 || r.ScaleDowns != 3 {
+		t.Fatalf("ups/downs = %d/%d, want 3/3: %+v", r.ScaleUps, r.ScaleDowns, r)
+	}
+	if r.Shards != 1 {
+		t.Fatalf("report shards = %d", r.Shards)
+	}
+	if len(r.Recent) != 6 {
+		t.Fatalf("recent = %d decisions, want 6", len(r.Recent))
+	}
+	if r.Triggers["ingest"] != 3 || r.Triggers["idle"] != 3 {
+		t.Fatalf("triggers = %v", r.Triggers)
+	}
+	if r.Ticks == 0 || r.Holds == 0 {
+		t.Fatalf("tick accounting: %+v", r)
+	}
+	// History is ordered and alternates grow-then-shrink.
+	for i := 1; i < len(r.Recent); i++ {
+		if r.Recent[i].At.Before(r.Recent[i-1].At) {
+			t.Fatalf("recent out of order: %+v", r.Recent)
+		}
+	}
+	for i, d := range r.Recent {
+		want := ActionUp
+		if i >= 3 {
+			want = ActionDown
+		}
+		if d.Action != want {
+			t.Fatalf("recent[%d] = %v, want %v", i, d.Action, want)
+		}
+	}
+}
+
+func TestStartStopLoop(t *testing.T) {
+	// Real-clock smoke test of the Start/Stop lifecycle.
+	f := newFakeCluster(newFakeClock(), time.Millisecond, 1, 2)
+	pol := testPolicy
+	pol.TickMS = 1
+	pol.CooldownMS = 2
+	c, err := New(pol, f, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Report().Ticks == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("loop never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	ticks := c.Report().Ticks
+	time.Sleep(10 * time.Millisecond)
+	if got := c.Report().Ticks; got != ticks {
+		t.Fatalf("loop still ticking after Stop: %d -> %d", ticks, got)
+	}
+}
+
+func TestStopBeforeStart(t *testing.T) {
+	f := newFakeCluster(newFakeClock(), time.Millisecond, 1, 2)
+	c, err := New(testPolicy, f, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop() // must not hang or panic
+}
+
+func TestActionString(t *testing.T) {
+	for _, tc := range []struct {
+		a    Action
+		want string
+	}{{ActionHold, "hold"}, {ActionUp, "up"}, {ActionDown, "down"}, {Action(9), "action(9)"}} {
+		if got := tc.a.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int(tc.a), got, tc.want)
+		}
+	}
+}
+
+func TestWindowTrimsToPolicy(t *testing.T) {
+	clock := newFakeClock()
+	tick := 100 * time.Millisecond
+	f := newFakeCluster(clock, tick, 1, 4)
+	c := newTestController(t, testPolicy, f, clock)
+	for i := 0; i < 20; i++ {
+		step(c, clock, tick)
+	}
+	c.mu.Lock()
+	n := len(c.samples)
+	c.mu.Unlock()
+	if n > testPolicy.WindowTicks {
+		t.Fatalf("window holds %d samples, cap %d", n, testPolicy.WindowTicks)
+	}
+}
+
+func TestConcurrentReportDuringTicks(t *testing.T) {
+	// Report from many goroutines while the loop ticks — exercised under
+	// -race in make test-autoscale.
+	clock := newFakeClock()
+	tick := 10 * time.Millisecond
+	f := newFakeCluster(clock, tick, 1, 4)
+	c := newTestController(t, testPolicy, f, clock)
+	f.setRate(50000)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.Report()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		step(c, clock, tick)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	p := Policy{TickMS: 250, HighWaterTPS: 1234.5, StarveHigh: 0.75, UpAfter: 4, MaxShards: 6}.WithDefaults()
+	data := []byte(fmt.Sprintf(
+		`{"tick_ms":%d,"window_ticks":%d,"high_water_tps":%g,"low_water_tps":%g,"starve_high":%g,"starve_low":%g,"up_after":%d,"down_after":%d,"min_shards":%d,"max_shards":%d,"cooldown_ms":%d}`,
+		p.TickMS, p.WindowTicks, p.HighWaterTPS, p.LowWaterTPS, p.StarveHigh, p.StarveLow,
+		p.UpAfter, p.DownAfter, p.MinShards, p.MaxShards, p.CooldownMS))
+	got, err := ParsePolicy(data)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if got != p {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+	if !strings.Contains(string(data), "high_water_tps") {
+		t.Fatal("sanity: field name")
+	}
+}

@@ -1,0 +1,31 @@
+package autoscale
+
+import "testing"
+
+// FuzzParsePolicy exercises the operator-facing JSON loader: arbitrary
+// bytes must either produce a policy that survives its own validation or
+// a clean error — never a panic, and never an invalid policy.
+func FuzzParsePolicy(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"high_water_tps": 5000}`))
+	f.Add([]byte(`{"tick_ms": 100, "window_ticks": 3, "high_water_tps": 1000, "low_water_tps": 200, "up_after": 2, "down_after": 3, "min_shards": 1, "max_shards": 4, "cooldown_ms": 250}`))
+	f.Add([]byte(`{"starve_high": 0.9, "starve_low": 0.25}`))
+	f.Add([]byte(`{"throttle_hot_per_sec": 10, "occupancy_high": 0.95}`))
+	f.Add([]byte(`{"high_water_tps": -1}`))
+	f.Add([]byte(`{"max_shards": -3}`))
+	f.Add([]byte(`{"unknown_field": 1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePolicy(data)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePolicy accepted %q but Validate rejects: %v", data, verr)
+		}
+		if p.TickMS <= 0 || p.WindowTicks < 2 || p.MinShards < 1 {
+			t.Fatalf("ParsePolicy returned unusable policy %+v from %q", p, data)
+		}
+	})
+}

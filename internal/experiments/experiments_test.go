@@ -466,3 +466,44 @@ func TestRecoveryShape(t *testing.T) {
 		t.Errorf("snapshot sizes do not grow with window: %v -> %v", small, large)
 	}
 }
+
+func TestAutoscaleShape(t *testing.T) {
+	fig, err := Autoscale(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, ok := fig.SeriesByLabel("shards")
+	if !ok {
+		t.Fatal("missing shards series")
+	}
+	// The trajectory must visit 1, 4, and end back at 1.
+	var saw4 bool
+	for _, p := range shards.Points {
+		if p.Y == 4 {
+			saw4 = true
+		}
+	}
+	if !saw4 {
+		t.Errorf("deployment never reached 4 shards: %+v", shards.Points)
+	}
+	if last := shards.Points[len(shards.Points)-1]; last.Y != 1 {
+		t.Errorf("deployment ended at %v shards, want 1", last.Y)
+	}
+	spacing, ok := fig.SeriesByLabel("action spacing (ms)")
+	if !ok {
+		t.Fatal("missing spacing series")
+	}
+	// 1->4->1 takes six actions, so at least five inter-action gaps, each
+	// at least the policy cooldown (150ms).
+	if len(spacing.Points) < 5 {
+		t.Fatalf("only %d inter-action gaps, want >= 5", len(spacing.Points))
+	}
+	for _, p := range spacing.Points {
+		if p.Y < 150 {
+			t.Errorf("actions %vms apart, cooldown is 150ms", p.Y)
+		}
+	}
+	if _, ok := fig.SeriesByLabel("rebalance pause (ms)"); !ok {
+		t.Error("missing pause series")
+	}
+}

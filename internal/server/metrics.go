@@ -94,7 +94,7 @@ func (s *Server) MetricsHandler() http.Handler {
 		var b strings.Builder
 		writeProcessMetrics(&b, s.ProcessStats())
 		tenants, throttled := s.TenantMetrics()
-		writeTenantMetrics(&b, tenants, throttled)
+		writeTenantMetrics(&b, tenants, throttled, s.adm.Evicted())
 		writeSessionMetrics(&b, s.Metrics())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprint(w, b.String())
@@ -154,7 +154,9 @@ func writeCheckpointMetrics(b *strings.Builder, cs CheckpointStats) {
 // writeTenantMetrics emits the admission controller's per-tenant
 // accounting. Tenant identities are restricted to a label-safe charset at
 // the wire layer (wire.ValidTenant), so they are quoted verbatim.
-func writeTenantMetrics(b *strings.Builder, tenants []admission.TenantUsage, throttledTotal uint64) {
+func writeTenantMetrics(b *strings.Builder, tenants []admission.TenantUsage, throttledTotal, evicted uint64) {
+	fmt.Fprintf(b, "# HELP streamd_tenants_live Distinct tenant entries currently accounted.\n# TYPE streamd_tenants_live gauge\nstreamd_tenants_live %d\n", len(tenants))
+	fmt.Fprintf(b, "# HELP streamd_tenants_evicted_total Idle zero-usage tenant entries swept from the accounting table.\n# TYPE streamd_tenants_evicted_total counter\nstreamd_tenants_evicted_total %d\n", evicted)
 	fmt.Fprint(b, "# HELP streamd_tenant_sessions Live sessions per tenant.\n# TYPE streamd_tenant_sessions gauge\n")
 	for _, t := range tenants {
 		fmt.Fprintf(b, "streamd_tenant_sessions{tenant=%q} %d\n", t.Tenant, t.Sessions)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -446,4 +447,54 @@ func TestQuotaMetricsExposition(t *testing.T) {
 		}
 	}()
 	c.Close()
+}
+
+// TestThrottledSessionTearsDownPromptly is the uninterruptible-sleep
+// regression test: a session deep in rate debt used to ride out its whole
+// withhold in a bare time.Sleep, stalling graceful drain for the debt
+// duration. The withhold must now yield to the session's close signal
+// (and is capped besides), so Shutdown with an expired context tears the
+// session down promptly.
+func TestThrottledSessionTearsDownPromptly(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Quotas: admission.Config{Default: admission.Quota{RatePerSec: 10}},
+	})
+	c, err := dialTenant(addr, "debtor", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range c.Results() {
+		}
+	}()
+
+	// One oversized batch at 10 tuples/sec: hundreds of seconds of debt,
+	// far past both the withhold cap and any tolerable drain time.
+	gen, err := workload.NewGenerator(workload.Spec{Seed: 7, KeyDomain: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(gen.Take(5000)); err != nil {
+		t.Fatal(err)
+	}
+	// Let the batch land in the read loop and the withhold begin.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, throttled := srv.TenantMetrics(); throttled > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never entered the throttle withhold")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	srv.Shutdown(ctx) // returns ctx.Err(); what matters is how long it blocks
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Shutdown blocked %v behind a throttled session (debt ~500s, withhold cap %v)",
+			elapsed, maxCreditWithhold)
+	}
 }

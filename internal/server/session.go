@@ -80,15 +80,22 @@ type session struct {
 	// lastCkpt is when this session last cut an automatic checkpoint;
 	// touched only by the read-loop goroutine.
 	lastCkpt time.Time
+
+	// closing is latched (via closeOnce) when the session is being torn
+	// down; throttle withholds select against it so shutdown never waits
+	// out a rate debt.
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 func newSession(srv *Server, id uint64, conn net.Conn) *session {
 	s := &session{
-		srv:  srv,
-		id:   id,
-		conn: conn,
-		w:    wire.NewWriter(conn),
-		r:    wire.NewReader(conn),
+		srv:     srv,
+		id:      id,
+		conn:    conn,
+		w:       wire.NewWriter(conn),
+		r:       wire.NewReader(conn),
+		closing: make(chan struct{}),
 	}
 	s.live.Store(true)
 	return s
@@ -138,9 +145,40 @@ func (s *session) metrics() SessionMetrics {
 }
 
 // abort force-closes the connection; the reader unblocks with an error
-// and the normal teardown path runs.
+// and the normal teardown path runs. The closing signal also interrupts
+// a throttle withhold in progress, so a deeply in-debt session cannot
+// stall a drain for the remainder of its rate debt.
 func (s *session) abort() {
+	s.signalClose()
 	s.conn.Close()
+}
+
+// signalClose latches the session's close signal.
+func (s *session) signalClose() {
+	s.closeOnce.Do(func() { close(s.closing) })
+}
+
+// maxCreditWithhold caps any single throttle withhold. Rate debt beyond
+// the cap is not forgiven — it stays in the bucket and the next batches
+// keep paying it down — but bounding each individual sleep keeps the read
+// loop responsive (a multi-second uninterrupted sleep would also hold the
+// batch credit hostage long past any client timeout).
+const maxCreditWithhold = 5 * time.Second
+
+// throttleWait blocks for the rate-shaping debt d (capped), or until the
+// session is told to close, whichever comes first. A plain time.Sleep
+// here was uninterruptible: a tenant deep in debt could stall graceful
+// drain / SIGTERM teardown for the full debt duration.
+func (s *session) throttleWait(d time.Duration) {
+	if d > maxCreditWithhold {
+		d = maxCreditWithhold
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.closing:
+	}
 }
 
 // fail sends a best-effort Error frame and records the cause.
@@ -490,7 +528,7 @@ func (s *session) readLoop() closeMode {
 			// while creditsHeld still counts the batch, so the backpressure
 			// gauge reflects throttling too.
 			if d := s.lease.Throttle(len(batch)); d > 0 {
-				time.Sleep(d)
+				s.throttleWait(d)
 			}
 			err = s.send(func(w *wire.Writer) error { return w.WriteCredit(1) })
 			s.srv.creditsHeld.Add(-1)

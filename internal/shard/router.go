@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelstream/internal/autoscale"
 	"accelstream/internal/core"
 	"accelstream/internal/rebalance"
 	"accelstream/internal/server"
@@ -56,6 +57,12 @@ type Router struct {
 	rebalanceAborts atomic.Uint64 // aborted rebalances (old layout restored)
 	rebalanceNanos  atomic.Uint64 // cumulative rebalance wall time
 	rebalanceMoved  atomic.Uint64 // cumulative window tuples migrated
+
+	// auto is the optional closed-loop autoscaler (Config.Autoscale); pool
+	// is its full ordered address pool, Addrs followed by Standby. Both
+	// are set once in Dial.
+	auto *autoscale.Controller
+	pool []string
 
 	mu      sync.Mutex
 	failErr error
@@ -148,6 +155,13 @@ func Dial(cfg Config) (*Router, error) {
 		return nil, err
 	}
 	r := &Router{cfg: cfg, merged: make(chan stream.Result, 4096)}
+	// Build (and thereby validate) the autoscale controller before any
+	// connection is opened, so a bad policy fails the Dial outright.
+	if cfg.Autoscale != nil {
+		if err := r.setupAutoscale(*cfg.Autoscale); err != nil {
+			return nil, err
+		}
+	}
 	// A restored deployment resumes the global arrival counters at the
 	// checkpoint's: every shard session opens with the same offsets.
 	r.seqR, r.seqS = cfg.BaseSeqR, cfg.BaseSeqS
@@ -169,7 +183,115 @@ func Dial(cfg Config) (*Router, error) {
 		r.spawnDrain(sc, sc.client)
 		r.spawnSender(sc)
 	}
+	if r.auto != nil {
+		if err := r.auto.Start(); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
 	return r, nil
+}
+
+// setupAutoscale validates the policy against the deployment's resize
+// constraints and builds the controller (not yet started). Every shard
+// count the policy could drive to must keep the merged stream
+// oracle-equal: the global window has to divide evenly and preserve the
+// effective window at each reachable size.
+func (r *Router) setupAutoscale(pol autoscale.Policy) error {
+	pol = pol.WithDefaults()
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	r.pool = append(append([]string(nil), r.cfg.Addrs...), r.cfg.Standby...)
+	max := len(r.pool)
+	if pol.MaxShards > 0 && pol.MaxShards < max {
+		max = pol.MaxShards
+	}
+	if pol.MinShards > len(r.pool) {
+		return fmt.Errorf("shard: autoscale min_shards %d exceeds the %d-address pool (Addrs+Standby)",
+			pol.MinShards, len(r.pool))
+	}
+	baseEff := rebalance.EffectiveWindow(r.cfg.Window, len(r.cfg.Addrs), r.cfg.Cores)
+	for n := pol.MinShards; n <= max; n++ {
+		if r.cfg.Window%n != 0 {
+			return fmt.Errorf("shard: autoscale could target %d shards but Window %d does not divide evenly", n, r.cfg.Window)
+		}
+		if eff := rebalance.EffectiveWindow(r.cfg.Window, n, r.cfg.Cores); eff != baseEff {
+			return fmt.Errorf("shard: autoscale could target %d shards but the effective window changes %d -> %d (per-shard slice must divide by %d cores)",
+				len(r.cfg.Addrs), baseEff, eff, r.cfg.Cores)
+		}
+	}
+	auto, err := autoscale.New(pol, routerSource{r}, &routerActuator{r: r}, autoscale.WithLogf(r.cfg.Logf))
+	if err != nil {
+		return err
+	}
+	r.auto = auto
+	return nil
+}
+
+// routerSource adapts the router to autoscale.Source.
+type routerSource struct{ r *Router }
+
+func (s routerSource) Sample() autoscale.Sample { return s.r.Signals() }
+
+// Signals snapshots the router's live autoscale inputs — the structured
+// counterpart of the text /metrics exposition, so the policy never
+// scrapes its own Prometheus output (autoscale sources wrap it).
+func (r *Router) Signals() autoscale.Sample {
+	shards := r.snapshotShards()
+	s := autoscale.Sample{
+		Shards:       len(shards),
+		TuplesIn:     r.tuplesIn.Load(),
+		ShardSignals: make([]autoscale.ShardSignal, len(shards)),
+	}
+	for i, sc := range shards {
+		sig := autoscale.ShardSignal{
+			Index:    sc.index,
+			Up:       sc.up.Load(),
+			QueueLen: len(sc.queue),
+			QueueCap: cap(sc.queue),
+		}
+		if c := sc.pub.Load(); c != nil {
+			sig.CreditsOutstanding = c.CreditsOutstanding()
+			sig.CreditCapacity = c.Credits()
+		}
+		s.ShardSignals[i] = sig
+	}
+	// The router has no admission view of its own (Throttled stays 0; the
+	// streamshard registry layers that in). Occupancy here is the global
+	// window's fill fraction: cumulative ingest against the 2W tuples the
+	// two sliding windows retain once warm.
+	if w := uint64(2 * r.cfg.Window); w > 0 {
+		occ := float64(s.TuplesIn) / float64(w)
+		if occ > 1 {
+			occ = 1
+		}
+		s.WindowOccupancy = occ
+	}
+	return s
+}
+
+// routerActuator drives ShardRouter.Rebalance from autoscale decisions:
+// target N runs on the first N pool addresses.
+type routerActuator struct{ r *Router }
+
+func (a *routerActuator) Scale(target int) error {
+	if target < 1 || target > len(a.r.pool) {
+		return fmt.Errorf("shard: autoscale target %d outside the %d-address pool", target, len(a.r.pool))
+	}
+	_, err := a.r.Rebalance(a.r.pool[:target])
+	return err
+}
+
+func (a *routerActuator) Limit() int { return len(a.r.pool) }
+
+// AutoscaleReport returns the autoscale controller's state; ok is false
+// when the router was dialed without Config.Autoscale.
+func (r *Router) AutoscaleReport() (autoscale.Report, bool) {
+	if r.auto == nil {
+		return autoscale.Report{}, false
+	}
+	return r.auto.Report(), true
 }
 
 // newShardConn builds one endpoint of a modulus-shard generation.
@@ -388,22 +510,37 @@ func (sc *shardConn) redial(baseR, baseS uint64) bool {
 			// with the same token cannot succeed.
 			break
 		}
+		var hint time.Duration
 		var adm *server.AdmissionError
-		if errors.As(err, &adm) && adm.RetryAfter > delay {
-			// Honor the admission controller's retry-after hint: redialing
-			// sooner is guaranteed to be rejected again.
-			delay = adm.RetryAfter
+		if errors.As(err, &adm) {
+			hint = adm.RetryAfter
 		}
 		if attempt < pol.Attempts {
-			time.Sleep(delay)
-			delay *= 2
-			if delay > pol.MaxDelay {
-				delay = pol.MaxDelay
-			}
+			sleep, next := nextRedialDelay(delay, hint, pol.MaxDelay)
+			time.Sleep(sleep)
+			delay = next
 		}
 	}
 	sc.markDown()
 	return false
+}
+
+// nextRedialDelay computes one backoff step: how long to sleep before the
+// next attempt, and the policy delay the schedule resumes from afterwards.
+// An admission retry-after hint stretches only this sleep (redialing
+// sooner is guaranteed to be rejected again) — it must not become the base
+// the exponential doubling compounds from, or one hint inflates every
+// later attempt far past both the policy and the hint.
+func nextRedialDelay(delay, hint, maxDelay time.Duration) (sleep, next time.Duration) {
+	sleep = delay
+	if hint > sleep {
+		sleep = hint
+	}
+	next = delay * 2
+	if next > maxDelay {
+		next = maxDelay
+	}
+	return sleep, next
 }
 
 // markDown records permanent shard loss. Under FailFast the router
@@ -773,6 +910,12 @@ func (r *Router) Close() (Stats, error) {
 	}
 	r.closed = true
 	r.mu.Unlock()
+	// Stop the autoscaler before retiring the senders: closed is already
+	// set, so an in-flight decision's Rebalance fails cleanly, and after
+	// Stop returns no further decision can race the teardown.
+	if r.auto != nil {
+		r.auto.Stop()
+	}
 	// sendMu orders the queue close against an in-flight Rebalance, so the
 	// generation being retired is the one whose senders we wait for.
 	r.sendMu.Lock()

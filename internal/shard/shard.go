@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"accelstream/internal/autoscale"
 	"accelstream/internal/stream"
 )
 
@@ -108,6 +109,16 @@ type Config struct {
 	// only the post-snapshot suffix. ImportState must install the
 	// snapshot's window tuples before the first batch.
 	BaseSeqR, BaseSeqS uint64
+	// Autoscale, when set, runs a closed-loop autoscaler over the
+	// deployment: the router's live signals feed the policy, and scale
+	// decisions drive Rebalance across the Addrs+Standby address pool.
+	// Dial fails if any reachable shard count would violate the resize
+	// constraints (Window divisibility, effective-window preservation).
+	Autoscale *autoscale.Policy
+	// Standby lists extra shard endpoints the autoscaler may grow into,
+	// in activation order after Addrs. Not dialed until a scale-up
+	// targets them.
+	Standby []string
 	// Logf, when set, receives shard lifecycle lines (drops, redials).
 	Logf func(format string, args ...any)
 }

@@ -240,6 +240,10 @@ const (
 	// RejectRateLimited: the tenant's ingest budget is currently exhausted
 	// (its running sessions are being throttled); retry after the hint.
 	RejectRateLimited
+	// RejectQuotaTenants: the server's distinct-live-tenant table is full;
+	// no entry can be created for a new tenant identity until an idle one
+	// ages out.
+	RejectQuotaTenants
 )
 
 // String implements fmt.Stringer; the strings double as the reason labels
@@ -256,13 +260,15 @@ func (c RejectCode) String() string {
 		return "quota_memory"
 	case RejectRateLimited:
 		return "rate_limited"
+	case RejectQuotaTenants:
+		return "quota_tenants"
 	default:
 		return fmt.Sprintf("reject(%d)", uint8(c))
 	}
 }
 
 // Valid reports whether c is a known reject code.
-func (c RejectCode) Valid() bool { return c <= RejectRateLimited }
+func (c RejectCode) Valid() bool { return c <= RejectQuotaTenants }
 
 // UnauthorizedPrefix prefixes the Error-frame message a server sends when
 // session authentication fails on a v1 session. It remains part of the

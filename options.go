@@ -27,6 +27,8 @@ type dialOptions struct {
 	probeKernel ProbeKernel
 	timeout     time.Duration
 	redial      *ShardRedialPolicy
+	autoscale   *AutoscalePolicy
+	standby     []string
 }
 
 func (o dialOptions) apply(opts []DialOption) dialOptions {
@@ -81,6 +83,20 @@ func WithDialTimeout(d time.Duration) DialOption {
 // overrides ShardConfig.Redial when both are given.
 func WithRedialPolicy(p ShardRedialPolicy) DialOption {
 	return func(o *dialOptions) { o.redial = &p }
+}
+
+// WithAutoscale runs a closed-loop autoscaler inside the router: the
+// policy samples the deployment's live signals each tick, and scale
+// decisions rebalance the session across ShardConfig.Addrs plus the given
+// standby endpoints (activated in order; not dialed until a scale-up
+// targets them). Only affects DialSharded, and overrides any
+// ShardConfig.Autoscale/Standby already set. Inspect the loop with
+// ShardRouter.AutoscaleReport.
+func WithAutoscale(p AutoscalePolicy, standby ...string) DialOption {
+	return func(o *dialOptions) {
+		o.autoscale = &p
+		o.standby = standby
+	}
 }
 
 // ServeOption configures Serve. The zero set serves plaintext TCP with no

@@ -1,6 +1,7 @@
 package accelstream
 
 import (
+	"accelstream/internal/autoscale"
 	"accelstream/internal/rebalance"
 	"accelstream/internal/shard"
 )
@@ -60,5 +61,36 @@ func DialSharded(cfg ShardConfig, opts ...DialOption) (*ShardRouter, error) {
 	if o.redial != nil {
 		cfg.Redial = *o.redial
 	}
+	if o.autoscale != nil {
+		cfg.Autoscale = o.autoscale
+		cfg.Standby = o.standby
+	}
 	return shard.Dial(cfg)
+}
+
+// AutoscalePolicy parameterizes the closed-loop shard autoscaler: signal
+// thresholds (per-shard ingest rate, credit starvation, admission
+// throttling, window occupancy), hysteresis streaks, shard-count bounds,
+// and the post-action cooldown. The zero value of every field defaults
+// sensibly, but at least one hot trigger threshold must be set. The
+// struct round-trips as JSON (see LoadAutoscalePolicy).
+type AutoscalePolicy = autoscale.Policy
+
+// AutoscaleReport is a controller snapshot: current shard count, decision
+// counters, live streaks, cooldown state, and the recent scale actions.
+type AutoscaleReport = autoscale.Report
+
+// AutoscaleDecision is one policy evaluation's outcome.
+type AutoscaleDecision = autoscale.Decision
+
+// LoadAutoscalePolicy reads an AutoscalePolicy from a JSON file, applies
+// defaults, and validates it. Unknown fields are rejected, so a typoed
+// threshold fails loudly instead of silently never firing.
+func LoadAutoscalePolicy(path string) (AutoscalePolicy, error) {
+	return autoscale.LoadPolicy(path)
+}
+
+// ParseAutoscalePolicy decodes, defaults, and validates a JSON policy.
+func ParseAutoscalePolicy(data []byte) (AutoscalePolicy, error) {
+	return autoscale.ParsePolicy(data)
 }
